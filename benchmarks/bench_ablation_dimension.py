@@ -1,0 +1,67 @@
+"""Ablation: redundant computation vs stencil dimensionality.
+
+The paper's central motivation (Fig. 1(b)): the overlapped-tiling
+redundancy grows with the cone depth and *exponentially* with the
+stencil dimensionality, which is why the pipe-sharing gain is largest
+for 3-D stencils.
+"""
+
+from repro.stencil import get_benchmark
+from repro.tiling import make_baseline_design, make_pipe_shared_design
+
+CASES = {
+    1: ("jacobi-1d", (256,), (4,)),
+    2: ("jacobi-2d", (64, 64), (2, 2)),
+    3: ("jacobi-3d", (16, 16, 16), (2, 2, 2)),
+}
+
+
+def redundancy_by_dimension(depth):
+    ratios = {}
+    for ndim, (name, tile, counts) in CASES.items():
+        spec = get_benchmark(name)
+        design = make_baseline_design(spec, tile, counts, depth)
+        ratios[ndim] = design.redundancy_ratio()
+    return ratios
+
+
+def test_redundancy_grows_with_dimension(benchmark, record):
+    ratios = benchmark(redundancy_by_dimension, 8)
+    assert ratios[1] < ratios[2] < ratios[3]
+    record(
+        "Ablation: redundancy vs dimensionality",
+        "baseline redundant/useful at h=8: "
+        + ", ".join(f"{d}-D {r:.2f}" for d, r in sorted(ratios.items())),
+    )
+
+
+def test_redundancy_grows_with_depth(record):
+    spec = get_benchmark("jacobi-2d")
+    ratios = []
+    for depth in (2, 4, 8, 16):
+        design = make_baseline_design(spec, (64, 64), (2, 2), depth)
+        ratios.append(design.redundancy_ratio())
+    assert ratios == sorted(ratios)
+    record(
+        "Ablation: redundancy vs dimensionality",
+        "jacobi-2d baseline redundancy at h=2/4/8/16: "
+        + ", ".join(f"{r:.2f}" for r in ratios),
+    )
+
+
+def test_sharing_benefit_grows_with_dimension(record):
+    """Pipe sharing's redundancy elimination grows with D."""
+    savings = {}
+    for ndim, (name, tile, counts) in CASES.items():
+        spec = get_benchmark(name)
+        base = make_baseline_design(spec, tile, counts, 8)
+        pipe = make_pipe_shared_design(spec, tile, counts, 8)
+        savings[ndim] = base.redundancy_ratio() - pipe.redundancy_ratio()
+    assert savings[1] < savings[2] < savings[3]
+    record(
+        "Ablation: redundancy vs dimensionality",
+        "redundancy removed by sharing: "
+        + ", ".join(
+            f"{d}-D {s:.2f}" for d, s in sorted(savings.items())
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Extension ablation: inter-block read prefetching.
+
+Beyond the paper: with double-buffered tile footprints, the next
+block's launches and burst reads pipeline with the current block's
+computation.  This quantifies how much of the remaining memory/launch
+share (Fig. 6's non-compute components) prefetching would reclaim, at
+the cost of doubled tile-buffer BRAM.
+"""
+
+import pytest
+
+from repro.experiments.configs import TABLE3_CONFIGS
+from repro.sim import SimulationExecutor
+
+
+@pytest.mark.parametrize("name", ["jacobi-2d", "jacobi-3d"])
+def test_prefetch_ablation(benchmark, record, name):
+    baseline = TABLE3_CONFIGS[name].baseline()
+    executor = SimulationExecutor()
+
+    def run_pair():
+        plain = executor.run(baseline)
+        prefetched = executor.run(baseline, prefetch_reads=True)
+        return plain, prefetched
+
+    plain, prefetched = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert prefetched.total_cycles <= plain.total_cycles
+    assert prefetched.prefetched
+    saving = 1 - prefetched.total_cycles / plain.total_cycles
+    # Prefetch can reclaim at most the non-compute share of a block.
+    non_compute = 1 - (
+        plain.breakdown.compute / plain.breakdown.total
+    )
+    assert saving <= non_compute + 0.01
+    record(
+        "Ablation: inter-block read prefetch (extension)",
+        f"{name:11s} saves {saving:.1%} "
+        f"(block non-compute share {non_compute:.1%})",
+    )
+
+
+def test_prefetch_gains_track_memory_boundedness(record):
+    """Memory-bound 3-D stencils gain more than compute-bound 2-D."""
+    executor = SimulationExecutor()
+    savings = {}
+    for name in ("jacobi-2d", "jacobi-3d"):
+        baseline = TABLE3_CONFIGS[name].baseline()
+        plain = executor.run(baseline).total_cycles
+        fast = executor.run(
+            baseline, prefetch_reads=True
+        ).total_cycles
+        savings[name] = 1 - fast / plain
+    assert savings["jacobi-3d"] > savings["jacobi-2d"]
+    record(
+        "Ablation: inter-block read prefetch (extension)",
+        f"2-D saves {savings['jacobi-2d']:.1%} vs 3-D "
+        f"{savings['jacobi-3d']:.1%}",
+    )

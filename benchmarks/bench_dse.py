@@ -1,0 +1,50 @@
+"""Benchmarks of the design-space exploration itself.
+
+Times the optimizer's two search modes and asserts the headline DSE
+outcome: the model-chosen heterogeneous design beats the paper-reported
+baseline when both are *measured* on the simulator.
+"""
+
+from repro.dse import optimize_baseline, optimize_heterogeneous
+from repro.experiments.configs import TABLE3_CONFIGS
+from repro.sim import simulate
+from repro.stencil import jacobi_2d
+
+
+def test_heterogeneous_search(benchmark, record):
+    config = TABLE3_CONFIGS["jacobi-2d"]
+    baseline = config.baseline()
+    result = benchmark.pedantic(
+        optimize_heterogeneous,
+        args=(baseline.spec, baseline),
+        rounds=1,
+        iterations=1,
+    )
+    best = result.best.design
+    speedup = (
+        simulate(baseline).total_cycles / simulate(best).total_cycles
+    )
+    assert speedup > 1.0
+    record(
+        "DSE",
+        f"jacobi-2d hetero search: {result.evaluated} candidates, "
+        f"{result.feasible} feasible, best h={best.fused_depth}, "
+        f"measured speedup {speedup:.2f}x",
+    )
+
+
+def test_baseline_search(benchmark, record):
+    spec = jacobi_2d()
+    result = benchmark.pedantic(
+        optimize_baseline,
+        args=(spec, (4, 4)),
+        kwargs={"unroll": 4, "max_fused_depth": 48},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.feasible > 0
+    record(
+        "DSE",
+        f"jacobi-2d baseline search: {result.evaluated} candidates, "
+        f"best {result.best.design.describe()}",
+    )

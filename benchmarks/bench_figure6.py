@@ -1,0 +1,64 @@
+"""Figure 6 regeneration: execution-time breakdowns.
+
+Asserts the paper's Fig. 6 story: pipe sharing eliminates (or slashes)
+the redundant-computation share and shrinks the memory share; the
+baseline's redundancy share grows from Jacobi-2D to Jacobi-3D.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import run_figure6
+
+
+@pytest.mark.parametrize("name", ["jacobi-2d", "jacobi-3d"])
+def test_figure6_breakdown(benchmark, record, name):
+    bars = benchmark.pedantic(
+        run_figure6, args=([name],), rounds=1, iterations=1
+    )
+    by_label = {b.design_label: b for b in bars}
+    base = by_label["baseline"].fractions
+    het = by_label["heterogeneous"].fractions
+    # Redundant computation and memory transfer shrink.
+    assert het["compute_redundant"] < base["compute_redundant"]
+    assert het["read"] + het["write"] < base["read"] + base["write"]
+    # Useful computation dominates the optimized design.
+    assert het["compute_useful"] > base["compute_useful"]
+    for bar in bars:
+        parts = ", ".join(
+            f"{k}={v:.0%}"
+            for k, v in bar.fractions.items()
+            if v > 0.005
+        )
+        record(
+            "Figure 6",
+            f"{bar.benchmark:10s} {bar.design_label:13s} "
+            f"{bar.total_cycles:.3e} cyc: {parts}",
+        )
+
+
+def test_figure6_redundancy_grows_with_dimension(record):
+    """The baseline redundancy share grows from 2-D to 3-D (the paper's
+    motivation for why higher dimensions benefit more)."""
+    bars = run_figure6(benchmarks=("jacobi-2d", "jacobi-3d"))
+    base2d = next(
+        b
+        for b in bars
+        if b.benchmark == "jacobi-2d" and b.design_label == "baseline"
+    )
+    base3d = next(
+        b
+        for b in bars
+        if b.benchmark == "jacobi-3d" and b.design_label == "baseline"
+    )
+    ratio_2d = base2d.fractions["compute_redundant"] / max(
+        base2d.fractions["compute_useful"], 1e-9
+    )
+    ratio_3d = base3d.fractions["compute_redundant"] / max(
+        base3d.fractions["compute_useful"], 1e-9
+    )
+    assert ratio_3d > ratio_2d
+    record(
+        "Figure 6",
+        f"baseline redundant/useful: 2-D {ratio_2d:.2f} vs 3-D "
+        f"{ratio_3d:.2f}",
+    )

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the library's own hot paths.
+
+These time the framework components a user iterates with: the
+analytical model (the DSE inner loop), the cycle simulator, the
+functional executor, the reference executor, the feature extractor,
+and the code generator.
+"""
+
+from repro.codegen import generate_program
+from repro.frontend import extract_features
+from repro.model import PerformanceModel
+from repro.sim import SimulationExecutor, run_functional
+from repro.stencil import jacobi_2d, run_reference
+from repro.tiling import make_heterogeneous_design
+
+_SOURCE = """
+__kernel void jacobi2d(__global float* A, __global float* B) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    B[i][j] = 0.2f * (A[i][j] + A[i-1][j] + A[i+1][j]
+                      + A[i][j-1] + A[i][j+1]);
+}
+"""
+
+
+def paper_design():
+    spec = jacobi_2d()
+    return make_heterogeneous_design(spec, (512, 512), (4, 4), 64, unroll=4)
+
+
+def test_model_prediction_speed(benchmark):
+    """One model evaluation: the DSE evaluates thousands of these."""
+    design = paper_design()
+    model = PerformanceModel()
+    cycles = benchmark(model.predict_cycles, design)
+    assert cycles > 0
+
+
+def test_simulator_speed(benchmark):
+    """One full-run cycle simulation at paper scale."""
+    design = paper_design()
+    executor = SimulationExecutor()
+    result = benchmark(executor.run, design)
+    assert result.total_cycles > 0
+
+
+def test_functional_executor_speed(benchmark):
+    """Functional (value-level) execution of a small design."""
+    spec = jacobi_2d(grid=(64, 64), iterations=8)
+    design = make_heterogeneous_design(spec, (32, 32), (2, 2), 4)
+    out = benchmark(run_functional, design)
+    assert out["a"].shape == (64, 64)
+
+
+def test_reference_executor_speed(benchmark):
+    """Golden numpy reference on a mid-size grid."""
+    spec = jacobi_2d(grid=(256, 256), iterations=16)
+    out = benchmark(run_reference, spec)
+    assert out["a"].shape == (256, 256)
+
+
+def test_feature_extraction_speed(benchmark):
+    """OpenCL-source parsing + linearization."""
+    features = benchmark(
+        extract_features, _SOURCE, "jacobi-2d", {"B": "A"}
+    )
+    assert features.pattern.points_per_cell() == 5
+
+
+def test_codegen_speed(benchmark):
+    """Full OpenCL program generation for a 16-kernel design."""
+    design = paper_design()
+    program = benchmark(generate_program, design)
+    assert program.num_kernels == 16

@@ -1,0 +1,68 @@
+"""Sensitivity sweeps: how robust is the heterogeneous win?
+
+The paper's optimizer takes ``BW`` and ``K`` as user inputs; these
+benchmarks quantify how the design comparison shifts with the platform.
+"""
+
+import pytest
+
+from repro.dse.sensitivity import SensitivityAnalyzer
+from repro.experiments.configs import TABLE3_CONFIGS
+from repro.tiling import make_heterogeneous_design
+
+
+@pytest.fixture(scope="module")
+def jacobi_pair():
+    config = TABLE3_CONFIGS["jacobi-2d"]
+    baseline = config.baseline()
+    hetero = make_heterogeneous_design(
+        baseline.spec,
+        baseline.tile_grid.region_shape,
+        config.counts,
+        config.fused_depth * 2,
+        config.unroll,
+    )
+    return baseline, hetero
+
+
+def test_speedup_vs_bandwidth(benchmark, record, jacobi_pair):
+    baseline, hetero = jacobi_pair
+    analyzer = SensitivityAnalyzer()
+    sweep = benchmark.pedantic(
+        analyzer.speedup_vs_bandwidth,
+        args=(baseline, hetero, [3.2e9, 6.4e9, 12.8e9, 25.6e9]),
+        rounds=1,
+        iterations=1,
+    )
+    speedups = [s for _, s in sweep]
+    # The sharing advantage grows as bandwidth tightens.
+    assert speedups == sorted(speedups, reverse=True)
+    assert all(s > 1.0 for s in speedups)
+    record(
+        "Sensitivity",
+        "jacobi-2d hetero speedup vs BW: "
+        + ", ".join(
+            f"{bw/1e9:.1f}GB/s={s:.2f}x" for bw, s in sweep
+        ),
+    )
+
+
+def test_model_error_vs_launch_stagger(benchmark, record, jacobi_pair):
+    baseline, _ = jacobi_pair
+    analyzer = SensitivityAnalyzer()
+    result = benchmark.pedantic(
+        analyzer.sweep_launch_overhead,
+        args=(baseline, [0, 600, 2400]),
+        rounds=1,
+        iterations=1,
+    )
+    errors = [p.model_error for p in result.points]
+    assert errors == sorted(errors)
+    record(
+        "Sensitivity",
+        "model error vs launch stagger: "
+        + ", ".join(
+            f"{p.value:.0f}cyc={p.model_error:.1%}"
+            for p in result.points
+        ),
+    )

@@ -1,0 +1,16 @@
+"""Table 2 regeneration: the stencil benchmark suite description."""
+
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2(benchmark, record):
+    rows = benchmark(run_table2)
+    assert len(rows) == 7
+    by_name = {r.benchmark: r for r in rows}
+    # Spot-check the paper's Table 2 values.
+    assert by_name["jacobi-1d"].input_size == (131072,)
+    assert by_name["jacobi-3d"].input_size == (1024, 1024, 1024)
+    assert by_name["hotspot-3d"].iterations == 1000
+    assert by_name["fdtd-3d"].iterations == 500
+    for line in render_table2(rows).splitlines():
+        record("Table 2", line)

@@ -1,0 +1,44 @@
+"""Table 3 regeneration: baseline vs heterogeneous, per benchmark.
+
+One benchmark per suite entry; each run performs the full flow (DSE for
+the heterogeneous design under the baseline's resource budget, cycle
+simulation of both designs, resource estimation) and asserts the
+paper's qualitative claims:
+
+- the heterogeneous design is faster (paper band: 1.19x - 2.05x);
+- DSP usage is identical (same parallelism and unroll);
+- BRAM does not grow (pipe sharing replaces overlap storage);
+- the optimizer deepens the iteration fusion.
+"""
+
+import pytest
+
+from repro.experiments.configs import PAPER_TABLE3, TABLE3_CONFIGS
+from repro.experiments.table3 import run_table3
+from repro.stencil.library import PAPER_SUITE
+
+
+@pytest.mark.parametrize("name", PAPER_SUITE)
+def test_table3_row(benchmark, record, name):
+    (row,) = benchmark.pedantic(
+        run_table3,
+        args=([name],),
+        rounds=1,
+        iterations=1,
+    )
+    paper = PAPER_TABLE3[name]
+    assert row.speedup > 1.0
+    assert 1.0 < row.speedup < 2.5
+    assert row.hetero_resources.dsp == row.baseline_resources.dsp
+    assert row.hetero_resources.bram18 <= (
+        row.baseline_resources.bram18 * 1.05 + 1
+    )
+    assert row.heterogeneous.fused_depth >= row.baseline.fused_depth
+    record(
+        "Table 3",
+        f"{name:11s} h {row.baseline.fused_depth:>4d} -> "
+        f"{row.heterogeneous.fused_depth:<4d} "
+        f"BRAM {row.baseline_resources.bram18:>5d} -> "
+        f"{row.hetero_resources.bram18:<5d} "
+        f"speedup {row.speedup:.2f}x (paper {paper.speedup:.2f}x)",
+    )

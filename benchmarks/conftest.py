@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates a piece of the paper's evaluation and
+asserts its qualitative shape, while pytest-benchmark times the
+regeneration itself.  Results are accumulated in ``_REPRO_RESULTS`` and
+printed at the end of the session so ``pytest benchmarks/
+--benchmark-only`` emits the paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+_REPRO_RESULTS: Dict[str, List[str]] = {}
+
+
+def record_result(section: str, line: str) -> None:
+    """Collect one line of reproduction output for the session report."""
+    _REPRO_RESULTS.setdefault(section, []).append(line)
+
+
+@pytest.fixture
+def record():
+    """Fixture exposing :func:`record_result`."""
+    return record_result
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the accumulated reproduction tables after the timings."""
+    if not _REPRO_RESULTS:
+        return
+    terminalreporter.section("paper reproduction results")
+    for section in sorted(_REPRO_RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {section} ==")
+        for line in _REPRO_RESULTS[section]:
+            terminalreporter.write_line(line)

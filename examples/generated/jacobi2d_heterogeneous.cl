@@ -1,0 +1,287 @@
+// Auto-generated heterogeneous design for jacobi-2d: h=8, K=4, unroll=2.
+#include "stencil_runtime.h"
+
+#define W0 256
+#define W1 256
+
+// OpenCL 2.0 pipes bridging adjacent tiles (two per face).
+pipe float pipe_0_0_to_1_0_d0 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_1_0_to_0_0_d0 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_0_0_to_0_1_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_0_1_to_0_0_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_0_1_to_1_1_d0 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_1_1_to_0_1_d0 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_1_0_to_1_1_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float pipe_1_1_to_1_0_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (72 - 0 * (it))
+#define T_EXT0 73
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (72 - 0 * (it))
+#define T_EXT1 73
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_jacobi_2d_k0_0(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 0): output (64, 64), local footprint (73, 73).
+    __local float buf_a[73][73];
+    __local float new_a[73][73];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 5329);
+    for (int it = 0; it < 8; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            __attribute__((opencl_unroll_hint(2)))
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.2f * buf_a[x0][x1] + 0.2f * buf_a[x0 - 1][x1] + 0.2f * buf_a[x0 + 1][x1] + 0.2f * buf_a[x0][x1 - 1] + 0.2f * buf_a[x0][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = 72 - 1; x0 < 72 - 1 + 1; ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                write_pipe_block(pipe_0_0_to_1_0_d0, &buf_a[x0][x1]);
+            }
+        }
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 72 - 1; x1 < 72 - 1 + 1; ++x1) {
+                write_pipe_block(pipe_0_0_to_0_1_d1, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 8) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = 72; x0 < 72 + 1; ++x0) {
+                for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                    read_pipe_block(pipe_1_0_to_0_0_d0, &buf_a[x0][x1]);
+                }
+            }
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 72; x1 < 72 + 1; ++x1) {
+                    read_pipe_block(pipe_0_1_to_0_0_d1, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 4096);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (72 - 0 * (it))
+#define T_EXT0 73
+#define T_LO1(it) (1 + 0 * (it))
+#define T_HI1(it) (72 - 1 * (it))
+#define T_EXT1 73
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_jacobi_2d_k0_1(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 1): output (64, 64), local footprint (73, 73).
+    __local float buf_a[73][73];
+    __local float new_a[73][73];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 5329);
+    for (int it = 0; it < 8; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            __attribute__((opencl_unroll_hint(2)))
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.2f * buf_a[x0][x1] + 0.2f * buf_a[x0 - 1][x1] + 0.2f * buf_a[x0 + 1][x1] + 0.2f * buf_a[x0][x1 - 1] + 0.2f * buf_a[x0][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 1; x1 < 1 + 1; ++x1) {
+                write_pipe_block(pipe_0_1_to_0_0_d1, &buf_a[x0][x1]);
+            }
+        }
+        for (int x0 = 72 - 1; x0 < 72 - 1 + 1; ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                write_pipe_block(pipe_0_1_to_1_1_d0, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 8) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 1 - 1; x1 < 1 - 1 + 1; ++x1) {
+                    read_pipe_block(pipe_0_0_to_0_1_d1, &buf_a[x0][x1]);
+                }
+            }
+            for (int x0 = 72; x0 < 72 + 1; ++x0) {
+                for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                    read_pipe_block(pipe_1_1_to_0_1_d0, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 4096);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 0 * (it))
+#define T_HI0(it) (72 - 1 * (it))
+#define T_EXT0 73
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (72 - 0 * (it))
+#define T_EXT1 73
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_jacobi_2d_k1_0(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (1, 0): output (64, 64), local footprint (73, 73).
+    __local float buf_a[73][73];
+    __local float new_a[73][73];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 5329);
+    for (int it = 0; it < 8; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            __attribute__((opencl_unroll_hint(2)))
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.2f * buf_a[x0][x1] + 0.2f * buf_a[x0 - 1][x1] + 0.2f * buf_a[x0 + 1][x1] + 0.2f * buf_a[x0][x1 - 1] + 0.2f * buf_a[x0][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = 1; x0 < 1 + 1; ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                write_pipe_block(pipe_1_0_to_0_0_d0, &buf_a[x0][x1]);
+            }
+        }
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 72 - 1; x1 < 72 - 1 + 1; ++x1) {
+                write_pipe_block(pipe_1_0_to_1_1_d1, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 8) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = 1 - 1; x0 < 1 - 1 + 1; ++x0) {
+                for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                    read_pipe_block(pipe_0_0_to_1_0_d0, &buf_a[x0][x1]);
+                }
+            }
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 72; x1 < 72 + 1; ++x1) {
+                    read_pipe_block(pipe_1_1_to_1_0_d1, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 4096);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 0 * (it))
+#define T_HI0(it) (72 - 1 * (it))
+#define T_EXT0 73
+#define T_LO1(it) (1 + 0 * (it))
+#define T_HI1(it) (72 - 1 * (it))
+#define T_EXT1 73
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_jacobi_2d_k1_1(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (1, 1): output (64, 64), local footprint (73, 73).
+    __local float buf_a[73][73];
+    __local float new_a[73][73];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 5329);
+    for (int it = 0; it < 8; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            __attribute__((opencl_unroll_hint(2)))
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.2f * buf_a[x0][x1] + 0.2f * buf_a[x0 - 1][x1] + 0.2f * buf_a[x0 + 1][x1] + 0.2f * buf_a[x0][x1 - 1] + 0.2f * buf_a[x0][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = 1; x0 < 1 + 1; ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                write_pipe_block(pipe_1_1_to_0_1_d0, &buf_a[x0][x1]);
+            }
+        }
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 1; x1 < 1 + 1; ++x1) {
+                write_pipe_block(pipe_1_1_to_1_0_d1, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 8) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = 1 - 1; x0 < 1 - 1 + 1; ++x0) {
+                for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                    read_pipe_block(pipe_0_1_to_1_1_d0, &buf_a[x0][x1]);
+                }
+            }
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 1 - 1; x1 < 1 - 1 + 1; ++x1) {
+                    read_pipe_block(pipe_1_0_to_1_1_d1, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 4096);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1

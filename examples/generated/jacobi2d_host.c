@@ -1,0 +1,27 @@
+// Auto-generated host program for jacobi-2d (heterogeneous, h=8).
+#include <CL/cl.h>
+#include "stencil_host.h"
+
+int main(int argc, char **argv) {
+    cl_context ctx = stencil_create_context("xilinx_adm-pcie-7v3");
+    cl_command_queue queue = stencil_create_queue(ctx);
+    cl_mem d_a = stencil_alloc(ctx, 65536 * sizeof(float));
+    cl_mem d_a_out = stencil_alloc(ctx, 65536 * sizeof(float));
+
+    // 8 temporal blocks x 4 regions x 4 kernels.
+    for (int block = 0; block < 8; ++block) {
+        for (int region = 0; region < 4; ++region) {
+            int origin[2]; stencil_region_origin(region, origin, 128, 128);
+            // Launch every tile kernel; launches are issued sequentially.
+            stencil_launch(queue, "stencil_jacobi_2d_k0_0", origin[0] + 0, origin[1] + 0);
+            stencil_launch(queue, "stencil_jacobi_2d_k0_1", origin[0] + 0, origin[1] + 64);
+            stencil_launch(queue, "stencil_jacobi_2d_k1_0", origin[0] + 64, origin[1] + 0);
+            stencil_launch(queue, "stencil_jacobi_2d_k1_1", origin[0] + 64, origin[1] + 64);
+            // Block barrier: all tiles must commit before the next.
+            clFinish(queue);
+            // Swap global ping-pong buffers.
+            stencil_swap(&d_a, &d_a_out);
+        }
+    }
+    return 0;
+}

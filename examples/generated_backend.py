@@ -1,0 +1,73 @@
+"""Run the *generated code itself* and verify it bit-for-bit.
+
+The framework emits two backends from the same design: OpenCL-C (for
+the real toolchain) and executable Python (for verification).  This
+example generates both for a heterogeneous HotSpot design, runs the
+executable backend through real pipe objects under cooperative
+scheduling, compares against the naive reference, and shows the
+off-line profiling flow that recovers the platform constants the
+analytical model needs.
+
+Run:  python examples/generated_backend.py
+"""
+
+import numpy as np
+
+from repro import generate_program, hotspot_2d, make_heterogeneous_design
+from repro.codegen import GeneratedDesignExecutor
+from repro.model import OfflineProfiler
+from repro.stencil import run_reference
+
+
+def main() -> None:
+    spec = hotspot_2d(grid=(64, 64), iterations=20)
+    design = make_heterogeneous_design(
+        spec, region_shape=(32, 32), counts=(2, 2), fused_depth=5,
+        unroll=2,
+    )
+    print(f"Design: {design.describe()}")
+
+    # Backend 1: OpenCL-C for the toolchain.
+    opencl = generate_program(design)
+    print(f"OpenCL backend: {opencl.num_kernels} kernels, "
+          f"{len(opencl.kernel_source.splitlines())} lines, "
+          f"{opencl.kernel_source.count('pipe float')} pipes")
+
+    # Backend 2: executable Python for verification.
+    executor = GeneratedDesignExecutor(design)
+    print(f"Executable backend: "
+          f"{len(executor.module_source.splitlines())} lines of "
+          f"generated Python")
+
+    out = executor.run()
+    ref = run_reference(spec)
+    match = np.array_equal(out["a"], ref["a"])
+    print(f"Generated kernels vs reference: "
+          f"{'bitwise identical' if match else 'MISMATCH'}")
+    assert match
+
+    # Peek at one generated kernel.
+    lines = executor.module_source.splitlines()
+    start = next(
+        i
+        for i, line in enumerate(lines)
+        if line.startswith("def stencil_")
+    )
+    print("\nGenerated kernel preview:")
+    for line in lines[start : start + 16]:
+        print("  " + line)
+    print("  ...")
+
+    # Off-line profiling (Table 1: "obtained: off-line profiling").
+    print("\nOff-line profiling of the platform:")
+    calibration = OfflineProfiler().calibrate()
+    print(f"  effective bandwidth "
+          f"{calibration.bandwidth_bytes_per_cycle:.1f} B/cycle")
+    print(f"  C_pipe {calibration.pipe_cycles_per_word:.2f} "
+          f"cycles/word")
+    print(f"  kernel launch {calibration.launch_cycles:.0f} + "
+          f"{calibration.launch_stagger_cycles:.0f}/kernel cycles")
+
+
+if __name__ == "__main__":
+    main()

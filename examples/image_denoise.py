@@ -1,0 +1,97 @@
+"""Image-processing pipeline: from user OpenCL source to accelerator.
+
+The paper's framework takes *the user's own stencil kernel source* as
+input (Fig. 5).  This example writes an iterative 3x3 Gaussian
+smoothing kernel exactly as an OpenCL programmer would, runs it through
+the feature extractor, builds the workload around a noisy synthetic
+image, optimizes a design, executes it functionally, and reports the
+denoising quality plus the generated OpenCL program's shape.
+
+Run:  python examples/image_denoise.py
+"""
+
+import numpy as np
+
+from repro import (
+    StencilSpec,
+    extract_features,
+    generate_program,
+    make_baseline_design,
+    optimize_heterogeneous,
+    run_functional,
+    simulate,
+)
+
+USER_KERNEL = """
+__kernel void smooth(__global float* img, __global float* out) {
+    int y = get_global_id(0);
+    int x = get_global_id(1);
+    out[y][x] = 0.25f   * img[y][x]
+              + 0.125f  * (img[y-1][x] + img[y+1][x]
+                           + img[y][x-1] + img[y][x+1])
+              + 0.0625f * (img[y-1][x-1] + img[y-1][x+1]
+                           + img[y+1][x-1] + img[y+1][x+1]);
+}
+"""
+
+
+def noisy_image(shape, seed=11):
+    """A synthetic scene (smooth gradient + shapes) plus sensor noise."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(0, 1, shape[0]),
+        np.linspace(0, 1, shape[1]),
+        indexing="ij",
+    )
+    clean = 0.4 * yy + 0.3 * xx
+    clean[shape[0] // 4 : shape[0] // 2, shape[1] // 4 : shape[1] // 2] += 0.4
+    noise = rng.normal(0.0, 0.08, shape)
+    return clean.astype(np.float32), (clean + noise).astype(np.float32)
+
+
+def main() -> None:
+    # 1. Extract the stencil from the user's OpenCL kernel.
+    features = extract_features(
+        USER_KERNEL, name="smooth-3x3", field_map={"out": "img"}
+    )
+    print(f"Extracted: {features.ndim}-D stencil, radius "
+          f"{features.pattern.radius}, "
+          f"{features.pattern.points_per_cell()} taps, "
+          f"{features.counts.flops} flops/cell as written")
+
+    # 2. Bind it to the image workload.
+    spec = StencilSpec(
+        name="smooth-3x3",
+        pattern=features.pattern,
+        grid_shape=(128, 128),
+        iterations=24,
+    )
+    clean, noisy = noisy_image(spec.grid_shape)
+
+    # 3. Design the accelerator.
+    baseline = make_baseline_design(spec, (32, 32), (2, 2), 6, unroll=2)
+    hetero = optimize_heterogeneous(spec, baseline).best.design
+    print(f"Optimized design: {hetero.describe()}")
+
+    # 4. Run the pipeline functionally.
+    out = run_functional(hetero, state={"img": noisy})["img"]
+    rms_before = float(np.sqrt(np.mean((noisy - clean) ** 2)))
+    rms_after = float(np.sqrt(np.mean((out - clean) ** 2)))
+    print(f"RMS error vs clean image: {rms_before:.4f} -> "
+          f"{rms_after:.4f} after {spec.iterations} smoothing passes")
+    assert rms_after < rms_before
+
+    # 5. Performance and generated code.
+    speedup = (
+        simulate(baseline).total_cycles / simulate(hetero).total_cycles
+    )
+    program = generate_program(hetero)
+    kernel_lines = len(program.kernel_source.splitlines())
+    print(f"Simulated speedup over overlapped tiling: {speedup:.2f}x")
+    print(f"Generated OpenCL: {program.num_kernels} kernels, "
+          f"{kernel_lines} lines, "
+          f"{program.kernel_source.count('pipe float')} pipes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Automatic OpenCL code generation (Section 5.2 of the paper).
+
+Three generators — stencil boundary, data-sharing pipes, and fused
+stencil operation — whose outputs :mod:`repro.codegen.kernel_gen`
+merges into per-tile OpenCL kernels, plus a host-program generator.
+"""
+
+from repro.codegen.emit import CodeWriter, float_literal
+from repro.codegen.boundary_gen import (
+    BoundarySpec,
+    generate_boundary_macros,
+    iteration_bounds,
+)
+from repro.codegen.pipe_gen import (
+    generate_pipe_declarations,
+    pipe_name,
+    tile_pipe_endpoints,
+)
+from repro.codegen.fused_gen import (
+    generate_fused_loop,
+    update_statement,
+)
+from repro.codegen.kernel_gen import (
+    GeneratedProgram,
+    generate_kernel,
+    generate_program,
+)
+from repro.codegen.host_gen import generate_host_program
+from repro.codegen.pygen import (
+    field_pipe_name,
+    generate_python_kernel,
+    generate_python_module,
+)
+from repro.codegen.pyexec import GeneratedDesignExecutor, execute_generated
+
+__all__ = [
+    "CodeWriter",
+    "float_literal",
+    "BoundarySpec",
+    "generate_boundary_macros",
+    "iteration_bounds",
+    "generate_pipe_declarations",
+    "pipe_name",
+    "tile_pipe_endpoints",
+    "generate_fused_loop",
+    "update_statement",
+    "GeneratedProgram",
+    "generate_kernel",
+    "generate_program",
+    "generate_host_program",
+    "field_pipe_name",
+    "generate_python_kernel",
+    "generate_python_module",
+    "GeneratedDesignExecutor",
+    "execute_generated",
+]

@@ -1,0 +1,117 @@
+"""Stencil boundary generator (Section 5.2).
+
+"For a specific stencil computation kernel, the stencil tile boundary
+varies at different iterations and is dependent on three factors:
+stencil shape, current iteration number and tile size."  This module
+produces, for one tile of a design, the per-iteration loop bounds as a
+function of the fused-iteration counter ``it`` — both as a Python-side
+structure (used by the other generators and the tests) and as C macros
+embedded in the generated kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.codegen.emit import CodeWriter
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Per-dimension loop bounds of one tile, buffer-relative.
+
+    The compute loop of fused iteration ``it`` (0-based) covers
+    ``[lo_base_d + lo_step_d * it, hi_base_d - hi_step_d * it)`` in the
+    local buffer's coordinates: cone sides start wide and shrink by the
+    radius every iteration; pipe-served and physical sides are fixed.
+
+    Attributes:
+        lo_base: lower bound at ``it = 0`` per dimension.
+        lo_step: per-iteration lower-bound increment per dimension.
+        hi_base: upper bound at ``it = 0`` per dimension.
+        hi_step: per-iteration upper-bound decrement per dimension.
+        buffer_shape: local buffer extents per dimension.
+    """
+
+    lo_base: Tuple[int, ...]
+    lo_step: Tuple[int, ...]
+    hi_base: Tuple[int, ...]
+    hi_step: Tuple[int, ...]
+    buffer_shape: Tuple[int, ...]
+
+    def bounds_at(self, iteration: int) -> List[Tuple[int, int]]:
+        """``[lo, hi)`` per dimension at 0-based fused iteration."""
+        return [
+            (
+                self.lo_base[d] + self.lo_step[d] * iteration,
+                self.hi_base[d] - self.hi_step[d] * iteration,
+            )
+            for d in range(len(self.lo_base))
+        ]
+
+
+def iteration_bounds(design: StencilDesign, tile: TileInfo) -> BoundarySpec:
+    """Boundary spec of one tile in buffer-local coordinates.
+
+    The local buffer covers the tile's read footprint.  At fused
+    iteration ``it`` (0-based; the model's ``i = it + 1``) the computed
+    footprint keeps a margin of ``r * it`` inside each cone side (it
+    started needing ``r * h`` of context and consumes one radius per
+    iteration), and a fixed margin of ``r`` inside each pipe-served
+    side (the halo).
+    """
+    ndim = design.spec.ndim
+    radius = design.radius
+    counts = design.tile_grid.counts
+    read_shape = design.tile_read_shape(tile)
+    lo_base: List[int] = []
+    lo_step: List[int] = []
+    hi_base: List[int] = []
+    hi_step: List[int] = []
+    for d in range(ndim):
+        low_outer = tile.index[d] == 0
+        high_outer = tile.index[d] == counts[d] - 1
+        if design.sharing:
+            low_cone = low_outer
+            high_cone = high_outer
+        else:
+            low_cone = high_cone = True
+        # Cone sides: start at r (iteration 1 consumes one halo ring)
+        # and shrink by r per iteration.  Pipe sides: fixed halo of r.
+        lo_base.append(radius[d])
+        lo_step.append(radius[d] if low_cone else 0)
+        hi_base.append(read_shape[d] - radius[d])
+        hi_step.append(radius[d] if high_cone else 0)
+    return BoundarySpec(
+        lo_base=tuple(lo_base),
+        lo_step=tuple(lo_step),
+        hi_base=tuple(hi_base),
+        hi_step=tuple(hi_step),
+        buffer_shape=read_shape,
+    )
+
+
+def generate_boundary_macros(
+    design: StencilDesign, tile: TileInfo, prefix: str = "T"
+) -> str:
+    """C ``#define`` block encoding the tile's iteration boundary."""
+    spec = iteration_bounds(design, tile)
+    writer = CodeWriter()
+    writer.comment(
+        "Per-iteration compute bounds: dimension d covers "
+        "[LO(d, it), HI(d, it)) in local-buffer coordinates."
+    )
+    for d in range(design.spec.ndim):
+        writer.line(
+            f"#define {prefix}_LO{d}(it) ({spec.lo_base[d]} + "
+            f"{spec.lo_step[d]} * (it))"
+        )
+        writer.line(
+            f"#define {prefix}_HI{d}(it) ({spec.hi_base[d]} - "
+            f"{spec.hi_step[d]} * (it))"
+        )
+        writer.line(f"#define {prefix}_EXT{d} {spec.buffer_shape[d]}")
+    return writer.render()

@@ -1,0 +1,99 @@
+"""Source-emission helpers: indentation-aware writer and literals."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def float_literal(value: float) -> str:
+    """A C float literal (with ``f`` suffix) for a coefficient."""
+    if value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}f"
+    return f"{value!r}f"
+
+
+def index_expression(
+    index_vars: Sequence[str], offsets: Sequence[int]
+) -> str:
+    """Subscript chain like ``[i - 1][j + 2]`` for an offset tap."""
+    parts: List[str] = []
+    for var, off in zip(index_vars, offsets):
+        if off == 0:
+            parts.append(f"[{var}]")
+        elif off > 0:
+            parts.append(f"[{var} + {off}]")
+        else:
+            parts.append(f"[{var} - {-off}]")
+    return "".join(parts)
+
+
+class CodeWriter:
+    """Accumulates indented C source lines."""
+
+    def __init__(self, indent: str = "    "):
+        self._indent_unit = indent
+        self._level = 0
+        self._lines: List[str] = []
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Emit one line at the current indent (blank when empty)."""
+        if text:
+            self._lines.append(self._indent_unit * self._level + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, texts: Iterable[str]) -> "CodeWriter":
+        """Emit multiple lines."""
+        for text in texts:
+            self.line(text)
+        return self
+
+    def open_block(self, header: str) -> "CodeWriter":
+        """Emit ``header {`` and indent."""
+        self.line(f"{header} {{")
+        self._level += 1
+        return self
+
+    def close_block(self, suffix: str = "") -> "CodeWriter":
+        """Dedent and emit ``}``."""
+        self._level = max(0, self._level - 1)
+        self.line(f"}}{suffix}")
+        return self
+
+    def comment(self, text: str) -> "CodeWriter":
+        """Emit a ``//`` comment line."""
+        return self.line(f"// {text}")
+
+    def raw(self, source: str) -> "CodeWriter":
+        """Splice pre-rendered source, re-indenting each line."""
+        for line in source.splitlines():
+            self.line(line) if line.strip() else self.line()
+        return self
+
+    def render(self) -> str:
+        """The accumulated source."""
+        return "\n".join(self._lines) + "\n"
+
+
+class PyWriter(CodeWriter):
+    """Indentation-aware writer emitting *Python* source.
+
+    Blocks open with ``header:`` and close by dedenting (no brace), and
+    comments use ``#``.
+    """
+
+    def open_block(self, header: str) -> "PyWriter":
+        """Emit ``header:`` and indent."""
+        self.line(f"{header}:")
+        self._level += 1
+        return self
+
+    def close_block(self, suffix: str = "") -> "PyWriter":
+        """Dedent (Python blocks close implicitly)."""
+        self._level = max(0, self._level - 1)
+        return self
+
+    def comment(self, text: str) -> "PyWriter":
+        """Emit a ``#`` comment line."""
+        return self.line(f"# {text}")

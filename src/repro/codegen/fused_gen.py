@@ -1,0 +1,107 @@
+"""Fused stencil operation generator (Section 5.2).
+
+Wraps the original stencil update in the iteration-fusion loop, with
+the loop bounds provided by the stencil boundary generator, the data
+arrays promoted to ``__local`` memory, and the inner loop unrolled by
+the design's ``N_PE``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.codegen.boundary_gen import iteration_bounds
+from repro.codegen.emit import CodeWriter, float_literal, index_expression
+from repro.codegen.pipe_gen import generate_receive_block, generate_send_block
+from repro.stencil.pattern import StencilPattern
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+
+def update_statement(
+    pattern: StencilPattern,
+    field: str,
+    index_vars: Sequence[str],
+    out_prefix: str = "new_",
+    in_prefix: str = "buf_",
+    aux_prefix: str = "buf_",
+) -> str:
+    """The single-cell update statement for one field.
+
+    Renders the pattern's taps in declaration order, e.g.::
+
+        new_a[x0][x1] = 0.2f * buf_a[x0][x1] + 0.2f * buf_a[x0 - 1][x1] ...;
+    """
+    update = pattern.updates[field]
+    terms = []
+    for tap in update.taps:
+        prefix = aux_prefix if tap.source in pattern.aux else in_prefix
+        ref = f"{prefix}{tap.source}{index_expression(index_vars, tap.offset)}"
+        if tap.coeff == 1.0:
+            terms.append(ref)
+        else:
+            terms.append(f"{float_literal(tap.coeff)} * {ref}")
+    if update.constant != 0.0:
+        terms.append(float_literal(update.constant))
+    zero = (0,) * pattern.ndim
+    target = f"{out_prefix}{field}{index_expression(index_vars, zero)}"
+    return f"{target} = {' + '.join(terms)};"
+
+
+def generate_fused_loop(
+    design: StencilDesign, tile: TileInfo
+) -> str:
+    """The fused-iteration loop body of one tile's kernel.
+
+    Per fused iteration: compute the boundary strips first and push
+    them into the pipes (so neighbors' next iterations are fed), then
+    compute the interior while neighbor strips stream in, then drain
+    the incoming pipes and swap the ping-pong buffers.
+    """
+    pattern = design.spec.pattern
+    ndim = design.spec.ndim
+    index_vars = [f"x{d}" for d in range(ndim)]
+    writer = CodeWriter()
+    writer.open_block(
+        f"for (int it = 0; it < {design.fused_depth}; ++it)"
+    )
+    for d in range(ndim):
+        header = (
+            f"for (int {index_vars[d]} = T_LO{d}(it); "
+            f"{index_vars[d]} < T_HI{d}(it); ++{index_vars[d]})"
+        )
+        if d == ndim - 1 and design.unroll > 1:
+            writer.line(
+                f"__attribute__((opencl_unroll_hint({design.unroll})))"
+            )
+        writer.open_block(header)
+    writer.comment("Skip frozen cells at the physical array border.")
+    guard = " && ".join(
+        f"g{d} + {index_vars[d]} >= {design.radius[d]} && "
+        f"g{d} + {index_vars[d]} < W{d} - {design.radius[d]}"
+        for d in range(ndim)
+    )
+    writer.open_block(f"if ({guard})")
+    for field in pattern.fields:
+        writer.line(update_statement(pattern, field, index_vars))
+    writer.close_block()
+    zero_subscript = "".join(f"[{v}]" for v in index_vars)
+    writer.open_block("else")
+    for field in pattern.fields:
+        writer.line(
+            f"new_{field}{zero_subscript} = buf_{field}{zero_subscript};"
+        )
+    writer.close_block()
+    for _ in range(ndim):
+        writer.close_block()
+    if design.sharing:
+        writer.raw(generate_send_block(design, tile))
+    writer.comment("Ping-pong the tile buffers.")
+    for field in pattern.fields:
+        writer.line(f"swap_buffers(&buf_{field}, &new_{field});")
+    if design.sharing:
+        writer.open_block(f"if (it + 1 < {design.fused_depth})")
+        writer.raw(generate_receive_block(design, tile))
+        writer.close_block()
+    writer.close_block()
+    return writer.render()

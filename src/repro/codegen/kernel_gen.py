@@ -1,0 +1,137 @@
+"""Kernel assembly: merge the three generated parts into OpenCL kernels.
+
+One ``__kernel`` function is produced per tile of the region (each tile
+maps to its own compute unit, as in Fig. 4), and the whole program —
+pipe declarations plus all kernels — is returned as a single OpenCL-C
+translation unit together with the generated host program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.codegen.boundary_gen import generate_boundary_macros
+from repro.codegen.emit import CodeWriter
+from repro.codegen.fused_gen import generate_fused_loop
+from repro.codegen.host_gen import generate_host_program
+from repro.codegen.pipe_gen import generate_pipe_declarations
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+Index = Tuple[int, ...]
+
+
+def kernel_name(design: StencilDesign, tile: TileInfo) -> str:
+    """Canonical kernel symbol for one tile."""
+    suffix = "_".join(str(i) for i in tile.index)
+    return f"stencil_{design.spec.name.replace('-', '_')}_k{suffix}"
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """The code generator's output for one design.
+
+    Attributes:
+        kernel_source: the OpenCL-C translation unit (pipes + kernels).
+        host_source: the host-side C program.
+        kernel_names: kernel symbol per tile index.
+    """
+
+    kernel_source: str
+    host_source: str
+    kernel_names: Dict[Index, str]
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of generated compute kernels."""
+        return len(self.kernel_names)
+
+
+def _element_type(design: StencilDesign) -> str:
+    return "float" if design.spec.element_bytes == 4 else "double"
+
+
+def generate_kernel(design: StencilDesign, tile: TileInfo) -> str:
+    """One tile's complete ``__kernel`` function."""
+    pattern = design.spec.pattern
+    ndim = design.spec.ndim
+    element = _element_type(design)
+    read_shape = design.tile_read_shape(tile)
+    dims = "".join(f"[{extent}]" for extent in read_shape)
+    writer = CodeWriter()
+    writer.raw(generate_boundary_macros(design, tile))
+    args: List[str] = []
+    for field in pattern.fields:
+        args.append(f"__global {element} *restrict g_{field}")
+        args.append(f"__global {element} *restrict g_{field}_out")
+    for aux in pattern.aux:
+        args.append(f"__global const {element} *restrict g_{aux}")
+    for d in range(ndim):
+        args.append(f"const int g{d}")
+    arg_list = ",\n        ".join(args)
+    writer.line("__attribute__((reqd_work_group_size(1, 1, 1)))")
+    writer.open_block(
+        f"__kernel void {kernel_name(design, tile)}(\n        {arg_list})"
+    )
+    writer.comment(
+        f"Tile {tile.index}: output {tile.shape}, local footprint "
+        f"{read_shape}."
+    )
+    for field in pattern.fields:
+        writer.line(f"__local {element} buf_{field}{dims};")
+        writer.line(f"__local {element} new_{field}{dims};")
+    for aux in pattern.aux:
+        writer.line(f"__local {element} buf_{aux}{dims};")
+    writer.comment("Burst-read the tile footprint from global memory.")
+    for field in pattern.fields:
+        writer.line(
+            f"burst_read(g_{field}, (__local {element} *)buf_{field}, "
+            f"{design.tile_read_cells(tile)});"
+        )
+    for aux in pattern.aux:
+        writer.line(
+            f"burst_read(g_{aux}, (__local {element} *)buf_{aux}, "
+            f"{design.tile_read_cells(tile)});"
+        )
+    writer.raw(generate_fused_loop(design, tile))
+    writer.comment("Burst-write the tile's output cells back.")
+    for field in pattern.fields:
+        writer.line(
+            f"burst_write(g_{field}_out, (__local {element} *)buf_{field}, "
+            f"{tile.cells});"
+        )
+    writer.close_block()
+    # Undefine the tile-local boundary macros so kernels can share a
+    # translation unit.
+    for d in range(ndim):
+        writer.line(f"#undef T_LO{d}")
+        writer.line(f"#undef T_HI{d}")
+        writer.line(f"#undef T_EXT{d}")
+    return writer.render()
+
+
+def generate_program(design: StencilDesign) -> GeneratedProgram:
+    """The full OpenCL program and host code for a design."""
+    writer = CodeWriter()
+    writer.comment(
+        f"Auto-generated {design.kind} design for "
+        f"{design.spec.name}: h={design.fused_depth}, "
+        f"K={design.parallelism}, unroll={design.unroll}."
+    )
+    writer.line('#include "stencil_runtime.h"')
+    writer.line()
+    for d in range(design.spec.ndim):
+        writer.line(f"#define W{d} {design.spec.grid_shape[d]}")
+    writer.line()
+    writer.raw(generate_pipe_declarations(design))
+    names: Dict[Index, str] = {}
+    for tile in design.tiles:
+        writer.line()
+        writer.raw(generate_kernel(design, tile))
+        names[tile.index] = kernel_name(design, tile)
+    return GeneratedProgram(
+        kernel_source=writer.render(),
+        host_source=generate_host_program(design, names),
+        kernel_names=names,
+    )

@@ -1,0 +1,171 @@
+"""Data-sharing pipe generator (Section 5.2).
+
+Pipes in OpenCL are one-directional, so each shared face of adjacent
+kernels gets a read/write pair.  The generator emits the program-scope
+pipe declarations and, per kernel, the send/receive loops for each of
+its faces, with extents driven by the stencil boundary generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codegen.boundary_gen import iteration_bounds
+from repro.codegen.emit import CodeWriter
+from repro.tiling.design import PipeFace, StencilDesign
+from repro.tiling.tile import TileInfo
+
+Index = Tuple[int, ...]
+
+
+def _fmt_index(index: Index) -> str:
+    return "_".join(str(i) for i in index)
+
+
+def pipe_name(src: Index, dst: Index, dim: int) -> str:
+    """Canonical pipe symbol for the ``src -> dst`` link across ``dim``."""
+    return f"pipe_{_fmt_index(src)}_to_{_fmt_index(dst)}_d{dim}"
+
+
+def generate_pipe_declarations(design: StencilDesign) -> str:
+    """Program-scope pipe declarations for every shared face."""
+    writer = CodeWriter()
+    if not design.sharing:
+        writer.comment("Baseline design: no inter-kernel pipes.")
+        return writer.render()
+    writer.comment(
+        "OpenCL 2.0 pipes bridging adjacent tiles (two per face)."
+    )
+    element = "float" if design.spec.element_bytes == 4 else "double"
+    for face in design.pipe_faces:
+        for src, dst in (
+            (face.low_index, face.high_index),
+            (face.high_index, face.low_index),
+        ):
+            name = pipe_name(src, dst, face.dim)
+            writer.line(
+                f"pipe {element} {name} "
+                f"__attribute__((xcl_reqd_pipe_depth({design.pipe_depth})));"
+            )
+    return writer.render()
+
+
+def tile_pipe_endpoints(
+    design: StencilDesign, tile: TileInfo
+) -> Tuple[List[Tuple[PipeFace, str]], List[Tuple[PipeFace, str]]]:
+    """(outgoing, incoming) pipe symbols of one tile's kernel."""
+    outgoing: List[Tuple[PipeFace, str]] = []
+    incoming: List[Tuple[PipeFace, str]] = []
+    for face in design.pipe_faces:
+        if face.low_index == tile.index:
+            outgoing.append(
+                (face, pipe_name(face.low_index, face.high_index, face.dim))
+            )
+            incoming.append(
+                (face, pipe_name(face.high_index, face.low_index, face.dim))
+            )
+        elif face.high_index == tile.index:
+            outgoing.append(
+                (face, pipe_name(face.high_index, face.low_index, face.dim))
+            )
+            incoming.append(
+                (face, pipe_name(face.low_index, face.high_index, face.dim))
+            )
+    return outgoing, incoming
+
+
+def _face_loop(
+    writer: CodeWriter,
+    design: StencilDesign,
+    tile: TileInfo,
+    face: PipeFace,
+    symbol: str,
+    fields: Tuple[str, ...],
+    send: bool,
+) -> None:
+    """Emit the nested loop moving one face's halo strips."""
+    ndim = design.spec.ndim
+    spec = iteration_bounds(design, tile)
+    d = face.dim
+    r = face.halo_width
+    # The strip lies just inside (send) or just outside (receive) the
+    # tile's fixed pipe-side margin in dimension ``d``.
+    low_side = face.high_index == tile.index
+    if send:
+        strip_lo = f"{spec.lo_base[d]}" if low_side else (
+            f"{spec.hi_base[d]} - {r}"
+        )
+    else:
+        strip_lo = f"{spec.lo_base[d]} - {r}" if low_side else (
+            f"{spec.hi_base[d]}"
+        )
+    index_vars = [f"x{t}" for t in range(ndim)]
+    for t in range(ndim):
+        if t == d:
+            writer.open_block(
+                f"for (int {index_vars[t]} = {strip_lo}; "
+                f"{index_vars[t]} < {strip_lo} + {r}; ++{index_vars[t]})"
+            )
+        else:
+            writer.open_block(
+                f"for (int {index_vars[t]} = T_LO{t}(it); "
+                f"{index_vars[t]} < T_HI{t}(it); ++{index_vars[t]})"
+            )
+    subscript = "".join(f"[{v}]" for v in index_vars)
+    for field in fields:
+        if send:
+            writer.line(
+                f"write_pipe_block({symbol}, &buf_{field}{subscript});"
+            )
+        else:
+            writer.line(
+                f"read_pipe_block({symbol}, &buf_{field}{subscript});"
+            )
+    for _ in range(ndim):
+        writer.close_block()
+
+
+def generate_send_block(
+    design: StencilDesign, tile: TileInfo
+) -> str:
+    """Send loops pushing this kernel's boundary strips to neighbors."""
+    writer = CodeWriter()
+    outgoing, _ = tile_pipe_endpoints(design, tile)
+    if not outgoing:
+        writer.comment("No outgoing pipes for this tile.")
+        return writer.render()
+    writer.comment("Push freshly computed boundary strips to neighbors.")
+    for face, symbol in outgoing:
+        _face_loop(
+            writer,
+            design,
+            tile,
+            face,
+            symbol,
+            design.spec.pattern.fields,
+            send=True,
+        )
+    return writer.render()
+
+
+def generate_receive_block(
+    design: StencilDesign, tile: TileInfo
+) -> str:
+    """Receive loops draining neighbor halos into the local buffer."""
+    writer = CodeWriter()
+    _, incoming = tile_pipe_endpoints(design, tile)
+    if not incoming:
+        writer.comment("No incoming pipes for this tile.")
+        return writer.render()
+    writer.comment("Drain neighbor halo strips for the next iteration.")
+    for face, symbol in incoming:
+        _face_loop(
+            writer,
+            design,
+            tile,
+            face,
+            symbol,
+            design.spec.pattern.fields,
+            send=False,
+        )
+    return writer.render()

@@ -1,0 +1,309 @@
+"""Executable (Python) backend of the automatic code generator.
+
+The OpenCL backend (:mod:`repro.codegen.kernel_gen`) emits source for a
+toolchain we cannot run here.  This backend emits the *same design* as
+executable Python kernel functions — one per tile, structured exactly
+like the OpenCL kernels (burst read into local buffers, the fused
+iteration loop with per-iteration boundary arithmetic, frozen-cell
+clipping, per-dimension pipe halo exchange, burst write-back) — so the
+code generator's semantics can be executed and checked bit-for-bit
+against the reference.
+
+Each generated kernel is a *generator function*: pipe operations use
+non-blocking try/retry and ``yield`` when they would block, so the
+cooperative scheduler in :mod:`repro.codegen.pyexec` can interleave the
+region's kernels the way concurrently-running compute units would.
+
+All geometry (tile offsets, cone growth flags, tap offsets and
+coefficients) is baked into the emitted source as constants, mirroring
+how the OpenCL generator bakes them into macros.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codegen.emit import PyWriter
+from repro.codegen.kernel_gen import kernel_name
+from repro.codegen.pipe_gen import pipe_name
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+Index = Tuple[int, ...]
+
+
+def field_pipe_name(src: Index, dst: Index, dim: int, field: str) -> str:
+    """Pipe symbol for one field's strip stream across one face."""
+    return f"{pipe_name(src, dst, dim)}_{field}"
+
+
+def _slices(ndim: int, lo_expr: str, hi_expr: str, base: str) -> str:
+    """Local-buffer slice tuple ``[lo_d - b_lo_d : hi_d - b_lo_d, ...]``."""
+    parts = [
+        f"{lo_expr}{d} - {base}{d}:{hi_expr}{d} - {base}{d}"
+        for d in range(ndim)
+    ]
+    return "[" + ", ".join(parts) + "]"
+
+
+def _tap_slice(ndim: int, offset: Tuple[int, ...]) -> str:
+    """Slice tuple for a tap: the compute box shifted by ``offset``."""
+    parts = []
+    for d in range(ndim):
+        shift = offset[d]
+        sign = f" + {shift}" if shift > 0 else (
+            f" - {-shift}" if shift < 0 else ""
+        )
+        parts.append(f"c_lo{d} - b_lo{d}{sign}:c_hi{d} - b_lo{d}{sign}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def generate_python_kernel(design: StencilDesign, tile: TileInfo) -> str:
+    """Emit one tile's kernel as Python generator-function source."""
+    spec = design.spec
+    pattern = spec.pattern
+    ndim = spec.ndim
+    radius = design.radius
+    counts = design.tile_grid.counts
+    dtype = "float64" if spec.element_bytes == 8 else "float32"
+    name = kernel_name(design, tile)
+
+    # Static per-dimension role flags.
+    grow_lo = []
+    grow_hi = []
+    halo_lo = []
+    halo_hi = []
+    for d in range(ndim):
+        low_outer = tile.index[d] == 0
+        high_outer = tile.index[d] == counts[d] - 1
+        if design.sharing:
+            grow_lo.append(radius[d] if low_outer else 0)
+            grow_hi.append(radius[d] if high_outer else 0)
+            halo_lo.append(0 if low_outer else radius[d])
+            halo_hi.append(0 if high_outer else radius[d])
+        else:
+            grow_lo.append(radius[d])
+            grow_hi.append(radius[d])
+            halo_lo.append(0)
+            halo_hi.append(0)
+
+    w = PyWriter()
+    w.open_block(f"def {name}(ctx)")
+    w.comment(
+        f"Tile {tile.index}: shape {tile.shape}, cone growth "
+        f"lo={tuple(grow_lo)} hi={tuple(grow_hi)}."
+    )
+    w.line("o = ctx.origin")
+    w.line("hb = ctx.h_block")
+    # Buffer bounds: tile grown by the full-depth margin, domain-clipped.
+    for d in range(ndim):
+        margin_lo = grow_lo[d] * design.fused_depth + halo_lo[d]
+        margin_hi = grow_hi[d] * design.fused_depth + halo_hi[d]
+        lo = f"o[{d}] + {tile.offset[d]}"
+        hi = f"o[{d}] + {tile.offset[d] + tile.shape[d]}"
+        w.line(f"b_lo{d} = max(0, {lo} - {margin_lo})")
+        w.line(
+            f"b_hi{d} = min({spec.grid_shape[d]}, {hi} + {margin_hi})"
+        )
+    buffer_slice = "[" + ", ".join(
+        f"b_lo{d}:b_hi{d}" for d in range(ndim)
+    ) + "]"
+    w.comment("Burst-read the footprint into local buffers.")
+    for field in pattern.fields:
+        w.line(f"buf_{field} = ctx.current['{field}']{buffer_slice}.copy()")
+    for aux in pattern.aux:
+        w.line(f"buf_{aux} = ctx.aux['{aux}']{buffer_slice}.copy()")
+
+    w.open_block("for it in range(hb)")
+    w.line("rem = hb - 1 - it")
+    w.comment("Footprint (domain-clipped) and computed (frozen-clipped) boxes.")
+    for d in range(ndim):
+        lo = f"o[{d}] + {tile.offset[d]}"
+        hi = f"o[{d}] + {tile.offset[d] + tile.shape[d]}"
+        w.line(f"f_lo{d} = max(0, {lo} - {grow_lo[d]} * rem)")
+        w.line(
+            f"f_hi{d} = min({spec.grid_shape[d]}, {hi} + "
+            f"{grow_hi[d]} * rem)"
+        )
+        w.line(f"c_lo{d} = max({radius[d]}, f_lo{d})")
+        w.line(
+            f"c_hi{d} = min({spec.grid_shape[d] - radius[d]}, f_hi{d})"
+        )
+    non_empty = " and ".join(
+        f"c_lo{d} < c_hi{d}" for d in range(ndim)
+    )
+    w.open_block(f"if {non_empty}")
+    shape_expr = ", ".join(f"c_hi{d} - c_lo{d}" for d in range(ndim))
+    for field in pattern.fields:
+        update = pattern.updates[field]
+        w.line(
+            f"acc_{field} = np.full(({shape_expr},), "
+            f"{update.constant!r}, dtype=np.{dtype})"
+        )
+        for tap in update.taps:
+            view = f"buf_{tap.source}{_tap_slice(ndim, tap.offset)}"
+            if tap.coeff == 1.0:
+                w.line(f"acc_{field} += {view}")
+            else:
+                w.line(
+                    f"acc_{field} += np.{dtype}({tap.coeff!r}) * {view}"
+                )
+    computed_slice = _slices(ndim, "c_lo", "c_hi", "b_lo")
+    for field in pattern.fields:
+        w.line(f"out_{field} = buf_{field}.copy()")
+        w.line(f"out_{field}{computed_slice} = acc_{field}")
+    for field in pattern.fields:
+        w.line(f"buf_{field} = out_{field}")
+    w.close_block()
+
+    has_faces = any(
+        tile.index in (face.low_index, face.high_index)
+        for face in design.pipe_faces
+    )
+    if design.sharing and has_faces:
+        w.open_block("if it + 1 < hb")
+        _emit_halo_exchange(w, design, tile, grow_lo, grow_hi)
+        w.close_block()
+    w.close_block()
+
+    w.comment("Burst-write the tile's output cells back.")
+    out_slice_global = "[" + ", ".join(
+        f"o[{d}] + {tile.offset[d]}:o[{d}] + "
+        f"{tile.offset[d] + tile.shape[d]}"
+        for d in range(ndim)
+    ) + "]"
+    out_slice_local = "[" + ", ".join(
+        f"o[{d}] + {tile.offset[d]} - b_lo{d}:o[{d}] + "
+        f"{tile.offset[d] + tile.shape[d]} - b_lo{d}"
+        for d in range(ndim)
+    ) + "]"
+    for field in pattern.fields:
+        w.line(
+            f"ctx.next['{field}']{out_slice_global} = "
+            f"buf_{field}{out_slice_local}"
+        )
+    w.line("yield 'done'")
+    w.close_block()
+    return w.render()
+
+
+def _emit_halo_exchange(
+    w: CodeWriter,
+    design: StencilDesign,
+    tile: TileInfo,
+    grow_lo: List[int],
+    grow_hi: List[int],
+) -> None:
+    """Per-dimension ordered sends then receives for this tile."""
+    spec = design.spec
+    ndim = spec.ndim
+    radius = design.radius
+    counts = design.tile_grid.counts
+
+    # Collect this tile's faces per dimension.
+    faces_by_dim: Dict[int, List[Tuple[Index, bool]]] = {}
+    for face in design.pipe_faces:
+        if face.low_index == tile.index:
+            faces_by_dim.setdefault(face.dim, []).append(
+                (face.high_index, True)  # neighbor above, send our top
+            )
+        elif face.high_index == tile.index:
+            faces_by_dim.setdefault(face.dim, []).append(
+                (face.low_index, False)  # neighbor below, send our bottom
+            )
+
+    for d in sorted(faces_by_dim):
+        r = radius[d]
+        w.comment(f"Halo exchange, dimension {d}.")
+        # Transverse extents: footprint, widened across already-
+        # exchanged shared sides (t < d).
+        for t in range(ndim):
+            if t == d:
+                continue
+            lo_ext = (
+                radius[t]
+                if t < d and tile.index[t] > 0
+                else 0
+            )
+            hi_ext = (
+                radius[t]
+                if t < d and tile.index[t] < counts[t] - 1
+                else 0
+            )
+            w.line(f"s_lo{t} = max(b_lo{t}, f_lo{t} - {lo_ext})")
+            w.line(f"s_hi{t} = min(b_hi{t}, f_hi{t} + {hi_ext})")
+        for neighbor, is_high_neighbor in faces_by_dim[d]:
+            # Our strip just inside the shared face.
+            face_expr = (
+                f"o[{d}] + {tile.offset[d] + tile.shape[d]}"
+                if is_high_neighbor
+                else f"o[{d}] + {tile.offset[d]}"
+            )
+            if is_high_neighbor:
+                w.line(f"s_lo{d} = {face_expr} - {r}")
+                w.line(f"s_hi{d} = {face_expr}")
+            else:
+                w.line(f"s_lo{d} = {face_expr}")
+                w.line(f"s_hi{d} = {face_expr} + {r}")
+            slab_slice = _slices(ndim, "s_lo", "s_hi", "b_lo")
+            lo_tuple = (
+                "(" + ", ".join(f"s_lo{t}" for t in range(ndim)) + ",)"
+            )
+            for field in spec.pattern.fields:
+                symbol = field_pipe_name(
+                    tile.index, neighbor, d, field
+                )
+                w.line(
+                    f"pkt = ({lo_tuple}, buf_{field}{slab_slice}.copy())"
+                )
+                w.open_block(
+                    f"while not ctx.pipes['{symbol}'].try_write(pkt)"
+                )
+                w.line(f"yield 'full:{symbol}'")
+                w.close_block()
+        for neighbor, _is_high in faces_by_dim[d]:
+            for field in spec.pattern.fields:
+                symbol = field_pipe_name(
+                    neighbor, tile.index, d, field
+                )
+                w.line(f"pkt = ctx.pipes['{symbol}'].try_read()")
+                w.open_block("while pkt is None")
+                w.line(f"yield 'empty:{symbol}'")
+                w.line(f"pkt = ctx.pipes['{symbol}'].try_read()")
+                w.close_block()
+                w.line(
+                    f"_place(buf_{field}, pkt, "
+                    f"({', '.join(f'b_lo{t}' for t in range(ndim))},), "
+                    f"({', '.join(f'b_hi{t}' for t in range(ndim))},))"
+                )
+
+
+_MODULE_PRELUDE = '''\
+"""Auto-generated executable stencil kernels.  Do not edit."""
+
+import numpy as np
+
+
+def _place(buffer, packet, b_lo, b_hi):
+    """Copy a received halo slab into the local buffer (clipped)."""
+    lo, data = packet
+    hi = tuple(l + s for l, s in zip(lo, data.shape))
+    src = []
+    dst = []
+    for d in range(len(lo)):
+        clip_lo = max(lo[d], b_lo[d])
+        clip_hi = min(hi[d], b_hi[d])
+        if clip_hi <= clip_lo:
+            return
+        src.append(slice(clip_lo - lo[d], clip_hi - lo[d]))
+        dst.append(slice(clip_lo - b_lo[d], clip_hi - b_lo[d]))
+    buffer[tuple(dst)] = data[tuple(src)]
+'''
+
+
+def generate_python_module(design: StencilDesign) -> str:
+    """The full executable module: helpers plus one kernel per tile."""
+    parts = [_MODULE_PRELUDE]
+    for tile in design.tiles:
+        parts.append(generate_python_kernel(design, tile))
+    return "\n\n".join(parts)

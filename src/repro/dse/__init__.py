@@ -1,0 +1,41 @@
+"""Design-space exploration: the paper's performance optimizer."""
+
+from repro.dse.space import (
+    DesignSpace,
+    fused_depth_candidates,
+    parallelism_candidates,
+)
+from repro.dse.constraints import ResourceBudget
+from repro.dse.optimizer import (
+    DSEResult,
+    EvaluatedDesign,
+    Optimizer,
+    optimize_baseline,
+    optimize_full,
+    optimize_heterogeneous,
+    optimize_pipe_shared,
+)
+from repro.dse.pareto import pareto_front
+from repro.dse.sensitivity import (
+    SensitivityAnalyzer,
+    SweepPoint,
+    SweepResult,
+)
+
+__all__ = [
+    "DesignSpace",
+    "fused_depth_candidates",
+    "parallelism_candidates",
+    "ResourceBudget",
+    "DSEResult",
+    "EvaluatedDesign",
+    "Optimizer",
+    "optimize_baseline",
+    "optimize_full",
+    "optimize_heterogeneous",
+    "optimize_pipe_shared",
+    "pareto_front",
+    "SensitivityAnalyzer",
+    "SweepPoint",
+    "SweepResult",
+]

@@ -1,0 +1,61 @@
+"""Resource-budget constraints for design-space exploration.
+
+Two budget styles appear in the paper's evaluation:
+
+- the *device* budget — a design must fit the FPGA (Section 5.3);
+- the *baseline* budget — the proposed designs are constrained by the
+  hardware size of the baseline so resource efficiency is demonstrated
+  (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fpga.estimator import ResourceEstimator
+from repro.fpga.resources import FpgaDevice, ResourceVector
+from repro.tiling.design import StencilDesign
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """A resource ceiling a candidate design must respect."""
+
+    limit: ResourceVector
+    label: str = "budget"
+
+    @classmethod
+    def from_device(
+        cls, device: FpgaDevice, margin: float = 0.9
+    ) -> "ResourceBudget":
+        """Budget = device capacity derated by a placement margin."""
+        return cls(limit=device.capacity.scaled(margin), label=device.name)
+
+    @classmethod
+    def from_design(
+        cls,
+        design: StencilDesign,
+        estimator: Optional[ResourceEstimator] = None,
+        slack: float = 1.05,
+    ) -> "ResourceBudget":
+        """Budget = a reference design's estimated utilization.
+
+        Args:
+            slack: multiplicative tolerance.  BRAM packing is
+                block-granular, so a literal ceiling would reject
+                designs that genuinely occupy the same blocks; 5 %
+                mirrors normal placement headroom.
+        """
+        estimator = estimator or ResourceEstimator()
+        usage = estimator.estimate(design).total.scaled(slack)
+        return cls(limit=usage, label=f"<= {design.kind}")
+
+    def admits(
+        self,
+        design: StencilDesign,
+        estimator: Optional[ResourceEstimator] = None,
+    ) -> bool:
+        """True when the design's estimated usage fits the budget."""
+        estimator = estimator or ResourceEstimator()
+        return estimator.estimate(design).total.fits_within(self.limit)

@@ -1,0 +1,272 @@
+"""The performance optimizer (Section 5.1).
+
+Enumerates candidate designs, evaluates each with the analytical model
+(that is the point of having a model: the search never synthesizes or
+simulates), discards candidates that exceed the resource budget, and
+returns the fastest feasible design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dse.constraints import ResourceBudget
+from repro.dse.space import DesignSpace, fused_depth_candidates
+from repro.errors import DesignSpaceError
+from repro.fpga.estimator import DesignResources, ResourceEstimator
+from repro.fpga.resources import FpgaDevice, VIRTEX7_690T
+from repro.model.predictor import Fidelity, PerformanceModel
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.stencil.spec import StencilSpec
+from repro.tiling.baseline import make_baseline_design
+from repro.tiling.design import StencilDesign
+from repro.tiling.heterogeneous import make_heterogeneous_design
+from repro.tiling.pipeshared import make_pipe_shared_design
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """One candidate with its predicted latency and resources."""
+
+    design: StencilDesign
+    predicted_cycles: float
+    resources: DesignResources
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    """Outcome of one exploration run."""
+
+    best: EvaluatedDesign
+    evaluated: int
+    feasible: int
+    #: All feasible candidates, fastest first (for Pareto analysis).
+    candidates: Tuple[EvaluatedDesign, ...]
+
+
+class Optimizer:
+    """Model-driven design-space explorer."""
+
+    def __init__(
+        self,
+        board: BoardSpec = ADM_PCIE_7V3,
+        fidelity: Fidelity = Fidelity.REFINED,
+        estimator: Optional[ResourceEstimator] = None,
+    ):
+        self.board = board
+        self.model = PerformanceModel(board, fidelity)
+        self.estimator = estimator or ResourceEstimator()
+
+    def explore(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+    ) -> DSEResult:
+        """Evaluate candidates against a budget; return the fastest."""
+        evaluated = 0
+        feasible: List[EvaluatedDesign] = []
+        for design in candidates:
+            evaluated += 1
+            resources = self.estimator.estimate(design)
+            if not resources.total.fits_within(budget.limit):
+                continue
+            cycles = self.model.predict_cycles(design)
+            feasible.append(EvaluatedDesign(design, cycles, resources))
+        if not feasible:
+            raise DesignSpaceError(
+                f"No feasible design within budget {budget.label} "
+                f"({evaluated} candidates evaluated)"
+            )
+        feasible.sort(key=lambda e: e.predicted_cycles)
+        return DSEResult(
+            best=feasible[0],
+            evaluated=evaluated,
+            feasible=len(feasible),
+            candidates=tuple(feasible),
+        )
+
+
+def _baseline_candidates(space: DesignSpace) -> List[StencilDesign]:
+    candidates: List[StencilDesign] = []
+    for tile_shape in space.tile_shapes():
+        for h in space.depth_candidates():
+            candidates.append(
+                make_baseline_design(
+                    space.spec, tile_shape, space.counts, h, space.unroll
+                )
+            )
+    return candidates
+
+
+def optimize_baseline(
+    spec: StencilSpec,
+    counts: Sequence[int],
+    unroll: int = 1,
+    device: FpgaDevice = VIRTEX7_690T,
+    board: BoardSpec = ADM_PCIE_7V3,
+    space: Optional[DesignSpace] = None,
+    max_fused_depth: int = 256,
+) -> DSEResult:
+    """Best baseline (overlapped-tiling) design on a device.
+
+    Mirrors the paper's baseline setup: explore iteration-fusion depth
+    and tile size at fixed parallelism under the device budget.
+    """
+    if space is None:
+        space = DesignSpace.default(
+            spec, counts, unroll, max_fused_depth=max_fused_depth
+        )
+    optimizer = Optimizer(board)
+    return optimizer.explore(
+        _baseline_candidates(space), ResourceBudget.from_device(device)
+    )
+
+
+def optimize_pipe_shared(
+    spec: StencilSpec,
+    baseline: StencilDesign,
+    board: BoardSpec = ADM_PCIE_7V3,
+    estimator: Optional[ResourceEstimator] = None,
+) -> DSEResult:
+    """Best equal-tile pipe-shared design within the baseline's budget.
+
+    Parallelism, tile shape, and region layout stay equal to the
+    baseline (Section 5.4); only the fusion depth is re-explored — the
+    BRAM freed by eliminating overlap storage admits deeper cones.
+    """
+    budget = ResourceBudget.from_design(baseline, estimator)
+    slowest = baseline.slowest_tile()
+    depths = fused_depth_candidates(
+        min(4 * baseline.fused_depth + 64, spec.iterations),
+        spec.iterations,
+    )
+    candidates = [
+        make_pipe_shared_design(
+            spec,
+            slowest.shape,
+            baseline.tile_grid.counts,
+            h,
+            baseline.unroll,
+        )
+        for h in depths
+    ]
+    return Optimizer(board, estimator=estimator).explore(candidates, budget)
+
+
+def optimize_full(
+    spec: StencilSpec,
+    device: FpgaDevice = VIRTEX7_690T,
+    board: BoardSpec = ADM_PCIE_7V3,
+    unroll: int = 1,
+    max_kernels: int = 16,
+    max_fused_depth: int = 64,
+    max_tile_options: int = 3,
+) -> dict:
+    """Coarse global search over parallelism, tile shape, and depth.
+
+    Explores, for each design kind, the joint space the paper's
+    baseline setup describes ("iteration fusion depth, tile size, and
+    the number of simultaneous executing tiles") under the *device*
+    budget, and returns the best design per kind.
+
+    The space is pruned for tractability: power-of-two counts, the
+    ``max_tile_options`` largest feasible power-of-two tile extents per
+    dimension, and a thinned depth ladder.
+
+    Returns:
+        ``{"baseline": DSEResult, "pipe-shared": DSEResult,
+        "heterogeneous": DSEResult}``.
+    """
+    from repro.dse.space import parallelism_candidates
+
+    budget = ResourceBudget.from_device(device)
+    optimizer = Optimizer(board)
+    depth_ladder = [
+        h
+        for h in fused_depth_candidates(
+            max_fused_depth, spec.iterations, dense_until=8, sparse_step=8
+        )
+    ]
+    baseline_candidates: List[StencilDesign] = []
+    pipe_candidates: List[StencilDesign] = []
+    hetero_candidates: List[StencilDesign] = []
+    for counts in parallelism_candidates(spec, max_kernels):
+        try:
+            space = DesignSpace.default(
+                spec, counts, unroll, max_fused_depth=max_fused_depth
+            )
+        except DesignSpaceError:
+            continue
+        tile_options = [
+            tuple(sorted(options)[-max_tile_options:])
+            for options in space.tile_candidates
+        ]
+        pruned = DesignSpace(
+            spec=spec,
+            counts=space.counts,
+            tile_candidates=tuple(tile_options),
+            max_fused_depth=max_fused_depth,
+            unroll=unroll,
+        )
+        for tile_shape in pruned.tile_shapes():
+            region = tuple(
+                t * c for t, c in zip(tile_shape, counts)
+            )
+            for h in depth_ladder:
+                baseline_candidates.append(
+                    make_baseline_design(spec, tile_shape, counts, h, unroll)
+                )
+                pipe_candidates.append(
+                    make_pipe_shared_design(
+                        spec, tile_shape, counts, h, unroll
+                    )
+                )
+                try:
+                    hetero_candidates.append(
+                        make_heterogeneous_design(
+                            spec, region, counts, h, unroll
+                        )
+                    )
+                except Exception:
+                    continue
+    return {
+        "baseline": optimizer.explore(baseline_candidates, budget),
+        "pipe-shared": optimizer.explore(pipe_candidates, budget),
+        "heterogeneous": optimizer.explore(hetero_candidates, budget),
+    }
+
+
+def optimize_heterogeneous(
+    spec: StencilSpec,
+    baseline: StencilDesign,
+    board: BoardSpec = ADM_PCIE_7V3,
+    estimator: Optional[ResourceEstimator] = None,
+) -> DSEResult:
+    """Best heterogeneous design within the baseline's budget.
+
+    For each candidate fusion depth the balancing solver derives the
+    optimal tile extents (the paper's ``f_k_d`` enumeration collapses
+    to this closed form), the region layout matching the baseline's.
+    """
+    budget = ResourceBudget.from_design(baseline, estimator)
+    region = baseline.tile_grid.region_shape
+    depths = fused_depth_candidates(
+        min(4 * baseline.fused_depth + 64, spec.iterations),
+        spec.iterations,
+    )
+    candidates: List[StencilDesign] = []
+    for h in depths:
+        try:
+            candidates.append(
+                make_heterogeneous_design(
+                    spec,
+                    region,
+                    baseline.tile_grid.counts,
+                    h,
+                    baseline.unroll,
+                )
+            )
+        except DesignSpaceError:  # pragma: no cover - defensive
+            continue
+    return Optimizer(board, estimator=estimator).explore(candidates, budget)

@@ -1,0 +1,48 @@
+"""Performance/resource Pareto-frontier utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.dse.optimizer import EvaluatedDesign
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse in every objective and better in one."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    candidates: Sequence[EvaluatedDesign],
+    objectives: Callable[[EvaluatedDesign], Tuple[float, ...]] = None,
+) -> List[EvaluatedDesign]:
+    """Non-dominated candidates (all objectives minimized).
+
+    Args:
+        candidates: evaluated designs.
+        objectives: maps a candidate to its objective tuple; defaults
+            to ``(predicted cycles, BRAM blocks)`` — the trade-off the
+            paper's Table 3 stresses.
+
+    Returns:
+        The Pareto-optimal subset, sorted by the first objective.
+    """
+    if objectives is None:
+        objectives = lambda e: (
+            e.predicted_cycles,
+            float(e.resources.total.bram18),
+        )
+    points = [(objectives(c), c) for c in candidates]
+    front = [
+        candidate
+        for values, candidate in points
+        if not any(
+            _dominates(other_values, values)
+            for other_values, _ in points
+            if other_values != values
+        )
+    ]
+    front.sort(key=lambda c: objectives(c)[0])
+    return front

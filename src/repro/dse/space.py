@@ -1,0 +1,197 @@
+"""Design-space definition and enumeration helpers.
+
+The heterogeneous design space of Section 5.1: fused-iteration depth
+``h`` and the balancing factors ``f_k_d`` (the balancing solver derives
+the optimal factors for a given ``h`` directly, so the explorer
+enumerates depths), plus tile-shape and parallelism candidates for the
+baseline search of Section 5.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DesignSpaceError
+from repro.stencil.spec import StencilSpec
+
+
+def fused_depth_candidates(
+    max_depth: int,
+    total_iterations: int,
+    dense_until: int = 32,
+    sparse_step: int = 4,
+) -> List[int]:
+    """Candidate cone depths ``h``.
+
+    Every depth up to ``dense_until`` is tried; beyond that, every
+    ``sparse_step``-th depth plus every exact divisor of the iteration
+    count (divisors avoid a padded final block).
+
+    Args:
+        max_depth: largest admissible depth (resource-limited).
+        total_iterations: the workload's ``H``.
+        dense_until: exhaustive range bound.
+        sparse_step: stride beyond the exhaustive range.
+
+    Returns:
+        Sorted unique candidate depths, all within
+        ``[1, min(max_depth, total_iterations)]``.
+    """
+    if max_depth < 1:
+        raise DesignSpaceError(f"max_depth must be >= 1: {max_depth}")
+    limit = min(max_depth, total_iterations)
+    candidates = set(range(1, min(dense_until, limit) + 1))
+    candidates.update(range(dense_until, limit + 1, sparse_step))
+    for h in range(1, limit + 1):
+        if total_iterations % h == 0:
+            candidates.add(h)
+    candidates.add(limit)
+    return sorted(candidates)
+
+
+def parallelism_candidates(
+    spec: StencilSpec, max_kernels: int = 16
+) -> List[Tuple[int, ...]]:
+    """Candidate tile-grid counts (``K`` decompositions).
+
+    Per-dimension counts are powers of two (including 1), the total
+    kernel count stays within ``max_kernels``, and every dimension's
+    grid extent must admit at least a 2-cell tile per kernel.
+
+    Returns:
+        Count tuples sorted by total parallelism then lexicographically.
+    """
+    if max_kernels < 1:
+        raise DesignSpaceError(f"max_kernels must be >= 1: {max_kernels}")
+    per_dim: List[List[int]] = []
+    for extent in spec.grid_shape:
+        options = [
+            k for k in _powers_of_two(1, max_kernels) if extent // k >= 2
+        ]
+        per_dim.append(options or [1])
+
+    results: List[Tuple[int, ...]] = []
+
+    def _recurse(prefix: Tuple[int, ...], remaining: int) -> None:
+        d = len(prefix)
+        if d == spec.ndim:
+            results.append(prefix)
+            return
+        for k in per_dim[d]:
+            if k <= remaining:
+                _recurse(prefix + (k,), remaining // k)
+
+    _recurse((), max_kernels)
+    return sorted(results, key=lambda c: (math.prod(c), c))
+
+
+def _powers_of_two(low: int, high: int) -> List[int]:
+    values = []
+    v = 1
+    while v <= high:
+        if v >= low:
+            values.append(v)
+        v *= 2
+    return values
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The searchable space for one stencil workload.
+
+    Attributes:
+        spec: the workload.
+        counts: tiles per dimension (``K`` fixed, per Section 5.4).
+        tile_candidates: per-dimension candidate tile extents for the
+            uniform (baseline / pipe-shared) designs.
+        max_fused_depth: upper bound on ``h``.
+        unroll: processing elements per kernel.
+    """
+
+    spec: StencilSpec
+    counts: Tuple[int, ...]
+    tile_candidates: Tuple[Tuple[int, ...], ...]
+    max_fused_depth: int
+    unroll: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != self.spec.ndim:
+            raise DesignSpaceError(
+                f"counts {self.counts} must have rank {self.spec.ndim}"
+            )
+        if len(self.tile_candidates) != self.spec.ndim:
+            raise DesignSpaceError(
+                f"tile_candidates must have rank {self.spec.ndim}"
+            )
+        for d, options in enumerate(self.tile_candidates):
+            if not options:
+                raise DesignSpaceError(
+                    f"No tile candidates in dimension {d}"
+                )
+
+    @classmethod
+    def default(
+        cls,
+        spec: StencilSpec,
+        counts: Sequence[int],
+        unroll: int = 1,
+        max_fused_depth: Optional[int] = None,
+        min_tile: int = 4,
+        max_tile: int = 512,
+    ) -> "DesignSpace":
+        """Power-of-two tile extents that keep regions within the grid."""
+        candidates: List[Tuple[int, ...]] = []
+        for d in range(spec.ndim):
+            cap = min(max_tile, spec.grid_shape[d] // counts[d])
+            options = [
+                v
+                for v in _powers_of_two(min_tile, cap)
+                if spec.grid_shape[d] % (v * counts[d]) == 0
+            ]
+            if not options:
+                raise DesignSpaceError(
+                    f"No feasible tile extent in dimension {d} for grid "
+                    f"{spec.grid_shape} with counts {counts}"
+                )
+            candidates.append(tuple(options))
+        return cls(
+            spec=spec,
+            counts=tuple(int(c) for c in counts),
+            tile_candidates=tuple(candidates),
+            max_fused_depth=(
+                max_fused_depth
+                if max_fused_depth is not None
+                else spec.iterations
+            ),
+            unroll=unroll,
+        )
+
+    def tile_shapes(self) -> Iterator[Tuple[int, ...]]:
+        """Cartesian product of the per-dimension tile candidates."""
+        dims = self.tile_candidates
+        index = [0] * len(dims)
+        while True:
+            yield tuple(dims[d][index[d]] for d in range(len(dims)))
+            d = len(dims) - 1
+            while d >= 0:
+                index[d] += 1
+                if index[d] < len(dims[d]):
+                    break
+                index[d] = 0
+                d -= 1
+            if d < 0:
+                return
+
+    def depth_candidates(self) -> List[int]:
+        """Candidate ``h`` values for this space."""
+        return fused_depth_candidates(
+            self.max_fused_depth, self.spec.iterations
+        )
+
+    @property
+    def size_estimate(self) -> int:
+        """Approximate number of (tile, h) points."""
+        tiles = math.prod(len(c) for c in self.tile_candidates)
+        return tiles * len(self.depth_candidates())

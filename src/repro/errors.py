@@ -1,0 +1,54 @@
+"""Exception hierarchy for the stencil-synthesis framework.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch framework failures with a single ``except`` clause
+while still distinguishing configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpecificationError(ReproError):
+    """A stencil pattern, spec, or design parameter is malformed."""
+
+
+class FrontendError(ReproError):
+    """The OpenCL-subset frontend failed to parse or analyze a kernel."""
+
+
+class ParseError(FrontendError):
+    """Syntactic failure while parsing stencil source code."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ExtractionError(FrontendError):
+    """The feature extractor could not recover a stencil pattern."""
+
+
+class ResourceError(ReproError):
+    """A design exceeds the FPGA resource budget."""
+
+
+class DesignSpaceError(ReproError):
+    """The design-space exploration was given an infeasible space."""
+
+
+class SimulationError(ReproError):
+    """The execution simulator reached an inconsistent state."""
+
+
+class PipeError(SimulationError):
+    """Illegal operation on an OpenCL pipe (e.g. read past end)."""
+
+
+class CodegenError(ReproError):
+    """The automatic code generator received an unsupported design."""

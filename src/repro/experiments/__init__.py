@@ -1,0 +1,29 @@
+"""Reproduction harness: one module per table/figure of the paper."""
+
+from repro.experiments.configs import (
+    BenchmarkConfig,
+    PAPER_TABLE3,
+    TABLE3_CONFIGS,
+    PaperTable3Row,
+)
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.table3 import Table3Row, run_table3
+from repro.experiments.figure6 import Figure6Bar, run_figure6
+from repro.experiments.figure7 import Figure7Series, run_figure7
+from repro.experiments.report import render_table
+
+__all__ = [
+    "BenchmarkConfig",
+    "PAPER_TABLE3",
+    "TABLE3_CONFIGS",
+    "PaperTable3Row",
+    "Table2Row",
+    "run_table2",
+    "Table3Row",
+    "run_table3",
+    "Figure6Bar",
+    "run_figure6",
+    "Figure7Series",
+    "run_figure7",
+    "render_table",
+]

@@ -1,0 +1,133 @@
+"""Per-benchmark experiment configurations and the paper's reported data.
+
+``TABLE3_CONFIGS`` fixes, per benchmark, the baseline design parameters
+the paper reports in Table 3 (tile size, parallelism, fusion depth) and
+an unroll factor chosen so the estimated DSP count lands near the
+paper's report.  ``PAPER_TABLE3`` embeds the paper's own Table 3
+numbers so the harness can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.stencil.library import get_benchmark
+from repro.stencil.spec import StencilSpec
+from repro.tiling.baseline import make_baseline_design
+from repro.tiling.design import StencilDesign
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Fixed design inputs for one benchmark's Table 3 row.
+
+    Attributes:
+        name: benchmark key in the stencil library.
+        tile_shape: baseline tile extents (Table 3 "Tile Size").
+        counts: tiles per dimension (Table 3 "Parallelism").
+        fused_depth: baseline cone depth (Table 3 "#Fused Iter.").
+        unroll: per-kernel processing elements.
+    """
+
+    name: str
+    tile_shape: Tuple[int, ...]
+    counts: Tuple[int, ...]
+    fused_depth: int
+    unroll: int
+
+    def spec(self) -> StencilSpec:
+        """The benchmark at its paper-scale problem size."""
+        return get_benchmark(self.name)
+
+    def baseline(self) -> StencilDesign:
+        """The baseline design at the paper's reported parameters."""
+        return make_baseline_design(
+            self.spec(),
+            self.tile_shape,
+            self.counts,
+            self.fused_depth,
+            self.unroll,
+        )
+
+
+#: Baseline design parameters, from Table 3's "Baseline" rows.
+TABLE3_CONFIGS: Dict[str, BenchmarkConfig] = {
+    "jacobi-1d": BenchmarkConfig(
+        "jacobi-1d", (4096,), (16,), 128, unroll=4
+    ),
+    "jacobi-2d": BenchmarkConfig(
+        "jacobi-2d", (128, 128), (4, 4), 32, unroll=4
+    ),
+    "jacobi-3d": BenchmarkConfig(
+        "jacobi-3d", (16, 32, 32), (4, 2, 2), 6, unroll=4
+    ),
+    # The paper reports 256x256 / 32^3 HotSpot tiles, but a full
+    # footprint buffer at those sizes cannot fit the 690T's BRAM (their
+    # microarchitecture evidently streams); we use the largest tiles
+    # our footprint-buffered kernels can place.  See EXPERIMENTS.md.
+    "hotspot-2d": BenchmarkConfig(
+        "hotspot-2d", (128, 128), (4, 4), 32, unroll=4
+    ),
+    "hotspot-3d": BenchmarkConfig(
+        "hotspot-3d", (16, 16, 16), (4, 2, 2), 6, unroll=4
+    ),
+    "fdtd-2d": BenchmarkConfig(
+        "fdtd-2d", (64, 64), (4, 4), 12, unroll=2
+    ),
+    # fdtd-3d's composed four-field datapath is LUT-hungry; eight
+    # kernels (instead of the paper's sixteen) keep unroll 2 placeable
+    # on the 690T.
+    "fdtd-3d": BenchmarkConfig(
+        "fdtd-3d", (16, 32, 16), (2, 2, 2), 4, unroll=2
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PaperTable3Row:
+    """One benchmark's numbers as published in the paper's Table 3."""
+
+    baseline_fused: int
+    baseline_tile: Tuple[int, ...]
+    hetero_fused: int
+    hetero_tile: Tuple[int, ...]
+    baseline_resources: Tuple[int, int, int, int]  # FF, LUT, DSP, BRAM
+    hetero_resources: Tuple[int, int, int, int]
+    speedup: float
+
+
+#: The paper's Table 3, verbatim.
+PAPER_TABLE3: Dict[str, PaperTable3Row] = {
+    "jacobi-1d": PaperTable3Row(
+        128, (4096,), 512, (4096,),
+        (54864, 79920, 80, 544), (43896, 62580, 80, 396), 1.19,
+    ),
+    "jacobi-2d": PaperTable3Row(
+        32, (128, 128), 63, (120, 120),
+        (240016, 343184, 1792, 1170), (191276, 287955, 1792, 996), 1.58,
+    ),
+    "jacobi-3d": PaperTable3Row(
+        6, (16, 32, 32), 16, (16, 28, 28),
+        (264026, 367217, 1802, 1170), (237846, 335951, 1802, 796), 2.05,
+    ),
+    "hotspot-2d": PaperTable3Row(
+        32, (256, 256), 69, (248, 248),
+        (259040, 251936, 1920, 1320), (233375, 217197, 1920, 1081), 1.35,
+    ),
+    "hotspot-3d": PaperTable3Row(
+        6, (32, 32, 32), 16, (30, 30, 30),
+        (225259, 236664, 1747, 1260), (199625, 207853, 1747, 1162), 1.97,
+    ),
+    "fdtd-2d": PaperTable3Row(
+        12, (64, 64), 23, (60, 60),
+        (104247, 149457, 324, 560), (86872, 131102, 324, 427), 1.48,
+    ),
+    "fdtd-3d": PaperTable3Row(
+        4, (16, 32, 16), 10, (14, 32, 15),
+        (149078, 203266, 518, 952), (137632, 176874, 518, 835), 1.90,
+    ),
+}
+
+#: The paper's headline: average heterogeneous speedup.
+PAPER_MEAN_SPEEDUP = 1.65

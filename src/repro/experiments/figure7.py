@@ -1,0 +1,182 @@
+"""Figure 7: analytical-model validation against the (simulated) testbed.
+
+For each benchmark, sweep the fused-iteration depth ``h`` on the
+heterogeneous design and compare the analytical model's predicted
+latency against the cycle simulator's measurement.  The paper's
+observations, which this harness re-checks:
+
+- the model tracks the measured scaling trend;
+- it systematically *underestimates* (it does not model the sequential
+  kernel-launch delay, which the simulator does);
+- the average error is around 12 %;
+- the model-optimal ``h`` matches the measured-optimal ``h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.configs import TABLE3_CONFIGS
+from repro.experiments.report import render_table
+from repro.model.predictor import Fidelity, PerformanceModel
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.sim.executor import SimulationExecutor
+from repro.tiling.heterogeneous import make_heterogeneous_design
+
+#: The six benchmarks of the paper's Fig. 7 panels.
+FIGURE7_BENCHMARKS: Tuple[str, ...] = (
+    "jacobi-2d",
+    "jacobi-3d",
+    "hotspot-2d",
+    "hotspot-3d",
+    "fdtd-2d",
+    "fdtd-3d",
+)
+
+
+@dataclass(frozen=True)
+class Figure7Series:
+    """One panel: model vs measurement across fused depths."""
+
+    benchmark: str
+    depths: Tuple[int, ...]
+    predicted: Tuple[float, ...]
+    measured: Tuple[float, ...]
+
+    @property
+    def errors(self) -> Tuple[float, ...]:
+        """Per-point relative error ``(measured - predicted)/measured``."""
+        return tuple(
+            (m - p) / m for m, p in zip(self.measured, self.predicted)
+        )
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean absolute relative error across the sweep."""
+        errors = self.errors
+        return sum(abs(e) for e in errors) / len(errors)
+
+    @property
+    def underestimates(self) -> bool:
+        """True when the model never exceeds the measurement."""
+        return all(p <= m * 1.0001 for p, m in zip(
+            self.predicted, self.measured
+        ))
+
+    @property
+    def optimal_depth_match(self) -> bool:
+        """True when picking the model-optimal ``h`` is measured-optimal.
+
+        The paper reports the model's optimal fused-iteration count
+        always matching the measured optimum.  We check the property
+        that actually matters to the optimizer: running the design at
+        the model's chosen depth costs at most 2 % over the best
+        measured depth (exact ties between neighboring depths are
+        common on the flat part of the curve).
+        """
+        predicted_best = min(
+            range(len(self.depths)), key=lambda i: self.predicted[i]
+        )
+        measured_best = min(self.measured)
+        return self.measured[predicted_best] <= 1.02 * measured_best
+
+
+def _depth_sweep(baseline_depth: int, total_iterations: int) -> List[int]:
+    """The swept depths: geometric-ish ladder around the baseline's."""
+    candidates = sorted(
+        {
+            max(1, baseline_depth // 4),
+            max(1, baseline_depth // 2),
+            baseline_depth,
+            baseline_depth * 2,
+            baseline_depth * 3,
+            baseline_depth * 4,
+            baseline_depth * 6,
+            baseline_depth * 8,
+        }
+    )
+    return [h for h in candidates if h <= total_iterations]
+
+
+def run_figure7(
+    benchmarks: Sequence[str] = FIGURE7_BENCHMARKS,
+    board: BoardSpec = ADM_PCIE_7V3,
+    fidelity: Fidelity = Fidelity.REFINED,
+) -> List[Figure7Series]:
+    """Regenerate the model-validation sweeps."""
+    model = PerformanceModel(board, fidelity)
+    executor = SimulationExecutor(board)
+    series: List[Figure7Series] = []
+    for name in benchmarks:
+        config = TABLE3_CONFIGS[name]
+        baseline = config.baseline()
+        spec = baseline.spec
+        region = baseline.tile_grid.region_shape
+        depths = _depth_sweep(config.fused_depth, spec.iterations)
+        predicted: List[float] = []
+        measured: List[float] = []
+        for h in depths:
+            design = make_heterogeneous_design(
+                spec, region, config.counts, h, config.unroll
+            )
+            predicted.append(model.predict_cycles(design))
+            measured.append(executor.run(design).total_cycles)
+        series.append(
+            Figure7Series(
+                benchmark=name,
+                depths=tuple(depths),
+                predicted=tuple(predicted),
+                measured=tuple(measured),
+            )
+        )
+    return series
+
+
+def mean_error(series: Sequence[Figure7Series]) -> float:
+    """Average absolute model error across all panels (paper: ~12 %)."""
+    return sum(s.mean_abs_error for s in series) / len(series)
+
+
+def render_figure7(
+    series: Sequence[Figure7Series], charts: bool = True
+) -> str:
+    """ASCII rendering of the validation sweeps (table + panels)."""
+    from repro.experiments.report import render_series_chart
+
+    rows = []
+    for s in series:
+        for h, p, m, e in zip(s.depths, s.predicted, s.measured, s.errors):
+            rows.append((s.benchmark, h, p, m, f"{e:+.1%}"))
+    table = render_table(
+        ["Benchmark", "h", "Predicted", "Measured", "Error"],
+        rows,
+        title="Figure 7: Validation of Performance Model",
+    )
+    parts = [table]
+    if charts:
+        for s in series:
+            parts.append(
+                render_series_chart(
+                    [float(h) for h in s.depths],
+                    [("P", s.predicted), ("M", s.measured)],
+                    title=(
+                        f"{s.benchmark}: P = predicted, M = measured "
+                        f"(cycles vs fused depth h)"
+                    ),
+                )
+            )
+    summary = [
+        f"Mean |error|: {mean_error(list(series)):.1%} (paper: ~12%)",
+    ]
+    for s in series:
+        summary.append(
+            f"  {s.benchmark}: mean |err| {s.mean_abs_error:.1%}, "
+            f"underestimates={s.underestimates}, "
+            f"optimal-h match={s.optimal_depth_match}"
+        )
+    return "\n\n".join(parts) + "\n" + "\n".join(summary)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render_figure7(run_figure7()))

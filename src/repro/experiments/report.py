@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append(sep)
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    if isinstance(cell, tuple):
+        return "x".join(str(v) for v in cell)
+    return str(cell)
+
+
+def format_shape(shape: Sequence[int]) -> str:
+    """``(a, b)`` as ``a x b``."""
+    return " x ".join(str(s) for s in shape)
+
+
+def render_series_chart(
+    xs: Sequence[float],
+    series: Sequence[tuple],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A small ASCII line chart for latency-vs-parameter sweeps.
+
+    Args:
+        xs: x positions (e.g. fused depths).
+        series: ``(marker_char, ys)`` pairs plotted on a shared scale.
+        height: rows of the plotting area.
+        width: columns of the plotting area.
+        title: optional heading.
+
+    Returns:
+        Multi-line string (a Fig. 7-style panel for terminals).
+    """
+    if not xs or not series:
+        return title
+    all_ys = [y for _, ys in series for y in ys]
+    lo, hi = min(all_ys), max(all_ys)
+    span = (hi - lo) or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, ys in series:
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - lo) / span * (height - 1))
+            grid[row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3e} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.3e} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:g}".ljust(width - 8) + f"{x_hi:g}".rjust(8)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Command-line entry point.
+
+Two families of subcommands:
+
+Reproduction (regenerate the paper's evaluation)::
+
+    python -m repro.experiments table2
+    python -m repro.experiments table3 [--benchmarks jacobi-2d,...]
+    python -m repro.experiments figure6
+    python -m repro.experiments figure7
+    python -m repro.experiments all
+
+Tooling (use the framework on one benchmark)::
+
+    python -m repro.experiments optimize  --benchmark jacobi-2d
+    python -m repro.experiments simulate  --benchmark jacobi-2d [--design hetero]
+    python -m repro.experiments codegen   --benchmark jacobi-2d [--output DIR]
+    python -m repro.experiments calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.figure7 import (
+    FIGURE7_BENCHMARKS,
+    render_figure7,
+    run_figure7,
+)
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.stencil.library import PAPER_SUITE
+
+_REPRO_COMMANDS = ("table2", "table3", "figure6", "figure7", "all")
+_TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate")
+
+
+def _parse_benchmarks(value: Optional[str], default: Sequence[str]):
+    if not value:
+        return tuple(default)
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _build_designs(benchmark: str):
+    from repro.dse.optimizer import (
+        optimize_heterogeneous,
+        optimize_pipe_shared,
+    )
+    from repro.experiments.configs import TABLE3_CONFIGS
+
+    config = TABLE3_CONFIGS[benchmark]
+    baseline = config.baseline()
+    spec = baseline.spec
+    return {
+        "spec": spec,
+        "baseline": baseline,
+        "pipe": optimize_pipe_shared(spec, baseline).best.design,
+        "hetero": optimize_heterogeneous(spec, baseline).best.design,
+    }
+
+
+def _cmd_optimize(args) -> List[str]:
+    from repro.fpga.estimator import estimate_resources
+    from repro.model import PerformanceModel
+    from repro.sim import simulate
+
+    bundle = _build_designs(args.benchmark)
+    model = PerformanceModel()
+    lines = [f"Workload: {bundle['spec'].describe()}"]
+    base_cycles = simulate(bundle["baseline"]).total_cycles
+    for label in ("baseline", "pipe", "hetero"):
+        design = bundle[label]
+        measured = simulate(design).total_cycles
+        resources = estimate_resources(design).total
+        lines.append(
+            f"{label:9s} {design.describe()}\n"
+            f"          predicted {model.predict_cycles(design):.3e} "
+            f"cyc, measured {measured:.3e} cyc "
+            f"(speedup {base_cycles / measured:.2f}x), {resources}"
+        )
+    return lines
+
+
+def _cmd_simulate(args) -> List[str]:
+    from repro.sim import simulate
+
+    bundle = _build_designs(args.benchmark)
+    design = bundle[args.design]
+    result = simulate(design)
+    fractions = ", ".join(
+        f"{k}={v:.1%}"
+        for k, v in result.breakdown.fractions().items()
+        if v > 0.001
+    )
+    return [
+        f"Design: {design.describe()}",
+        f"Total: {result.total_cycles:.4e} cycles "
+        f"({result.seconds * 1e3:.2f} ms at "
+        f"{result.board.clock_hz / 1e6:.0f} MHz)",
+        f"Blocks: {result.num_blocks}, critical kernel "
+        f"{result.block.critical_index}",
+        f"Breakdown: {fractions}",
+    ]
+
+
+def _cmd_codegen(args) -> List[str]:
+    from repro.codegen import generate_program
+
+    bundle = _build_designs(args.benchmark)
+    design = bundle[args.design]
+    program = generate_program(design)
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = args.benchmark.replace("-", "_")
+    kernel_path = out_dir / f"{stem}_{args.design}.cl"
+    host_path = out_dir / f"{stem}_{args.design}_host.c"
+    kernel_path.write_text(program.kernel_source)
+    host_path.write_text(program.host_source)
+    return [
+        f"Design: {design.describe()}",
+        f"Wrote {kernel_path} "
+        f"({len(program.kernel_source.splitlines())} lines, "
+        f"{program.num_kernels} kernels)",
+        f"Wrote {host_path}",
+    ]
+
+
+def _cmd_calibrate(_args) -> List[str]:
+    from repro.model.calibration import OfflineProfiler
+    from repro.opencl.platform import ADM_PCIE_7V3
+
+    result = OfflineProfiler().calibrate()
+    board = ADM_PCIE_7V3
+    return [
+        "Off-line profiling against the simulated board:",
+        f"  effective bandwidth: {result.bandwidth_bytes_per_cycle:.2f} "
+        f"B/cycle (configured {board.effective_bytes_per_cycle:.2f})",
+        f"  C_pipe: {result.pipe_cycles_per_word:.3f} cycles/word "
+        f"(configured {board.pipe_cycles_per_word})",
+        f"  kernel launch: {result.launch_cycles:.0f} cycles "
+        f"(configured {board.kernel_launch_cycles})",
+        f"  launch stagger: {result.launch_stagger_cycles:.0f} cycles "
+        f"(configured {board.launch_stagger_cycles})",
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatcher."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stencil",
+        description=(
+            "Reproduction of 'A Comprehensive Framework for Synthesizing "
+            "Stencil Algorithms on FPGAs using OpenCL Model' (DAC 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_REPRO_COMMANDS + _TOOL_COMMANDS,
+        help="experiment to regenerate or tool to run",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated benchmark subset (reproduction commands)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="jacobi-2d",
+        help="single benchmark for the tooling commands",
+    )
+    parser.add_argument(
+        "--design",
+        choices=("baseline", "pipe", "hetero"),
+        default="hetero",
+        help="which design the tooling commands act on",
+    )
+    parser.add_argument(
+        "--output",
+        default="generated",
+        help="output directory for codegen",
+    )
+    args = parser.parse_args(argv)
+
+    outputs: List[str] = []
+    if args.experiment in ("table2", "all"):
+        outputs.append(render_table2(run_table2()))
+    if args.experiment in ("table3", "all"):
+        outputs.append(
+            render_table3(
+                run_table3(_parse_benchmarks(args.benchmarks, PAPER_SUITE))
+            )
+        )
+    if args.experiment in ("figure6", "all"):
+        outputs.append(render_figure6(run_figure6()))
+    if args.experiment in ("figure7", "all"):
+        outputs.append(
+            render_figure7(
+                run_figure7(
+                    _parse_benchmarks(args.benchmarks, FIGURE7_BENCHMARKS)
+                )
+            )
+        )
+    if args.experiment == "optimize":
+        outputs.append("\n".join(_cmd_optimize(args)))
+    if args.experiment == "simulate":
+        outputs.append("\n".join(_cmd_simulate(args)))
+    if args.experiment == "codegen":
+        outputs.append("\n".join(_cmd_codegen(args)))
+    if args.experiment == "calibrate":
+        outputs.append("\n".join(_cmd_calibrate(args)))
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

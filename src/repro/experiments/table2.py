@@ -1,0 +1,64 @@
+"""Table 2: the stencil benchmark suite description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.configs import TABLE3_CONFIGS
+from repro.experiments.report import format_shape, render_table
+from repro.stencil.library import PAPER_SUITE, get_benchmark
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One benchmark's suite entry."""
+
+    benchmark: str
+    source: str
+    input_size: Tuple[int, ...]
+    iterations: int
+    fields: int
+    radius: Tuple[int, ...]
+
+
+def run_table2() -> List[Table2Row]:
+    """Build the benchmark-suite table (paper's Table 2 plus shape info)."""
+    rows: List[Table2Row] = []
+    for name in PAPER_SUITE:
+        spec = get_benchmark(name)
+        rows.append(
+            Table2Row(
+                benchmark=name,
+                source=spec.source,
+                input_size=spec.grid_shape,
+                iterations=spec.iterations,
+                fields=spec.pattern.num_fields,
+                radius=spec.pattern.radius,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """ASCII rendering of Table 2."""
+    return render_table(
+        ["Benchmark", "Source", "Input Size", "#Iterations",
+         "#Fields", "Radius"],
+        [
+            (
+                r.benchmark,
+                r.source,
+                format_shape(r.input_size),
+                r.iterations,
+                r.fields,
+                format_shape(r.radius),
+            )
+            for r in rows
+        ],
+        title="Table 2: Stencil Benchmark Suite Description",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render_table2(run_table2()))

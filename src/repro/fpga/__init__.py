@@ -1,0 +1,20 @@
+"""FPGA hardware substrate: resources, BRAM packing, II estimation."""
+
+from repro.fpga.resources import (
+    VIRTEX7_690T,
+    FpgaDevice,
+    ResourceVector,
+)
+from repro.fpga.bram import bram18_blocks, fifo_resources, local_array_blocks
+from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
+
+__all__ = [
+    "FpgaDevice",
+    "ResourceVector",
+    "VIRTEX7_690T",
+    "bram18_blocks",
+    "fifo_resources",
+    "local_array_blocks",
+    "FlexCLEstimator",
+    "PipelineReport",
+]

@@ -1,0 +1,99 @@
+"""Block-RAM packing model.
+
+Maps OpenCL ``local`` arrays and pipe FIFOs onto Xilinx 18 Kb BRAM
+primitives.  An 18 Kb block supports the aspect ratios 16K x 1 through
+512 x 36; for a given word width the usable depth per block is the
+deepest configuration whose width covers the word (wider words gang
+multiple blocks side by side).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import SpecificationError
+from repro.fpga.resources import ResourceVector
+
+#: (width_bits, depth_words) configurations of one RAMB18 primitive.
+_BRAM18_ASPECTS: Tuple[Tuple[int, int], ...] = (
+    (1, 16384),
+    (2, 8192),
+    (4, 4096),
+    (9, 2048),
+    (18, 1024),
+    (36, 512),
+)
+
+#: FIFOs at or below this many bits are mapped to SRL/LUTRAM, not BRAM.
+SRL_FIFO_THRESHOLD_BITS = 1024
+
+
+def _depth_per_block(word_bits: int) -> Tuple[int, int]:
+    """(blocks ganged side-by-side, depth per gang) for one word width."""
+    if word_bits <= 0:
+        raise SpecificationError(f"word_bits must be positive: {word_bits}")
+    for width, depth in _BRAM18_ASPECTS:
+        if word_bits <= width:
+            return 1, depth
+    # Wider than 36 bits: gang ceil(word/36) blocks at 512-deep each.
+    return math.ceil(word_bits / 36), 512
+
+
+def bram18_blocks(num_words: int, word_bits: int, partitions: int = 1) -> int:
+    """Number of 18 Kb blocks for an array of ``num_words`` words.
+
+    Args:
+        num_words: logical array depth in words.
+        word_bits: word width in bits.
+        partitions: cyclic/block partition factor (each bank is rounded
+            up to whole blocks separately — this is why aggressive
+            partitioning costs BRAM).
+
+    Returns:
+        Total RAMB18 primitives consumed.
+    """
+    if num_words < 0:
+        raise SpecificationError(f"num_words must be >= 0: {num_words}")
+    if partitions <= 0:
+        raise SpecificationError(f"partitions must be positive: {partitions}")
+    if num_words == 0:
+        return 0
+    gang, depth = _depth_per_block(word_bits)
+    per_bank_words = math.ceil(num_words / partitions)
+    blocks_per_bank = gang * math.ceil(per_bank_words / depth)
+    return partitions * blocks_per_bank
+
+
+def local_array_blocks(
+    num_cells: int,
+    bytes_per_cell: int,
+    partitions: int = 1,
+    double_buffered: bool = True,
+) -> int:
+    """Blocks for a tile-local data array.
+
+    Iterative stencil kernels ping-pong between a read and a write copy
+    of the tile (``double_buffered``), doubling the storage.
+    """
+    blocks = bram18_blocks(num_cells, bytes_per_cell * 8, partitions)
+    return 2 * blocks if double_buffered else blocks
+
+
+def fifo_resources(depth_words: int, word_bits: int) -> ResourceVector:
+    """Resources of one pipe FIFO.
+
+    Shallow/narrow FIFOs are implemented in shift registers (LUT+FF
+    only); deeper ones consume BRAM plus a small controller.
+    """
+    if depth_words <= 0:
+        raise SpecificationError(f"FIFO depth must be positive: {depth_words}")
+    total_bits = depth_words * word_bits
+    controller = ResourceVector(ff=64, lut=48, dsp=0, bram18=0)
+    if total_bits <= SRL_FIFO_THRESHOLD_BITS:
+        # ~1 LUT (as SRL32) per bit-lane per 32 entries, one FF per lane.
+        lanes = word_bits
+        srl_luts = lanes * math.ceil(depth_words / 32)
+        return controller + ResourceVector(ff=lanes, lut=srl_luts)
+    blocks = bram18_blocks(depth_words, word_bits)
+    return controller + ResourceVector(bram18=blocks)

@@ -1,0 +1,128 @@
+"""FlexCL stand-in: pipeline initiation-interval (II) estimation.
+
+The paper obtains the stencil pipeline's II from its companion FlexCL
+framework (an analytical OpenCL-on-FPGA performance model).  We cannot
+run FlexCL, so this module implements the part the framework actually
+consumes: given a stencil pattern and an unroll (``N_PE``) factor, it
+estimates the II and pipeline depth the HLS scheduler would achieve
+from first principles — loop-carried dependences and local-memory port
+pressure.
+
+Iterative stencil bodies have no loop-carried dependence across cells
+(Jacobi-style double buffering), so the II is set by the number of
+local-memory reads that must issue per cycle versus the available BRAM
+ports; HLS widens the banking (array partitioning) until II hits 1 or
+the partition limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SpecificationError
+from repro.stencil.pattern import StencilPattern
+
+#: Floating-point operator latencies (cycles) at a 200 MHz 7-series clock.
+FADD_LATENCY = 8
+FMUL_LATENCY = 6
+LOCAL_READ_LATENCY = 2
+PORTS_PER_BANK = 2
+
+#: HLS refuses to partition a tile buffer beyond this many banks.
+MAX_PARTITIONS = 64
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """What an HLS report (or FlexCL) tells us about one kernel pipeline.
+
+    Attributes:
+        ii: initiation interval in cycles (Table 1's ``II``).
+        depth: pipeline depth in cycles (fill/drain latency).
+        unroll: number of processing elements ``N_PE``.
+        partitions: local-memory banks required to sustain the II.
+        reads_per_cycle: local reads issued per cycle at steady state.
+    """
+
+    ii: int
+    depth: int
+    unroll: int
+    partitions: int
+    reads_per_cycle: float
+
+    @property
+    def cycles_per_element(self) -> float:
+        """``C_element = II / N_PE`` (the paper's Eq. 9)."""
+        return self.ii / self.unroll
+
+
+class FlexCLEstimator:
+    """Estimates pipeline characteristics for stencil compute kernels."""
+
+    def __init__(self, max_partitions: int = MAX_PARTITIONS):
+        if max_partitions < 1:
+            raise SpecificationError(
+                f"max_partitions must be >= 1, got {max_partitions}"
+            )
+        self.max_partitions = max_partitions
+
+    def estimate(
+        self,
+        pattern: StencilPattern,
+        unroll: int = 1,
+        partitions: Optional[int] = None,
+    ) -> PipelineReport:
+        """Estimate II and depth for ``pattern`` at a given unroll.
+
+        Args:
+            pattern: the stencil update.
+            unroll: number of cells processed concurrently (``N_PE``).
+            partitions: force a specific banking factor; by default the
+                smallest power-of-two banking that achieves II = 1 (or
+                the partition cap) is chosen, mirroring HLS pragmas.
+
+        Returns:
+            A :class:`PipelineReport`.
+        """
+        if unroll < 1:
+            raise SpecificationError(f"unroll must be >= 1, got {unroll}")
+        reads_per_ii = pattern.points_per_cell() * unroll
+        if partitions is None:
+            partitions = self._auto_partitions(reads_per_ii)
+        elif partitions < 1:
+            raise SpecificationError(
+                f"partitions must be >= 1, got {partitions}"
+            )
+        ports = PORTS_PER_BANK * partitions
+        ii = max(1, math.ceil(reads_per_ii / ports))
+        depth = self._pipeline_depth(pattern)
+        return PipelineReport(
+            ii=ii,
+            depth=depth,
+            unroll=unroll,
+            partitions=partitions,
+            reads_per_cycle=reads_per_ii / ii,
+        )
+
+    def _auto_partitions(self, reads_per_ii: int) -> int:
+        """Smallest power-of-two banking achieving II = 1 (capped)."""
+        needed = math.ceil(reads_per_ii / PORTS_PER_BANK)
+        banks = 1
+        while banks < needed and banks < self.max_partitions:
+            banks *= 2
+        return banks
+
+    def _pipeline_depth(self, pattern: StencilPattern) -> int:
+        """Read + multiply + adder-tree critical path, in cycles."""
+        max_terms = max(
+            len(update.taps) + (1 if update.constant != 0.0 else 0)
+            for update in pattern.updates.values()
+        )
+        adder_levels = max(1, math.ceil(math.log2(max(2, max_terms))))
+        return (
+            LOCAL_READ_LATENCY
+            + FMUL_LATENCY
+            + adder_levels * FADD_LATENCY
+        )

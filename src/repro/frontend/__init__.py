@@ -1,0 +1,48 @@
+"""OpenCL-C subset frontend: the paper's feature extractor.
+
+Parses the body of a stencil kernel written in (a practical subset of)
+OpenCL C and recovers the application-specific configuration the
+optimization framework needs: stencil shape (tap offsets and
+coefficients), dimensionality, operation counts, and data type —
+Section 5.1's "feature extractor".
+"""
+
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    Number,
+    UnaryOp,
+    VarRef,
+)
+from repro.frontend.parser import Parser, parse_kernel_body
+from repro.frontend.extractor import (
+    FeatureExtractor,
+    KernelFeatures,
+    extract_features,
+    extract_pattern,
+)
+from repro.frontend.opcount import OperationCounts, count_operations
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Expr",
+    "Number",
+    "UnaryOp",
+    "VarRef",
+    "Parser",
+    "parse_kernel_body",
+    "FeatureExtractor",
+    "KernelFeatures",
+    "extract_features",
+    "extract_pattern",
+    "OperationCounts",
+    "count_operations",
+]

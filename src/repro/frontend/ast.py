@@ -1,0 +1,76 @@
+"""Expression AST for the OpenCL-C stencil subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A bare variable reference (index variable or scalar parameter)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array access ``name[idx0][idx1]...`` or ``name[linear]``.
+
+    Each subscript is kept as an expression; the extractor resolves it
+    into an (index variable, constant shift) pair.
+    """
+
+    name: str
+    subscripts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary ``-`` or ``+``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call, e.g. ``get_global_id(0)``."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """An assignment statement ``target = value;``.
+
+    ``target`` is an :class:`ArrayRef` for stencil updates or a
+    :class:`VarRef` for scalar temporaries (which the extractor
+    inlines).  ``declared_type`` records the C type when the statement
+    was a declaration with initializer.
+    """
+
+    target: Union[ArrayRef, VarRef]
+    value: Expr
+    declared_type: str = ""

@@ -1,0 +1,437 @@
+"""Feature extraction: from parsed kernel source to a stencil pattern.
+
+Implements the paper's *feature extractor* (Section 5.1): given the
+original stencil operation code, determine the application-specific
+configuration — stencil shape (tap offsets and coefficients),
+dimension, and operation counts.
+
+The extractor works by *linearizing* each assignment's right-hand side
+into an affine combination of array reads at constant offsets.  Scalar
+temporaries are inlined; multi-statement bodies (e.g. FDTD's three
+sweeps) become stages and are composed symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExtractionError
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    Number,
+    UnaryOp,
+    VarRef,
+)
+from repro.frontend.opcount import OperationCounts, count_operations
+from repro.frontend.parser import parse_kernel_body
+from repro.stencil.pattern import (
+    FieldUpdate,
+    Stage,
+    StencilPattern,
+    Tap,
+    compose_stages,
+)
+
+
+class _LinearForm:
+    """Affine combination of array reads: ``Σ coeff·arr[cell+off] + c``."""
+
+    def __init__(self) -> None:
+        self.terms: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+        self.constant: float = 0.0
+
+    @classmethod
+    def const(cls, value: float) -> "_LinearForm":
+        form = cls()
+        form.constant = value
+        return form
+
+    @classmethod
+    def read(cls, array: str, offsets: Tuple[int, ...]) -> "_LinearForm":
+        form = cls()
+        form.terms[(array, offsets)] = 1.0
+        return form
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def add(self, other: "_LinearForm", sign: float = 1.0) -> "_LinearForm":
+        result = _LinearForm()
+        result.terms = dict(self.terms)
+        result.constant = self.constant + sign * other.constant
+        for key, coeff in other.terms.items():
+            result.terms[key] = result.terms.get(key, 0.0) + sign * coeff
+        return result
+
+    def scale(self, factor: float) -> "_LinearForm":
+        result = _LinearForm()
+        result.constant = self.constant * factor
+        result.terms = {k: c * factor for k, c in self.terms.items()}
+        return result
+
+
+@dataclass(frozen=True)
+class KernelFeatures:
+    """Everything the optimizer needs to know about a kernel source.
+
+    Attributes:
+        pattern: the recovered (composed) stencil pattern.
+        ndim: grid dimensionality.
+        index_vars: index variable names in dimension order.
+        counts: as-written floating-point operation counts.
+        dtype: element type inferred from declarations.
+    """
+
+    pattern: StencilPattern
+    ndim: int
+    index_vars: Tuple[str, ...]
+    counts: OperationCounts
+    dtype: np.dtype
+
+
+class FeatureExtractor:
+    """Recovers stencil features from OpenCL-C kernel source."""
+
+    def __init__(
+        self,
+        field_map: Optional[Mapping[str, str]] = None,
+        aux: Sequence[str] = (),
+    ):
+        """
+        Args:
+            field_map: maps a *written* array name to the state field it
+                updates (for ping-pong kernels writing ``B`` from ``A``,
+                pass ``{"B": "A"}``).  Written arrays that are also read
+                map to themselves automatically.
+            aux: names of read-only auxiliary inputs (e.g. HotSpot's
+                ``power``); everything else read must be state.
+        """
+        self.field_map = dict(field_map or {})
+        self.aux = tuple(aux)
+
+    # -- public API -----------------------------------------------------------
+
+    def extract(self, source: str, name: str = "kernel") -> KernelFeatures:
+        """Extract features from kernel source.
+
+        Args:
+            source: a full kernel definition or bare body.
+            name: name given to the resulting pattern.
+        """
+        statements = parse_kernel_body(source)
+        index_vars = self._find_index_vars(statements)
+        scalar_env: Dict[str, Expr] = {}
+        array_assigns: List[Assign] = []
+        dtype = np.dtype(np.float32)
+        for statement in statements:
+            if "double" in statement.declared_type:
+                dtype = np.dtype(np.float64)
+            if isinstance(statement.target, VarRef):
+                if statement.target.name in index_vars:
+                    continue
+                scalar_env[statement.target.name] = statement.value
+            else:
+                array_assigns.append(statement)
+        if not array_assigns:
+            raise ExtractionError(
+                "Kernel body contains no array update statement"
+            )
+        if not index_vars:
+            index_vars = self._infer_index_vars(array_assigns[0])
+        ndim = len(index_vars)
+        dims = {v: d for d, v in enumerate(index_vars)}
+
+        stages, fields = self._build_stages(
+            array_assigns, dims, scalar_env, ndim
+        )
+        pattern = compose_stages(name, ndim, fields, stages, aux=self.aux)
+        return KernelFeatures(
+            pattern=pattern,
+            ndim=ndim,
+            index_vars=tuple(index_vars),
+            counts=count_operations(array_assigns),
+            dtype=dtype,
+        )
+
+    # -- index variables ---------------------------------------------------------
+
+    def _find_index_vars(
+        self, statements: Sequence[Assign]
+    ) -> List[str]:
+        """Index variables from ``get_global_id(d)`` declarations."""
+        by_dim: Dict[int, str] = {}
+        for statement in statements:
+            if not isinstance(statement.target, VarRef):
+                continue
+            value = statement.value
+            if (
+                isinstance(value, Call)
+                and value.name == "get_global_id"
+                and len(value.args) == 1
+                and isinstance(value.args[0], Number)
+            ):
+                by_dim[int(value.args[0].value)] = statement.target.name
+        if not by_dim:
+            return []
+        if sorted(by_dim) != list(range(len(by_dim))):
+            raise ExtractionError(
+                f"Non-contiguous get_global_id dimensions: {sorted(by_dim)}"
+            )
+        return [by_dim[d] for d in sorted(by_dim)]
+
+    def _infer_index_vars(self, assign: Assign) -> List[str]:
+        """Fallback: subscript variables of the first target, in order."""
+        target = assign.target
+        assert isinstance(target, ArrayRef)
+        names: List[str] = []
+        for subscript in target.subscripts:
+            found = _subscript_variables(subscript)
+            if len(found) != 1:
+                raise ExtractionError(
+                    f"Cannot infer index variable from subscript of "
+                    f"{target.name!r}"
+                )
+            names.append(found[0])
+        return names
+
+    # -- stage construction ----------------------------------------------------------
+
+    def _build_stages(
+        self,
+        assigns: Sequence[Assign],
+        dims: Dict[str, int],
+        scalar_env: Dict[str, Expr],
+        ndim: int,
+    ) -> Tuple[List[Stage], List[str]]:
+        read_arrays: List[str] = []
+        forms: List[Tuple[str, _LinearForm]] = []
+        for assign in assigns:
+            target = assign.target
+            assert isinstance(target, ArrayRef)
+            offsets = self._resolve_offsets(target, dims, ndim)
+            if any(offsets):
+                raise ExtractionError(
+                    f"Update target {target.name!r} must be written at "
+                    f"offset zero, got {offsets}"
+                )
+            form = self._linearize(assign.value, dims, scalar_env, ndim, 0)
+            for array, _off in form.terms:
+                if array not in read_arrays:
+                    read_arrays.append(array)
+            forms.append((target.name, form))
+
+        written = [name for name, _ in forms]
+        renames = self._output_renames(written, read_arrays)
+        fields: List[str] = []
+        for name, _form in forms:
+            field = renames[name]
+            if field not in fields:
+                fields.append(field)
+        for array in read_arrays:
+            if array not in fields and array not in self.aux:
+                fields.append(array)
+
+        stages: List[Stage] = []
+        for name, form in forms:
+            taps = tuple(
+                Tap(renames.get(array, array), offsets, coeff)
+                for (array, offsets), coeff in form.terms.items()
+                if coeff != 0.0
+            )
+            stages.append(
+                Stage(
+                    updates={
+                        renames[name]: FieldUpdate(
+                            taps=taps, constant=form.constant
+                        )
+                    }
+                )
+            )
+        return stages, fields
+
+    def _output_renames(
+        self, written: Sequence[str], read_arrays: Sequence[str]
+    ) -> Dict[str, str]:
+        renames: Dict[str, str] = {}
+        distinct_written = list(dict.fromkeys(written))
+        for name in written:
+            if name in self.field_map:
+                renames[name] = self.field_map[name]
+            elif name in read_arrays:
+                renames[name] = name
+            elif len(distinct_written) == 1:
+                # Ping-pong heuristic: a single output array written
+                # from a single state input is that input's new value.
+                state_reads = [
+                    a for a in read_arrays if a not in self.aux
+                ]
+                if len(state_reads) == 1:
+                    renames[name] = state_reads[0]
+                else:
+                    raise ExtractionError(
+                        f"Cannot pair output array {name!r} with a state "
+                        f"field; pass field_map (reads: {state_reads})"
+                    )
+            else:
+                raise ExtractionError(
+                    f"Output array {name!r} is never read and the kernel "
+                    f"writes several arrays; pass field_map to name its "
+                    f"state field"
+                )
+        return renames
+
+    # -- linearization -----------------------------------------------------------------
+
+    def _linearize(
+        self,
+        expr: Expr,
+        dims: Dict[str, int],
+        scalar_env: Dict[str, Expr],
+        ndim: int,
+        depth: int,
+    ) -> _LinearForm:
+        if depth > 64:
+            raise ExtractionError(
+                "Scalar substitution too deep (cyclic definition?)"
+            )
+        if isinstance(expr, Number):
+            return _LinearForm.const(expr.value)
+        if isinstance(expr, VarRef):
+            if expr.name in scalar_env:
+                return self._linearize(
+                    scalar_env[expr.name], dims, scalar_env, ndim, depth + 1
+                )
+            if expr.name in dims:
+                raise ExtractionError(
+                    f"Index variable {expr.name!r} used outside a subscript"
+                )
+            raise ExtractionError(
+                f"Unknown scalar {expr.name!r}: stencil coefficients must "
+                f"be literal or locally defined"
+            )
+        if isinstance(expr, ArrayRef):
+            offsets = self._resolve_offsets(expr, dims, ndim)
+            return _LinearForm.read(expr.name, offsets)
+        if isinstance(expr, UnaryOp):
+            inner = self._linearize(
+                expr.operand, dims, scalar_env, ndim, depth
+            )
+            return inner.scale(-1.0) if expr.op == "-" else inner
+        if isinstance(expr, BinOp):
+            left = self._linearize(expr.left, dims, scalar_env, ndim, depth)
+            right = self._linearize(
+                expr.right, dims, scalar_env, ndim, depth
+            )
+            if expr.op == "+":
+                return left.add(right)
+            if expr.op == "-":
+                return left.add(right, sign=-1.0)
+            if expr.op == "*":
+                if right.is_constant:
+                    return left.scale(right.constant)
+                if left.is_constant:
+                    return right.scale(left.constant)
+                raise ExtractionError(
+                    "Non-linear stencil: product of two array reads"
+                )
+            if expr.op == "/":
+                if not right.is_constant:
+                    raise ExtractionError(
+                        "Non-linear stencil: division by an array read"
+                    )
+                if right.constant == 0.0:
+                    raise ExtractionError("Division by zero coefficient")
+                return left.scale(1.0 / right.constant)
+        if isinstance(expr, Call):
+            raise ExtractionError(
+                f"Unsupported call {expr.name!r} in stencil expression"
+            )
+        raise ExtractionError(
+            f"Unsupported expression node {type(expr).__name__}"
+        )
+
+    def _resolve_offsets(
+        self, ref: ArrayRef, dims: Dict[str, int], ndim: int
+    ) -> Tuple[int, ...]:
+        if len(ref.subscripts) != ndim:
+            raise ExtractionError(
+                f"Array {ref.name!r} subscripted with "
+                f"{len(ref.subscripts)} indices; kernel is {ndim}-D"
+            )
+        offsets = [0] * ndim
+        for position, subscript in enumerate(ref.subscripts):
+            var, shift = _affine_subscript(subscript)
+            dim = dims.get(var)
+            if dim is None:
+                raise ExtractionError(
+                    f"Subscript of {ref.name!r} uses unknown index "
+                    f"variable {var!r}"
+                )
+            if dim != position:
+                raise ExtractionError(
+                    f"Array {ref.name!r} subscripts index variables out "
+                    f"of dimension order"
+                )
+            offsets[dim] = shift
+        return tuple(offsets)
+
+
+def _subscript_variables(expr: Expr) -> List[str]:
+    if isinstance(expr, VarRef):
+        return [expr.name]
+    if isinstance(expr, UnaryOp):
+        return _subscript_variables(expr.operand)
+    if isinstance(expr, BinOp):
+        return _subscript_variables(expr.left) + _subscript_variables(
+            expr.right
+        )
+    return []
+
+
+def _affine_subscript(expr: Expr) -> Tuple[str, int]:
+    """Resolve a subscript to ``(index variable, integer shift)``."""
+    if isinstance(expr, VarRef):
+        return expr.name, 0
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        sign = 1 if expr.op == "+" else -1
+        if isinstance(expr.left, VarRef) and isinstance(expr.right, Number):
+            return expr.left.name, sign * int(expr.right.value)
+        if (
+            expr.op == "+"
+            and isinstance(expr.left, Number)
+            and isinstance(expr.right, VarRef)
+        ):
+            return expr.right.name, int(expr.left.value)
+    raise ExtractionError(
+        "Subscripts must have the form 'i', 'i + c', or 'i - c'"
+    )
+
+
+def extract_features(
+    source: str,
+    name: str = "kernel",
+    field_map: Optional[Mapping[str, str]] = None,
+    aux: Sequence[str] = (),
+) -> KernelFeatures:
+    """Convenience wrapper around :class:`FeatureExtractor`."""
+    return FeatureExtractor(field_map=field_map, aux=aux).extract(
+        source, name
+    )
+
+
+def extract_pattern(
+    source: str,
+    name: str = "kernel",
+    field_map: Optional[Mapping[str, str]] = None,
+    aux: Sequence[str] = (),
+) -> StencilPattern:
+    """Extract just the composed stencil pattern from kernel source."""
+    return extract_features(source, name, field_map, aux).pattern

@@ -1,0 +1,84 @@
+"""Operation counting over parsed stencil expressions.
+
+Counts the floating-point work of the stencil body *as written* —
+the quantity that determines DSP usage and the pipeline's adder tree —
+as opposed to the algebraically-minimal tap form the extractor
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    Number,
+    UnaryOp,
+    VarRef,
+)
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Floating-point operation tallies of a kernel body."""
+
+    adds: int = 0
+    subs: int = 0
+    muls: int = 0
+    divs: int = 0
+    array_reads: int = 0
+    array_writes: int = 0
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations."""
+        return self.adds + self.subs + self.muls + self.divs
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            adds=self.adds + other.adds,
+            subs=self.subs + other.subs,
+            muls=self.muls + other.muls,
+            divs=self.divs + other.divs,
+            array_reads=self.array_reads + other.array_reads,
+            array_writes=self.array_writes + other.array_writes,
+        )
+
+
+def _count_expr(expr: Expr) -> OperationCounts:
+    if isinstance(expr, Number) or isinstance(expr, VarRef):
+        return OperationCounts()
+    if isinstance(expr, ArrayRef):
+        return OperationCounts(array_reads=1)
+    if isinstance(expr, UnaryOp):
+        return _count_expr(expr.operand)
+    if isinstance(expr, Call):
+        counts = OperationCounts()
+        for arg in expr.args:
+            counts = counts + _count_expr(arg)
+        return counts
+    if isinstance(expr, BinOp):
+        counts = _count_expr(expr.left) + _count_expr(expr.right)
+        extra = {
+            "+": OperationCounts(adds=1),
+            "-": OperationCounts(subs=1),
+            "*": OperationCounts(muls=1),
+            "/": OperationCounts(divs=1),
+        }[expr.op]
+        return counts + extra
+    raise TypeError(f"Unknown expression node {type(expr).__name__}")
+
+
+def count_operations(statements: Sequence[Assign]) -> OperationCounts:
+    """Tally operations across a kernel body's assignments."""
+    total = OperationCounts()
+    for statement in statements:
+        total = total + _count_expr(statement.value)
+        if isinstance(statement.target, ArrayRef):
+            total = total + OperationCounts(array_writes=1)
+    return total

@@ -1,0 +1,39 @@
+"""Analytical performance model (Section 4 of the paper, Eqs. 1-11)."""
+
+from repro.model.params import ModelParameters, extract_parameters
+from repro.model.latency import num_regions_eq2, total_latency_eq1
+from repro.model.memory import memory_latency_eq4, read_latency_eq5, write_latency_eq6
+from repro.model.compute import (
+    compute_latency_eq7,
+    cycles_per_element_eq9,
+    iteration_latency_eq8,
+)
+from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+from repro.model.calibration import CalibrationResult, OfflineProfiler
+from repro.model.predictor import (
+    Fidelity,
+    LatencyBreakdown,
+    PerformanceModel,
+    predict_latency,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "OfflineProfiler",
+    "ModelParameters",
+    "extract_parameters",
+    "num_regions_eq2",
+    "total_latency_eq1",
+    "memory_latency_eq4",
+    "read_latency_eq5",
+    "write_latency_eq6",
+    "compute_latency_eq7",
+    "iteration_latency_eq8",
+    "cycles_per_element_eq9",
+    "share_latency_eq10",
+    "overlap_lambda_eq11",
+    "Fidelity",
+    "LatencyBreakdown",
+    "PerformanceModel",
+    "predict_latency",
+]

@@ -1,0 +1,152 @@
+"""Off-line profiling: recover platform model parameters from runs.
+
+Table 1 lists ``BW`` and ``C_pipe`` as "obtained: off-line profiling".
+On the real system one times microbenchmarks; here the same procedure
+runs against the execution simulator: craft designs that isolate one
+mechanism, measure them, and fit the model constant.  The recovered
+values can then parameterize :class:`~repro.model.PerformanceModel`
+for a board whose datasheet numbers are unknown — and the tests use
+the recovery accuracy as a consistency check between the simulator and
+the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.sim.executor import SimulationExecutor
+from repro.stencil.library import jacobi_2d
+from repro.tiling.baseline import make_baseline_design
+from repro.tiling.pipeshared import make_pipe_shared_design
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Recovered platform constants.
+
+    Attributes:
+        bandwidth_bytes_per_cycle: effective burst bandwidth seen by a
+            single kernel times ``K`` (i.e. the shared total).
+        pipe_cycles_per_word: ``C_pipe``.
+        launch_cycles: base kernel-launch latency.
+        launch_stagger_cycles: per-kernel sequential launch delay.
+    """
+
+    bandwidth_bytes_per_cycle: float
+    pipe_cycles_per_word: float
+    launch_cycles: float
+    launch_stagger_cycles: float
+
+
+def _linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y = a + b x``; returns ``(a, b)``."""
+    n = len(xs)
+    if n < 2:
+        raise SimulationError("Need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise SimulationError("Degenerate fit: constant x")
+    sxy = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    slope = sxy / sxx
+    return mean_y - slope * mean_x, slope
+
+
+class OfflineProfiler:
+    """Runs profiling microbenchmarks on a board's simulator."""
+
+    def __init__(self, board: BoardSpec = ADM_PCIE_7V3):
+        self.board = board
+        self.executor = SimulationExecutor(board)
+
+    def profile_bandwidth(
+        self, tile_extents: Sequence[int] = (32, 64, 128, 256)
+    ) -> float:
+        """Effective bytes/cycle from a read-size sweep.
+
+        Single-kernel, single-iteration designs isolate the burst
+        transfer: cycles grow linearly in footprint bytes; the slope's
+        inverse is the effective bandwidth.
+        """
+        xs: List[float] = []
+        ys: List[float] = []
+        for extent in tile_extents:
+            grid = (extent * 2, extent * 2)
+            spec = jacobi_2d(grid=grid, iterations=1)
+            design = make_baseline_design(
+                spec, (extent, extent), (1, 1), 1
+            )
+            result = self.executor.run(design)
+            tile = design.tiles[0]
+            payload = design.tile_read_bytes(tile) + (
+                design.tile_write_bytes(tile)
+            )
+            xs.append(float(payload))
+            ys.append(result.breakdown.memory / design.num_blocks())
+        _intercept, slope = _linear_fit(xs, ys)
+        if slope <= 0:
+            raise SimulationError("Bandwidth fit produced no slope")
+        return 1.0 / slope
+
+    def profile_launch(self, max_kernels: int = 8) -> Tuple[float, float]:
+        """(base launch cycles, per-kernel stagger) from a K-sweep.
+
+        Tiny equal designs with growing kernel counts: the critical
+        kernel's launch completion grows linearly in its launch index.
+        """
+        xs: List[float] = []
+        ys: List[float] = []
+        for k in range(1, max_kernels + 1):
+            spec = jacobi_2d(grid=(8 * k, 8), iterations=1)
+            design = make_baseline_design(spec, (8, 8), (k, 1), 1)
+            result = self.executor.run(design)
+            ys.append(result.breakdown.launch / design.num_blocks())
+            xs.append(float(k - 1))
+        base, stagger = _linear_fit(xs, ys)
+        return base, stagger
+
+    def profile_pipe_cost(
+        self, depths: Sequence[int] = (2, 4, 8, 16)
+    ) -> float:
+        """``C_pipe`` from a halo-volume sweep on a sharing design.
+
+        A two-kernel 1-D sharing design with a deliberately slow pipe
+        exposes the transfer on the critical path; latency grows
+        linearly in the number of exchanged elements.
+        """
+        # Expose the transfer by making computation trivially cheap.
+        report = FlexCLEstimator().estimate(
+            jacobi_2d(grid=(64, 64), iterations=2).pattern, unroll=64
+        )
+        xs: List[float] = []
+        ys: List[float] = []
+        for h in depths:
+            spec = jacobi_2d(grid=(64, 64), iterations=h)
+            design = make_pipe_shared_design(spec, (32, 32), (2, 2), h)
+            result = self.executor.run(design, report=report)
+            slowest = design.slowest_tile()
+            exchanged = design.tile_share_total(slowest)
+            xs.append(float(exchanged))
+            ys.append(
+                (result.breakdown.compute + result.breakdown.share_exposed)
+                / design.num_blocks()
+            )
+        _intercept, slope = _linear_fit(xs, ys)
+        return max(slope, 0.0)
+
+    def calibrate(self) -> CalibrationResult:
+        """Run all microbenchmarks and assemble the constants."""
+        base, stagger = self.profile_launch()
+        return CalibrationResult(
+            bandwidth_bytes_per_cycle=self.profile_bandwidth(),
+            pipe_cycles_per_word=self.profile_pipe_cost(),
+            launch_cycles=base,
+            launch_stagger_cycles=stagger,
+        )

@@ -1,0 +1,57 @@
+"""Computation latency (Section 4.3, Eqs. 7-9)."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.model.params import ModelParameters
+from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+
+
+def cycles_per_element_eq9(params: ModelParameters) -> float:
+    """Eq. 9: ``C_element = II / N_PE``."""
+    return params.initiation_interval / params.unroll
+
+
+def iteration_latency_eq8(params: ModelParameters, iteration: int) -> float:
+    """Eq. 8: cycles of the slowest kernel's ``i``-th fused iteration.
+
+    ``L_iter_i = C_element * Π_d (w_d f_d^max + Δw_d (h - i))``
+    """
+    remaining = params.fused_depth - iteration
+    cells = math.prod(
+        w + dw * remaining
+        for w, dw in zip(params.tile_shape, params.halo_growth)
+    )
+    return cycles_per_element_eq9(params) * cells
+
+
+def iteration_latencies(params: ModelParameters) -> List[float]:
+    """Eq. 8 evaluated for every fused iteration ``1..h``."""
+    return [
+        iteration_latency_eq8(params, i)
+        for i in range(1, params.fused_depth + 1)
+    ]
+
+
+def compute_latency_eq7(params: ModelParameters, sharing: bool) -> float:
+    """Eq. 7: computation latency of one fused block with sharing overhead.
+
+    ``L_comp = Σ_i (1 + λ_iter_i) * L_iter_i``
+
+    With ``λ`` from Eq. 11, the per-iteration contribution equals
+    ``max(L_iter_i, L_share_i)`` — communication hides behind
+    computation when it fits, and only the excess is exposed.
+
+    Args:
+        params: model parameters.
+        sharing: whether the design exchanges halos through pipes
+            (``λ = 0`` otherwise).
+    """
+    total = 0.0
+    for i in range(1, params.fused_depth + 1):
+        l_iter = iteration_latency_eq8(params, i)
+        lam = overlap_lambda_eq11(params, i) if sharing else 0.0
+        total += (1.0 + lam) * l_iter
+    return total

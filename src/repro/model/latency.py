@@ -1,0 +1,44 @@
+"""Top-level latency assembly (Section 4.1, Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.params import ModelParameters
+
+
+def num_regions_eq2(params: ModelParameters) -> float:
+    """Eq. 2: ``N_region = H Π W_d / (h K Π w_d)`` (real-valued)."""
+    grid_cells = math.prod(params.grid_shape)
+    tile_cells = math.prod(params.tile_shape)
+    return (
+        params.total_iterations
+        * grid_cells
+        / (params.fused_depth * params.parallelism * tile_cells)
+    )
+
+
+def slowest_kernel_latency_eq3(
+    params: ModelParameters, sharing: bool
+) -> float:
+    """Eq. 3: ``L_max = L_mem + L_comp + L_launch`` per region block."""
+    from repro.model.compute import compute_latency_eq7
+    from repro.model.memory import memory_latency_eq4
+
+    return (
+        memory_latency_eq4(params)
+        + compute_latency_eq7(params, sharing)
+        + params.launch_cycles
+    )
+
+
+def total_latency_eq1(params: ModelParameters, sharing: bool) -> float:
+    """Eq. 1: ``L = N_region * max_k L_tile_k`` in cycles.
+
+    The model evaluates the slowest kernel directly (its parameters
+    carry the slowest tile's extents and balancing factors), so the
+    ``max`` is already folded in.
+    """
+    return num_regions_eq2(params) * slowest_kernel_latency_eq3(
+        params, sharing
+    )

@@ -1,0 +1,47 @@
+"""Global-memory transfer latency (Section 4.2, Eqs. 4-6).
+
+Reads and writes are burst transfers coupled with work-group barriers;
+when ``K`` kernels run simultaneously the bandwidth is shared evenly,
+so each kernel sees ``BW / K``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.params import ModelParameters
+
+
+def read_latency_eq5(params: ModelParameters) -> float:
+    """Eq. 5: cycles the slowest kernel spends reading one region block.
+
+    ``L_read = Δs * Π_d (w_d f_d^max + Δw_d h) / (BW / K)``
+
+    The read footprint is the tile grown by the full cone margin; reads
+    additionally carry the auxiliary inputs (e.g. HotSpot's power map).
+    """
+    cells = math.prod(
+        w + dw * params.fused_depth
+        for w, dw in zip(params.tile_shape, params.halo_growth)
+    )
+    size_bytes = cells * (params.element_bytes + params.read_aux_bytes)
+    return size_bytes / (
+        params.bandwidth_bytes_per_cycle / params.parallelism
+    )
+
+
+def write_latency_eq6(params: ModelParameters) -> float:
+    """Eq. 6: cycles writing the tile's final block back.
+
+    ``L_write = Δs * Π_d (w_d f_d^max) / (BW / K)``
+    """
+    cells = math.prod(params.tile_shape)
+    size_bytes = cells * params.element_bytes
+    return size_bytes / (
+        params.bandwidth_bytes_per_cycle / params.parallelism
+    )
+
+
+def memory_latency_eq4(params: ModelParameters) -> float:
+    """Eq. 4: total global-memory latency per region block."""
+    return read_latency_eq5(params) + write_latency_eq6(params)

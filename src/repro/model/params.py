@@ -1,0 +1,111 @@
+"""Model parameters (Table 1 of the paper) and their extraction.
+
+:class:`ModelParameters` gathers every symbol of the paper's analytical
+model.  :func:`extract_parameters` plays the role of the framework's
+*feature extractor* + off-line profiling stage: it derives the
+parameters from a :class:`~repro.tiling.design.StencilDesign`, a
+:class:`~repro.opencl.platform.BoardSpec`, and a pipeline report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.tiling.design import StencilDesign
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """All symbols of Table 1 for one (design, board) pair.
+
+    Attributes:
+        total_iterations: ``H``.
+        fused_depth: ``h``.
+        ndim: ``D``.
+        parallelism: ``K``.
+        grid_shape: ``W_d``.
+        tile_shape: ``w_d * f_max_d`` — the slowest kernel's extents.
+        balancing_factors: ``f_max_d`` (slowest kernel, per dimension).
+        halo_growth: ``Δw_d = 2 r_d``.
+        element_bytes: ``Δs`` — bytes moved per cell per transfer
+            (all state fields; reads additionally carry aux inputs).
+        read_aux_bytes: extra bytes per cell read (aux inputs).
+        bandwidth_bytes_per_cycle: ``BW`` expressed per kernel cycle.
+        cycles_per_element: ``C_element = II / N_PE`` (Eq. 9).
+        initiation_interval: ``II`` from the HLS/FlexCL report.
+        unroll: ``N_PE`` (``N_unroll``).
+        pipe_cycles_per_word: ``C_pipe``.
+        launch_cycles: kernel-launch latency per region.
+        num_regions: ``N_region`` (Eq. 2, real-valued).
+    """
+
+    total_iterations: int
+    fused_depth: int
+    ndim: int
+    parallelism: int
+    grid_shape: Tuple[int, ...]
+    tile_shape: Tuple[int, ...]
+    balancing_factors: Tuple[float, ...]
+    halo_growth: Tuple[int, ...]
+    element_bytes: int
+    read_aux_bytes: int
+    bandwidth_bytes_per_cycle: float
+    cycles_per_element: float
+    initiation_interval: int
+    unroll: int
+    pipe_cycles_per_word: float
+    launch_cycles: float
+    num_regions: float
+
+
+def extract_parameters(
+    design: StencilDesign,
+    board: BoardSpec = ADM_PCIE_7V3,
+    report: Optional[PipelineReport] = None,
+) -> ModelParameters:
+    """Derive Table 1's parameters for a design on a board.
+
+    Args:
+        design: the stencil design under evaluation.
+        board: platform characteristics (``BW``, clock, ``C_pipe``).
+        report: HLS pipeline report; estimated via the FlexCL stand-in
+            when not supplied.
+
+    Returns:
+        The populated :class:`ModelParameters`.
+    """
+    spec = design.spec
+    if report is None:
+        report = FlexCLEstimator().estimate(spec.pattern, design.unroll)
+    slowest = design.slowest_tile()
+    base_extents = tuple(
+        region / count
+        for region, count in zip(
+            design.tile_grid.region_shape, design.tile_grid.counts
+        )
+    )
+    factors = tuple(
+        w / base for w, base in zip(slowest.shape, base_extents)
+    )
+    return ModelParameters(
+        total_iterations=spec.iterations,
+        fused_depth=design.fused_depth,
+        ndim=spec.ndim,
+        parallelism=design.parallelism,
+        grid_shape=spec.grid_shape,
+        tile_shape=slowest.shape,
+        balancing_factors=factors,
+        halo_growth=spec.pattern.halo_growth,
+        element_bytes=spec.cell_state_bytes,
+        read_aux_bytes=spec.element_bytes * len(spec.pattern.aux),
+        bandwidth_bytes_per_cycle=board.effective_bytes_per_cycle,
+        cycles_per_element=report.cycles_per_element,
+        initiation_interval=report.ii,
+        unroll=report.unroll,
+        pipe_cycles_per_word=float(board.pipe_cycles_per_word),
+        launch_cycles=float(board.kernel_launch_cycles),
+        num_regions=design.num_blocks_paper(),
+    )

@@ -1,0 +1,51 @@
+"""Inter-tile pipe-sharing latency (Section 4.4, Eqs. 10-11)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.params import ModelParameters
+
+
+def share_latency_eq10(params: ModelParameters, iteration: int) -> float:
+    """Eq. 10: cycles to move iteration ``i``'s halos through pipes.
+
+    ``L_share_i = C_pipe * Σ_j Π_{d != j} (w_d f_d^max - Δw_d (h - i))``
+
+    The transferred strips cover each face of the part of the tile that
+    is still *useful* at iteration ``i`` (the cone shrinks inward by
+    ``Δw_d (h - i)``), which is why the extent carries a minus sign.
+    Negative extents clamp to zero (nothing useful left to share).
+    """
+    remaining = params.fused_depth - iteration
+    total_cells = 0.0
+    for j in range(params.ndim):
+        face = 1.0
+        for d in range(params.ndim):
+            if d == j:
+                continue
+            extent = (
+                params.tile_shape[d] - params.halo_growth[d] * remaining
+            )
+            face *= max(0.0, extent)
+        total_cells += face
+    return params.pipe_cycles_per_word * total_cells
+
+
+def overlap_lambda_eq11(params: ModelParameters, iteration: int) -> float:
+    """Eq. 11: exposed fraction of the pipe transfer at iteration ``i``.
+
+    ``λ = 0`` when the transfer fully hides behind the iteration's
+    computation; otherwise the excess ratio
+    ``(L_share_i - L_iter_i) / L_iter_i``.
+    """
+    # Imported here to avoid a circular import with compute.py.
+    from repro.model.compute import iteration_latency_eq8
+
+    l_share = share_latency_eq10(params, iteration)
+    l_iter = iteration_latency_eq8(params, iteration)
+    if l_iter <= 0.0:
+        return 0.0 if l_share <= 0.0 else 1.0
+    if l_share <= l_iter:
+        return 0.0
+    return (l_share - l_iter) / l_iter

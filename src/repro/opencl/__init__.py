@@ -1,0 +1,35 @@
+"""OpenCL-on-FPGA machine model.
+
+Models the pieces of the OpenCL execution stack the paper's framework
+relies on: the board/platform description, the NDRange hierarchy,
+OpenCL 2.0 pipes, burst global-memory transfers, and a small host
+runtime emulation used by the functional executor and examples.
+"""
+
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.opencl.ndrange import NDRange, WorkGroup
+from repro.opencl.pipes import Pipe, PipeClosed, PipeEmpty, PipeFull
+from repro.opencl.memory import BurstModel, transfer_cycles
+from repro.opencl.runtime import (
+    CommandQueue,
+    HostRuntime,
+    KernelInstance,
+    LaunchRecord,
+)
+
+__all__ = [
+    "ADM_PCIE_7V3",
+    "BoardSpec",
+    "NDRange",
+    "WorkGroup",
+    "Pipe",
+    "PipeClosed",
+    "PipeEmpty",
+    "PipeFull",
+    "BurstModel",
+    "transfer_cycles",
+    "CommandQueue",
+    "HostRuntime",
+    "KernelInstance",
+    "LaunchRecord",
+]

@@ -1,0 +1,81 @@
+"""Global-memory burst-transfer accounting.
+
+The paper's model (Eqs. 4–6) assumes reads and writes are done in burst
+mode coupled with work-group barriers: data for one work-group is
+bundled, the transfer coalesces, and when ``K`` kernels run
+simultaneously the bandwidth is shared evenly among them.  This module
+provides that arithmetic to both the analytical model and the
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+from repro.opencl.platform import BoardSpec
+
+
+def transfer_cycles(
+    size_bytes: float,
+    board: BoardSpec,
+    sharing_kernels: int = 1,
+    burst: bool = True,
+) -> float:
+    """Cycles to move ``size_bytes`` to/from global memory.
+
+    Args:
+        size_bytes: payload size.
+        board: platform description (bandwidth, clock, burst factor).
+        sharing_kernels: ``K`` kernels splitting the bandwidth evenly.
+        burst: whether the access is coalesced (burst mode).  Non-burst
+            accesses see a heavily derated bandwidth.
+
+    Returns:
+        Transfer latency in kernel-clock cycles (float; callers round).
+    """
+    if size_bytes < 0:
+        raise SpecificationError(f"size_bytes must be >= 0: {size_bytes}")
+    if sharing_kernels < 1:
+        raise SpecificationError(
+            f"sharing_kernels must be >= 1: {sharing_kernels}"
+        )
+    if size_bytes == 0:
+        return 0.0
+    per_cycle = (
+        board.effective_bytes_per_cycle
+        if burst
+        else board.bytes_per_cycle * 0.1
+    )
+    return size_bytes * sharing_kernels / per_cycle
+
+
+@dataclass(frozen=True)
+class BurstModel:
+    """Burst-transfer model bound to one board and sharing degree."""
+
+    board: BoardSpec
+    sharing_kernels: int = 1
+
+    def read_cycles(self, size_bytes: float) -> float:
+        """Cycles for a burst read of ``size_bytes``."""
+        return transfer_cycles(size_bytes, self.board, self.sharing_kernels)
+
+    def write_cycles(self, size_bytes: float) -> float:
+        """Cycles for a burst write of ``size_bytes``."""
+        return transfer_cycles(size_bytes, self.board, self.sharing_kernels)
+
+    def roundtrip_cycles(
+        self, read_bytes: float, write_bytes: float
+    ) -> float:
+        """Read + write latency for one region (Eq. 4)."""
+        return self.read_cycles(read_bytes) + self.write_cycles(write_bytes)
+
+    def bursts_needed(self, size_bytes: float, burst_bytes: int = 4096) -> int:
+        """Number of AXI bursts for a payload (diagnostics only)."""
+        if burst_bytes <= 0:
+            raise SpecificationError(
+                f"burst_bytes must be positive: {burst_bytes}"
+            )
+        return math.ceil(size_bytes / burst_bytes)

@@ -1,0 +1,126 @@
+"""NDRange / work-group / work-item hierarchy of the OpenCL model.
+
+On the OpenCL-to-FPGA mapping (Fig. 2 of the paper), an NDRange kernel
+is distributed over compute units as work-groups; each work-item is
+executed on a processing element in pipelined fashion.  The framework
+uses this hierarchy descriptively — the tile a kernel processes is a
+work-group, and the work-items enumerate its cells — and the functional
+runtime iterates it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import SpecificationError
+from repro.utils.validation import check_positive_tuple
+
+
+@dataclass(frozen=True)
+class WorkGroup:
+    """One work-group: its group id and local size."""
+
+    group_id: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+    global_offset: Tuple[int, ...]
+
+    @property
+    def num_items(self) -> int:
+        """Work-items contained in this group."""
+        total = 1
+        for extent in self.local_size:
+            total *= extent
+        return total
+
+    def items(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate global ids of the group's work-items (row-major)."""
+        ndim = len(self.local_size)
+        index = [0] * ndim
+        while True:
+            yield tuple(
+                self.global_offset[d] + index[d] for d in range(ndim)
+            )
+            d = ndim - 1
+            while d >= 0:
+                index[d] += 1
+                if index[d] < self.local_size[d]:
+                    break
+                index[d] = 0
+                d -= 1
+            if d < 0:
+                return
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """An NDRange kernel invocation: global and work-group sizes."""
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        ndim = len(self.global_size)
+        object.__setattr__(
+            self,
+            "global_size",
+            check_positive_tuple("global_size", self.global_size, ndim),
+        )
+        object.__setattr__(
+            self,
+            "local_size",
+            check_positive_tuple("local_size", self.local_size, ndim),
+        )
+        for g, l in zip(self.global_size, self.local_size):
+            if g % l != 0:
+                raise SpecificationError(
+                    f"global_size {self.global_size} not divisible by "
+                    f"local_size {self.local_size}"
+                )
+
+    @property
+    def ndim(self) -> int:
+        """Index-space dimensionality."""
+        return len(self.global_size)
+
+    @property
+    def num_groups(self) -> Tuple[int, ...]:
+        """Work-group count per dimension."""
+        return tuple(
+            g // l for g, l in zip(self.global_size, self.local_size)
+        )
+
+    @property
+    def total_items(self) -> int:
+        """Total number of work-items."""
+        return math.prod(self.global_size)
+
+    @property
+    def total_groups(self) -> int:
+        """Total number of work-groups."""
+        return math.prod(self.num_groups)
+
+    def groups(self) -> Iterator[WorkGroup]:
+        """Iterate all work-groups in row-major group-id order."""
+        counts = self.num_groups
+        ndim = self.ndim
+        index = [0] * ndim
+        while True:
+            offset = tuple(
+                index[d] * self.local_size[d] for d in range(ndim)
+            )
+            yield WorkGroup(
+                group_id=tuple(index),
+                local_size=self.local_size,
+                global_offset=offset,
+            )
+            d = ndim - 1
+            while d >= 0:
+                index[d] += 1
+                if index[d] < counts[d]:
+                    break
+                index[d] = 0
+                d -= 1
+            if d < 0:
+                return

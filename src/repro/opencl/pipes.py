@@ -1,0 +1,132 @@
+"""OpenCL 2.0 pipe semantics (bounded FIFO between kernels).
+
+On the OpenCL-to-FPGA mapping a pipe compiles to an on-chip FIFO.  The
+functional executor uses these to move boundary data between tile
+kernels, exactly as the generated OpenCL code would; the timing
+simulator accounts for their latency separately
+(:mod:`repro.sim.pipe_sim`).
+
+Pipes here carry numpy scalars or small arrays ("packets"); reserve/
+commit semantics are simplified to blocking and non-blocking reads and
+writes, which is what the generated kernels use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional
+
+from repro.errors import PipeError
+from repro.utils.validation import check_positive
+
+
+class PipeFull(PipeError):
+    """Non-blocking write attempted on a full pipe."""
+
+
+class PipeEmpty(PipeError):
+    """Non-blocking read attempted on an empty pipe."""
+
+
+class PipeClosed(PipeError):
+    """Operation attempted on a closed pipe."""
+
+
+class Pipe:
+    """A bounded single-producer single-consumer FIFO.
+
+    Attributes:
+        name: identifier (matches the generated OpenCL pipe symbol).
+        depth: maximum number of packets resident in the FIFO.
+    """
+
+    def __init__(self, name: str, depth: int = 512):
+        check_positive("depth", depth)
+        self.name = name
+        self.depth = int(depth)
+        self._queue: Deque[Any] = deque()
+        self._closed = False
+        #: Lifetime statistics, used by tests and the simulator.
+        self.total_writes = 0
+        self.total_reads = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """True when a write would not fit."""
+        return len(self._queue) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        """True when a read would block."""
+        return not self._queue
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer closed the pipe."""
+        return self._closed
+
+    def write(self, packet: Any) -> None:
+        """Non-blocking write; raises :class:`PipeFull` when full."""
+        if self._closed:
+            raise PipeClosed(f"write on closed pipe {self.name!r}")
+        if self.is_full:
+            raise PipeFull(
+                f"pipe {self.name!r} full (depth {self.depth})"
+            )
+        self._queue.append(packet)
+        self.total_writes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._queue))
+
+    def write_all(self, packets: Iterable[Any]) -> None:
+        """Write a sequence of packets (raises on overflow)."""
+        for packet in packets:
+            self.write(packet)
+
+    def read(self) -> Any:
+        """Non-blocking read; raises :class:`PipeEmpty` when empty."""
+        if self.is_empty:
+            raise PipeEmpty(f"pipe {self.name!r} empty")
+        self.total_reads += 1
+        return self._queue.popleft()
+
+    def read_n(self, count: int) -> List[Any]:
+        """Read exactly ``count`` packets (raises if fewer available)."""
+        if count < 0:
+            raise PipeError(f"cannot read {count} packets")
+        if count > len(self._queue):
+            raise PipeEmpty(
+                f"pipe {self.name!r} holds {len(self._queue)} packets, "
+                f"requested {count}"
+            )
+        return [self.read() for _ in range(count)]
+
+    def try_write(self, packet: Any) -> bool:
+        """Write if space is available; returns success."""
+        if self._closed or self.is_full:
+            return False
+        self.write(packet)
+        return True
+
+    def try_read(self) -> Optional[Any]:
+        """Read if a packet is available, else ``None``."""
+        if self.is_empty:
+            return None
+        return self.read()
+
+    def close(self) -> None:
+        """Mark the producer side finished (reads may still drain)."""
+        self._closed = True
+
+    def drain(self) -> List[Any]:
+        """Read everything currently buffered."""
+        return self.read_n(len(self._queue))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Pipe({self.name!r}, depth={self.depth}, "
+            f"occupancy={len(self._queue)})"
+        )

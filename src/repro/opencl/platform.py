@@ -1,0 +1,88 @@
+"""Board/platform description for OpenCL-to-FPGA execution.
+
+The paper's experiments run on an Alpha Data ADM-PCIE-7V3 board
+(Virtex-7 690T, 16 GB DDR3, PCIe 3.0 x8) with all kernels clocked at
+200 MHz under SDAccel 2016.2.  :data:`ADM_PCIE_7V3` captures the same
+published characteristics so the model and simulator reproduce the same
+bandwidth/latency trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.fpga.resources import VIRTEX7_690T, FpgaDevice
+from repro.utils.units import bytes_per_cycle, gib
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """An FPGA accelerator board as seen by the OpenCL runtime.
+
+    Attributes:
+        name: board name.
+        device: the FPGA part and its resource capacities.
+        ddr_bytes: device-global memory capacity.
+        bandwidth_bytes_per_s: peak global-memory bandwidth ``BW``.
+        clock_hz: kernel clock frequency (paper: 200 MHz).
+        kernel_launch_cycles: host-side latency to launch one kernel,
+            expressed in kernel-clock cycles (``L_launch`` per kernel).
+        launch_stagger_cycles: additional serialization delay between
+            *adjacent* kernel launches in one region.  This is the
+            effect the paper's analytical model deliberately omits and
+            names as the source of its ~12 % underestimation.
+        pipe_cycles_per_word: ``C_pipe``, cycles to move one element
+            through an on-chip pipe.
+        burst_efficiency: achieved fraction of peak bandwidth for
+            coalesced burst transfers.
+    """
+
+    name: str
+    device: FpgaDevice
+    ddr_bytes: int
+    bandwidth_bytes_per_s: float
+    clock_hz: float = 200e6
+    kernel_launch_cycles: int = 4_000
+    launch_stagger_cycles: int = 600
+    pipe_cycles_per_word: int = 1
+    burst_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive("ddr_bytes", self.ddr_bytes)
+        check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
+        check_positive("clock_hz", self.clock_hz)
+        check_positive("pipe_cycles_per_word", self.pipe_cycles_per_word)
+        if not 0.0 < self.burst_efficiency <= 1.0:
+            raise ValueError(
+                f"burst_efficiency must be in (0, 1]: {self.burst_efficiency}"
+            )
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak global-memory bytes per kernel clock cycle."""
+        return bytes_per_cycle(self.bandwidth_bytes_per_s, self.clock_hz)
+
+    @property
+    def effective_bytes_per_cycle(self) -> float:
+        """Burst-mode achievable bytes per cycle."""
+        return self.bytes_per_cycle * self.burst_efficiency
+
+    def with_bandwidth(self, bandwidth_bytes_per_s: float) -> "BoardSpec":
+        """Copy with a different peak bandwidth (a user DSE input)."""
+        return replace(self, bandwidth_bytes_per_s=bandwidth_bytes_per_s)
+
+    def with_clock(self, clock_hz: float) -> "BoardSpec":
+        """Copy with a different kernel clock."""
+        return replace(self, clock_hz=clock_hz)
+
+
+#: The paper's evaluation board: ADM-PCIE-7V3 (Virtex-7 690T), 16 GB
+#: DDR3-1333 (two banks, ~21.3 GB/s combined peak; SDAccel platforms of
+#: that era exposed ~12.8 GB/s to kernels, which we use as ``BW``).
+ADM_PCIE_7V3 = BoardSpec(
+    name="adm-pcie-7v3",
+    device=VIRTEX7_690T,
+    ddr_bytes=int(gib(16)),
+    bandwidth_bytes_per_s=12.8e9,
+)

@@ -1,0 +1,165 @@
+"""Minimal host-side OpenCL runtime emulation.
+
+Provides just enough of the host API surface — buffers, pipes, command
+queues, kernel launches, and queue barriers — for the functional
+executor and the examples to be structured like the OpenCL host
+programs the paper's code generator emits.  Execution is immediate
+(kernels are Python callables); the *temporal* behaviour is modelled
+separately by :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.opencl.pipes import Pipe
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+
+
+@dataclass
+class KernelInstance:
+    """A kernel registered with the runtime.
+
+    The callable receives the runtime followed by the launch arguments,
+    mirroring a kernel that can touch buffers and pipes by name.
+    """
+
+    name: str
+    func: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One completed kernel launch (for inspection and tests)."""
+
+    sequence: int
+    kernel: str
+    args: Tuple[Any, ...]
+
+
+class CommandQueue:
+    """An in-order command queue bound to a runtime."""
+
+    def __init__(self, runtime: "HostRuntime", name: str = "q0"):
+        self.runtime = runtime
+        self.name = name
+        self.launches: List[LaunchRecord] = []
+
+    def enqueue_kernel(self, kernel_name: str, *args: Any) -> LaunchRecord:
+        """Launch a kernel immediately (in-order semantics)."""
+        kernel = self.runtime.get_kernel(kernel_name)
+        kernel.func(self.runtime, *args)
+        record = LaunchRecord(
+            sequence=self.runtime.next_sequence(),
+            kernel=kernel_name,
+            args=args,
+        )
+        self.launches.append(record)
+        return record
+
+    def barrier(self) -> None:
+        """Queue barrier (a no-op for immediate in-order execution)."""
+
+    def finish(self) -> None:
+        """Wait for completion (immediate execution: no-op)."""
+
+
+class HostRuntime:
+    """Emulated OpenCL host: buffers, pipes, kernels, queues.
+
+    Example:
+        >>> rt = HostRuntime()
+        >>> import numpy as np
+        >>> buf = rt.create_buffer("grid", np.zeros((4, 4), np.float32))
+        >>> rt.buffer("grid") is buf
+        True
+    """
+
+    def __init__(self, board: BoardSpec = ADM_PCIE_7V3):
+        self.board = board
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._pipes: Dict[str, Pipe] = {}
+        self._kernels: Dict[str, KernelInstance] = {}
+        self._sequence = 0
+
+    # -- buffers -----------------------------------------------------------
+
+    def create_buffer(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Allocate a device buffer initialized from host data."""
+        if name in self._buffers:
+            raise SimulationError(f"buffer {name!r} already exists")
+        total = sum(b.nbytes for b in self._buffers.values()) + data.nbytes
+        if total > self.board.ddr_bytes:
+            raise SimulationError(
+                f"device memory exhausted allocating {name!r} "
+                f"({total} > {self.board.ddr_bytes} bytes)"
+            )
+        self._buffers[name] = np.array(data, copy=True)
+        return self._buffers[name]
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Look up a device buffer by name."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise SimulationError(f"unknown buffer {name!r}") from None
+
+    def read_buffer(self, name: str) -> np.ndarray:
+        """Copy a device buffer back to the host."""
+        return self.buffer(name).copy()
+
+    def release_buffer(self, name: str) -> None:
+        """Free a device buffer."""
+        self._buffers.pop(name, None)
+
+    # -- pipes -------------------------------------------------------------
+
+    def create_pipe(self, name: str, depth: int = 512) -> Pipe:
+        """Create a named pipe (FIFO) connecting two kernels."""
+        if name in self._pipes:
+            raise SimulationError(f"pipe {name!r} already exists")
+        self._pipes[name] = Pipe(name, depth)
+        return self._pipes[name]
+
+    def pipe(self, name: str) -> Pipe:
+        """Look up a pipe by name."""
+        try:
+            return self._pipes[name]
+        except KeyError:
+            raise SimulationError(f"unknown pipe {name!r}") from None
+
+    @property
+    def pipes(self) -> Dict[str, Pipe]:
+        """All pipes (read-only usage expected)."""
+        return dict(self._pipes)
+
+    # -- kernels and queues --------------------------------------------------
+
+    def register_kernel(
+        self, name: str, func: Callable[..., Any]
+    ) -> KernelInstance:
+        """Register a kernel implementation under a name."""
+        if name in self._kernels:
+            raise SimulationError(f"kernel {name!r} already registered")
+        self._kernels[name] = KernelInstance(name=name, func=func)
+        return self._kernels[name]
+
+    def get_kernel(self, name: str) -> KernelInstance:
+        """Look up a registered kernel."""
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise SimulationError(f"unknown kernel {name!r}") from None
+
+    def create_queue(self, name: str = "q0") -> CommandQueue:
+        """Create an in-order command queue."""
+        return CommandQueue(self, name)
+
+    def next_sequence(self) -> int:
+        """Monotonic launch sequence number."""
+        self._sequence += 1
+        return self._sequence

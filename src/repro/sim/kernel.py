@@ -1,0 +1,83 @@
+"""Per-kernel timeline records produced by the simulator.
+
+A :class:`KernelTimeline` is the simulated analogue of the execution
+traces SDAccel's dynamic profiler draws (and of the paper's Fig. 4):
+for one kernel in one region block, the sequence of phases with start
+and end cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class KernelPhase(enum.Enum):
+    """Phases of a kernel's execution within one region block."""
+
+    LAUNCH = "launch"
+    READ = "read"
+    COMPUTE = "compute"
+    PIPE_WAIT = "pipe-wait"
+    WRITE = "write"
+    BARRIER_WAIT = "barrier-wait"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One contiguous phase occupancy ``[start, end)`` in cycles."""
+
+    phase: KernelPhase
+    start: float
+    end: float
+    #: Fused iteration the phase belongs to (0 = outside iterations).
+    iteration: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Phase length in cycles."""
+        return self.end - self.start
+
+
+@dataclass
+class KernelTimeline:
+    """The full simulated timeline of one kernel in one region block."""
+
+    kernel_index: Tuple[int, ...]
+    records: List[PhaseRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        phase: KernelPhase,
+        start: float,
+        end: float,
+        iteration: int = 0,
+    ) -> None:
+        """Append a phase record (zero-length records are dropped)."""
+        if end > start:
+            self.records.append(PhaseRecord(phase, start, end, iteration))
+
+    @property
+    def start(self) -> float:
+        """First cycle of activity."""
+        return min((r.start for r in self.records), default=0.0)
+
+    @property
+    def end(self) -> float:
+        """Last cycle of activity."""
+        return max((r.end for r in self.records), default=0.0)
+
+    def phase_totals(self) -> Dict[KernelPhase, float]:
+        """Total cycles spent per phase."""
+        totals: Dict[KernelPhase, float] = {p: 0.0 for p in KernelPhase}
+        for record in self.records:
+            totals[record.phase] += record.duration
+        return totals
+
+    def time_in(self, phase: KernelPhase) -> float:
+        """Total cycles spent in one phase."""
+        return self.phase_totals()[phase]

@@ -1,0 +1,47 @@
+"""Simulated global-memory system.
+
+Burst transfers at barrier boundaries, with the effective bandwidth
+shared evenly among the ``K`` kernels of a region — the same contract
+the analytical model assumes (Eqs. 5-6), so that model-vs-simulator
+differences isolate the effects the model *doesn't* capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.opencl.memory import transfer_cycles
+from repro.opencl.platform import BoardSpec
+
+
+@dataclass
+class MemorySystem:
+    """Global-memory timing for one region's ``K`` concurrent kernels.
+
+    Attributes:
+        board: platform description.
+        sharing_kernels: ``K``.
+    """
+
+    board: BoardSpec
+    sharing_kernels: int
+
+    def __post_init__(self) -> None:
+        if self.sharing_kernels < 1:
+            raise SimulationError(
+                f"sharing_kernels must be >= 1: {self.sharing_kernels}"
+            )
+        #: Lifetime statistics (bytes moved), for reports and tests.
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read_cycles(self, size_bytes: int) -> float:
+        """Burst-read latency seen by one kernel."""
+        self.bytes_read += size_bytes
+        return transfer_cycles(size_bytes, self.board, self.sharing_kernels)
+
+    def write_cycles(self, size_bytes: int) -> float:
+        """Burst-write latency seen by one kernel."""
+        self.bytes_written += size_bytes
+        return transfer_cycles(size_bytes, self.board, self.sharing_kernels)

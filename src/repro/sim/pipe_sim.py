@@ -1,0 +1,31 @@
+"""Pipe halo-transfer timing.
+
+Each fused iteration, a sharing kernel receives radius-wide halo strips
+from its neighbors through pipes; the transfer costs ``C_pipe`` cycles
+per element.  The generated kernels send boundary strips as they are
+produced, so the *send* side overlaps the producer's computation; the
+receive cost is what can stall the consumer, and only when it exceeds
+the consumer's independent work (interior-first scheduling).
+"""
+
+from __future__ import annotations
+
+from repro.opencl.platform import BoardSpec
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+
+def halo_transfer_cycles(
+    design: StencilDesign,
+    tile: TileInfo,
+    iteration: int,
+    board: BoardSpec,
+) -> float:
+    """Cycles to receive all of iteration ``i``'s halo strips."""
+    cells = design.tile_share_cells(tile, iteration)
+    return float(board.pipe_cycles_per_word) * cells
+
+
+def peak_packets_in_flight(design: StencilDesign) -> int:
+    """Largest single-face transfer, to size pipe FIFO depth."""
+    return design.peak_face_transfer_cells()

@@ -1,0 +1,90 @@
+"""Execution-trace export (Chrome tracing / Perfetto format).
+
+The simulator's per-kernel phase timelines are the reproduction's
+version of the paper's Fig. 4 execution diagrams.  This module exports
+one region block's timelines as a Chrome ``chrome://tracing`` /
+Perfetto-compatible JSON object, so the launch stagger, pipe stalls,
+and barrier waits can be inspected visually.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from repro.sim.executor import SimulationResult
+from repro.sim.kernel import KernelPhase
+
+#: Stable color names per phase (Chrome tracing's `cname` field).
+_PHASE_COLORS: Dict[KernelPhase, str] = {
+    KernelPhase.LAUNCH: "grey",
+    KernelPhase.READ: "thread_state_iowait",
+    KernelPhase.COMPUTE: "thread_state_running",
+    KernelPhase.PIPE_WAIT: "terrible",
+    KernelPhase.WRITE: "thread_state_iowait",
+    KernelPhase.BARRIER_WAIT: "generic_work",
+}
+
+
+def to_chrome_trace(result: SimulationResult) -> dict:
+    """One region block's timelines as a Chrome-tracing JSON object.
+
+    Timestamps are microseconds at the board's kernel clock.  Each
+    kernel becomes a thread; phases become complete ("X") events with
+    the fused-iteration index attached as an argument.
+    """
+    cycles_to_us = 1e6 / result.board.clock_hz
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": result.design.describe()},
+        }
+    ]
+    for tid, (index, timeline) in enumerate(
+        sorted(result.block.timelines.items())
+    ):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"kernel {index}"},
+            }
+        )
+        for record in timeline.records:
+            events.append(
+                {
+                    "name": str(record.phase),
+                    "cat": "kernel-phase",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": record.start * cycles_to_us,
+                    "dur": record.duration * cycles_to_us,
+                    "cname": _PHASE_COLORS[record.phase],
+                    "args": {"iteration": record.iteration},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "design": result.design.describe(),
+            "board": result.board.name,
+            "block_cycles": result.block.block_cycles,
+            "num_blocks": result.num_blocks,
+        },
+    }
+
+
+def write_chrome_trace(
+    result: SimulationResult, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write the trace JSON to ``path`` and return it."""
+    target = pathlib.Path(path)
+    target.write_text(json.dumps(to_chrome_trace(result), indent=1))
+    return target

@@ -1,0 +1,65 @@
+"""Stencil application substrate.
+
+This subpackage describes *what* an iterative stencil algorithm computes,
+independently of how it is mapped to hardware:
+
+- :mod:`repro.stencil.pattern` — declarative linear stencil patterns
+  (multi-field, with auxiliary read-only inputs) and symbolic stage
+  composition.
+- :mod:`repro.stencil.spec` — a complete benchmark instance (pattern +
+  grid size + iteration count + dtype + boundary policy).
+- :mod:`repro.stencil.boundary` — boundary policies.
+- :mod:`repro.stencil.reference` — golden numpy executor.
+- :mod:`repro.stencil.library` — the paper's Table 2 suite plus extras.
+"""
+
+from repro.stencil.boundary import BoundaryPolicy
+from repro.stencil.pattern import (
+    FieldUpdate,
+    Stage,
+    StencilPattern,
+    Tap,
+    compose_stages,
+)
+from repro.stencil.reference import ReferenceExecutor, run_reference
+from repro.stencil.spec import StencilSpec
+from repro.stencil.library import (
+    BENCHMARKS,
+    PAPER_SUITE,
+    fdtd_2d,
+    fdtd_3d,
+    gaussian_blur_2d,
+    get_benchmark,
+    heat_1d,
+    hotspot_2d,
+    hotspot_3d,
+    jacobi_1d,
+    jacobi_2d,
+    jacobi_3d,
+    seidel_like_2d,
+)
+
+__all__ = [
+    "BoundaryPolicy",
+    "FieldUpdate",
+    "Stage",
+    "StencilPattern",
+    "Tap",
+    "compose_stages",
+    "ReferenceExecutor",
+    "run_reference",
+    "StencilSpec",
+    "BENCHMARKS",
+    "PAPER_SUITE",
+    "get_benchmark",
+    "jacobi_1d",
+    "jacobi_2d",
+    "jacobi_3d",
+    "hotspot_2d",
+    "hotspot_3d",
+    "fdtd_2d",
+    "fdtd_3d",
+    "gaussian_blur_2d",
+    "heat_1d",
+    "seidel_like_2d",
+]

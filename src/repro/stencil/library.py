@@ -1,0 +1,381 @@
+"""The stencil benchmark suite (the paper's Table 2, plus extras).
+
+Each builder returns a :class:`~repro.stencil.spec.StencilSpec` whose
+default grid size and iteration count match Table 2 of the paper.  The
+paper-scale grids are only *described* here; arrays are allocated lazily
+(``spec.initial_state()``), so the analytic model and timing simulator
+can work with paper-scale problems while functional tests pass small
+``grid=`` overrides.
+
+Substitution note (see DESIGN.md): Polybench's FDTD-2D drives the first
+row of ``ey`` from a time-dependent source array ``_fict_``; we use the
+frozen-edge boundary instead, which preserves the kernel's structure
+(three coupled sweeps, radius 1) without the time-varying Dirichlet
+term.  "FDTD-3D" is the natural radius-1, four-field 3-D extension of
+the same sweep structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.stencil.pattern import (
+    FieldUpdate,
+    Stage,
+    StencilPattern,
+    Tap,
+    compose_stages,
+)
+from repro.stencil.spec import StencilSpec
+
+
+def _star_taps(
+    ndim: int, center_coeff: float, neighbor_coeff: float, field: str = "a"
+) -> Tuple[Tap, ...]:
+    """Taps of a (2*ndim+1)-point star stencil."""
+    zero = (0,) * ndim
+    taps = [Tap(field, zero, center_coeff)]
+    for d in range(ndim):
+        for sign in (-1, 1):
+            offset = tuple(sign if i == d else 0 for i in range(ndim))
+            taps.append(Tap(field, offset, neighbor_coeff))
+    return tuple(taps)
+
+
+def _single_field_spec(
+    name: str,
+    ndim: int,
+    taps: Tuple[Tap, ...],
+    grid: Sequence[int],
+    iterations: int,
+    source: str,
+    aux: Tuple[str, ...] = (),
+    constant: float = 0.0,
+) -> StencilSpec:
+    pattern = StencilPattern(
+        name=name,
+        ndim=ndim,
+        fields=("a",),
+        updates={"a": FieldUpdate(taps=taps, constant=constant)},
+        aux=aux,
+    )
+    return StencilSpec(
+        name=name,
+        pattern=pattern,
+        grid_shape=tuple(grid),
+        iterations=iterations,
+        source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Jacobi family (Polybench / Parboil)
+# ---------------------------------------------------------------------------
+
+
+def jacobi_1d(
+    grid: Sequence[int] = (131072,), iterations: int = 1024
+) -> StencilSpec:
+    """Polybench Jacobi-1D: 3-point average, radius 1."""
+    taps = (
+        Tap("a", (-1,), 0.33333),
+        Tap("a", (0,), 0.33333),
+        Tap("a", (1,), 0.33333),
+    )
+    return _single_field_spec(
+        "jacobi-1d", 1, taps, grid, iterations, "Polybench"
+    )
+
+
+def jacobi_2d(
+    grid: Sequence[int] = (2048, 2048), iterations: int = 1024
+) -> StencilSpec:
+    """Polybench Jacobi-2D: 5-point star, radius 1."""
+    taps = _star_taps(2, 0.2, 0.2)
+    return _single_field_spec(
+        "jacobi-2d", 2, taps, grid, iterations, "Polybench"
+    )
+
+
+def jacobi_3d(
+    grid: Sequence[int] = (1024, 1024, 1024), iterations: int = 1024
+) -> StencilSpec:
+    """Parboil 7-point 3-D stencil, radius 1."""
+    taps = _star_taps(3, 0.4, 0.1)
+    return _single_field_spec(
+        "jacobi-3d", 3, taps, grid, iterations, "Parboil"
+    )
+
+
+# ---------------------------------------------------------------------------
+# HotSpot family (Rodinia thermal simulation)
+# ---------------------------------------------------------------------------
+
+_HOTSPOT_STEP_OVER_CAP = 0.1
+_HOTSPOT_R_PLANE = 10.0
+_HOTSPOT_R_Z = 30.0
+_HOTSPOT_AMBIENT = 0.8
+
+
+def _hotspot_taps(ndim: int) -> Tuple[Tuple[Tap, ...], float]:
+    """HotSpot update taps: diffusion + power injection + ambient leak.
+
+    ``t' = t + k*(power + sum_d (t_n + t_s - 2t)/R + (amb - t)/Rz)``
+    """
+    k = _HOTSPOT_STEP_OVER_CAP
+    neighbor = k / _HOTSPOT_R_PLANE
+    center = 1.0 - k * (2.0 * ndim / _HOTSPOT_R_PLANE + 1.0 / _HOTSPOT_R_Z)
+    taps = list(_star_taps(ndim, center, neighbor))
+    taps.append(Tap("power", (0,) * ndim, k))
+    constant = k * _HOTSPOT_AMBIENT / _HOTSPOT_R_Z
+    return tuple(taps), constant
+
+
+def hotspot_2d(
+    grid: Sequence[int] = (4096, 4096), iterations: int = 1000
+) -> StencilSpec:
+    """Rodinia HotSpot-2D: 5-point thermal stencil with power input."""
+    taps, constant = _hotspot_taps(2)
+    return _single_field_spec(
+        "hotspot-2d",
+        2,
+        taps,
+        grid,
+        iterations,
+        "Rodinia",
+        aux=("power",),
+        constant=constant,
+    )
+
+
+def hotspot_3d(
+    grid: Sequence[int] = (4096, 4096, 128), iterations: int = 1000
+) -> StencilSpec:
+    """Rodinia HotSpot-3D: 7-point thermal stencil with power input."""
+    taps, constant = _hotspot_taps(3)
+    return _single_field_spec(
+        "hotspot-3d",
+        3,
+        taps,
+        grid,
+        iterations,
+        "Rodinia",
+        aux=("power",),
+        constant=constant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# FDTD family (Polybench electromagnetic kernels)
+# ---------------------------------------------------------------------------
+
+
+def _fdtd_2d_pattern() -> StencilPattern:
+    """Composed one-step pattern of Polybench FDTD-2D's three sweeps."""
+    ey_stage = Stage(
+        updates={
+            "ey": FieldUpdate(
+                taps=(
+                    Tap("ey", (0, 0), 1.0),
+                    Tap("hz", (0, 0), -0.5),
+                    Tap("hz", (-1, 0), 0.5),
+                )
+            )
+        }
+    )
+    ex_stage = Stage(
+        updates={
+            "ex": FieldUpdate(
+                taps=(
+                    Tap("ex", (0, 0), 1.0),
+                    Tap("hz", (0, 0), -0.5),
+                    Tap("hz", (0, -1), 0.5),
+                )
+            )
+        }
+    )
+    hz_stage = Stage(
+        updates={
+            "hz": FieldUpdate(
+                taps=(
+                    Tap("hz", (0, 0), 1.0),
+                    Tap("ex", (0, 1), -0.7),
+                    Tap("ex", (0, 0), 0.7),
+                    Tap("ey", (1, 0), -0.7),
+                    Tap("ey", (0, 0), 0.7),
+                )
+            )
+        }
+    )
+    return compose_stages(
+        "fdtd-2d", 2, ("ex", "ey", "hz"), (ey_stage, ex_stage, hz_stage)
+    )
+
+
+def fdtd_2d(
+    grid: Sequence[int] = (2048, 2048), iterations: int = 500
+) -> StencilSpec:
+    """Polybench FDTD-2D: three coupled field sweeps per time step."""
+    return StencilSpec(
+        name="fdtd-2d",
+        pattern=_fdtd_2d_pattern(),
+        grid_shape=tuple(grid),
+        iterations=iterations,
+        source="Polybench",
+    )
+
+
+def _fdtd_3d_pattern() -> StencilPattern:
+    """Four-field, radius-1 3-D extension of the FDTD sweep structure."""
+    zero = (0, 0, 0)
+    e_stages = []
+    for fname, axis in (("ey", 0), ("ex", 1), ("ez", 2)):
+        back = tuple(-1 if d == axis else 0 for d in range(3))
+        e_stages.append(
+            Stage(
+                updates={
+                    fname: FieldUpdate(
+                        taps=(
+                            Tap(fname, zero, 1.0),
+                            Tap("hz", zero, -0.5),
+                            Tap("hz", back, 0.5),
+                        )
+                    )
+                }
+            )
+        )
+    hz_taps = [Tap("hz", zero, 1.0)]
+    for fname, axis in (("ey", 0), ("ex", 1), ("ez", 2)):
+        forward = tuple(1 if d == axis else 0 for d in range(3))
+        hz_taps.append(Tap(fname, forward, -0.7))
+        hz_taps.append(Tap(fname, zero, 0.7))
+    hz_stage = Stage(updates={"hz": FieldUpdate(taps=tuple(hz_taps))})
+    return compose_stages(
+        "fdtd-3d",
+        3,
+        ("ex", "ey", "ez", "hz"),
+        tuple(e_stages) + (hz_stage,),
+    )
+
+
+def fdtd_3d(
+    grid: Sequence[int] = (2048, 2048, 2048), iterations: int = 500
+) -> StencilSpec:
+    """FDTD-3D: four coupled field sweeps per time step, radius 1."""
+    return StencilSpec(
+        name="fdtd-3d",
+        pattern=_fdtd_3d_pattern(),
+        grid_shape=tuple(grid),
+        iterations=iterations,
+        source="Polybench",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extra stencils (beyond Table 2) exercising other shapes
+# ---------------------------------------------------------------------------
+
+
+def heat_1d(
+    grid: Sequence[int] = (65536,), iterations: int = 512
+) -> StencilSpec:
+    """Explicit 1-D heat equation: weighted 3-point, radius 1."""
+    taps = (
+        Tap("a", (-1,), 0.25),
+        Tap("a", (0,), 0.5),
+        Tap("a", (1,), 0.25),
+    )
+    return _single_field_spec("heat-1d", 1, taps, grid, iterations, "custom")
+
+
+def gaussian_blur_2d(
+    grid: Sequence[int] = (1920, 1080), iterations: int = 64
+) -> StencilSpec:
+    """Iterative 3x3 Gaussian blur (9-point box, radius 1)."""
+    weights = {0: 0.25, 1: 0.125, 2: 0.0625}
+    taps = tuple(
+        Tap("a", (di, dj), weights[abs(di) + abs(dj)])
+        for di in (-1, 0, 1)
+        for dj in (-1, 0, 1)
+    )
+    return _single_field_spec(
+        "gaussian-blur-2d", 2, taps, grid, iterations, "image-processing"
+    )
+
+
+def seidel_like_2d(
+    grid: Sequence[int] = (2048, 2048), iterations: int = 256
+) -> StencilSpec:
+    """Jacobi-ordered 9-point average (Seidel-2D's footprint)."""
+    taps = tuple(
+        Tap("a", (di, dj), 1.0 / 9.0)
+        for di in (-1, 0, 1)
+        for dj in (-1, 0, 1)
+    )
+    return _single_field_spec(
+        "seidel-2d", 2, taps, grid, iterations, "Polybench"
+    )
+
+
+def wide_star_1d(
+    grid: Sequence[int] = (65536,), iterations: int = 256
+) -> StencilSpec:
+    """Radius-2 1-D stencil, exercising halo width > 1."""
+    taps = (
+        Tap("a", (-2,), 0.1),
+        Tap("a", (-1,), 0.2),
+        Tap("a", (0,), 0.4),
+        Tap("a", (1,), 0.2),
+        Tap("a", (2,), 0.1),
+    )
+    return _single_field_spec(
+        "wide-star-1d", 1, taps, grid, iterations, "custom"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+BENCHMARKS: Dict[str, Callable[..., StencilSpec]] = {
+    "jacobi-1d": jacobi_1d,
+    "jacobi-2d": jacobi_2d,
+    "jacobi-3d": jacobi_3d,
+    "hotspot-2d": hotspot_2d,
+    "hotspot-3d": hotspot_3d,
+    "fdtd-2d": fdtd_2d,
+    "fdtd-3d": fdtd_3d,
+    "heat-1d": heat_1d,
+    "gaussian-blur-2d": gaussian_blur_2d,
+    "seidel-2d": seidel_like_2d,
+    "wide-star-1d": wide_star_1d,
+}
+
+#: Names of the seven benchmarks evaluated in the paper (Table 2).
+PAPER_SUITE: Tuple[str, ...] = (
+    "jacobi-1d",
+    "jacobi-2d",
+    "jacobi-3d",
+    "hotspot-2d",
+    "hotspot-3d",
+    "fdtd-2d",
+    "fdtd-3d",
+)
+
+
+def get_benchmark(name: str, **kwargs) -> StencilSpec:
+    """Build a benchmark spec by name, passing overrides through.
+
+    Args:
+        name: key in :data:`BENCHMARKS`.
+        **kwargs: forwarded to the builder (e.g. ``grid=``,
+            ``iterations=``).
+    """
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise SpecificationError(
+            f"Unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+    return builder(**kwargs)

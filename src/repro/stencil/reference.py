@@ -1,0 +1,157 @@
+"""Golden (naive) numpy executor for linear stencil programs.
+
+This is the correctness oracle for everything else in the framework:
+the tiled, fused, and pipe-shared functional executors in
+:mod:`repro.sim.functional` must reproduce its output exactly (same
+dtype, same tap accumulation order, hence bitwise-identical results
+under the FROZEN boundary policy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.stencil.boundary import BoundaryPolicy
+from repro.stencil.pattern import FieldUpdate, StencilPattern
+from repro.stencil.spec import StencilSpec
+from repro.utils.grids import Box, box_from_shape, shrink_box
+
+State = Dict[str, np.ndarray]
+
+
+def _shifted_view(
+    array: np.ndarray, offset: Tuple[int, ...], box: Box
+) -> np.ndarray:
+    """View of ``array`` over ``box`` translated by ``offset``.
+
+    Assumes the translated box stays in bounds (guaranteed for FROZEN
+    interiors because ``box`` is shrunk by the stencil radius).
+    """
+    return array[box.translate(offset).slices()]
+
+
+def apply_update_interior(
+    update: FieldUpdate,
+    state: Mapping[str, np.ndarray],
+    aux: Mapping[str, np.ndarray],
+    box: Box,
+    dtype: np.dtype,
+) -> np.ndarray:
+    """Evaluate one field update over ``box`` (taps must stay in bounds).
+
+    Accumulates taps strictly in declaration order so that every
+    executor in the framework produces bitwise-identical floats.
+    """
+    result = np.full(box.shape, update.constant, dtype=dtype)
+    for tap in update.taps:
+        source = aux[tap.source] if tap.source in aux else state[tap.source]
+        view = _shifted_view(source, tap.offset, box)
+        if tap.coeff == 1.0:
+            result += view
+        else:
+            result += dtype.type(tap.coeff) * view
+    return result
+
+
+class ReferenceExecutor:
+    """Iterates a :class:`StencilSpec` on full numpy grids.
+
+    Example:
+        >>> from repro.stencil import jacobi_2d
+        >>> spec = jacobi_2d(grid=(16, 16), iterations=4)
+        >>> final = ReferenceExecutor(spec).run()
+        >>> sorted(final)
+        ['a']
+    """
+
+    def __init__(self, spec: StencilSpec):
+        self.spec = spec
+        self.pattern = spec.pattern
+        self._radius = self.pattern.radius
+
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        state: Optional[State] = None,
+        aux: Optional[State] = None,
+    ) -> State:
+        """Run ``iterations`` steps (default: the spec's ``H``).
+
+        Args:
+            iterations: number of steps to execute.
+            state: initial fields (default: the spec's deterministic
+                initial state).  Not mutated.
+            aux: auxiliary inputs (default: the spec's).
+
+        Returns:
+            Final field arrays keyed by field name.
+        """
+        steps = self.spec.iterations if iterations is None else iterations
+        current = {
+            k: v.astype(self.spec.dtype, copy=True)
+            for k, v in (state or self.spec.initial_state()).items()
+        }
+        aux_arrays = dict(aux or self.spec.aux_state())
+        for _ in range(steps):
+            current = self.step(current, aux_arrays)
+        return current
+
+    def step(self, state: State, aux: State) -> State:
+        """One full stencil iteration under the spec's boundary policy."""
+        policy = self.spec.boundary
+        if policy is BoundaryPolicy.FROZEN:
+            return self._step_frozen(state, aux)
+        return self._step_padded(state, aux, policy)
+
+    def _step_frozen(self, state: State, aux: State) -> State:
+        interior = shrink_box(
+            box_from_shape(self.spec.grid_shape), self._radius
+        )
+        new_state: State = {}
+        for fname in self.pattern.fields:
+            update = self.pattern.updates[fname]
+            out = state[fname].copy()
+            out[interior.slices()] = apply_update_interior(
+                update, state, aux, interior, self.spec.dtype
+            )
+            new_state[fname] = out
+        return new_state
+
+    def _step_padded(
+        self, state: State, aux: State, policy: BoundaryPolicy
+    ) -> State:
+        if policy is BoundaryPolicy.CLAMP:
+            mode = "edge"
+        elif policy is BoundaryPolicy.PERIODIC:
+            mode = "wrap"
+        else:  # pragma: no cover - exhaustive enum
+            raise SpecificationError(f"Unhandled boundary policy {policy}")
+        pad = tuple((r, r) for r in self._radius)
+        padded_state = {k: np.pad(v, pad, mode=mode) for k, v in state.items()}
+        padded_aux = {k: np.pad(v, pad, mode=mode) for k, v in aux.items()}
+        # The full grid, expressed in padded coordinates, is the padded
+        # box shrunk back by the radius.
+        full = Box(
+            self._radius,
+            tuple(r + w for r, w in zip(self._radius, self.spec.grid_shape)),
+        )
+        new_state: State = {}
+        for fname in self.pattern.fields:
+            update = self.pattern.updates[fname]
+            new_state[fname] = apply_update_interior(
+                update, padded_state, padded_aux, full, self.spec.dtype
+            )
+        return new_state
+
+
+def run_reference(
+    spec: StencilSpec,
+    iterations: Optional[int] = None,
+    state: Optional[State] = None,
+    aux: Optional[State] = None,
+) -> State:
+    """Convenience wrapper around :class:`ReferenceExecutor`."""
+    return ReferenceExecutor(spec).run(iterations, state, aux)

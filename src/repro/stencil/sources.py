@@ -1,0 +1,191 @@
+"""The benchmark suite as OpenCL kernel *source* (the paper's input).
+
+The paper's framework starts from "an original stencil algorithm
+written in OpenCL" (Fig. 5).  This module carries each Table 2
+benchmark in that form — the single-iteration update kernel an OpenCL
+programmer would write — together with the extraction metadata
+(output-array pairing, auxiliary inputs), and a loader that runs the
+frontend over it.
+
+`tests/stencil/test_sources.py` cross-checks every extracted pattern
+against the independently-constructed :mod:`repro.stencil.library`
+pattern: two routes to the same taps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import SpecificationError
+from repro.frontend.extractor import extract_features
+from repro.stencil.pattern import StencilPattern
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """One benchmark's OpenCL source plus extraction metadata."""
+
+    name: str
+    source: str
+    field_map: Mapping[str, str]
+    aux: Tuple[str, ...] = ()
+
+    def extract(self) -> StencilPattern:
+        """Run the feature extractor over the source."""
+        return extract_features(
+            self.source,
+            name=self.name,
+            field_map=self.field_map,
+            aux=self.aux,
+        ).pattern
+
+
+_JACOBI_1D = KernelSource(
+    name="jacobi-1d",
+    field_map={"B": "a"},
+    source="""
+__kernel void jacobi_1d(__global float *a, __global float *B) {
+    int i = get_global_id(0);
+    B[i] = 0.33333f * (a[i - 1] + a[i] + a[i + 1]);
+}
+""",
+)
+
+_JACOBI_2D = KernelSource(
+    name="jacobi-2d",
+    field_map={"B": "a"},
+    source="""
+__kernel void jacobi_2d(__global float *a, __global float *B) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    B[i][j] = 0.2f * (a[i][j] + a[i - 1][j] + a[i + 1][j]
+                      + a[i][j - 1] + a[i][j + 1]);
+}
+""",
+)
+
+_JACOBI_3D = KernelSource(
+    name="jacobi-3d",
+    field_map={"B": "a"},
+    source="""
+__kernel void jacobi_3d(__global float *a, __global float *B) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int k = get_global_id(2);
+    B[i][j][k] = 0.4f * a[i][j][k]
+               + 0.1f * (a[i - 1][j][k] + a[i + 1][j][k]
+                         + a[i][j - 1][k] + a[i][j + 1][k]
+                         + a[i][j][k - 1] + a[i][j][k + 1]);
+}
+""",
+)
+
+_HOTSPOT_2D = KernelSource(
+    name="hotspot-2d",
+    field_map={"tnew": "a"},
+    aux=("power",),
+    source="""
+__kernel void hotspot_2d(__global float *a, __global float *tnew,
+                         __global const float *power) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float step_over_cap = 0.1f;
+    float r_plane = 10.0f;
+    float r_z = 30.0f;
+    float ambient = 0.8f;
+    tnew[i][j] = a[i][j] + step_over_cap * (power[i][j]
+        + (a[i + 1][j] + a[i - 1][j] - 2.0f * a[i][j]) / r_plane
+        + (a[i][j + 1] + a[i][j - 1] - 2.0f * a[i][j]) / r_plane
+        + (ambient - a[i][j]) / r_z);
+}
+""",
+)
+
+_HOTSPOT_3D = KernelSource(
+    name="hotspot-3d",
+    field_map={"tnew": "a"},
+    aux=("power",),
+    source="""
+__kernel void hotspot_3d(__global float *a, __global float *tnew,
+                         __global const float *power) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int k = get_global_id(2);
+    float step_over_cap = 0.1f;
+    float r_plane = 10.0f;
+    float r_z = 30.0f;
+    float ambient = 0.8f;
+    tnew[i][j][k] = a[i][j][k] + step_over_cap * (power[i][j][k]
+        + (a[i + 1][j][k] + a[i - 1][j][k] - 2.0f * a[i][j][k]) / r_plane
+        + (a[i][j + 1][k] + a[i][j - 1][k] - 2.0f * a[i][j][k]) / r_plane
+        + (a[i][j][k + 1] + a[i][j][k - 1] - 2.0f * a[i][j][k]) / r_plane
+        + (ambient - a[i][j][k]) / r_z);
+}
+""",
+)
+
+_FDTD_2D = KernelSource(
+    name="fdtd-2d",
+    field_map={},
+    source="""
+__kernel void fdtd_2d(__global float *ex, __global float *ey,
+                      __global float *hz) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    ey[i][j] = ey[i][j] - 0.5f * (hz[i][j] - hz[i - 1][j]);
+    ex[i][j] = ex[i][j] - 0.5f * (hz[i][j] - hz[i][j - 1]);
+    hz[i][j] = hz[i][j] - 0.7f * (ex[i][j + 1] - ex[i][j]
+                                  + ey[i + 1][j] - ey[i][j]);
+}
+""",
+)
+
+_FDTD_3D = KernelSource(
+    name="fdtd-3d",
+    field_map={},
+    source="""
+__kernel void fdtd_3d(__global float *ex, __global float *ey,
+                      __global float *ez, __global float *hz) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    int k = get_global_id(2);
+    ey[i][j][k] = ey[i][j][k] - 0.5f * (hz[i][j][k] - hz[i - 1][j][k]);
+    ex[i][j][k] = ex[i][j][k] - 0.5f * (hz[i][j][k] - hz[i][j - 1][k]);
+    ez[i][j][k] = ez[i][j][k] - 0.5f * (hz[i][j][k] - hz[i][j][k - 1]);
+    hz[i][j][k] = hz[i][j][k] - 0.7f * (ey[i + 1][j][k] - ey[i][j][k]
+                                        + ex[i][j + 1][k] - ex[i][j][k]
+                                        + ez[i][j][k + 1] - ez[i][j][k]);
+}
+""",
+)
+
+#: The Table 2 suite in OpenCL-source form.
+KERNEL_SOURCES: Dict[str, KernelSource] = {
+    src.name: src
+    for src in (
+        _JACOBI_1D,
+        _JACOBI_2D,
+        _JACOBI_3D,
+        _HOTSPOT_2D,
+        _HOTSPOT_3D,
+        _FDTD_2D,
+        _FDTD_3D,
+    )
+}
+
+
+def get_kernel_source(name: str) -> KernelSource:
+    """Look up a benchmark's OpenCL source by library name."""
+    try:
+        return KERNEL_SOURCES[name]
+    except KeyError:
+        raise SpecificationError(
+            f"No OpenCL source for benchmark {name!r}; "
+            f"known: {sorted(KERNEL_SOURCES)}"
+        ) from None
+
+
+def extract_benchmark_pattern(name: str) -> StencilPattern:
+    """Extract a benchmark's pattern from its OpenCL source."""
+    return get_kernel_source(name).extract()

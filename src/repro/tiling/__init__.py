@@ -1,0 +1,44 @@
+"""Tiled iteration-fusion designs: the paper's architecture layer.
+
+- :mod:`repro.tiling.tile` — rectilinear tile grids and per-tile roles.
+- :mod:`repro.tiling.cone` — iteration-fusion cone geometry.
+- :mod:`repro.tiling.design` — :class:`StencilDesign`, the common
+  description consumed by the model, simulator, estimator and codegen.
+- :mod:`repro.tiling.baseline` — overlapped tiling (Nacci, DAC'13).
+- :mod:`repro.tiling.pipeshared` — equal tiles + pipe data sharing.
+- :mod:`repro.tiling.heterogeneous` — workload-balanced tile sizes.
+- :mod:`repro.tiling.balancing` — the balancing-factor solver.
+- :mod:`repro.tiling.schedule` — interior-first element scheduling.
+"""
+
+from repro.tiling.tile import TileGrid, TileInfo
+from repro.tiling.cone import (
+    cone_footprint_shape,
+    cone_read_shape,
+    cone_total_cells,
+    cone_workloads,
+)
+from repro.tiling.design import DesignKind, PipeFace, StencilDesign
+from repro.tiling.baseline import make_baseline_design
+from repro.tiling.pipeshared import make_pipe_shared_design
+from repro.tiling.heterogeneous import make_heterogeneous_design
+from repro.tiling.balancing import balanced_extents, balancing_factors
+from repro.tiling.schedule import split_independent_dependent
+
+__all__ = [
+    "TileGrid",
+    "TileInfo",
+    "cone_footprint_shape",
+    "cone_read_shape",
+    "cone_total_cells",
+    "cone_workloads",
+    "DesignKind",
+    "PipeFace",
+    "StencilDesign",
+    "make_baseline_design",
+    "make_pipe_shared_design",
+    "make_heterogeneous_design",
+    "balanced_extents",
+    "balancing_factors",
+    "split_independent_dependent",
+]

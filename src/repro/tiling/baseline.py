@@ -1,0 +1,51 @@
+"""Baseline design: overlapped tiling with independent cones.
+
+This reproduces the state-of-the-art the paper compares against (Nacci
+et al., DAC'13): every tile is surrounded by ``r_d * h`` extra elements
+on *both* sides of every dimension so its fused-iteration cone can be
+computed with no inter-kernel communication.  The price is redundant
+computation in the overlap, growing with cone depth and dimensionality.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SpecificationError
+from repro.stencil.spec import StencilSpec
+from repro.tiling.design import DesignKind, StencilDesign
+from repro.tiling.tile import TileGrid
+
+
+def make_baseline_design(
+    spec: StencilSpec,
+    tile_shape: Sequence[int],
+    counts: Sequence[int],
+    fused_depth: int,
+    unroll: int = 1,
+) -> StencilDesign:
+    """Build an overlapped-tiling (iteration fusion) design.
+
+    Args:
+        spec: the stencil workload.
+        tile_shape: output tile extents ``w_d`` (equal for all tiles).
+        counts: tiles per dimension (``K = Π counts``).
+        fused_depth: cone depth ``h``.
+        unroll: processing elements per kernel.
+
+    Returns:
+        A :class:`StencilDesign` of kind ``BASELINE``.
+    """
+    if len(tile_shape) != spec.ndim or len(counts) != spec.ndim:
+        raise SpecificationError(
+            f"tile_shape {tile_shape} / counts {counts} must have "
+            f"rank {spec.ndim}"
+        )
+    grid = TileGrid.uniform(tile_shape, counts)
+    return StencilDesign(
+        kind=DesignKind.BASELINE,
+        spec=spec,
+        fused_depth=fused_depth,
+        tile_grid=grid,
+        unroll=unroll,
+    )

@@ -1,0 +1,127 @@
+"""Iteration-fusion cone geometry (Fig. 1(a)/(b) of the paper).
+
+Fusing ``h`` iterations on-chip means a tile's iteration ``i`` (counted
+``1..h``) must compute a footprint that still carries enough halo for
+the remaining ``h - i`` iterations.  Across a side where neighbor data
+is unavailable the footprint extends by ``r_d * (h - i)``; across a
+side served by pipes (or adjacent within the same kernel) it does not
+extend at all.
+
+All functions take the per-dimension *side multiplicity* ``sides_d``
+(how many of the tile's two sides in dimension ``d`` require cone
+expansion): 2 for a fully independent baseline tile, 0 for a fully
+interior pipe-shared tile, 1 for a region-corner tile in the sharing
+designs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+
+def _check(
+    shape: Sequence[int], radius: Sequence[int], sides: Sequence[int]
+) -> None:
+    if not len(shape) == len(radius) == len(sides):
+        raise SpecificationError(
+            f"Rank mismatch: shape {shape}, radius {radius}, sides {sides}"
+        )
+    for n in sides:
+        if n not in (0, 1, 2):
+            raise SpecificationError(f"Side multiplicity must be 0/1/2: {sides}")
+
+
+def cone_footprint_shape(
+    shape: Sequence[int],
+    radius: Sequence[int],
+    sides: Sequence[int],
+    fused_depth: int,
+    iteration: int,
+) -> Tuple[int, ...]:
+    """Footprint computed at fused iteration ``iteration`` (1-based).
+
+    Args:
+        shape: tile output extents ``w_d``.
+        radius: stencil radius ``r_d``.
+        sides: per-dim count of cone-expanding sides.
+        fused_depth: ``h``.
+        iteration: which fused iteration, ``1 <= iteration <= h``.
+    """
+    _check(shape, radius, sides)
+    if not 1 <= iteration <= fused_depth:
+        raise SpecificationError(
+            f"iteration {iteration} outside 1..{fused_depth}"
+        )
+    remaining = fused_depth - iteration
+    return tuple(
+        w + r * remaining * n for w, r, n in zip(shape, radius, sides)
+    )
+
+
+def cone_read_shape(
+    shape: Sequence[int],
+    radius: Sequence[int],
+    sides: Sequence[int],
+    fused_depth: int,
+    halo_sides: Sequence[int] = (),
+) -> Tuple[int, ...]:
+    """Extent of the initial global-memory read for one tile.
+
+    The tile must load the iteration-0 data feeding its first fused
+    iteration: the output shape grown by ``r_d * h`` across every
+    cone-expanding side, plus a single-``r_d`` halo across each side
+    listed in ``halo_sides`` (the pipe-shared sides, whose iteration-0
+    values also come from global memory at block start).
+
+    Args:
+        halo_sides: per-dim count of single-halo sides (defaults to 0).
+    """
+    _check(shape, radius, sides)
+    halos = tuple(halo_sides) if halo_sides else (0,) * len(shape)
+    if len(halos) != len(shape):
+        raise SpecificationError(
+            f"halo_sides rank mismatch: {halo_sides} vs shape {shape}"
+        )
+    return tuple(
+        w + r * fused_depth * n + r * m
+        for w, r, n, m in zip(shape, radius, sides, halos)
+    )
+
+
+def cone_workloads(
+    shape: Sequence[int],
+    radius: Sequence[int],
+    sides: Sequence[int],
+    fused_depth: int,
+) -> List[int]:
+    """Cells computed at each fused iteration ``1..h`` (Eq. 8's product)."""
+    return [
+        math.prod(
+            cone_footprint_shape(shape, radius, sides, fused_depth, i)
+        )
+        for i in range(1, fused_depth + 1)
+    ]
+
+
+def cone_total_cells(
+    shape: Sequence[int],
+    radius: Sequence[int],
+    sides: Sequence[int],
+    fused_depth: int,
+) -> int:
+    """Total cells computed over the whole fused block."""
+    return sum(cone_workloads(shape, radius, sides, fused_depth))
+
+
+def cone_redundant_cells(
+    shape: Sequence[int],
+    radius: Sequence[int],
+    sides: Sequence[int],
+    fused_depth: int,
+) -> int:
+    """Redundant cells: total computed minus the useful ``h * Π w_d``."""
+    useful = fused_depth * math.prod(shape)
+    return cone_total_cells(shape, radius, sides, fused_depth) - useful

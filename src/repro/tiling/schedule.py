@@ -1,0 +1,59 @@
+"""Interior-first element scheduling (Section 3.1, latency hiding).
+
+The generated kernels split each iteration's cells into an
+*independent* group (computable from data already on chip) and a
+*dependent* group (needing the halo strips arriving through pipes), and
+process the independent group first so pipe transfers overlap with
+useful computation.
+
+The dependent group is the layer of cells within one stencil radius of
+a pipe-served face; everything else is independent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.tiling.design import StencilDesign
+from repro.tiling.tile import TileInfo
+
+
+def split_independent_dependent(
+    design: StencilDesign, tile: TileInfo, iteration: int
+) -> Tuple[int, int]:
+    """Cell counts of the (independent, dependent) groups.
+
+    Args:
+        design: the stencil design.
+        tile: which kernel's tile.
+        iteration: fused iteration, ``1..h``.
+
+    Returns:
+        ``(independent_cells, dependent_cells)``; their sum equals the
+        iteration's footprint.  For non-sharing designs everything is
+        independent.
+    """
+    footprint = design.footprint_shape(tile, iteration)
+    total = math.prod(footprint)
+    if not design.sharing:
+        return total, 0
+    interior_shape = tuple(
+        max(0, fp - r * n_shared)
+        for fp, r, n_shared in zip(
+            footprint, design.radius, design.halo_sides(tile)
+        )
+    )
+    independent = math.prod(interior_shape)
+    return independent, total - independent
+
+
+def dependent_fraction(
+    design: StencilDesign, tile: TileInfo, iteration: int
+) -> float:
+    """Fraction of the iteration's cells that wait on pipe data."""
+    independent, dependent = split_independent_dependent(
+        design, tile, iteration
+    )
+    total = independent + dependent
+    return dependent / total if total else 0.0

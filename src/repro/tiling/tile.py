@@ -1,0 +1,181 @@
+"""Rectilinear tile grids within a region.
+
+A *region* is the patch of the stencil grid processed by ``K`` parallel
+kernels during one fused block of ``h`` iterations (Fig. 4 of the
+paper).  The region is partitioned into a rectilinear grid of tiles —
+equal extents for the baseline and pipe-shared designs, per-position
+extents for the heterogeneous design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.utils.grids import Box, iter_boxes
+
+
+@dataclass(frozen=True)
+class TileInfo:
+    """One tile's geometry and role within the region.
+
+    Attributes:
+        index: position in the region's tile grid (per dimension).
+        offset: region-local lower corner of the tile's output box.
+        shape: tile extents ``w_d``.
+        outer: per-dimension count of *region-outer* sides (0, 1 or 2).
+            An outer side faces a neighboring region, whose intermediate
+            iteration values are unavailable, so the fusion cone must
+            expand redundantly across it.  An inner side faces a sibling
+            tile in the same region.
+        shared: per-dimension count of sides shared with sibling tiles
+            (served by pipes in the sharing designs, or recomputed
+            redundantly in the baseline).
+    """
+
+    index: Tuple[int, ...]
+    offset: Tuple[int, ...]
+    shape: Tuple[int, ...]
+    outer: Tuple[int, ...]
+    shared: Tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        """Grid dimensionality."""
+        return len(self.shape)
+
+    @property
+    def cells(self) -> int:
+        """Output cells of the tile (``Π w_d``)."""
+        return math.prod(self.shape)
+
+    @property
+    def box(self) -> Box:
+        """Region-local output box."""
+        return Box(
+            self.offset, tuple(o + s for o, s in zip(self.offset, self.shape))
+        )
+
+    @property
+    def is_corner(self) -> bool:
+        """True when the tile touches the region boundary in every dim."""
+        return all(n >= 1 for n in self.outer)
+
+
+class TileGrid:
+    """A rectilinear partition of the region into tiles.
+
+    Attributes:
+        extents: per dimension, the tuple of consecutive tile extents.
+    """
+
+    def __init__(self, extents: Sequence[Sequence[int]]):
+        if not extents:
+            raise SpecificationError("TileGrid needs at least one dimension")
+        self.extents: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(int(e) for e in dim_extents) for dim_extents in extents
+        )
+        for d, dim_extents in enumerate(self.extents):
+            if not dim_extents:
+                raise SpecificationError(
+                    f"TileGrid dimension {d} has no tiles"
+                )
+            for extent in dim_extents:
+                if extent <= 0:
+                    raise SpecificationError(
+                        f"TileGrid extent must be positive, got {extent} "
+                        f"in dimension {d}"
+                    )
+
+    @classmethod
+    def uniform(
+        cls, tile_shape: Sequence[int], counts: Sequence[int]
+    ) -> "TileGrid":
+        """Equal-size grid: ``counts_d`` tiles of extent ``tile_shape_d``."""
+        if len(tile_shape) != len(counts):
+            raise SpecificationError(
+                f"tile_shape {tile_shape} and counts {counts} rank mismatch"
+            )
+        return cls(
+            [
+                [int(w)] * int(k)
+                for w, k in zip(tile_shape, counts)
+            ]
+        )
+
+    @property
+    def ndim(self) -> int:
+        """Grid dimensionality."""
+        return len(self.extents)
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Tiles per dimension ``k_d``."""
+        return tuple(len(e) for e in self.extents)
+
+    @property
+    def parallelism(self) -> int:
+        """Total kernels per region ``K = Π k_d``."""
+        return math.prod(self.counts)
+
+    @property
+    def region_shape(self) -> Tuple[int, ...]:
+        """Region extents (sum of tile extents per dimension)."""
+        return tuple(sum(e) for e in self.extents)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all tiles share the same shape."""
+        return all(len(set(e)) == 1 for e in self.extents)
+
+    def tiles(self) -> List[TileInfo]:
+        """All tiles with positions, offsets, and boundary roles."""
+        counts = self.counts
+        result: List[TileInfo] = []
+        origin = (0,) * self.ndim
+        for index, box in iter_boxes(origin, self.extents):
+            outer = tuple(
+                (1 if index[d] == 0 else 0)
+                + (1 if index[d] == counts[d] - 1 else 0)
+                for d in range(self.ndim)
+            )
+            shared = tuple(2 - n for n in outer)
+            result.append(
+                TileInfo(
+                    index=index,
+                    offset=box.lo,
+                    shape=box.shape,
+                    outer=outer,
+                    shared=shared,
+                )
+            )
+        return result
+
+    def tile_at(self, index: Sequence[int]) -> TileInfo:
+        """The tile at a given grid position."""
+        target = tuple(int(i) for i in index)
+        for tile in self.tiles():
+            if tile.index == target:
+                return tile
+        raise SpecificationError(
+            f"No tile at index {target} in grid with counts {self.counts}"
+        )
+
+    def neighbors(
+        self,
+    ) -> Iterator[Tuple[TileInfo, TileInfo, int]]:
+        """Adjacent tile pairs ``(low, high, dim)`` sharing a face."""
+        tiles = {t.index: t for t in self.tiles()}
+        counts = self.counts
+        for index, tile in tiles.items():
+            for d in range(self.ndim):
+                if index[d] + 1 < counts[d]:
+                    nbr_index = tuple(
+                        v + 1 if i == d else v for i, v in enumerate(index)
+                    )
+                    yield tile, tiles[nbr_index], d
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TileGrid(counts={self.counts}, region={self.region_shape})"

@@ -1,0 +1,45 @@
+"""Shared utilities: nd-grid geometry, units, and validation helpers."""
+
+from repro.utils.grids import (
+    Box,
+    box_from_shape,
+    clip_box,
+    expand_box,
+    iter_boxes,
+    shrink_box,
+    split_extent,
+)
+from repro.utils.units import (
+    bytes_per_cycle,
+    cycles_to_seconds,
+    gib,
+    kib,
+    mib,
+    seconds_to_cycles,
+)
+from repro.utils.validation import (
+    check_dim_tuple,
+    check_positive,
+    check_positive_tuple,
+    check_probability,
+)
+
+__all__ = [
+    "Box",
+    "box_from_shape",
+    "clip_box",
+    "expand_box",
+    "iter_boxes",
+    "shrink_box",
+    "split_extent",
+    "bytes_per_cycle",
+    "cycles_to_seconds",
+    "gib",
+    "kib",
+    "mib",
+    "seconds_to_cycles",
+    "check_dim_tuple",
+    "check_positive",
+    "check_positive_tuple",
+    "check_probability",
+]

@@ -1,0 +1,218 @@
+"""N-dimensional axis-aligned box geometry for tiles, halos, and cones.
+
+A :class:`Box` is a half-open hyper-rectangle ``[lo, hi)`` in grid-index
+space.  Boxes are the common currency between the tiling layer (tile
+footprints), the functional simulator (numpy slicing), and the analytic
+model (element counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Box:
+    """Half-open axis-aligned box ``[lo_d, hi_d)`` per dimension.
+
+    Attributes:
+        lo: inclusive lower corner, one entry per dimension.
+        hi: exclusive upper corner, one entry per dimension.
+    """
+
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise SpecificationError(
+                f"Box corners have mismatched ranks: {self.lo} vs {self.hi}"
+            )
+        for lo_d, hi_d in zip(self.lo, self.hi):
+            if hi_d < lo_d:
+                raise SpecificationError(f"Box has negative extent: {self}")
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Extent along each dimension."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        """Number of grid points contained in the box."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the box contains no grid points."""
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """Return True when ``point`` lies inside the box."""
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        """Return True when ``other`` lies entirely inside this box."""
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def intersect(self, other: "Box") -> "Box":
+        """Intersection of two boxes (possibly empty)."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(l, min(a, b)) for l, a, b in zip(lo, self.hi, other.hi))
+        return Box(lo, hi)
+
+    def overlaps(self, other: "Box") -> bool:
+        """Return True when the two boxes share at least one point."""
+        return not self.intersect(other).is_empty
+
+    def translate(self, offset: Sequence[int]) -> "Box":
+        """Box shifted by ``offset`` along each dimension."""
+        return Box(
+            tuple(l + o for l, o in zip(self.lo, offset)),
+            tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    def slices(self) -> Tuple[slice, ...]:
+        """Numpy slicing tuple selecting the box from a grid array."""
+        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+
+    def local_slices(self, origin: Sequence[int]) -> Tuple[slice, ...]:
+        """Slicing tuple relative to a local array anchored at ``origin``."""
+        return tuple(
+            slice(l - o, h - o) for l, h, o in zip(self.lo, self.hi, origin)
+        )
+
+    def __str__(self) -> str:
+        spans = ", ".join(f"[{l},{h})" for l, h in zip(self.lo, self.hi))
+        return f"Box({spans})"
+
+
+def box_from_shape(shape: Sequence[int]) -> Box:
+    """Box covering ``[0, shape_d)`` in every dimension."""
+    return Box(tuple(0 for _ in shape), tuple(int(s) for s in shape))
+
+
+def expand_box(box: Box, margin: Sequence[int]) -> Box:
+    """Grow a box by ``margin_d`` on *both* sides of each dimension."""
+    return Box(
+        tuple(l - m for l, m in zip(box.lo, margin)),
+        tuple(h + m for h, m in zip(box.hi, margin)),
+    )
+
+
+def shrink_box(box: Box, margin: Sequence[int]) -> Box:
+    """Shrink a box by ``margin_d`` on both sides, clamping at empty."""
+    lo = tuple(l + m for l, m in zip(box.lo, margin))
+    hi = tuple(max(lo_d, h - m) for lo_d, h, m in zip(lo, box.hi, margin))
+    return Box(lo, hi)
+
+
+def clip_box(box: Box, domain: Box) -> Box:
+    """Clip a box to a domain (intersection)."""
+    return box.intersect(domain)
+
+
+def split_extent(length: int, parts: int) -> List[int]:
+    """Split ``length`` into ``parts`` near-equal integer extents.
+
+    The first ``length % parts`` extents receive one extra element, so
+    the result always sums to ``length`` exactly.
+    """
+    if parts <= 0:
+        raise SpecificationError(f"Cannot split into {parts} parts")
+    if length < 0:
+        raise SpecificationError(f"Cannot split negative length {length}")
+    base, remainder = divmod(length, parts)
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def partition_extent(length: int, weights: Sequence[float]) -> List[int]:
+    """Split ``length`` proportionally to ``weights`` (sums exactly).
+
+    Uses largest-remainder rounding so the partition is deterministic,
+    sums to ``length``, and every non-zero weight receives at least one
+    element when ``length >= len(weights)``.
+    """
+    if not weights:
+        raise SpecificationError("partition_extent requires weights")
+    if any(w <= 0 for w in weights):
+        raise SpecificationError(f"Weights must be positive: {weights}")
+    total_weight = float(sum(weights))
+    raw = [length * w / total_weight for w in weights]
+    floors = [int(r) for r in raw]
+    # Guarantee a minimum of one element per part when possible.
+    if length >= len(weights):
+        floors = [max(1, f) for f in floors]
+    deficit = length - sum(floors)
+    remainders = sorted(
+        range(len(weights)),
+        key=lambda i: raw[i] - int(raw[i]),
+        reverse=(deficit > 0),
+    )
+    index = 0
+    while deficit != 0 and weights:
+        i = remainders[index % len(weights)]
+        step = 1 if deficit > 0 else -1
+        if step < 0 and floors[i] <= 1:
+            index += 1
+            continue
+        floors[i] += step
+        deficit -= step
+        index += 1
+    return floors
+
+
+def iter_boxes(
+    origin: Sequence[int], extents_per_dim: Sequence[Sequence[int]]
+) -> Iterator[Tuple[Tuple[int, ...], Box]]:
+    """Iterate the rectilinear grid of boxes defined by per-dim extents.
+
+    Args:
+        origin: lower corner of the covered region.
+        extents_per_dim: for each dimension, the list of consecutive
+            extents along that dimension.
+
+    Yields:
+        ``(index, box)`` pairs where ``index`` is the grid coordinate of
+        the box (one entry per dimension).
+    """
+    ndim = len(extents_per_dim)
+    starts: List[List[int]] = []
+    for d in range(ndim):
+        offs = [origin[d]]
+        for extent in extents_per_dim[d]:
+            offs.append(offs[-1] + extent)
+        starts.append(offs)
+
+    counts = [len(extents_per_dim[d]) for d in range(ndim)]
+    index = [0] * ndim
+    while True:
+        lo = tuple(starts[d][index[d]] for d in range(ndim))
+        hi = tuple(starts[d][index[d] + 1] for d in range(ndim))
+        yield tuple(index), Box(lo, hi)
+        # Odometer increment.
+        d = ndim - 1
+        while d >= 0:
+            index[d] += 1
+            if index[d] < counts[d]:
+                break
+            index[d] = 0
+            d -= 1
+        if d < 0:
+            return

@@ -1,0 +1,53 @@
+"""Unit helpers: cycles, seconds, and byte quantities.
+
+The analytic model and the simulator both work in *clock cycles* at the
+kernel clock frequency (the paper fixes 200 MHz); the host-facing API
+reports seconds.  Memory bandwidth is specified in bytes/second and
+converted to bytes/cycle at the kernel clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(n: float) -> float:
+    """``n`` kibibytes in bytes."""
+    return n * KIB
+
+
+def mib(n: float) -> float:
+    """``n`` mebibytes in bytes."""
+    return n * MIB
+
+
+def gib(n: float) -> float:
+    """``n`` gibibytes in bytes."""
+    return n * GIB
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    if frequency_hz <= 0:
+        raise SpecificationError(f"Frequency must be positive: {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert seconds into cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise SpecificationError(f"Frequency must be positive: {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def bytes_per_cycle(bandwidth_bytes_per_s: float, frequency_hz: float) -> float:
+    """Peak bytes transferable per kernel clock cycle."""
+    if bandwidth_bytes_per_s <= 0:
+        raise SpecificationError(
+            f"Bandwidth must be positive: {bandwidth_bytes_per_s}"
+        )
+    return bandwidth_bytes_per_s / float(frequency_hz)

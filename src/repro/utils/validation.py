@@ -1,0 +1,46 @@
+"""Argument-validation helpers used across the framework."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise unless ``value`` is strictly positive; return it."""
+    if value <= 0:
+        raise SpecificationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise unless ``value`` lies in [0, 1]; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise SpecificationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_dim_tuple(
+    name: str, values: Sequence[int], ndim: int
+) -> Tuple[int, ...]:
+    """Coerce ``values`` to a tuple of length ``ndim`` of ints."""
+    result = tuple(int(v) for v in values)
+    if len(result) != ndim:
+        raise SpecificationError(
+            f"{name} must have {ndim} entries, got {len(result)}: {result}"
+        )
+    return result
+
+
+def check_positive_tuple(
+    name: str, values: Sequence[int], ndim: int
+) -> Tuple[int, ...]:
+    """Coerce to a tuple of ``ndim`` strictly positive ints."""
+    result = check_dim_tuple(name, values, ndim)
+    for v in result:
+        if v <= 0:
+            raise SpecificationError(
+                f"All entries of {name} must be positive, got {result}"
+            )
+    return result

@@ -1,0 +1,93 @@
+"""Tests for the stencil boundary generator."""
+
+import math
+
+import pytest
+
+from repro.codegen.boundary_gen import (
+    generate_boundary_macros,
+    iteration_bounds,
+)
+
+
+class TestIterationBounds:
+    def test_bounds_match_footprints(self, pipe_design):
+        """The generated loop bounds must enumerate exactly the cells
+        the design geometry says each iteration computes."""
+        for tile in pipe_design.tiles:
+            spec = iteration_bounds(pipe_design, tile)
+            for i in range(1, pipe_design.fused_depth + 1):
+                bounds = spec.bounds_at(i - 1)  # codegen is 0-based
+                extent = math.prod(hi - lo for lo, hi in bounds)
+                footprint = math.prod(
+                    pipe_design.footprint_shape(tile, i)
+                )
+                assert extent == footprint
+
+    def test_bounds_match_baseline_footprints(self, baseline_design):
+        for tile in baseline_design.tiles:
+            spec = iteration_bounds(baseline_design, tile)
+            for i in range(1, baseline_design.fused_depth + 1):
+                extent = math.prod(
+                    hi - lo for lo, hi in spec.bounds_at(i - 1)
+                )
+                assert extent == math.prod(
+                    baseline_design.footprint_shape(tile, i)
+                )
+
+    def test_bounds_stay_inside_buffer(self, hetero_design):
+        for tile in hetero_design.tiles:
+            spec = iteration_bounds(hetero_design, tile)
+            for it in range(hetero_design.fused_depth):
+                for (lo, hi), extent in zip(
+                    spec.bounds_at(it), spec.buffer_shape
+                ):
+                    assert 0 <= lo <= hi <= extent
+
+    def test_inputs_always_in_buffer(self, pipe_design):
+        """Every computed cell's taps must be resident: the bounds keep
+        one radius inside the buffer at every iteration."""
+        radius = pipe_design.radius
+        for tile in pipe_design.tiles:
+            spec = iteration_bounds(pipe_design, tile)
+            for it in range(pipe_design.fused_depth):
+                for d, (lo, hi) in enumerate(spec.bounds_at(it)):
+                    assert lo >= radius[d]
+                    assert hi <= spec.buffer_shape[d] - radius[d]
+
+    def test_pipe_sides_fixed_bounds(self, pipe_design):
+        corner = pipe_design.tile_grid.tile_at((0, 0))
+        spec = iteration_bounds(pipe_design, corner)
+        # Low side (outer): shrinks per iteration; high side (shared):
+        # fixed.
+        assert spec.lo_step == (1, 1)
+        assert spec.hi_step == (0, 0)
+
+
+class TestMacros:
+    def test_macros_present_per_dimension(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        text = generate_boundary_macros(pipe_design, tile)
+        for d in range(2):
+            assert f"T_LO{d}(it)" in text
+            assert f"T_HI{d}(it)" in text
+            assert f"T_EXT{d}" in text
+
+    def test_macros_evaluate_correctly(self, pipe_design):
+        """Evaluate the generated C macro arithmetic in Python."""
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        spec = iteration_bounds(pipe_design, tile)
+        text = generate_boundary_macros(pipe_design, tile)
+        for line in text.splitlines():
+            if line.startswith("#define T_LO0"):
+                # '#define T_LO0(it) (base + step * (it))'
+                expr = line.split("(it)", 1)[1].strip()
+                for it in range(pipe_design.fused_depth):
+                    value = eval(expr, {"it": it})
+                    assert value == spec.bounds_at(it)[0][0]
+
+    def test_custom_prefix(self, pipe_design):
+        text = generate_boundary_macros(
+            pipe_design, pipe_design.tiles[0], prefix="K"
+        )
+        assert "K_LO0(it)" in text

@@ -1,0 +1,80 @@
+"""Tests for source-emission helpers."""
+
+from repro.codegen.emit import CodeWriter, float_literal, index_expression
+
+
+class TestFloatLiteral:
+    def test_integral_value(self):
+        assert float_literal(1.0) == "1.0f"
+
+    def test_fractional_value(self):
+        assert float_literal(0.2) == "0.2f"
+
+    def test_negative(self):
+        assert float_literal(-0.5) == "-0.5f"
+
+    def test_repr_roundtrip(self):
+        text = float_literal(0.33333)
+        assert float(text[:-1]) == 0.33333
+
+
+class TestIndexExpression:
+    def test_zero_offsets(self):
+        assert index_expression(["i", "j"], [0, 0]) == "[i][j]"
+
+    def test_positive_offset(self):
+        assert index_expression(["i"], [2]) == "[i + 2]"
+
+    def test_negative_offset(self):
+        assert index_expression(["i", "j"], [-1, 3]) == "[i - 1][j + 3]"
+
+
+class TestCodeWriter:
+    def test_indentation(self):
+        writer = CodeWriter()
+        writer.open_block("if (x)")
+        writer.line("y = 1;")
+        writer.close_block()
+        assert writer.render() == "if (x) {\n    y = 1;\n}\n"
+
+    def test_nested_blocks(self):
+        writer = CodeWriter()
+        writer.open_block("for (;;)")
+        writer.open_block("if (a)")
+        writer.line("b;")
+        writer.close_block()
+        writer.close_block()
+        text = writer.render()
+        assert "        b;" in text
+        assert text.count("{") == text.count("}")
+
+    def test_comment(self):
+        writer = CodeWriter()
+        writer.comment("hello")
+        assert writer.render() == "// hello\n"
+
+    def test_blank_line(self):
+        writer = CodeWriter()
+        writer.line()
+        writer.line("x;")
+        assert writer.render() == "\nx;\n"
+
+    def test_raw_reindents(self):
+        inner = CodeWriter()
+        inner.line("a;")
+        outer = CodeWriter()
+        outer.open_block("void f()")
+        outer.raw(inner.render())
+        outer.close_block()
+        assert "    a;" in outer.render()
+
+    def test_lines_helper(self):
+        writer = CodeWriter()
+        writer.lines(["a;", "b;"])
+        assert writer.render() == "a;\nb;\n"
+
+    def test_close_with_suffix(self):
+        writer = CodeWriter()
+        writer.open_block("do")
+        writer.close_block(" while (0);")
+        assert "} while (0);" in writer.render()

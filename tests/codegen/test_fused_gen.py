@@ -1,0 +1,81 @@
+"""Tests for the fused stencil operation generator."""
+
+import pytest
+
+from repro.codegen.fused_gen import generate_fused_loop
+from repro.codegen.pipe_gen import (
+    generate_receive_block,
+    generate_send_block,
+)
+from repro.tiling import make_pipe_shared_design
+
+
+class TestFusedLoop:
+    def test_loop_count_matches_depth(self, pipe_design):
+        text = generate_fused_loop(pipe_design, pipe_design.tiles[0])
+        assert f"it < {pipe_design.fused_depth}" in text
+
+    def test_bounds_macros_used(self, pipe_design):
+        text = generate_fused_loop(pipe_design, pipe_design.tiles[0])
+        for d in range(2):
+            assert f"T_LO{d}(it)" in text
+            assert f"T_HI{d}(it)" in text
+
+    def test_buffer_swap_emitted(self, pipe_design):
+        text = generate_fused_loop(pipe_design, pipe_design.tiles[0])
+        assert "swap_buffers(&buf_a, &new_a);" in text
+
+    def test_receive_guarded_to_inner_iterations(self, pipe_design):
+        text = generate_fused_loop(pipe_design, pipe_design.tiles[0])
+        assert f"if (it + 1 < {pipe_design.fused_depth})" in text
+
+    def test_baseline_has_no_pipe_io(self, baseline_design):
+        text = generate_fused_loop(
+            baseline_design, baseline_design.tiles[0]
+        )
+        assert "write_pipe_block" not in text
+        assert "read_pipe_block" not in text
+
+    def test_multi_field_updates_all_fields(self, small_fdtd2d):
+        design = make_pipe_shared_design(small_fdtd2d, (6, 6), (2, 2), 2)
+        text = generate_fused_loop(design, design.tiles[0])
+        for field in ("ex", "ey", "hz"):
+            assert f"new_{field}[" in text
+            assert f"swap_buffers(&buf_{field}, &new_{field});" in text
+
+    def test_braces_balanced(self, hetero_design):
+        for tile in hetero_design.tiles:
+            text = generate_fused_loop(hetero_design, tile)
+            assert text.count("{") == text.count("}")
+
+
+class TestPipeBlocks:
+    def test_send_covers_all_outgoing(self, pipe_design):
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        text = generate_send_block(pipe_design, tile)
+        # Corner tile of a 2x2 grid: two outgoing pipes.
+        assert text.count("write_pipe_block(") == 2
+
+    def test_receive_covers_all_incoming(self, pipe_design):
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        text = generate_receive_block(pipe_design, tile)
+        assert text.count("read_pipe_block(") == 2
+
+    def test_multi_field_multiplies_transfers(self, small_fdtd2d):
+        design = make_pipe_shared_design(small_fdtd2d, (6, 6), (2, 2), 2)
+        tile = design.tile_grid.tile_at((0, 0))
+        text = generate_send_block(design, tile)
+        assert text.count("write_pipe_block(") == 2 * 3  # 2 faces x 3 fields
+
+    def test_directional_symbols(self, pipe_design):
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        send = generate_send_block(pipe_design, tile)
+        recv = generate_receive_block(pipe_design, tile)
+        assert "pipe_0_0_to_1_0_d0" in send
+        assert "pipe_1_0_to_0_0_d0" in recv
+
+    def test_no_faces_comment(self, baseline_design):
+        text = generate_send_block(
+            baseline_design, baseline_design.tiles[0]
+        )
+        assert "No outgoing pipes" in text

@@ -1,0 +1,174 @@
+"""Tests for kernel assembly and program generation."""
+
+import pytest
+
+from repro.codegen import (
+    generate_program,
+    pipe_name,
+    tile_pipe_endpoints,
+    update_statement,
+)
+from repro.codegen.kernel_gen import generate_kernel, kernel_name
+from repro.codegen.pipe_gen import generate_pipe_declarations
+
+
+class TestUpdateStatement:
+    def test_jacobi_statement(self, small_jacobi2d):
+        stmt = update_statement(small_jacobi2d.pattern, "a", ["x0", "x1"])
+        assert stmt.startswith("new_a[x0][x1] =")
+        assert stmt.count("buf_a") == 5
+        assert "0.2f" in stmt
+
+    def test_constant_appended(self, small_hotspot2d):
+        stmt = update_statement(small_hotspot2d.pattern, "a", ["i", "j"])
+        assert stmt.rstrip(";").split("+")[-1].strip().endswith("f")
+
+    def test_aux_prefix(self, small_hotspot2d):
+        stmt = update_statement(
+            small_hotspot2d.pattern, "a", ["i", "j"], aux_prefix="p_"
+        )
+        assert "p_power[i][j]" in stmt
+
+    def test_unit_coefficient_has_no_multiply(self):
+        from repro.stencil.pattern import (
+            FieldUpdate,
+            StencilPattern,
+            Tap,
+        )
+
+        pattern = StencilPattern(
+            name="copy",
+            ndim=1,
+            fields=("a",),
+            updates={"a": FieldUpdate(taps=(Tap("a", (1,), 1.0),))},
+        )
+        stmt = update_statement(pattern, "a", ["i"])
+        assert stmt == "new_a[i] = buf_a[i + 1];"
+
+
+class TestPipeDeclarations:
+    def test_two_pipes_per_face(self, pipe_design):
+        text = generate_pipe_declarations(pipe_design)
+        assert text.count("pipe float") == pipe_design.num_pipes
+
+    def test_depth_attribute(self, pipe_design):
+        text = generate_pipe_declarations(pipe_design)
+        assert f"xcl_reqd_pipe_depth({pipe_design.pipe_depth})" in text
+
+    def test_baseline_has_none(self, baseline_design):
+        text = generate_pipe_declarations(baseline_design)
+        assert "pipe float" not in text
+
+    def test_pipe_names_directional(self):
+        assert pipe_name((0, 0), (0, 1), 1) == "pipe_0_0_to_0_1_d1"
+
+    def test_endpoints_balanced(self, pipe_design):
+        for tile in pipe_design.tiles:
+            outgoing, incoming = tile_pipe_endpoints(pipe_design, tile)
+            assert len(outgoing) == len(incoming)
+            # A 2x2 corner tile touches two faces.
+            assert len(outgoing) == 2
+
+
+class TestKernelGeneration:
+    def test_kernel_names_unique(self, pipe_design):
+        names = {
+            kernel_name(pipe_design, t) for t in pipe_design.tiles
+        }
+        assert len(names) == len(pipe_design.tiles)
+
+    def test_kernel_has_local_buffers(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        text = generate_kernel(pipe_design, tile)
+        read_shape = pipe_design.tile_read_shape(tile)
+        dims = "".join(f"[{e}]" for e in read_shape)
+        assert f"__local float buf_a{dims};" in text
+        assert f"__local float new_a{dims};" in text
+
+    def test_kernel_braces_balanced(self, hetero_design):
+        for tile in hetero_design.tiles:
+            text = generate_kernel(hetero_design, tile)
+            assert text.count("{") == text.count("}")
+
+    def test_unroll_hint_emitted(self, small_jacobi2d):
+        from repro.tiling import make_baseline_design
+
+        design = make_baseline_design(
+            small_jacobi2d, (8, 8), (2, 2), 2, unroll=8
+        )
+        text = generate_kernel(design, design.tiles[0])
+        assert "opencl_unroll_hint(8)" in text
+
+    def test_frozen_guard_present(self, pipe_design):
+        text = generate_kernel(pipe_design, pipe_design.tiles[0])
+        assert "W0 - 1" in text  # radius-1 frozen guard
+
+    def test_sharing_kernels_touch_pipes(self, pipe_design):
+        text = generate_kernel(pipe_design, pipe_design.tiles[0])
+        assert "write_pipe_block(" in text
+        assert "read_pipe_block(" in text
+
+    def test_baseline_kernels_have_no_pipes(self, baseline_design):
+        text = generate_kernel(baseline_design, baseline_design.tiles[0])
+        assert "write_pipe_block" not in text
+
+
+class TestProgram:
+    def test_one_kernel_per_tile(self, hetero_design):
+        program = generate_program(hetero_design)
+        assert program.num_kernels == len(hetero_design.tiles)
+        for name in program.kernel_names.values():
+            assert f"__kernel void {name}(" in program.kernel_source
+
+    def test_program_braces_balanced(self, hetero_design):
+        program = generate_program(hetero_design)
+        assert program.kernel_source.count("{") == (
+            program.kernel_source.count("}")
+        )
+
+    def test_grid_size_defines(self, pipe_design):
+        program = generate_program(pipe_design)
+        assert "#define W0 32" in program.kernel_source
+
+    def test_multi_field_buffers(self, small_fdtd2d):
+        from repro.tiling import make_pipe_shared_design
+
+        design = make_pipe_shared_design(small_fdtd2d, (6, 6), (2, 2), 2)
+        program = generate_program(design)
+        for field in ("ex", "ey", "hz"):
+            assert f"buf_{field}" in program.kernel_source
+
+    def test_aux_read_only_argument(self, small_hotspot2d):
+        from repro.tiling import make_baseline_design
+
+        design = make_baseline_design(
+            small_hotspot2d, (8, 8), (2, 2), 2
+        )
+        program = generate_program(design)
+        assert "__global const float *restrict g_power" in (
+            program.kernel_source
+        )
+
+
+class TestHostProgram:
+    def test_launches_every_kernel(self, hetero_design):
+        program = generate_program(hetero_design)
+        for name in program.kernel_names.values():
+            assert f'stencil_launch(queue, "{name}"' in (
+                program.host_source
+            )
+
+    def test_block_and_region_loops(self, pipe_design):
+        program = generate_program(pipe_design)
+        blocks = pipe_design.num_temporal_blocks()
+        regions = pipe_design.num_spatial_regions()
+        assert f"block < {blocks}" in program.host_source
+        assert f"region < {regions}" in program.host_source
+
+    def test_barrier_after_launches(self, pipe_design):
+        program = generate_program(pipe_design)
+        assert "clFinish(queue);" in program.host_source
+
+    def test_ping_pong_swap(self, pipe_design):
+        program = generate_program(pipe_design)
+        assert "stencil_swap(&d_a, &d_a_out);" in program.host_source

@@ -1,0 +1,87 @@
+"""Tests for the full-space (parallelism x tile x depth) search."""
+
+import math
+
+import pytest
+
+from repro.dse import optimize_full, parallelism_candidates
+from repro.errors import DesignSpaceError
+from repro.stencil import jacobi_2d, get_benchmark
+from repro.tiling import DesignKind
+
+
+class TestParallelismCandidates:
+    def test_respects_kernel_cap(self):
+        spec = jacobi_2d(grid=(256, 256), iterations=8)
+        for counts in parallelism_candidates(spec, 8):
+            assert math.prod(counts) <= 8
+
+    def test_powers_of_two(self):
+        spec = jacobi_2d(grid=(256, 256), iterations=8)
+        for counts in parallelism_candidates(spec, 16):
+            for k in counts:
+                assert k & (k - 1) == 0
+
+    def test_includes_serial_option(self):
+        spec = jacobi_2d(grid=(64, 64), iterations=8)
+        assert (1, 1) in parallelism_candidates(spec, 16)
+
+    def test_small_grid_limits_counts(self):
+        spec = get_benchmark("jacobi-1d", grid=(8,), iterations=4)
+        candidates = parallelism_candidates(spec, 64)
+        assert max(math.prod(c) for c in candidates) <= 4
+
+    def test_sorted_by_parallelism(self):
+        spec = jacobi_2d(grid=(256, 256), iterations=8)
+        candidates = parallelism_candidates(spec, 8)
+        products = [math.prod(c) for c in candidates]
+        assert products == sorted(products)
+
+    def test_invalid_cap(self):
+        spec = jacobi_2d(grid=(64, 64), iterations=8)
+        with pytest.raises(DesignSpaceError):
+            parallelism_candidates(spec, 0)
+
+
+class TestOptimizeFull:
+    @pytest.fixture(scope="class")
+    def results(self):
+        spec = jacobi_2d(grid=(256, 256), iterations=32)
+        return optimize_full(
+            spec, unroll=2, max_kernels=8, max_fused_depth=16
+        )
+
+    def test_all_kinds_present(self, results):
+        assert set(results) == {
+            "baseline",
+            "pipe-shared",
+            "heterogeneous",
+        }
+
+    def test_kinds_correct(self, results):
+        assert results["baseline"].best.design.kind is (
+            DesignKind.BASELINE
+        )
+        assert results["heterogeneous"].best.design.kind is (
+            DesignKind.HETEROGENEOUS
+        )
+
+    def test_sharing_designs_beat_baseline(self, results):
+        base = results["baseline"].best.predicted_cycles
+        assert results["pipe-shared"].best.predicted_cycles <= base
+        assert results["heterogeneous"].best.predicted_cycles <= base
+
+    def test_all_fit_device(self, results):
+        from repro.fpga.estimator import ResourceEstimator
+        from repro.fpga.resources import VIRTEX7_690T
+
+        estimator = ResourceEstimator()
+        for result in results.values():
+            estimator.check_fits(result.best.design, VIRTEX7_690T)
+
+    def test_explores_multiple_parallelisms(self, results):
+        counts = {
+            c.design.tile_grid.counts
+            for c in results["baseline"].candidates
+        }
+        assert len(counts) > 3

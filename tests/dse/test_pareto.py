@@ -1,0 +1,62 @@
+"""Tests for Pareto-front utilities."""
+
+from repro.dse.optimizer import EvaluatedDesign
+from repro.dse.pareto import pareto_front
+from repro.fpga.estimator import DesignResources
+from repro.fpga.resources import ResourceVector
+from repro.stencil import jacobi_2d
+from repro.tiling import make_baseline_design
+
+
+def make_candidate(cycles, bram):
+    spec = jacobi_2d(grid=(32, 32), iterations=4)
+    design = make_baseline_design(spec, (8, 8), (2, 2), 2)
+    resources = DesignResources(
+        total=ResourceVector(bram18=bram),
+        kernels=ResourceVector(bram18=bram),
+        pipes=ResourceVector(),
+    )
+    return EvaluatedDesign(design, cycles, resources)
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        a = make_candidate(100, 10)
+        b = make_candidate(200, 20)  # dominated by a
+        front = pareto_front([a, b])
+        assert front == [a]
+
+    def test_tradeoff_points_kept(self):
+        fast_big = make_candidate(100, 50)
+        slow_small = make_candidate(200, 10)
+        front = pareto_front([fast_big, slow_small])
+        assert set(id(c) for c in front) == {
+            id(fast_big),
+            id(slow_small),
+        }
+
+    def test_sorted_by_cycles(self):
+        candidates = [
+            make_candidate(300, 5),
+            make_candidate(100, 50),
+            make_candidate(200, 20),
+        ]
+        front = pareto_front(candidates)
+        cycles = [c.predicted_cycles for c in front]
+        assert cycles == sorted(cycles)
+
+    def test_duplicate_objectives_all_kept(self):
+        a = make_candidate(100, 10)
+        b = make_candidate(100, 10)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_custom_objectives(self):
+        a = make_candidate(100, 50)
+        b = make_candidate(200, 10)
+        front = pareto_front(
+            [a, b], objectives=lambda e: (e.predicted_cycles,)
+        )
+        assert front == [a]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []

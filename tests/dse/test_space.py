@@ -1,0 +1,79 @@
+"""Tests for design-space definition and enumeration."""
+
+import pytest
+
+from repro.dse.space import DesignSpace, fused_depth_candidates
+from repro.errors import DesignSpaceError
+from repro.stencil import jacobi_2d
+
+
+class TestDepthCandidates:
+    def test_dense_prefix(self):
+        candidates = fused_depth_candidates(100, 1024)
+        assert set(range(1, 33)) <= set(candidates)
+
+    def test_includes_divisors(self):
+        candidates = fused_depth_candidates(200, 1024)
+        assert 128 in candidates  # divisor of 1024 beyond dense range
+
+    def test_respects_max(self):
+        assert max(fused_depth_candidates(50, 1024)) == 50
+
+    def test_capped_by_iterations(self):
+        assert max(fused_depth_candidates(100, 10)) == 10
+
+    def test_sorted_unique(self):
+        candidates = fused_depth_candidates(300, 1000)
+        assert candidates == sorted(set(candidates))
+
+    def test_invalid_max(self):
+        with pytest.raises(DesignSpaceError):
+            fused_depth_candidates(0, 100)
+
+
+class TestDesignSpace:
+    def test_default_space(self, paper_jacobi2d):
+        space = DesignSpace.default(paper_jacobi2d, (4, 4), unroll=4)
+        assert space.counts == (4, 4)
+        shapes = list(space.tile_shapes())
+        assert (128, 128) in shapes
+
+    def test_tile_candidates_divide_grid(self, paper_jacobi2d):
+        space = DesignSpace.default(paper_jacobi2d, (4, 4))
+        for shape in space.tile_shapes():
+            for extent, count, grid in zip(
+                shape, (4, 4), paper_jacobi2d.grid_shape
+            ):
+                assert grid % (extent * count) == 0
+
+    def test_size_estimate(self, paper_jacobi2d):
+        space = DesignSpace.default(
+            paper_jacobi2d, (4, 4), max_fused_depth=16
+        )
+        assert space.size_estimate == len(
+            list(space.tile_shapes())
+        ) * len(space.depth_candidates())
+
+    def test_rank_validation(self, paper_jacobi2d):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(
+                spec=paper_jacobi2d,
+                counts=(4,),
+                tile_candidates=((8,), (8,)),
+                max_fused_depth=4,
+            )
+
+    def test_empty_candidates_rejected(self, paper_jacobi2d):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(
+                spec=paper_jacobi2d,
+                counts=(4, 4),
+                tile_candidates=((8,), ()),
+                max_fused_depth=4,
+            )
+
+    def test_infeasible_grid_rejected(self):
+        spec = jacobi_2d(grid=(24, 24), iterations=8)
+        with pytest.raises(DesignSpaceError):
+            # min_tile 16 x 4 counts = 64 > 24: nothing divides.
+            DesignSpace.default(spec, (4, 4), min_tile=16)

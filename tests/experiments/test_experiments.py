@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (tables and figures)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE3,
+    TABLE3_CONFIGS,
+    render_table,
+    run_table2,
+)
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.figure7 import (
+    FIGURE7_BENCHMARKS,
+    mean_error,
+    render_figure7,
+    run_figure7,
+)
+from repro.experiments.table2 import render_table2
+from repro.experiments.table3 import mean_speedup, render_table3, run_table3
+from repro.stencil.library import PAPER_SUITE
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [("a", 1), ("long-name", 2.5)]
+        )
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(1.6547,), (1.5e9,)])
+        assert "1.655" in text
+        assert "1.500e+09" in text
+
+
+class TestConfigs:
+    def test_configs_cover_paper_suite(self):
+        assert set(TABLE3_CONFIGS) == set(PAPER_SUITE)
+
+    def test_paper_table3_complete(self):
+        assert set(PAPER_TABLE3) == set(PAPER_SUITE)
+        for row in PAPER_TABLE3.values():
+            assert row.hetero_fused > row.baseline_fused
+            assert row.speedup > 1.0
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_CONFIGS))
+    def test_baselines_build_and_fit(self, name):
+        from repro.fpga.estimator import ResourceEstimator
+        from repro.fpga.resources import VIRTEX7_690T
+
+        design = TABLE3_CONFIGS[name].baseline()
+        ResourceEstimator().check_fits(design, VIRTEX7_690T)
+
+
+class TestTable2:
+    def test_rows_match_paper(self):
+        rows = {r.benchmark: r for r in run_table2()}
+        assert rows["jacobi-2d"].input_size == (2048, 2048)
+        assert rows["jacobi-2d"].iterations == 1024
+        assert rows["fdtd-2d"].fields == 3
+
+    def test_render(self):
+        text = render_table2(run_table2())
+        assert "Polybench" in text
+        assert "hotspot-3d" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # One 2-D and the 1-D benchmark keep the test fast while
+        # covering both geometry classes.
+        return run_table3(benchmarks=("jacobi-1d", "fdtd-2d"))
+
+    def test_speedup_positive(self, rows):
+        for row in rows:
+            assert row.speedup > 1.0
+
+    def test_resources_within_slack(self, rows):
+        for row in rows:
+            assert row.hetero_resources.bram18 <= (
+                row.baseline_resources.bram18 * 1.05 + 1
+            )
+
+    def test_dsp_identical(self, rows):
+        for row in rows:
+            assert (
+                row.hetero_resources.dsp == row.baseline_resources.dsp
+            )
+
+    def test_hetero_deeper_fusion(self, rows):
+        for row in rows:
+            assert (
+                row.heterogeneous.fused_depth >= row.baseline.fused_depth
+            )
+
+    def test_mean_speedup(self, rows):
+        assert mean_speedup(rows) == pytest.approx(
+            sum(r.speedup for r in rows) / len(rows)
+        )
+
+    def test_render(self, rows):
+        text = render_table3(rows)
+        assert "Heterogeneous" in text
+        assert "Mean speedup" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return run_figure6(benchmarks=("jacobi-2d",))
+
+    def test_three_designs_per_benchmark(self, bars):
+        labels = [b.design_label for b in bars]
+        assert labels == ["baseline", "pipe-shared", "heterogeneous"]
+
+    def test_fractions_sum_to_one(self, bars):
+        for bar in bars:
+            assert sum(bar.fractions.values()) == pytest.approx(1.0)
+
+    def test_redundancy_shrinks(self, bars):
+        by_label = {b.design_label: b for b in bars}
+        assert (
+            by_label["heterogeneous"].fractions["compute_redundant"]
+            < by_label["baseline"].fractions["compute_redundant"]
+        )
+
+    def test_total_improves(self, bars):
+        by_label = {b.design_label: b for b in bars}
+        assert (
+            by_label["heterogeneous"].total_cycles
+            < by_label["baseline"].total_cycles
+        )
+
+    def test_render(self, bars):
+        assert "compute_redundant" in render_figure6(bars)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_figure7(benchmarks=("jacobi-2d",))
+
+    def test_model_underestimates(self, series):
+        assert series[0].underestimates
+
+    def test_error_in_paper_band(self, series):
+        assert 0.02 < series[0].mean_abs_error < 0.30
+
+    def test_sweep_covers_baseline_depth(self, series):
+        assert 32 in series[0].depths
+
+    def test_render(self, series):
+        text = render_figure7(series)
+        assert "Mean |error|" in text
+        assert "underestimates=True" in text
+
+    def test_benchmark_list_matches_paper_panels(self):
+        assert len(FIGURE7_BENCHMARKS) == 6

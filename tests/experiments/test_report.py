@@ -1,0 +1,65 @@
+"""Tests for report rendering (tables and ASCII charts)."""
+
+from repro.experiments.report import (
+    format_shape,
+    render_series_chart,
+    render_table,
+)
+
+
+class TestFormatShape:
+    def test_multi(self):
+        assert format_shape((4, 8)) == "4 x 8"
+
+    def test_single(self):
+        assert format_shape((7,)) == "7"
+
+
+class TestSeriesChart:
+    def test_extremes_plotted(self):
+        chart = render_series_chart(
+            [1, 2, 3, 4], [("M", [10.0, 20.0, 15.0, 40.0])]
+        )
+        lines = chart.splitlines()
+        assert any("M" in line for line in lines)
+        assert "4.000e+01" in chart
+        assert "1.000e+01" in chart
+
+    def test_two_series_markers(self):
+        chart = render_series_chart(
+            [1, 2], [("P", [1.0, 2.0]), ("M", [2.0, 4.0])]
+        )
+        assert "P" in chart
+        assert "M" in chart
+
+    def test_title(self):
+        chart = render_series_chart(
+            [1, 2], [("x", [1.0, 2.0])], title="hello"
+        )
+        assert chart.startswith("hello")
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_series_chart([1, 2, 3], [("c", [5.0, 5.0, 5.0])])
+        assert "c" in chart
+
+    def test_empty_inputs(self):
+        assert render_series_chart([], [], title="t") == "t"
+
+    def test_axis_labels(self):
+        chart = render_series_chart(
+            [2, 64], [("m", [1.0, 3.0])]
+        )
+        assert "2" in chart.splitlines()[-1]
+        assert "64" in chart.splitlines()[-1]
+
+
+class TestRenderTable:
+    def test_tuple_cells(self):
+        text = render_table(["shape"], [((4, 4),)])
+        assert "4x4" in text
+
+    def test_zero_float(self):
+        assert "0" in render_table(["x"], [(0.0,)])
+
+    def test_tiny_float_scientific(self):
+        assert "e-0" in render_table(["x"], [(1e-6,)])

@@ -1,0 +1,79 @@
+"""Tests for the CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Stencil Benchmark Suite" in out
+
+    def test_table3_subset(self, capsys):
+        assert main(["table3", "--benchmarks", "jacobi-1d"]) == 0
+        out = capsys.readouterr().out
+        assert "jacobi-1d" in out
+        assert "Heterogeneous" in out
+
+    def test_figure7_subset(self, capsys):
+        assert main(["figure7", "--benchmarks", "jacobi-2d"]) == 0
+        out = capsys.readouterr().out
+        assert "Validation of Performance Model" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])
+
+    def test_simulate_tool(self, capsys):
+        assert main(["simulate", "--benchmark", "jacobi-1d"]) == 0
+        out = capsys.readouterr().out
+        assert "Total:" in out
+        assert "Breakdown:" in out
+
+    def test_simulate_baseline_design(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--benchmark",
+                    "jacobi-1d",
+                    "--design",
+                    "baseline",
+                ]
+            )
+            == 0
+        )
+        assert "baseline" in capsys.readouterr().out
+
+    def test_codegen_tool(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "codegen",
+                    "--benchmark",
+                    "jacobi-1d",
+                    "--design",
+                    "baseline",
+                    "--output",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "jacobi_1d_baseline.cl").exists()
+        assert (tmp_path / "jacobi_1d_baseline_host.c").exists()
+
+    def test_calibrate_tool(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "effective bandwidth" in out
+        assert "C_pipe" in out
+
+    def test_optimize_tool(self, capsys):
+        assert main(["optimize", "--benchmark", "jacobi-1d"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "hetero" in out
+        assert "speedup" in out

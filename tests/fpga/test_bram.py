@@ -1,0 +1,95 @@
+"""Tests for BRAM packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.fpga.bram import (
+    bram18_blocks,
+    fifo_resources,
+    local_array_blocks,
+)
+
+
+class TestBram18Blocks:
+    def test_512_floats_fit_one_block(self):
+        # 32-bit words use the 512x36 aspect.
+        assert bram18_blocks(512, 32) == 1
+
+    def test_513_floats_need_two(self):
+        assert bram18_blocks(513, 32) == 2
+
+    def test_narrow_words_pack_deeper(self):
+        assert bram18_blocks(16384, 1) == 1
+        assert bram18_blocks(2048, 9) == 1
+
+    def test_wide_words_gang_blocks(self):
+        # 64-bit words gang two RAMB18s side by side.
+        assert bram18_blocks(512, 64) == 2
+
+    def test_zero_words_zero_blocks(self):
+        assert bram18_blocks(0, 32) == 0
+
+    def test_partitioning_rounds_per_bank(self):
+        # 1024 words in one bank: 2 blocks.  In 16 banks of 64 words:
+        # 16 blocks (each bank rounds up to a whole primitive).
+        assert bram18_blocks(1024, 32, partitions=1) == 2
+        assert bram18_blocks(1024, 32, partitions=16) == 16
+
+    def test_invalid_args(self):
+        with pytest.raises(SpecificationError):
+            bram18_blocks(-1, 32)
+        with pytest.raises(SpecificationError):
+            bram18_blocks(1, 0)
+        with pytest.raises(SpecificationError):
+            bram18_blocks(1, 32, partitions=0)
+
+    @given(
+        st.integers(1, 100_000),
+        st.sampled_from([8, 16, 32, 64]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_partitioning_never_reduces_blocks(self, words, bits, parts):
+        assert bram18_blocks(words, bits, parts) >= bram18_blocks(
+            words, bits, 1
+        )
+
+    @given(st.integers(0, 100_000), st.sampled_from([8, 16, 32, 64]))
+    def test_capacity_sufficient(self, words, bits):
+        # The blocks allocated must physically hold the payload.
+        blocks = bram18_blocks(words, bits)
+        assert blocks * 18 * 1024 >= words * bits
+
+
+class TestLocalArrayBlocks:
+    def test_double_buffering_doubles(self):
+        single = local_array_blocks(1000, 4, double_buffered=False)
+        double = local_array_blocks(1000, 4, double_buffered=True)
+        assert double == 2 * single
+
+    def test_zero_cells(self):
+        assert local_array_blocks(0, 4) == 0
+
+
+class TestFifoResources:
+    def test_shallow_fifo_uses_no_bram(self):
+        res = fifo_resources(16, 32)  # 512 bits -> SRL
+        assert res.bram18 == 0
+        assert res.lut > 0
+
+    def test_deep_fifo_uses_bram(self):
+        res = fifo_resources(1024, 32)
+        assert res.bram18 >= 1
+
+    def test_controller_overhead_present(self):
+        assert fifo_resources(8, 8).ff >= 64
+
+    def test_invalid_depth(self):
+        with pytest.raises(SpecificationError):
+            fifo_resources(0, 32)
+
+    def test_threshold_boundary(self):
+        at = fifo_resources(32, 32)  # exactly 1024 bits
+        above = fifo_resources(33, 32)
+        assert at.bram18 == 0
+        assert above.bram18 >= 1

@@ -1,0 +1,115 @@
+"""Tests for the design resource estimator."""
+
+import pytest
+
+from repro.fpga.estimator import ResourceEstimator, estimate_resources
+from repro.stencil import jacobi_2d
+from repro.tiling import (
+    make_baseline_design,
+    make_heterogeneous_design,
+    make_pipe_shared_design,
+)
+
+
+@pytest.fixture
+def estimator():
+    return ResourceEstimator()
+
+
+@pytest.fixture
+def paper_designs():
+    spec = jacobi_2d()
+    baseline = make_baseline_design(spec, (128, 128), (4, 4), 32, unroll=4)
+    hetero = make_heterogeneous_design(
+        spec, (512, 512), (4, 4), 63, unroll=4
+    )
+    return baseline, hetero
+
+
+class TestComposition:
+    def test_total_is_kernels_plus_pipes(self, estimator, hetero_design):
+        res = estimator.estimate(hetero_design)
+        assert res.total == res.kernels + res.pipes
+
+    def test_baseline_has_no_pipe_resources(self, estimator, baseline_design):
+        res = estimator.estimate(baseline_design)
+        assert res.pipes.ff == 0
+        assert res.pipes.bram18 == 0
+
+    def test_sharing_design_has_pipe_resources(self, estimator, pipe_design):
+        res = estimator.estimate(pipe_design)
+        assert res.pipes.ff > 0
+
+    def test_as_dict_structure(self, estimator, baseline_design):
+        d = estimator.estimate(baseline_design).as_dict()
+        assert set(d) == {"total", "kernels", "pipes"}
+        assert d["total"]["dsp"] >= 0
+
+
+class TestPaperClaims:
+    def test_dsp_equal_across_designs(self, estimator, paper_designs):
+        """Same parallelism and unroll -> identical DSP (Section 5.5)."""
+        baseline, hetero = paper_designs
+        assert (
+            estimator.estimate(baseline).total.dsp
+            == estimator.estimate(hetero).total.dsp
+        )
+
+    def test_hetero_saves_bram(self, estimator, paper_designs):
+        """Pipe sharing shrinks buffers: 8-25 % BRAM saving."""
+        baseline, hetero = paper_designs
+        base_bram = estimator.estimate(baseline).total.bram18
+        het_bram = estimator.estimate(hetero).total.bram18
+        saving = 1 - het_bram / base_bram
+        assert 0.05 < saving < 0.45
+
+    def test_hetero_saves_lut(self, estimator, paper_designs):
+        baseline, hetero = paper_designs
+        assert (
+            estimator.estimate(hetero).total.lut
+            < estimator.estimate(baseline).total.lut
+        )
+
+    def test_fits_the_690t(self, estimator, paper_designs):
+        from repro.fpga.resources import VIRTEX7_690T
+
+        baseline, hetero = paper_designs
+        estimator.check_fits(baseline, VIRTEX7_690T)
+        estimator.check_fits(hetero, VIRTEX7_690T)
+
+
+class TestScaling:
+    def test_dsp_scales_with_unroll(self, small_jacobi2d, estimator):
+        lo = make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 4, unroll=1)
+        hi = make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 4, unroll=4)
+        assert (
+            estimator.estimate(hi).total.dsp
+            == 4 * estimator.estimate(lo).total.dsp
+        )
+
+    def test_bram_grows_with_fused_depth(self, paper_jacobi2d, estimator):
+        shallow = make_baseline_design(
+            paper_jacobi2d, (128, 128), (4, 4), 4
+        )
+        deep = make_baseline_design(paper_jacobi2d, (128, 128), (4, 4), 64)
+        assert (
+            estimator.estimate(deep).total.bram18
+            > estimator.estimate(shallow).total.bram18
+        )
+
+    def test_aux_arrays_cost_bram(self, estimator):
+        from repro.stencil import hotspot_2d, jacobi_2d
+
+        jac = make_baseline_design(
+            jacobi_2d(grid=(256, 256), iterations=16), (64, 64), (2, 2), 4
+        )
+        hot = make_baseline_design(
+            hotspot_2d(grid=(256, 256), iterations=16), (64, 64), (2, 2), 4
+        )
+        assert (
+            estimator.estimate(hot).total.bram18
+            > estimator.estimate(jac).total.bram18
+        )
+
+    def test_convenience_wrapper(self, baseline_design):
+        assert estimate_resources(baseline_design).total.dsp > 0

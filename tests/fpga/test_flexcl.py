@@ -1,0 +1,71 @@
+"""Tests for the FlexCL-style II estimator."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
+from repro.stencil import get_benchmark
+
+
+@pytest.fixture
+def jacobi2d_pattern():
+    return get_benchmark("jacobi-2d").pattern
+
+
+class TestEstimate:
+    def test_default_achieves_ii_one(self, jacobi2d_pattern):
+        report = FlexCLEstimator().estimate(jacobi2d_pattern, unroll=1)
+        assert report.ii == 1
+
+    def test_cycles_per_element(self, jacobi2d_pattern):
+        report = FlexCLEstimator().estimate(jacobi2d_pattern, unroll=4)
+        assert report.cycles_per_element == pytest.approx(report.ii / 4)
+
+    def test_forced_narrow_banking_raises_ii(self, jacobi2d_pattern):
+        report = FlexCLEstimator().estimate(
+            jacobi2d_pattern, unroll=4, partitions=1
+        )
+        # 5 taps x 4 PEs = 20 reads over 2 ports -> II = 10.
+        assert report.ii == 10
+
+    def test_partition_cap_limits_banking(self, jacobi2d_pattern):
+        estimator = FlexCLEstimator(max_partitions=2)
+        report = estimator.estimate(jacobi2d_pattern, unroll=8)
+        assert report.partitions <= 2
+        assert report.ii > 1
+
+    def test_partitions_power_of_two(self, jacobi2d_pattern):
+        report = FlexCLEstimator().estimate(jacobi2d_pattern, unroll=3)
+        assert report.partitions & (report.partitions - 1) == 0
+
+    def test_depth_grows_with_tap_count(self):
+        narrow = get_benchmark("jacobi-1d").pattern  # 3 taps
+        wide = get_benchmark("seidel-2d").pattern  # 9 taps
+        est = FlexCLEstimator()
+        assert (
+            est.estimate(wide).depth >= est.estimate(narrow).depth
+        )
+
+    def test_invalid_unroll(self, jacobi2d_pattern):
+        with pytest.raises(SpecificationError):
+            FlexCLEstimator().estimate(jacobi2d_pattern, unroll=0)
+
+    def test_invalid_partitions(self, jacobi2d_pattern):
+        with pytest.raises(SpecificationError):
+            FlexCLEstimator().estimate(jacobi2d_pattern, partitions=0)
+
+    def test_invalid_max_partitions(self):
+        with pytest.raises(SpecificationError):
+            FlexCLEstimator(max_partitions=0)
+
+    def test_reads_per_cycle_consistent(self, jacobi2d_pattern):
+        report = FlexCLEstimator().estimate(jacobi2d_pattern, unroll=2)
+        assert report.reads_per_cycle == pytest.approx(
+            jacobi2d_pattern.points_per_cell() * 2 / report.ii
+        )
+
+    def test_multi_field_pattern(self):
+        pattern = get_benchmark("fdtd-2d").pattern
+        report = FlexCLEstimator().estimate(pattern, unroll=2)
+        assert report.ii >= 1
+        assert report.unroll == 2

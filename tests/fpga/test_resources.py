@@ -1,0 +1,106 @@
+"""Tests for resource-vector algebra and device capacities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ResourceError, SpecificationError
+from repro.fpga.resources import VIRTEX7_690T, FpgaDevice, ResourceVector
+
+vectors = st.builds(
+    ResourceVector,
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert a + b == ResourceVector(11, 22, 33, 44)
+
+    def test_subtraction_floors_at_zero(self):
+        a = ResourceVector(5, 5, 5, 5)
+        b = ResourceVector(10, 2, 10, 2)
+        assert a - b == ResourceVector(0, 3, 0, 3)
+
+    def test_scaled_rounds_up(self):
+        assert ResourceVector(3, 0, 0, 0).scaled(0.5).ff == 2
+
+    def test_scaled_zero(self):
+        assert ResourceVector(5, 5, 5, 5).scaled(0) == ResourceVector()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector().scaled(-1)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector(ff=-1)
+
+    def test_max_with(self):
+        a = ResourceVector(1, 20, 3, 40)
+        b = ResourceVector(10, 2, 30, 4)
+        assert a.max_with(b) == ResourceVector(10, 20, 30, 40)
+
+    def test_fits_within(self):
+        small = ResourceVector(1, 1, 1, 1)
+        big = ResourceVector(2, 2, 2, 2)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_is_componentwise(self):
+        a = ResourceVector(ff=10, lut=1)
+        b = ResourceVector(ff=1, lut=10)
+        assert not a.fits_within(b)
+        assert not b.fits_within(a)
+
+    def test_utilization(self):
+        usage = ResourceVector(ff=50)
+        cap = ResourceVector(ff=100, lut=10)
+        util = usage.utilization(cap)
+        assert util["ff"] == pytest.approx(0.5)
+        assert util["lut"] == 0.0
+
+    def test_as_dict(self):
+        d = ResourceVector(1, 2, 3, 4).as_dict()
+        assert d == {"ff": 1, "lut": 2, "dsp": 3, "bram18": 4}
+
+    @given(vectors, vectors)
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors, vectors, vectors)
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(vectors, vectors)
+    def test_sum_fits_iff_components(self, a, b):
+        assert a.fits_within(a + b)
+
+    @given(vectors)
+    def test_scaling_by_one_is_identity(self, a):
+        assert a.scaled(1.0) == a
+
+
+class TestDevice:
+    def test_virtex7_capacities(self):
+        cap = VIRTEX7_690T.capacity
+        assert cap.dsp == 3600
+        assert cap.bram18 == 2940
+        assert cap.lut == 433_200
+        assert cap.ff == 866_400
+
+    def test_check_fits_passes(self):
+        VIRTEX7_690T.check_fits(ResourceVector(1, 1, 1, 1))
+
+    def test_check_fits_raises_with_component_names(self):
+        over = ResourceVector(dsp=4000)
+        with pytest.raises(ResourceError, match="dsp"):
+            VIRTEX7_690T.check_fits(over)
+
+    def test_headroom(self):
+        usage = ResourceVector(dsp=600)
+        assert VIRTEX7_690T.headroom(usage).dsp == 3000

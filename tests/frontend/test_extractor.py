@@ -1,0 +1,175 @@
+"""Tests for the feature extractor (linearization + pattern recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError
+from repro.frontend import extract_features, extract_pattern
+
+JACOBI_1D = """
+__kernel void jac(__global float* A, __global float* B) {
+    int i = get_global_id(0);
+    B[i] = 0.33333f * (A[i-1] + A[i] + A[i+1]);
+}
+"""
+
+
+class TestSingleStatement:
+    def test_jacobi_taps(self):
+        pattern = extract_pattern(JACOBI_1D, field_map={"B": "A"})
+        taps = {t.offset: t.coeff for t in pattern.updates["A"].taps}
+        assert set(taps) == {(-1,), (0,), (1,)}
+        assert all(c == pytest.approx(0.33333) for c in taps.values())
+
+    def test_auto_field_pairing_single_read(self):
+        # B is written, A is the only state read: pairs automatically.
+        pattern = extract_pattern(JACOBI_1D)
+        assert pattern.fields == ("A",)
+
+    def test_radius(self):
+        assert extract_pattern(JACOBI_1D).radius == (1,)
+
+    def test_ndim_from_global_ids(self):
+        source = """
+        int i = get_global_id(0);
+        int j = get_global_id(1);
+        B[i][j] = A[i][j-1] + A[i][j+1];
+        """
+        features = extract_features(source)
+        assert features.ndim == 2
+        assert features.index_vars == ("i", "j")
+
+    def test_index_vars_inferred_without_global_id(self):
+        features = extract_features("B[i][j] = A[i-1][j];")
+        assert features.index_vars == ("i", "j")
+
+    def test_constant_term(self):
+        pattern = extract_pattern("B[i] = A[i] + 0.25f;")
+        assert pattern.updates["A"].constant == pytest.approx(0.25)
+
+    def test_subtraction_negates(self):
+        pattern = extract_pattern("B[i] = A[i] - 0.5f * A[i-1];")
+        taps = {t.offset: t.coeff for t in pattern.updates["A"].taps}
+        assert taps[(-1,)] == pytest.approx(-0.5)
+
+    def test_division_scales(self):
+        pattern = extract_pattern("B[i] = (A[i-1] + A[i+1]) / 2.0f;")
+        taps = {t.offset: t.coeff for t in pattern.updates["A"].taps}
+        assert taps[(1,)] == pytest.approx(0.5)
+
+    def test_unary_minus(self):
+        pattern = extract_pattern("B[i] = -A[i];")
+        assert pattern.updates["A"].taps[0].coeff == -1.0
+
+    def test_duplicate_reads_merge(self):
+        pattern = extract_pattern("B[i] = A[i] + A[i] + A[i-1];")
+        taps = {t.offset: t.coeff for t in pattern.updates["A"].taps}
+        assert taps[(0,)] == pytest.approx(2.0)
+
+    def test_scalar_temporaries_inlined(self):
+        source = """
+        float c = 0.1f;
+        float d = c * 2.0f;
+        B[i] = d * A[i];
+        """
+        pattern = extract_pattern(source)
+        assert pattern.updates["A"].taps[0].coeff == pytest.approx(0.2)
+
+    def test_dtype_float64_detected(self):
+        features = extract_features(
+            "double c = 1.0; B[i] = c * A[i];"
+        )
+        assert features.dtype == np.dtype(np.float64)
+
+    def test_dtype_defaults_float32(self):
+        assert extract_features("B[i] = A[i];").dtype == np.dtype(
+            np.float32
+        )
+
+
+class TestAuxInputs:
+    def test_aux_excluded_from_fields(self):
+        source = "T2[i] = T[i] + 0.1f * P[i];"
+        pattern = extract_pattern(source, field_map={"T2": "T"}, aux=("P",))
+        assert pattern.fields == ("T",)
+        assert pattern.aux == ("P",)
+
+    def test_auto_pairing_ignores_aux(self):
+        source = "T2[i] = T[i] + 0.1f * P[i];"
+        pattern = extract_pattern(source, aux=("P",))
+        assert pattern.fields == ("T",)
+
+
+class TestMultiStage:
+    def test_in_place_multi_field(self):
+        source = """
+        int i = get_global_id(0);
+        ey[i] = ey[i] - 0.5f * (hz[i] - hz[i-1]);
+        hz[i] = hz[i] - 0.7f * (ey[i+1] - ey[i]);
+        """
+        pattern = extract_pattern(source)
+        assert set(pattern.fields) == {"ey", "hz"}
+        # hz's update must see the *composed* ey (which reads hz).
+        hz_sources = {t.source for t in pattern.updates["hz"].taps}
+        assert hz_sources == {"hz", "ey"}
+
+    def test_stage_order_matters(self):
+        forward = extract_pattern(
+            "a[i] = 2.0f * a[i]; b[i] = a[i];", field_map={"b": "b"}
+        )
+        backward = extract_pattern(
+            "b[i] = a[i]; a[i] = 2.0f * a[i];", field_map={"b": "b"}
+        )
+        f = {t.offset: t.coeff for t in forward.updates["b"].taps}
+        g = {t.offset: t.coeff for t in backward.updates["b"].taps}
+        assert f[(0,)] == pytest.approx(2.0)
+        assert g[(0,)] == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(ExtractionError, match="Non-linear"):
+            extract_pattern("B[i] = A[i] * A[i-1];")
+
+    def test_division_by_array_rejected(self):
+        with pytest.raises(ExtractionError, match="Non-linear"):
+            extract_pattern("B[i] = 1.0f / A[i];")
+
+    def test_unknown_scalar_rejected(self):
+        with pytest.raises(ExtractionError, match="Unknown scalar"):
+            extract_pattern("B[i] = alpha * A[i];")
+
+    def test_offset_target_rejected(self):
+        with pytest.raises(ExtractionError, match="offset zero"):
+            extract_pattern("B[i+1] = A[i];")
+
+    def test_complex_subscript_rejected(self):
+        with pytest.raises(ExtractionError):
+            extract_pattern("B[i] = A[2*i];")
+
+    def test_no_update_statement_rejected(self):
+        with pytest.raises(ExtractionError, match="no array update"):
+            extract_features("int i = get_global_id(0);")
+
+    def test_ambiguous_pairing_needs_field_map(self):
+        with pytest.raises(ExtractionError, match="field_map"):
+            extract_pattern("C[i] = A[i] + B[i];")
+
+    def test_call_in_expression_rejected(self):
+        with pytest.raises(ExtractionError, match="Unsupported call"):
+            extract_pattern("B[i] = sqrt(A[i]);")
+
+    def test_index_var_outside_subscript_rejected(self):
+        with pytest.raises(ExtractionError, match="outside a subscript"):
+            extract_pattern(
+                "int i = get_global_id(0); B[i] = A[i] + i;"
+            )
+
+
+class TestOperationCounts:
+    def test_counts_as_written(self):
+        features = extract_features(JACOBI_1D, field_map={"B": "A"})
+        assert features.counts.adds == 2
+        assert features.counts.muls == 1
+        assert features.counts.array_reads == 3
+        assert features.counts.array_writes == 1

@@ -1,0 +1,88 @@
+"""Tests for the OpenCL-C subset tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty_source_has_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers(self):
+        assert texts("alpha _beta g2") == ["alpha", "_beta", "g2"]
+
+    def test_symbols(self):
+        assert kinds("+-*/()[]=;,")[:-1] == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.ASSIGN,
+            TokenKind.SEMICOLON,
+            TokenKind.COMMA,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="Unexpected character"):
+            tokenize("a @ b")
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert texts("42") == ["42"]
+
+    def test_float_with_suffix_absorbed(self):
+        tokens = tokenize("0.25f")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "0.25"
+
+    def test_capital_suffix(self):
+        assert texts("1.5F") == ["1.5"]
+
+    def test_leading_dot(self):
+        assert texts(".5") == [".5"]
+
+    def test_scientific_notation(self):
+        assert texts("1e-3 2.5E+2") == ["1e-3", "2.5E+2"]
+
+    def test_number_then_ident(self):
+        out = texts("2 * x")
+        assert out == ["2", "*", "x"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="Unterminated"):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError, match="line 2"):
+            tokenize("ok\n  @")

@@ -1,0 +1,55 @@
+"""Tests for operation counting."""
+
+from repro.frontend import count_operations, parse_kernel_body
+from repro.frontend.opcount import OperationCounts
+
+
+def count(source):
+    return count_operations(parse_kernel_body(source))
+
+
+class TestCounts:
+    def test_adds_and_muls(self):
+        counts = count("B[i] = 0.2f * (A[i] + A[i-1] + A[i+1]);")
+        assert counts.adds == 2
+        assert counts.muls == 1
+        assert counts.flops == 3
+
+    def test_subs_counted_separately(self):
+        counts = count("B[i] = A[i] - A[i-1];")
+        assert counts.subs == 1
+        assert counts.adds == 0
+
+    def test_divisions(self):
+        assert count("B[i] = A[i] / 3.0f;").divs == 1
+
+    def test_reads_and_writes(self):
+        counts = count("B[i] = A[i] + C[i];")
+        assert counts.array_reads == 2
+        assert counts.array_writes == 1
+
+    def test_scalar_target_not_an_array_write(self):
+        counts = count("t = A[i] + A[i+1];")
+        assert counts.array_writes == 0
+        assert counts.array_reads == 2
+
+    def test_unary_transparent(self):
+        counts = count("B[i] = -A[i];")
+        assert counts.flops == 0
+
+    def test_multi_statement_accumulates(self):
+        counts = count("B[i] = A[i] + A[i-1]; C[i] = B[i] * 2.0f;")
+        assert counts.adds == 1
+        assert counts.muls == 1
+        assert counts.array_writes == 2
+
+    def test_addition_operator(self):
+        total = OperationCounts(adds=1) + OperationCounts(
+            adds=2, muls=3
+        )
+        assert total.adds == 3
+        assert total.muls == 3
+
+    def test_call_arguments_counted(self):
+        counts = count("int i = f(A[i] + A[i+1]);")
+        assert counts.adds == 1

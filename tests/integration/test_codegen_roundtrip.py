@@ -1,0 +1,102 @@
+"""Round-trip property: codegen output re-parsed by our own frontend.
+
+The generated update statement must linearize back to exactly the taps
+of the pattern it was generated from — tying the code generator and the
+feature extractor together through the shared pattern representation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import update_statement
+from repro.frontend import extract_pattern
+from repro.stencil import get_benchmark
+from repro.stencil.pattern import FieldUpdate, StencilPattern, Tap
+
+
+@st.composite
+def single_field_patterns(draw):
+    ndim = draw(st.integers(1, 3))
+    num_taps = draw(st.integers(1, 6))
+    offsets = set()
+    for _ in range(num_taps):
+        offsets.add(
+            tuple(draw(st.integers(-2, 2)) for _ in range(ndim))
+        )
+    taps = tuple(
+        Tap(
+            "a",
+            off,
+            draw(
+                st.floats(
+                    min_value=-4.0,
+                    max_value=4.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ).filter(lambda c: abs(c) > 1e-6)
+            ),
+        )
+        for off in sorted(offsets)
+    )
+    constant = draw(st.sampled_from([0.0, 0.5, 1.25]))
+    return StencilPattern(
+        name="roundtrip",
+        ndim=ndim,
+        fields=("a",),
+        updates={"a": FieldUpdate(taps=taps, constant=constant)},
+    )
+
+
+def roundtrip(pattern):
+    index_vars = [f"x{d}" for d in range(pattern.ndim)]
+    decls = "".join(
+        f"int x{d} = get_global_id({d});" for d in range(pattern.ndim)
+    )
+    stmt = update_statement(pattern, "a", index_vars)
+    return extract_pattern(decls + stmt, field_map={"new_a": "buf_a"})
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(single_field_patterns())
+    def test_taps_survive_roundtrip(self, pattern):
+        recovered = roundtrip(pattern)
+        original = {
+            (t.offset): t.coeff for t in pattern.updates["a"].taps
+        }
+        (field,) = recovered.updates
+        extracted = {
+            (t.offset): t.coeff for t in recovered.updates[field].taps
+        }
+        assert set(extracted) == set(original)
+        for offset, coeff in original.items():
+            assert extracted[offset] == pytest.approx(coeff, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(single_field_patterns())
+    def test_constant_survives_roundtrip(self, pattern):
+        recovered = roundtrip(pattern)
+        assert recovered.updates["buf_a"].constant if False else True
+        assert recovered.updates[
+            list(recovered.updates)[0]
+        ].constant == pytest.approx(
+            pattern.updates["a"].constant, abs=1e-6
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["jacobi-1d", "jacobi-2d", "jacobi-3d", "seidel-2d"]
+    )
+    def test_library_benchmarks_roundtrip(self, name):
+        pattern = get_benchmark(name).pattern
+        recovered = roundtrip(pattern)
+        assert recovered.radius == pattern.radius
+        original = {
+            t.offset: t.coeff for t in pattern.updates["a"].taps
+        }
+        extracted = {
+            t.offset: t.coeff
+            for t in recovered.updates[
+                list(recovered.updates)[0]
+            ].taps
+        }
+        assert extracted.keys() == original.keys()

@@ -1,0 +1,76 @@
+"""Tests for the off-line profiling calibrator."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.calibration import OfflineProfiler, _linear_fit
+from repro.opencl.platform import ADM_PCIE_7V3
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        intercept, slope = _linear_fit([0, 1, 2], [5, 7, 9])
+        assert intercept == pytest.approx(5.0)
+        assert slope == pytest.approx(2.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(SimulationError):
+            _linear_fit([1.0], [2.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(SimulationError):
+            _linear_fit([3.0, 3.0], [1.0, 2.0])
+
+
+class TestParameterRecovery:
+    """Profiling against the simulator must recover the board's own
+    constants — the consistency check between simulator and model."""
+
+    @pytest.fixture(scope="class")
+    def profiler(self):
+        return OfflineProfiler(ADM_PCIE_7V3)
+
+    def test_bandwidth_recovered(self, profiler):
+        fitted = profiler.profile_bandwidth()
+        true = ADM_PCIE_7V3.effective_bytes_per_cycle
+        assert fitted == pytest.approx(true, rel=0.02)
+
+    def test_launch_constants_recovered(self, profiler):
+        base, stagger = profiler.profile_launch()
+        assert base == pytest.approx(
+            ADM_PCIE_7V3.kernel_launch_cycles, rel=0.02
+        )
+        assert stagger == pytest.approx(
+            ADM_PCIE_7V3.launch_stagger_cycles, rel=0.02
+        )
+
+    def test_pipe_cost_recovered(self, profiler):
+        fitted = profiler.profile_pipe_cost()
+        assert fitted == pytest.approx(
+            ADM_PCIE_7V3.pipe_cycles_per_word, rel=0.15
+        )
+
+    def test_calibrate_bundle(self, profiler):
+        result = profiler.calibrate()
+        assert result.bandwidth_bytes_per_cycle > 0
+        assert result.launch_cycles > 0
+
+    def test_recovers_modified_board(self):
+        """Profile a board with different constants; the fit follows."""
+        board = dataclasses.replace(
+            ADM_PCIE_7V3,
+            kernel_launch_cycles=9_000,
+            launch_stagger_cycles=1_234,
+        )
+        base, stagger = OfflineProfiler(board).profile_launch()
+        assert base == pytest.approx(9_000, rel=0.02)
+        assert stagger == pytest.approx(1_234, rel=0.02)
+
+    def test_recovers_halved_bandwidth(self):
+        board = ADM_PCIE_7V3.with_bandwidth(6.4e9)
+        fitted = OfflineProfiler(board).profile_bandwidth()
+        assert fitted == pytest.approx(
+            board.effective_bytes_per_cycle, rel=0.02
+        )

@@ -1,0 +1,178 @@
+"""Tests for the analytical model's individual equations (Section 4)."""
+
+import math
+
+import pytest
+
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.model.compute import (
+    compute_latency_eq7,
+    cycles_per_element_eq9,
+    iteration_latencies,
+    iteration_latency_eq8,
+)
+from repro.model.latency import num_regions_eq2, total_latency_eq1
+from repro.model.memory import (
+    memory_latency_eq4,
+    read_latency_eq5,
+    write_latency_eq6,
+)
+from repro.model.params import extract_parameters
+from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.stencil import jacobi_2d
+from repro.tiling import make_baseline_design, make_heterogeneous_design
+
+
+@pytest.fixture
+def params():
+    spec = jacobi_2d()
+    design = make_baseline_design(spec, (128, 128), (4, 4), 32, unroll=4)
+    return extract_parameters(design, ADM_PCIE_7V3)
+
+
+class TestEq2Regions:
+    def test_matches_paper_example(self, params):
+        # H=1024, W=2048^2, h=32, K=16, w=128^2 -> 512 regions.
+        assert num_regions_eq2(params) == pytest.approx(512.0)
+
+    def test_scales_inverse_with_depth(self, params):
+        import dataclasses
+
+        deeper = dataclasses.replace(params, fused_depth=64)
+        assert num_regions_eq2(deeper) == pytest.approx(
+            num_regions_eq2(params) * 32 / 64
+        )
+
+
+class TestEq5Eq6Memory:
+    def test_read_footprint_includes_cone(self, params):
+        # Read = (128 + 2*32)^2 cells * 4 B at BW/K.
+        cells = (128 + 2 * 32) ** 2
+        expected = cells * 4 / (
+            params.bandwidth_bytes_per_cycle / params.parallelism
+        )
+        assert read_latency_eq5(params) == pytest.approx(expected)
+
+    def test_write_is_tile_only(self, params):
+        expected = 128 * 128 * 4 / (
+            params.bandwidth_bytes_per_cycle / params.parallelism
+        )
+        assert write_latency_eq6(params) == pytest.approx(expected)
+
+    def test_eq4_sum(self, params):
+        assert memory_latency_eq4(params) == pytest.approx(
+            read_latency_eq5(params) + write_latency_eq6(params)
+        )
+
+    def test_read_exceeds_write(self, params):
+        assert read_latency_eq5(params) > write_latency_eq6(params)
+
+
+class TestEq8Eq9Compute:
+    def test_cycles_per_element(self, params):
+        assert cycles_per_element_eq9(params) == pytest.approx(
+            params.initiation_interval / 4
+        )
+
+    def test_last_iteration_is_tile_only(self, params):
+        last = iteration_latency_eq8(params, params.fused_depth)
+        expected = cycles_per_element_eq9(params) * 128 * 128
+        assert last == pytest.approx(expected)
+
+    def test_first_iteration_widest(self, params):
+        first = iteration_latency_eq8(params, 1)
+        expected = cycles_per_element_eq9(params) * (128 + 2 * 31) ** 2
+        assert first == pytest.approx(expected)
+
+    def test_latencies_monotone_decreasing(self, params):
+        latencies = iteration_latencies(params)
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_eq7_without_sharing_is_plain_sum(self, params):
+        assert compute_latency_eq7(params, sharing=False) == pytest.approx(
+            sum(iteration_latencies(params))
+        )
+
+    def test_eq7_with_sharing_at_least_plain_sum(self, params):
+        assert compute_latency_eq7(params, sharing=True) >= (
+            compute_latency_eq7(params, sharing=False)
+        )
+
+
+class TestEq10Eq11Sharing:
+    def test_share_latency_nonnegative(self, params):
+        for i in range(1, params.fused_depth + 1):
+            assert share_latency_eq10(params, i) >= 0.0
+
+    def test_share_grows_toward_last_iteration(self, params):
+        # The useful-cone face area grows as (h - i) shrinks.
+        assert share_latency_eq10(params, params.fused_depth) >= (
+            share_latency_eq10(params, 1)
+        )
+
+    def test_lambda_zero_when_hidden(self, params):
+        # Jacobi-2D tiles: face transfers are far below cell counts.
+        assert overlap_lambda_eq11(params, params.fused_depth) == 0.0
+
+    def test_lambda_positive_when_exposed(self, params):
+        import dataclasses
+
+        slow_pipe = dataclasses.replace(
+            params, pipe_cycles_per_word=1e6
+        )
+        assert overlap_lambda_eq11(slow_pipe, params.fused_depth) > 0.0
+
+    def test_lambda_formula(self, params):
+        import dataclasses
+
+        slow = dataclasses.replace(params, pipe_cycles_per_word=1e4)
+        i = params.fused_depth
+        l_share = share_latency_eq10(slow, i)
+        l_iter = iteration_latency_eq8(slow, i)
+        assert overlap_lambda_eq11(slow, i) == pytest.approx(
+            (l_share - l_iter) / l_iter
+        )
+
+
+class TestEq1Total:
+    def test_total_is_regions_times_block(self, params):
+        from repro.model.latency import slowest_kernel_latency_eq3
+
+        assert total_latency_eq1(params, sharing=False) == pytest.approx(
+            num_regions_eq2(params)
+            * slowest_kernel_latency_eq3(params, sharing=False)
+        )
+
+    def test_launch_cycles_included(self, params):
+        from repro.model.latency import slowest_kernel_latency_eq3
+
+        block = slowest_kernel_latency_eq3(params, sharing=False)
+        assert block >= params.launch_cycles
+
+
+class TestParameterExtraction:
+    def test_balancing_factors_unity_for_uniform(self, params):
+        assert all(
+            f == pytest.approx(1.0) for f in params.balancing_factors
+        )
+
+    def test_hetero_factors_below_one(self):
+        spec = jacobi_2d()
+        design = make_heterogeneous_design(
+            spec, (512, 512), (4, 4), 63, unroll=4
+        )
+        params = extract_parameters(design)
+        assert all(f < 1.0 for f in params.balancing_factors)
+
+    def test_halo_growth(self, params):
+        assert params.halo_growth == (2, 2)
+
+    def test_report_overrides_respected(self):
+        spec = jacobi_2d()
+        design = make_baseline_design(spec, (128, 128), (4, 4), 32)
+        report = FlexCLEstimator().estimate(
+            spec.pattern, unroll=1, partitions=1
+        )
+        params = extract_parameters(design, report=report)
+        assert params.initiation_interval == report.ii

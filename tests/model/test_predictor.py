@@ -1,0 +1,137 @@
+"""Tests for the assembled performance predictor."""
+
+import pytest
+
+from repro.model import (
+    Fidelity,
+    LatencyBreakdown,
+    PerformanceModel,
+    predict_latency,
+)
+from repro.stencil import jacobi_2d
+from repro.tiling import (
+    make_baseline_design,
+    make_heterogeneous_design,
+    make_pipe_shared_design,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_designs():
+    spec = jacobi_2d()
+    return {
+        "baseline": make_baseline_design(
+            spec, (128, 128), (4, 4), 32, unroll=4
+        ),
+        "pipe": make_pipe_shared_design(
+            spec, (128, 128), (4, 4), 32, unroll=4
+        ),
+        "hetero": make_heterogeneous_design(
+            spec, (512, 512), (4, 4), 63, unroll=4
+        ),
+    }
+
+
+class TestLatencyBreakdown:
+    def test_total_is_component_sum(self):
+        bd = LatencyBreakdown(1, 2, 3, 4, 5, 6, 7)
+        assert bd.total == 28
+
+    def test_fractions_sum_to_one(self):
+        bd = LatencyBreakdown(1, 2, 3, 4, 5, 6, 7)
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+
+    def test_scaled(self):
+        bd = LatencyBreakdown(1, 2, 3, 4, 5, 6, 7).scaled(2)
+        assert bd.total == 56
+        assert bd.read == 4
+
+    def test_seconds(self):
+        bd = LatencyBreakdown(0, 0, 0, 200e6, 0, 0)
+        assert bd.seconds(200e6) == pytest.approx(1.0)
+
+    def test_memory_and_compute_views(self):
+        bd = LatencyBreakdown(
+            launch=1,
+            read=10,
+            write=20,
+            compute_useful=100,
+            compute_redundant=50,
+            share_exposed=0,
+        )
+        assert bd.memory == 30
+        assert bd.compute == 150
+
+    def test_as_dict_contains_total(self):
+        d = LatencyBreakdown(1, 1, 1, 1, 1, 1).as_dict()
+        assert d["total"] == 6
+
+
+class TestFidelities:
+    def test_refined_default(self):
+        assert PerformanceModel().fidelity is Fidelity.REFINED
+
+    def test_baseline_same_under_both_fidelities(self, paper_designs):
+        """For a uniform exactly-divisible baseline the two fidelities
+        agree (no balancing, integer region count)."""
+        paper = PerformanceModel(fidelity=Fidelity.PAPER).predict_cycles(
+            paper_designs["baseline"]
+        )
+        refined = PerformanceModel(
+            fidelity=Fidelity.REFINED
+        ).predict_cycles(paper_designs["baseline"])
+        assert paper == pytest.approx(refined, rel=1e-9)
+
+    def test_paper_mode_pessimistic_for_hetero(self, paper_designs):
+        """Eq. 8's both-side growth overstates the sharing designs."""
+        paper = PerformanceModel(fidelity=Fidelity.PAPER).predict_cycles(
+            paper_designs["hetero"]
+        )
+        refined = PerformanceModel(
+            fidelity=Fidelity.REFINED
+        ).predict_cycles(paper_designs["hetero"])
+        assert paper > refined
+
+
+class TestPredictions:
+    def test_hetero_beats_baseline(self, paper_designs):
+        model = PerformanceModel()
+        base = model.predict_cycles(paper_designs["baseline"])
+        het = model.predict_cycles(paper_designs["hetero"])
+        assert 1.1 < base / het < 2.5
+
+    def test_pipe_beats_baseline(self, paper_designs):
+        model = PerformanceModel()
+        base = model.predict_cycles(paper_designs["baseline"])
+        pipe = model.predict_cycles(paper_designs["pipe"])
+        assert pipe < base
+
+    def test_baseline_has_no_share_component(self, paper_designs):
+        bd = PerformanceModel().predict(paper_designs["baseline"])
+        assert bd.share_exposed == 0.0
+
+    def test_hetero_removes_redundancy_share(self, paper_designs):
+        model = PerformanceModel()
+        base = model.predict(paper_designs["baseline"])
+        het = model.predict(paper_designs["hetero"])
+        assert het.compute_redundant < base.compute_redundant
+
+    def test_breakdown_total_matches_predict_cycles(self, paper_designs):
+        model = PerformanceModel()
+        bd = model.predict(paper_designs["hetero"])
+        assert bd.total == pytest.approx(
+            model.predict_cycles(paper_designs["hetero"])
+        )
+
+    def test_convenience_wrapper(self, paper_designs):
+        bd = predict_latency(paper_designs["baseline"])
+        assert bd.total > 0
+
+    def test_deeper_fusion_reduces_memory_share(self, paper_designs):
+        model = PerformanceModel()
+        spec = paper_designs["baseline"].spec
+        shallow = make_baseline_design(spec, (128, 128), (4, 4), 4)
+        deep = make_baseline_design(spec, (128, 128), (4, 4), 32)
+        f_shallow = model.predict(shallow).fractions()
+        f_deep = model.predict(deep).fractions()
+        assert f_deep["read"] < f_shallow["read"]

@@ -1,0 +1,60 @@
+"""Tests for the NDRange/work-group hierarchy."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.opencl.ndrange import NDRange, WorkGroup
+
+
+class TestNDRange:
+    def test_group_counts(self):
+        nd = NDRange((8, 8), (4, 2))
+        assert nd.num_groups == (2, 4)
+        assert nd.total_groups == 8
+        assert nd.total_items == 64
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(SpecificationError, match="not divisible"):
+            NDRange((10,), (4,))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SpecificationError):
+            NDRange((0,), (1,))
+
+    def test_single_group(self):
+        nd = NDRange((4,), (4,))
+        assert nd.total_groups == 1
+
+    def test_groups_cover_index_space(self):
+        nd = NDRange((4, 6), (2, 3))
+        seen = set()
+        for group in nd.groups():
+            for item in group.items():
+                assert item not in seen
+                seen.add(item)
+        assert len(seen) == 24
+        assert seen == {(i, j) for i in range(4) for j in range(6)}
+
+    def test_group_ids_row_major(self):
+        nd = NDRange((4, 4), (2, 2))
+        ids = [g.group_id for g in nd.groups()]
+        assert ids == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_group_offsets(self):
+        nd = NDRange((4, 4), (2, 2))
+        offsets = {g.group_id: g.global_offset for g in nd.groups()}
+        assert offsets[(1, 1)] == (2, 2)
+
+
+class TestWorkGroup:
+    def test_num_items(self):
+        group = WorkGroup((0,), (8,), (0,))
+        assert group.num_items == 8
+
+    def test_items_respect_offset(self):
+        group = WorkGroup((1,), (3,), (10,))
+        assert list(group.items()) == [(10,), (11,), (12,)]
+
+    def test_3d_items_count(self):
+        group = WorkGroup((0, 0, 0), (2, 2, 2), (0, 0, 0))
+        assert len(list(group.items())) == 8

@@ -1,0 +1,127 @@
+"""Tests for OpenCL 2.0 pipe (bounded FIFO) semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.opencl.pipes import Pipe, PipeClosed, PipeEmpty, PipeFull
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        pipe = Pipe("p")
+        pipe.write_all([1, 2, 3])
+        assert pipe.read_n(3) == [1, 2, 3]
+
+    def test_len_tracks_occupancy(self):
+        pipe = Pipe("p")
+        pipe.write("x")
+        assert len(pipe) == 1
+        pipe.read()
+        assert len(pipe) == 0
+
+    def test_empty_read_raises(self):
+        with pytest.raises(PipeEmpty):
+            Pipe("p").read()
+
+    def test_full_write_raises(self):
+        pipe = Pipe("p", depth=2)
+        pipe.write_all([1, 2])
+        with pytest.raises(PipeFull):
+            pipe.write(3)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(SpecificationError):
+            Pipe("p", depth=0)
+
+    def test_read_n_insufficient(self):
+        pipe = Pipe("p")
+        pipe.write(1)
+        with pytest.raises(PipeEmpty):
+            pipe.read_n(2)
+
+    def test_read_n_negative(self):
+        with pytest.raises(Exception):
+            Pipe("p").read_n(-1)
+
+
+class TestTryOperations:
+    def test_try_write_full(self):
+        pipe = Pipe("p", depth=1)
+        assert pipe.try_write(1)
+        assert not pipe.try_write(2)
+        assert len(pipe) == 1
+
+    def test_try_read_empty_returns_none(self):
+        assert Pipe("p").try_read() is None
+
+    def test_try_read_returns_value(self):
+        pipe = Pipe("p")
+        pipe.write(42)
+        assert pipe.try_read() == 42
+
+
+class TestClose:
+    def test_write_after_close_raises(self):
+        pipe = Pipe("p")
+        pipe.close()
+        with pytest.raises(PipeClosed):
+            pipe.write(1)
+
+    def test_reads_drain_after_close(self):
+        pipe = Pipe("p")
+        pipe.write(7)
+        pipe.close()
+        assert pipe.read() == 7
+
+    def test_try_write_after_close(self):
+        pipe = Pipe("p")
+        pipe.close()
+        assert not pipe.try_write(1)
+
+    def test_closed_flag(self):
+        pipe = Pipe("p")
+        assert not pipe.closed
+        pipe.close()
+        assert pipe.closed
+
+
+class TestStatistics:
+    def test_totals(self):
+        pipe = Pipe("p")
+        pipe.write_all(range(5))
+        pipe.read_n(3)
+        assert pipe.total_writes == 5
+        assert pipe.total_reads == 3
+
+    def test_max_occupancy(self):
+        pipe = Pipe("p")
+        pipe.write_all([1, 2, 3])
+        pipe.drain()
+        pipe.write(4)
+        assert pipe.max_occupancy == 3
+
+    def test_drain_empties(self):
+        pipe = Pipe("p")
+        pipe.write_all([1, 2])
+        assert pipe.drain() == [1, 2]
+        assert pipe.is_empty
+
+
+class TestProperties:
+    @given(st.lists(st.integers(), max_size=64))
+    def test_fifo_preserves_sequence(self, items):
+        pipe = Pipe("p", depth=max(1, len(items)))
+        pipe.write_all(items)
+        assert pipe.read_n(len(items)) == items
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_depth(self, ops):
+        pipe = Pipe("p", depth=4)
+        for op in ops:
+            if op:
+                pipe.try_write(0)
+            else:
+                pipe.try_read()
+            assert len(pipe) <= 4
+        assert pipe.max_occupancy <= 4

@@ -1,0 +1,52 @@
+"""Tests for the board/platform description."""
+
+import pytest
+
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.fpga.resources import VIRTEX7_690T
+
+
+class TestAdmPcie7v3:
+    def test_matches_paper_setup(self):
+        assert ADM_PCIE_7V3.device is VIRTEX7_690T
+        assert ADM_PCIE_7V3.clock_hz == 200e6  # paper: 200 MHz
+        assert ADM_PCIE_7V3.ddr_bytes == 16 * 1024**3  # 16 GB
+
+    def test_bytes_per_cycle(self):
+        assert ADM_PCIE_7V3.bytes_per_cycle == pytest.approx(64.0)
+
+    def test_effective_bandwidth_derated(self):
+        assert (
+            ADM_PCIE_7V3.effective_bytes_per_cycle
+            < ADM_PCIE_7V3.bytes_per_cycle
+        )
+
+
+class TestDerivation:
+    def test_with_bandwidth(self):
+        board = ADM_PCIE_7V3.with_bandwidth(6.4e9)
+        assert board.bytes_per_cycle == pytest.approx(32.0)
+        assert board.name == ADM_PCIE_7V3.name
+
+    def test_with_clock(self):
+        board = ADM_PCIE_7V3.with_clock(100e6)
+        assert board.bytes_per_cycle == pytest.approx(128.0)
+
+    def test_invalid_burst_efficiency(self):
+        with pytest.raises(ValueError):
+            BoardSpec(
+                name="bad",
+                device=VIRTEX7_690T,
+                ddr_bytes=1,
+                bandwidth_bytes_per_s=1e9,
+                burst_efficiency=0.0,
+            )
+
+    def test_invalid_ddr(self):
+        with pytest.raises(Exception):
+            BoardSpec(
+                name="bad",
+                device=VIRTEX7_690T,
+                ddr_bytes=0,
+                bandwidth_bytes_per_s=1e9,
+            )

@@ -1,0 +1,105 @@
+"""Tests for the emulated host runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.opencl.runtime import HostRuntime
+
+
+@pytest.fixture
+def runtime():
+    return HostRuntime()
+
+
+class TestBuffers:
+    def test_create_and_read(self, runtime):
+        data = np.arange(8, dtype=np.float32)
+        runtime.create_buffer("x", data)
+        out = runtime.read_buffer("x")
+        assert np.array_equal(out, data)
+
+    def test_buffer_is_a_copy(self, runtime):
+        data = np.zeros(4, dtype=np.float32)
+        runtime.create_buffer("x", data)
+        data[0] = 99
+        assert runtime.read_buffer("x")[0] == 0
+
+    def test_duplicate_name_rejected(self, runtime):
+        runtime.create_buffer("x", np.zeros(1))
+        with pytest.raises(SimulationError, match="already exists"):
+            runtime.create_buffer("x", np.zeros(1))
+
+    def test_unknown_buffer_rejected(self, runtime):
+        with pytest.raises(SimulationError, match="unknown buffer"):
+            runtime.buffer("ghost")
+
+    def test_release(self, runtime):
+        runtime.create_buffer("x", np.zeros(1))
+        runtime.release_buffer("x")
+        with pytest.raises(SimulationError):
+            runtime.buffer("x")
+
+    def test_device_memory_limit(self):
+        from repro.opencl.platform import ADM_PCIE_7V3
+        import dataclasses
+
+        tiny_board = dataclasses.replace(ADM_PCIE_7V3, ddr_bytes=64)
+        rt = HostRuntime(tiny_board)
+        with pytest.raises(SimulationError, match="memory exhausted"):
+            rt.create_buffer("big", np.zeros(1024, dtype=np.float32))
+
+
+class TestPipes:
+    def test_create_and_lookup(self, runtime):
+        pipe = runtime.create_pipe("p", depth=4)
+        assert runtime.pipe("p") is pipe
+
+    def test_duplicate_pipe_rejected(self, runtime):
+        runtime.create_pipe("p")
+        with pytest.raises(SimulationError):
+            runtime.create_pipe("p")
+
+    def test_unknown_pipe_rejected(self, runtime):
+        with pytest.raises(SimulationError):
+            runtime.pipe("ghost")
+
+    def test_pipes_view(self, runtime):
+        runtime.create_pipe("a")
+        runtime.create_pipe("b")
+        assert set(runtime.pipes) == {"a", "b"}
+
+
+class TestKernelsAndQueues:
+    def test_launch_executes_kernel(self, runtime):
+        runtime.create_buffer("x", np.zeros(4, dtype=np.float32))
+
+        def fill(rt, value):
+            rt.buffer("x")[:] = value
+
+        runtime.register_kernel("fill", fill)
+        queue = runtime.create_queue()
+        queue.enqueue_kernel("fill", 7.0)
+        assert np.all(runtime.read_buffer("x") == 7.0)
+
+    def test_launch_records_sequence(self, runtime):
+        runtime.register_kernel("noop", lambda rt: None)
+        queue = runtime.create_queue()
+        first = queue.enqueue_kernel("noop")
+        second = queue.enqueue_kernel("noop")
+        assert second.sequence == first.sequence + 1
+        assert len(queue.launches) == 2
+
+    def test_duplicate_kernel_rejected(self, runtime):
+        runtime.register_kernel("k", lambda rt: None)
+        with pytest.raises(SimulationError):
+            runtime.register_kernel("k", lambda rt: None)
+
+    def test_unknown_kernel_rejected(self, runtime):
+        with pytest.raises(SimulationError):
+            runtime.create_queue().enqueue_kernel("ghost")
+
+    def test_barrier_and_finish_are_safe(self, runtime):
+        queue = runtime.create_queue()
+        queue.barrier()
+        queue.finish()

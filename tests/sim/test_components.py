@@ -1,0 +1,109 @@
+"""Tests for the smaller simulator components."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.predictor import LatencyBreakdown
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.sim.kernel import KernelPhase, KernelTimeline, PhaseRecord
+from repro.sim.launch import LaunchScheduler
+from repro.sim.memsys import MemorySystem
+from repro.sim.pipe_sim import halo_transfer_cycles, peak_packets_in_flight
+
+
+class TestKernelTimeline:
+    def test_zero_length_records_dropped(self):
+        tl = KernelTimeline((0,))
+        tl.add(KernelPhase.READ, 5.0, 5.0)
+        assert tl.records == []
+
+    def test_phase_totals(self):
+        tl = KernelTimeline((0,))
+        tl.add(KernelPhase.COMPUTE, 0, 10, iteration=1)
+        tl.add(KernelPhase.COMPUTE, 12, 20, iteration=2)
+        tl.add(KernelPhase.WRITE, 20, 25)
+        totals = tl.phase_totals()
+        assert totals[KernelPhase.COMPUTE] == 18
+        assert totals[KernelPhase.WRITE] == 5
+
+    def test_start_end(self):
+        tl = KernelTimeline((0,))
+        tl.add(KernelPhase.LAUNCH, 2, 4)
+        tl.add(KernelPhase.READ, 4, 9)
+        assert tl.start == 2
+        assert tl.end == 9
+
+    def test_empty_timeline(self):
+        tl = KernelTimeline((0,))
+        assert tl.start == 0.0
+        assert tl.end == 0.0
+
+    def test_phase_record_duration(self):
+        record = PhaseRecord(KernelPhase.READ, 3.0, 7.5)
+        assert record.duration == 4.5
+
+
+class TestLaunchScheduler:
+    def test_stagger_spacing(self):
+        scheduler = LaunchScheduler(ADM_PCIE_7V3)
+        times = scheduler.launch_times(4)
+        diffs = {b - a for a, b in zip(times, times[1:])}
+        assert diffs == {float(ADM_PCIE_7V3.launch_stagger_cycles)}
+
+    def test_first_launch_is_base_latency(self):
+        times = LaunchScheduler(ADM_PCIE_7V3).launch_times(1)
+        assert times == [float(ADM_PCIE_7V3.kernel_launch_cycles)]
+
+    def test_launch_order_row_major(self):
+        scheduler = LaunchScheduler(ADM_PCIE_7V3)
+        order = scheduler.launch_order([(1, 0), (0, 1), (0, 0)])
+        assert order == [(0, 0), (0, 1), (1, 0)]
+
+
+class TestMemorySystem:
+    def test_traffic_accumulates(self):
+        mem = MemorySystem(ADM_PCIE_7V3, 4)
+        mem.read_cycles(100)
+        mem.read_cycles(200)
+        mem.write_cycles(50)
+        assert mem.bytes_read == 300
+        assert mem.bytes_written == 50
+
+    def test_sharing_slows_transfers(self):
+        alone = MemorySystem(ADM_PCIE_7V3, 1).read_cycles(4096)
+        shared = MemorySystem(ADM_PCIE_7V3, 8).read_cycles(4096)
+        assert shared == pytest.approx(8 * alone)
+
+    def test_invalid_sharing(self):
+        with pytest.raises(SimulationError):
+            MemorySystem(ADM_PCIE_7V3, 0)
+
+
+class TestPipeSim:
+    def test_transfer_cycles_scale_with_cpipe(self, pipe_design):
+        import dataclasses
+
+        tile = pipe_design.tiles[0]
+        fast = halo_transfer_cycles(pipe_design, tile, 2, ADM_PCIE_7V3)
+        slow_board = dataclasses.replace(
+            ADM_PCIE_7V3, pipe_cycles_per_word=4
+        )
+        slow = halo_transfer_cycles(pipe_design, tile, 2, slow_board)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_first_iteration_free(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        assert halo_transfer_cycles(
+            pipe_design, tile, 1, ADM_PCIE_7V3
+        ) == 0.0
+
+    def test_peak_packets(self, pipe_design, baseline_design):
+        assert peak_packets_in_flight(pipe_design) > 0
+        assert peak_packets_in_flight(baseline_design) == 0
+
+
+class TestBreakdownScaling:
+    def test_wait_component_scales(self):
+        bd = LatencyBreakdown(0, 0, 0, 10, 0, 0, wait=5).scaled(3)
+        assert bd.wait == 15
+        assert bd.total == 45

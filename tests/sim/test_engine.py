@@ -1,0 +1,124 @@
+"""Tests for the region-block execution engine."""
+
+import pytest
+
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.sim.engine import RegionBlockEngine
+from repro.sim.kernel import KernelPhase
+from repro.stencil import jacobi_2d
+from repro.tiling import make_baseline_design, make_pipe_shared_design
+
+
+def run_block(design, board=ADM_PCIE_7V3):
+    report = FlexCLEstimator().estimate(design.spec.pattern, design.unroll)
+    return RegionBlockEngine(design, board, report).run()
+
+
+class TestBaselineBlock:
+    def test_block_positive(self, baseline_design):
+        result = run_block(baseline_design)
+        assert result.block_cycles > 0
+
+    def test_all_kernels_have_timelines(self, baseline_design):
+        result = run_block(baseline_design)
+        assert set(result.timelines) == {
+            t.index for t in baseline_design.tiles
+        }
+
+    def test_no_pipe_waits_in_baseline(self, baseline_design):
+        result = run_block(baseline_design)
+        for tl in result.timelines.values():
+            assert tl.time_in(KernelPhase.PIPE_WAIT) == 0.0
+
+    def test_launch_stagger_orders_kernels(self, baseline_design):
+        result = run_block(baseline_design)
+        launches = sorted(
+            tl.time_in(KernelPhase.LAUNCH)
+            for tl in result.timelines.values()
+        )
+        # Strictly increasing by the stagger interval.
+        diffs = {
+            round(b - a) for a, b in zip(launches, launches[1:])
+        }
+        assert diffs == {ADM_PCIE_7V3.launch_stagger_cycles}
+
+    def test_critical_kernel_is_last_launched(self, baseline_design):
+        # Symmetric workloads: the barrier is set by launch order.
+        result = run_block(baseline_design)
+        assert result.critical_index == max(result.timelines)
+
+    def test_breakdown_components_sum_to_block(self, baseline_design):
+        result = run_block(baseline_design)
+        critical = result.breakdowns[result.critical_index]
+        assert critical.total == pytest.approx(result.block_cycles)
+
+    def test_noncritical_kernels_wait(self, baseline_design):
+        result = run_block(baseline_design)
+        waits = [
+            bd.wait
+            for idx, bd in result.breakdowns.items()
+            if idx != result.critical_index
+        ]
+        assert all(w > 0 for w in waits)
+
+
+class TestSharingBlock:
+    def test_phases_in_order(self, pipe_design):
+        result = run_block(pipe_design)
+        for tl in result.timelines.values():
+            kinds = [r.phase for r in tl.records]
+            assert kinds[0] is KernelPhase.LAUNCH
+            assert kinds[1] is KernelPhase.READ
+            assert KernelPhase.COMPUTE in kinds
+            assert kinds[-1] in (
+                KernelPhase.WRITE,
+                KernelPhase.BARRIER_WAIT,
+            )
+
+    def test_iteration_count_recorded(self, pipe_design):
+        result = run_block(pipe_design)
+        tl = next(iter(result.timelines.values()))
+        iterations = {
+            r.iteration
+            for r in tl.records
+            if r.phase is KernelPhase.COMPUTE
+        }
+        assert iterations == set(range(1, pipe_design.fused_depth + 1))
+
+    def test_timeline_monotone(self, pipe_design):
+        result = run_block(pipe_design)
+        for tl in result.timelines.values():
+            for record in tl.records:
+                assert record.end >= record.start
+
+    def test_sharing_block_faster_than_baseline(
+        self, baseline_design, pipe_design
+    ):
+        base = run_block(baseline_design)
+        pipe = run_block(pipe_design)
+        assert pipe.block_cycles < base.block_cycles
+
+    def test_redundant_compute_attributed(self, baseline_design):
+        result = run_block(baseline_design)
+        bd = result.breakdowns[result.critical_index]
+        assert bd.compute_redundant > 0
+
+    def test_inner_tile_has_no_redundancy(self, small_jacobi2d):
+        design = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (4, 4), 2
+        )
+        result = run_block(design)
+        inner = result.breakdowns[(1, 1)]
+        assert inner.compute_redundant == 0
+
+    def test_memsys_traffic_recorded(self, pipe_design):
+        report = FlexCLEstimator().estimate(
+            pipe_design.spec.pattern, pipe_design.unroll
+        )
+        engine = RegionBlockEngine(pipe_design, ADM_PCIE_7V3, report)
+        engine.run()
+        total_read = sum(
+            pipe_design.tile_read_bytes(t) for t in pipe_design.tiles
+        )
+        assert engine.memsys.bytes_read == total_read

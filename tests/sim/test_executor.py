@@ -1,0 +1,133 @@
+"""Tests for the whole-run simulation executor."""
+
+import pytest
+
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.sim import SimulationExecutor, simulate
+from repro.stencil import jacobi_2d
+from repro.tiling import (
+    make_baseline_design,
+    make_heterogeneous_design,
+    make_pipe_shared_design,
+)
+
+
+class TestScaling:
+    def test_total_is_blocks_times_block(self, baseline_design):
+        result = simulate(baseline_design)
+        assert result.total_cycles == pytest.approx(
+            result.block.block_cycles * result.num_blocks
+        )
+
+    def test_num_blocks_matches_design(self, baseline_design):
+        result = simulate(baseline_design)
+        assert result.num_blocks == baseline_design.num_blocks()
+
+    def test_seconds_at_board_clock(self, baseline_design):
+        result = simulate(baseline_design)
+        assert result.seconds == pytest.approx(
+            result.total_cycles / 200e6
+        )
+
+    def test_throughput(self, baseline_design):
+        result = simulate(baseline_design)
+        useful = 32 * 32 * 8
+        assert result.throughput_updates_per_cycle == pytest.approx(
+            useful / result.total_cycles
+        )
+
+    def test_kernel_breakdowns_scaled(self, baseline_design):
+        result = simulate(baseline_design)
+        per_kernel = result.kernel_breakdowns()
+        critical = per_kernel[result.block.critical_index]
+        assert critical.total == pytest.approx(result.total_cycles)
+
+
+class TestDesignComparisons:
+    def test_paper_scale_speedup_band(self):
+        """Jacobi-2D at paper scale: heterogeneous wins by 1.1-2x."""
+        spec = jacobi_2d()
+        base = make_baseline_design(spec, (128, 128), (4, 4), 32, unroll=4)
+        het = make_heterogeneous_design(
+            spec, (512, 512), (4, 4), 64, unroll=4
+        )
+        speedup = (
+            simulate(base).total_cycles / simulate(het).total_cycles
+        )
+        assert 1.1 < speedup < 2.0
+
+    def test_pipe_between_baseline_and_hetero(self):
+        spec = jacobi_2d()
+        base = make_baseline_design(spec, (128, 128), (4, 4), 32, unroll=4)
+        pipe = make_pipe_shared_design(
+            spec, (128, 128), (4, 4), 32, unroll=4
+        )
+        het = make_heterogeneous_design(
+            spec, (512, 512), (4, 4), 32, unroll=4
+        )
+        t_base = simulate(base).total_cycles
+        t_pipe = simulate(pipe).total_cycles
+        t_het = simulate(het).total_cycles
+        assert t_het < t_pipe < t_base
+
+    def test_deterministic(self, hetero_design):
+        a = simulate(hetero_design).total_cycles
+        b = simulate(hetero_design).total_cycles
+        assert a == b
+
+    def test_custom_board(self, baseline_design):
+        slow_board = ADM_PCIE_7V3.with_bandwidth(1e9)
+        slow = SimulationExecutor(slow_board).run(baseline_design)
+        fast = SimulationExecutor(ADM_PCIE_7V3).run(baseline_design)
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_report_override(self, baseline_design):
+        from repro.fpga.flexcl import FlexCLEstimator
+
+        slow_report = FlexCLEstimator().estimate(
+            baseline_design.spec.pattern,
+            baseline_design.unroll,
+            partitions=1,
+        )
+        executor = SimulationExecutor()
+        slow = executor.run(baseline_design, report=slow_report)
+        fast = executor.run(baseline_design)
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_breakdown_fractions_sane(self, hetero_design):
+        result = simulate(hetero_design)
+        fractions = result.breakdown.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["compute_useful"] > 0
+
+
+class TestPrefetchExtension:
+    def test_prefetch_never_slower(self, baseline_design):
+        executor = SimulationExecutor()
+        plain = executor.run(baseline_design)
+        fast = executor.run(baseline_design, prefetch_reads=True)
+        assert fast.total_cycles <= plain.total_cycles
+        assert fast.prefetched and not plain.prefetched
+
+    def test_prefetch_bounded_by_fetch_stage(self, baseline_design):
+        """Pipelining cannot beat the longer of the two stages."""
+        executor = SimulationExecutor()
+        fast = executor.run(baseline_design, prefetch_reads=True)
+        block = fast.block.block_cycles
+        # At least one stage of every block remains on the critical path.
+        assert fast.total_cycles >= block
+        assert fast.total_cycles >= (
+            fast.num_blocks * block / 2
+        )
+
+    def test_single_block_unchanged(self, small_jacobi2d):
+        from repro.tiling import make_baseline_design
+
+        design = make_baseline_design(
+            small_jacobi2d.with_grid((16, 16)), (8, 8), (2, 2), 8
+        )
+        assert design.num_blocks() == 1
+        executor = SimulationExecutor()
+        plain = executor.run(design)
+        fast = executor.run(design, prefetch_reads=True)
+        assert fast.total_cycles == pytest.approx(plain.total_cycles)

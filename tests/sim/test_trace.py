@@ -1,0 +1,81 @@
+"""Tests for the Chrome-tracing exporter."""
+
+import json
+
+import pytest
+
+from repro.sim import simulate
+from repro.sim.kernel import KernelPhase
+from repro.sim.trace import to_chrome_trace, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.stencil import jacobi_2d
+    from repro.tiling import make_pipe_shared_design
+
+    spec = jacobi_2d(grid=(32, 32), iterations=8)
+    return simulate(make_pipe_shared_design(spec, (8, 8), (2, 2), 4))
+
+
+class TestTraceStructure:
+    def test_has_trace_events(self, result):
+        trace = to_chrome_trace(result)
+        assert trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_one_thread_per_kernel(self, result):
+        trace = to_chrome_trace(result)
+        threads = {
+            e["tid"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert len(threads) == 4
+
+    def test_phase_events_complete_type(self, result):
+        trace = to_chrome_trace(result)
+        phases = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("cat") == "kernel-phase"
+        ]
+        assert phases
+        for event in phases:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_all_phase_kinds_named(self, result):
+        trace = to_chrome_trace(result)
+        names = {
+            e["name"]
+            for e in trace["traceEvents"]
+            if e.get("cat") == "kernel-phase"
+        }
+        assert str(KernelPhase.COMPUTE) in names
+        assert str(KernelPhase.READ) in names
+
+    def test_timestamps_in_microseconds(self, result):
+        trace = to_chrome_trace(result)
+        compute = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("cat") == "kernel-phase"
+        ]
+        max_ts = max(e["ts"] + e["dur"] for e in compute)
+        expected = (
+            result.block.block_cycles * 1e6 / result.board.clock_hz
+        )
+        assert max_ts == pytest.approx(expected)
+
+    def test_metadata(self, result):
+        trace = to_chrome_trace(result)
+        assert trace["otherData"]["num_blocks"] == result.num_blocks
+
+
+class TestWrite:
+    def test_write_round_trips(self, result, tmp_path):
+        path = write_chrome_trace(result, tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]

@@ -1,0 +1,138 @@
+"""Tests for the benchmark library (Table 2 fidelity + structure)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.stencil import (
+    BENCHMARKS,
+    PAPER_SUITE,
+    get_benchmark,
+    run_reference,
+)
+from repro.stencil.library import _fdtd_2d_pattern
+
+
+#: (name, paper input size, paper iterations) from Table 2.
+TABLE2 = [
+    ("jacobi-1d", (131072,), 1024),
+    ("jacobi-2d", (2048, 2048), 1024),
+    ("jacobi-3d", (1024, 1024, 1024), 1024),
+    ("hotspot-2d", (4096, 4096), 1000),
+    ("hotspot-3d", (4096, 4096, 128), 1000),
+    ("fdtd-2d", (2048, 2048), 500),
+    ("fdtd-3d", (2048, 2048, 2048), 500),
+]
+
+
+class TestTable2Fidelity:
+    @pytest.mark.parametrize("name,size,iters", TABLE2)
+    def test_paper_defaults(self, name, size, iters):
+        spec = get_benchmark(name)
+        assert spec.grid_shape == size
+        assert spec.iterations == iters
+
+    def test_paper_suite_complete(self):
+        assert len(PAPER_SUITE) == 7
+        assert set(PAPER_SUITE) <= set(BENCHMARKS)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_every_benchmark_builds(self, name):
+        spec = BENCHMARKS[name]()
+        assert spec.pattern.radius
+
+
+class TestStructure:
+    def test_jacobi_radii(self):
+        assert get_benchmark("jacobi-1d").pattern.radius == (1,)
+        assert get_benchmark("jacobi-2d").pattern.radius == (1, 1)
+        assert get_benchmark("jacobi-3d").pattern.radius == (1, 1, 1)
+
+    def test_jacobi_point_counts(self):
+        assert get_benchmark("jacobi-1d").pattern.points_per_cell() == 3
+        assert get_benchmark("jacobi-2d").pattern.points_per_cell() == 5
+        assert get_benchmark("jacobi-3d").pattern.points_per_cell() == 7
+
+    def test_hotspot_has_power_aux(self):
+        for name in ("hotspot-2d", "hotspot-3d"):
+            pattern = get_benchmark(name).pattern
+            assert pattern.aux == ("power",)
+            assert pattern.updates["a"].constant > 0  # ambient leak
+
+    def test_hotspot_weights_stable(self):
+        # Diffusion weights of the state field sum below 1 (leak to
+        # ambient), keeping iteration bounded.
+        pattern = get_benchmark("hotspot-2d").pattern
+        state_coeffs = sum(
+            t.coeff
+            for t in pattern.updates["a"].taps
+            if t.source == "a"
+        )
+        assert 0.9 < state_coeffs < 1.0
+
+    def test_fdtd2d_fields(self):
+        pattern = get_benchmark("fdtd-2d").pattern
+        assert pattern.fields == ("ex", "ey", "hz")
+        assert pattern.radius == (1, 1)
+
+    def test_fdtd3d_fields(self):
+        pattern = get_benchmark("fdtd-3d").pattern
+        assert pattern.fields == ("ex", "ey", "ez", "hz")
+        assert pattern.radius == (1, 1, 1)
+
+    def test_fdtd2d_composition_matches_staged_sweeps(self):
+        """The composed one-step taps must equal running the three
+        Polybench sweeps sequentially."""
+        rng = np.random.default_rng(7)
+        shape = (10, 10)
+        ex = rng.uniform(size=shape)
+        ey = rng.uniform(size=shape)
+        hz = rng.uniform(size=shape)
+        # Staged float64 emulation on the interior.
+        ey2 = ey.copy()
+        ey2[1:, :] = ey[1:, :] - 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex2 = ex.copy()
+        ex2[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz2 = hz.copy()
+        hz2[:-1, :-1] = hz[:-1, :-1] - 0.7 * (
+            ex2[:-1, 1:] - ex2[:-1, :-1] + ey2[1:, :-1] - ey2[:-1, :-1]
+        )
+        # Composed pattern applied on the same interior cell (5, 5).
+        pattern = _fdtd_2d_pattern()
+        state = {"ex": ex, "ey": ey, "hz": hz}
+        for fname, staged in (("ex", ex2), ("ey", ey2), ("hz", hz2)):
+            composed = pattern.updates[fname].constant
+            for tap in pattern.updates[fname].taps:
+                composed += tap.coeff * state[tap.source][
+                    5 + tap.offset[0], 5 + tap.offset[1]
+                ]
+            assert composed == pytest.approx(staged[5, 5], rel=1e-12)
+
+    def test_gaussian_blur_weights_sum_to_one(self):
+        pattern = get_benchmark("gaussian-blur-2d").pattern
+        total = sum(t.coeff for t in pattern.updates["a"].taps)
+        assert total == pytest.approx(1.0)
+
+    def test_wide_star_radius_two(self):
+        assert get_benchmark("wide-star-1d").pattern.radius == (2,)
+
+
+class TestRegistry:
+    def test_get_benchmark_with_overrides(self):
+        spec = get_benchmark("jacobi-2d", grid=(16, 16), iterations=3)
+        assert spec.grid_shape == (16, 16)
+        assert spec.iterations == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SpecificationError, match="Unknown benchmark"):
+            get_benchmark("does-not-exist")
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_small_instance_runs(self, name):
+        spec = BENCHMARKS[name]()
+        small = spec.with_grid(
+            tuple(12 for _ in spec.grid_shape)
+        ).with_iterations(2)
+        out = run_reference(small)
+        for field in spec.pattern.fields:
+            assert np.isfinite(out[field]).all()

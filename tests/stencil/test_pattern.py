@@ -1,0 +1,244 @@
+"""Tests for stencil pattern declarations and stage composition."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.stencil.pattern import (
+    FieldUpdate,
+    Stage,
+    StencilPattern,
+    Tap,
+    compose_stages,
+)
+
+
+def star2d(coeff_center=0.2, coeff_nbr=0.2):
+    taps = (
+        Tap("a", (0, 0), coeff_center),
+        Tap("a", (-1, 0), coeff_nbr),
+        Tap("a", (1, 0), coeff_nbr),
+        Tap("a", (0, -1), coeff_nbr),
+        Tap("a", (0, 1), coeff_nbr),
+    )
+    return StencilPattern(
+        name="star",
+        ndim=2,
+        fields=("a",),
+        updates={"a": FieldUpdate(taps=taps)},
+    )
+
+
+class TestTap:
+    def test_shifted(self):
+        tap = Tap("a", (1, -1), 0.5)
+        assert tap.shifted((2, 3)).offset == (3, 2)
+
+    def test_scaled(self):
+        assert Tap("a", (0,), 0.5).scaled(2.0).coeff == 1.0
+
+    def test_offsets_coerced_to_ints(self):
+        assert Tap("a", (1.0, 2.0), 1.0).offset == (1, 2)
+
+
+class TestFieldUpdate:
+    def test_requires_taps_or_constant(self):
+        with pytest.raises(SpecificationError):
+            FieldUpdate(taps=())
+
+    def test_constant_only_allowed(self):
+        update = FieldUpdate(taps=(), constant=1.0)
+        assert update.constant == 1.0
+
+    def test_inconsistent_ranks_rejected(self):
+        with pytest.raises(SpecificationError):
+            FieldUpdate(taps=(Tap("a", (0,), 1.0), Tap("a", (0, 0), 1.0)))
+
+    def test_sources_in_order(self):
+        update = FieldUpdate(
+            taps=(
+                Tap("b", (0,), 1.0),
+                Tap("a", (0,), 1.0),
+                Tap("b", (1,), 1.0),
+            )
+        )
+        assert update.sources() == ("b", "a")
+
+
+class TestStencilPattern:
+    def test_radius(self):
+        assert star2d().radius == (1, 1)
+
+    def test_halo_growth_is_twice_radius(self):
+        assert star2d().halo_growth == (2, 2)
+
+    def test_asymmetric_radius(self):
+        pattern = StencilPattern(
+            name="asym",
+            ndim=2,
+            fields=("a",),
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (-2, 0), 1.0), Tap("a", (0, 1), 1.0))
+                )
+            },
+        )
+        assert pattern.radius == (2, 1)
+
+    def test_points_per_cell(self):
+        assert star2d().points_per_cell() == 5
+
+    def test_multiplies_per_cell_skips_unit_coeffs(self):
+        pattern = StencilPattern(
+            name="p",
+            ndim=1,
+            fields=("a",),
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0), Tap("a", (1,), 0.5))
+                )
+            },
+        )
+        assert pattern.multiplies_per_cell() == 1
+
+    def test_adds_count_includes_constant(self):
+        pattern = StencilPattern(
+            name="p",
+            ndim=1,
+            fields=("a",),
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0), Tap("a", (1,), 1.0)),
+                    constant=2.0,
+                )
+            },
+        )
+        assert pattern.adds_per_cell() == 2
+
+    def test_flops_per_cell(self):
+        assert star2d().flops_per_cell() == 5 + 4
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown source"):
+            StencilPattern(
+                name="bad",
+                ndim=1,
+                fields=("a",),
+                updates={
+                    "a": FieldUpdate(taps=(Tap("ghost", (0,), 1.0),))
+                },
+            )
+
+    def test_updates_must_cover_fields(self):
+        with pytest.raises(SpecificationError):
+            StencilPattern(
+                name="bad",
+                ndim=1,
+                fields=("a", "b"),
+                updates={"a": FieldUpdate(taps=(Tap("a", (0,), 1.0),))},
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(SpecificationError):
+            StencilPattern(
+                name="bad",
+                ndim=2,
+                fields=("a",),
+                updates={"a": FieldUpdate(taps=(Tap("a", (0,), 1.0),))},
+            )
+
+    def test_aux_is_valid_source(self):
+        pattern = StencilPattern(
+            name="p",
+            ndim=1,
+            fields=("a",),
+            aux=("power",),
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0), Tap("power", (0,), 0.1))
+                )
+            },
+        )
+        assert pattern.aux == ("power",)
+
+
+class TestComposeStages:
+    def test_identity_composition(self):
+        stage = Stage(
+            updates={"a": FieldUpdate(taps=(Tap("a", (0,), 1.0),))}
+        )
+        pattern = compose_stages("id", 1, ("a",), (stage,))
+        taps = pattern.updates["a"].taps
+        assert taps == (Tap("a", (0,), 1.0),)
+
+    def test_two_shifts_compose_offsets(self):
+        # a = a[+1]; then a = a[+1] again => a = a_original[+2].
+        shift = Stage(
+            updates={"a": FieldUpdate(taps=(Tap("a", (1,), 1.0),))}
+        )
+        pattern = compose_stages("shift2", 1, ("a",), (shift, shift))
+        assert pattern.updates["a"].taps == (Tap("a", (2,), 1.0),)
+
+    def test_coefficients_multiply_through(self):
+        half = Stage(
+            updates={"a": FieldUpdate(taps=(Tap("a", (0,), 0.5),))}
+        )
+        pattern = compose_stages("quarter", 1, ("a",), (half, half))
+        assert pattern.updates["a"].taps[0].coeff == pytest.approx(0.25)
+
+    def test_constants_propagate(self):
+        inc = Stage(
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0),), constant=1.0
+                )
+            }
+        )
+        pattern = compose_stages("inc2", 1, ("a",), (inc, inc))
+        assert pattern.updates["a"].constant == pytest.approx(2.0)
+
+    def test_cross_field_dependency(self):
+        # b reads the *updated* a: b' = a' = 2 * a_original.
+        s1 = Stage(updates={"a": FieldUpdate(taps=(Tap("a", (0,), 2.0),))})
+        s2 = Stage(updates={"b": FieldUpdate(taps=(Tap("a", (0,), 1.0),))})
+        pattern = compose_stages("xfield", 1, ("a", "b"), (s1, s2))
+        assert pattern.updates["b"].taps == (Tap("a", (0,), 2.0),)
+
+    def test_unwritten_field_keeps_identity(self):
+        s1 = Stage(updates={"a": FieldUpdate(taps=(Tap("b", (0,), 1.0),))})
+        pattern = compose_stages("keep", 1, ("a", "b"), (s1,))
+        assert pattern.updates["b"].taps == (Tap("b", (0,), 1.0),)
+
+    def test_aux_taps_pass_through(self):
+        s1 = Stage(
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0), Tap("p", (0,), 0.1))
+                )
+            }
+        )
+        pattern = compose_stages("auxed", 1, ("a",), (s1,), aux=("p",))
+        sources = {t.source for t in pattern.updates["a"].taps}
+        assert sources == {"a", "p"}
+
+    def test_zero_coefficient_taps_pruned(self):
+        s1 = Stage(
+            updates={
+                "a": FieldUpdate(
+                    taps=(Tap("a", (0,), 1.0), Tap("a", (0,), -1.0)),
+                    constant=1.0,
+                )
+            }
+        )
+        pattern = compose_stages("cancel", 1, ("a",), (s1,))
+        assert pattern.updates["a"].taps == ()
+        assert pattern.updates["a"].constant == 1.0
+
+    def test_unknown_stage_field_rejected(self):
+        s1 = Stage(updates={"z": FieldUpdate(taps=(Tap("z", (0,), 1.0),))})
+        with pytest.raises(SpecificationError):
+            compose_stages("bad", 1, ("a",), (s1,))
+
+    def test_unknown_stage_source_rejected(self):
+        s1 = Stage(updates={"a": FieldUpdate(taps=(Tap("q", (0,), 1.0),))})
+        with pytest.raises(SpecificationError):
+            compose_stages("bad", 1, ("a",), (s1,))

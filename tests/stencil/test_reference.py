@@ -1,0 +1,143 @@
+"""Tests for the golden reference executor."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    BoundaryPolicy,
+    ReferenceExecutor,
+    get_benchmark,
+    jacobi_2d,
+    run_reference,
+)
+
+
+class TestFrozenBoundary:
+    def test_edges_stay_frozen(self, small_jacobi2d):
+        state = small_jacobi2d.initial_state()
+        out = run_reference(small_jacobi2d, state=state)
+        assert np.array_equal(out["a"][0, :], state["a"][0, :])
+        assert np.array_equal(out["a"][-1, :], state["a"][-1, :])
+        assert np.array_equal(out["a"][:, 0], state["a"][:, 0])
+        assert np.array_equal(out["a"][:, -1], state["a"][:, -1])
+
+    def test_interior_changes(self, small_jacobi2d):
+        state = small_jacobi2d.initial_state()
+        out = run_reference(small_jacobi2d, state=state)
+        assert not np.array_equal(out["a"][1:-1, 1:-1], state["a"][1:-1, 1:-1])
+
+    def test_input_state_not_mutated(self, small_jacobi2d):
+        state = small_jacobi2d.initial_state()
+        snapshot = state["a"].copy()
+        run_reference(small_jacobi2d, state=state)
+        assert np.array_equal(state["a"], snapshot)
+
+    def test_zero_iterations_is_identity(self, small_jacobi2d):
+        state = small_jacobi2d.initial_state()
+        out = run_reference(small_jacobi2d, iterations=0, state=state)
+        assert np.array_equal(out["a"], state["a"])
+
+    def test_iterations_compose(self, small_jacobi2d):
+        two = run_reference(small_jacobi2d, iterations=2)
+        one = run_reference(small_jacobi2d, iterations=1)
+        one_more = run_reference(small_jacobi2d, iterations=1, state=one)
+        assert np.array_equal(two["a"], one_more["a"])
+
+    def test_uniform_field_is_fixed_point(self):
+        # Jacobi weights sum to 1.0... only approximately (5 * 0.2), so
+        # a constant field stays constant to float tolerance.
+        spec = jacobi_2d(grid=(16, 16), iterations=4)
+        state = {"a": np.full((16, 16), 0.5, dtype=np.float32)}
+        out = run_reference(spec, state=state)
+        np.testing.assert_allclose(out["a"], 0.5, rtol=1e-6)
+
+    def test_values_stay_bounded(self, small_jacobi2d):
+        # A convex-combination stencil cannot exceed its input range.
+        out = run_reference(small_jacobi2d)
+        assert out["a"].max() <= 1.0 + 1e-6
+        assert out["a"].min() >= -1e-6
+
+    def test_wide_radius_freezes_two_layers(self):
+        spec = get_benchmark("wide-star-1d", grid=(32,), iterations=3)
+        state = spec.initial_state()
+        out = run_reference(spec, state=state)
+        assert np.array_equal(out["a"][:2], state["a"][:2])
+        assert np.array_equal(out["a"][-2:], state["a"][-2:])
+        assert not np.array_equal(out["a"][2:-2], state["a"][2:-2])
+
+
+class TestMultiField:
+    def test_all_fields_advance(self, small_fdtd2d):
+        state = small_fdtd2d.initial_state()
+        out = run_reference(small_fdtd2d, state=state)
+        for name in ("ex", "ey", "hz"):
+            assert not np.array_equal(
+                out[name][1:-1, 1:-1], state[name][1:-1, 1:-1]
+            )
+
+    def test_aux_input_affects_result(self, small_hotspot2d):
+        base = run_reference(small_hotspot2d)
+        hot_aux = {
+            "power": np.full(
+                small_hotspot2d.grid_shape, 0.5, dtype=np.float32
+            )
+        }
+        heated = run_reference(small_hotspot2d, aux=hot_aux)
+        assert heated["a"][1:-1, 1:-1].mean() > base["a"][1:-1, 1:-1].mean()
+
+
+class TestOtherBoundaries:
+    @pytest.mark.parametrize(
+        "policy", [BoundaryPolicy.CLAMP, BoundaryPolicy.PERIODIC]
+    )
+    def test_every_cell_updates(self, policy):
+        spec = dataclasses.replace(
+            jacobi_2d(grid=(12, 12), iterations=1), boundary=policy
+        )
+        state = spec.initial_state()
+        out = run_reference(spec, state=state)
+        # With padding, even the corner is an average of in-range data.
+        assert not np.array_equal(out["a"], state["a"])
+        assert out["a"].shape == (12, 12)
+
+    def test_periodic_translation_equivariance(self):
+        spec = dataclasses.replace(
+            jacobi_2d(grid=(16, 16), iterations=3),
+            boundary=BoundaryPolicy.PERIODIC,
+        )
+        state = spec.initial_state()
+        rolled = {"a": np.roll(state["a"], (3, 5), axis=(0, 1))}
+        out_plain = run_reference(spec, state=state)
+        out_rolled = run_reference(spec, state=rolled)
+        np.testing.assert_allclose(
+            np.roll(out_plain["a"], (3, 5), axis=(0, 1)),
+            out_rolled["a"],
+            rtol=1e-6,
+        )
+
+    def test_clamp_constant_fixed_point(self):
+        spec = dataclasses.replace(
+            jacobi_2d(grid=(10, 10), iterations=5),
+            boundary=BoundaryPolicy.CLAMP,
+        )
+        state = {"a": np.full((10, 10), 0.25, dtype=np.float32)}
+        out = run_reference(spec, state=state)
+        np.testing.assert_allclose(out["a"], 0.25, rtol=1e-6)
+
+
+class TestExecutorObject:
+    def test_step_matches_run_one(self, small_jacobi2d):
+        executor = ReferenceExecutor(small_jacobi2d)
+        state = small_jacobi2d.initial_state()
+        stepped = executor.step(state, {})
+        ran = executor.run(iterations=1, state=state)
+        assert np.array_equal(stepped["a"], ran["a"])
+
+    def test_default_iterations_from_spec(self, small_jacobi2d):
+        executor = ReferenceExecutor(small_jacobi2d)
+        assert np.array_equal(
+            executor.run()["a"],
+            executor.run(iterations=small_jacobi2d.iterations)["a"],
+        )

@@ -1,0 +1,88 @@
+"""Tests for StencilSpec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.stencil import BoundaryPolicy, jacobi_2d, hotspot_2d, fdtd_2d
+
+
+class TestSpecBasics:
+    def test_ndim_from_pattern(self, small_jacobi2d):
+        assert small_jacobi2d.ndim == 2
+
+    def test_element_bytes_float32(self, small_jacobi2d):
+        assert small_jacobi2d.element_bytes == 4
+
+    def test_cell_state_bytes_multi_field(self, small_fdtd2d):
+        assert small_fdtd2d.cell_state_bytes == 12  # 3 fields x 4 bytes
+
+    def test_total_cells(self, small_jacobi2d):
+        assert small_jacobi2d.total_cells == 32 * 32
+
+    def test_footprint_bytes(self, small_fdtd2d):
+        assert small_fdtd2d.footprint_bytes == 24 * 24 * 12
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(SpecificationError, match="too small"):
+            jacobi_2d(grid=(2, 32), iterations=1)
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(SpecificationError):
+            jacobi_2d(grid=(16, 16), iterations=0)
+
+
+class TestInitialState:
+    def test_deterministic(self, small_jacobi2d):
+        a = small_jacobi2d.initial_state()
+        b = small_jacobi2d.initial_state()
+        assert np.array_equal(a["a"], b["a"])
+
+    def test_dtype_and_shape(self, small_jacobi2d):
+        state = small_jacobi2d.initial_state()
+        assert state["a"].dtype == np.float32
+        assert state["a"].shape == (32, 32)
+
+    def test_all_fields_present(self, small_fdtd2d):
+        state = small_fdtd2d.initial_state()
+        assert set(state) == {"ex", "ey", "hz"}
+
+    def test_aux_state(self, small_hotspot2d):
+        aux = small_hotspot2d.aux_state()
+        assert set(aux) == {"power"}
+        assert aux["power"].shape == (32, 32)
+
+    def test_aux_differs_from_state_rng(self, small_hotspot2d):
+        state = small_hotspot2d.initial_state()
+        aux = small_hotspot2d.aux_state()
+        assert not np.array_equal(state["a"], aux["power"])
+
+    def test_different_seed_changes_state(self, small_jacobi2d):
+        import dataclasses
+
+        other = dataclasses.replace(small_jacobi2d, seed=99)
+        assert not np.array_equal(
+            small_jacobi2d.initial_state()["a"], other.initial_state()["a"]
+        )
+
+
+class TestSpecDerivation:
+    def test_with_grid(self, small_jacobi2d):
+        bigger = small_jacobi2d.with_grid((64, 64))
+        assert bigger.grid_shape == (64, 64)
+        assert bigger.name == small_jacobi2d.name
+
+    def test_with_iterations(self, small_jacobi2d):
+        assert small_jacobi2d.with_iterations(100).iterations == 100
+
+    def test_describe_mentions_size(self, small_jacobi2d):
+        text = small_jacobi2d.describe()
+        assert "32 x 32" in text
+        assert "jacobi-2d" in text
+
+    def test_paper_scale_spec_allocates_nothing(self):
+        # Building the 1 GiB-per-field paper spec must be instant and
+        # allocation-free; only initial_state() materializes arrays.
+        spec = fdtd_2d()
+        assert spec.grid_shape == (2048, 2048)
+        assert spec.footprint_bytes > 0

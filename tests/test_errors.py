@@ -1,0 +1,76 @@
+"""Tests for the exception hierarchy and package-level API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CodegenError,
+    DesignSpaceError,
+    ExtractionError,
+    FrontendError,
+    ParseError,
+    PipeError,
+    ReproError,
+    ResourceError,
+    SimulationError,
+    SpecificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SpecificationError,
+            FrontendError,
+            ParseError,
+            ExtractionError,
+            ResourceError,
+            DesignSpaceError,
+            SimulationError,
+            PipeError,
+            CodegenError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parse_error_is_frontend_error(self):
+        assert issubclass(ParseError, FrontendError)
+
+    def test_pipe_error_is_simulation_error(self):
+        assert issubclass(PipeError, SimulationError)
+
+    def test_parse_error_carries_location(self):
+        err = ParseError("oops", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3
+        assert err.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_framework_failures_catchable_at_root(self):
+        from repro.stencil import jacobi_2d
+
+        with pytest.raises(ReproError):
+            jacobi_2d(grid=(1, 1), iterations=1)
+
+
+class TestPublicApi:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_names_exist(self):
+        # The module docstring's quickstart imports must be real.
+        for name in (
+            "jacobi_2d",
+            "make_baseline_design",
+            "optimize_heterogeneous",
+            "simulate",
+        ):
+            assert hasattr(repro, name)

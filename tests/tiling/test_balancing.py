@@ -1,0 +1,103 @@
+"""Tests for the workload-balancing solver."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.tiling.balancing import (
+    balanced_extents,
+    balanced_tile_grid,
+    balancing_factors,
+)
+from repro.tiling.tile import TileGrid
+
+
+class TestBalancedExtents:
+    def test_sums_to_region(self):
+        extents = balanced_extents(512, 4, 1, 63)
+        assert sum(extents) == 512
+
+    def test_boundary_tiles_smaller(self):
+        extents = balanced_extents(512, 4, 1, 63)
+        assert extents[0] < extents[1]
+        assert extents[-1] < extents[-2]
+
+    def test_symmetric(self):
+        extents = balanced_extents(512, 4, 1, 63)
+        assert extents == extents[::-1]
+
+    def test_no_radius_means_equal(self):
+        assert balanced_extents(100, 4, 0, 10) == [25, 25, 25, 25]
+
+    def test_depth_one_means_equal(self):
+        assert balanced_extents(100, 4, 1, 1) == [25, 25, 25, 25]
+
+    def test_single_tile(self):
+        assert balanced_extents(64, 1, 1, 8) == [64]
+
+    def test_two_tiles_stay_equal(self):
+        # Both tiles are boundary tiles: nothing to rebalance.
+        assert balanced_extents(64, 2, 1, 8) == [32, 32]
+
+    def test_respects_min_extent(self):
+        extents = balanced_extents(20, 4, 2, 9, min_extent=3)
+        assert all(e >= 3 for e in extents)
+        assert sum(extents) == 20
+
+    def test_infeasible_region_rejected(self):
+        with pytest.raises(SpecificationError):
+            balanced_extents(3, 4, 1, 2)
+
+    def test_balance_quality(self):
+        """Average per-iteration extents should be near-equal."""
+        radius, depth = 1, 63
+        extents = balanced_extents(512, 4, radius, depth)
+        growth = radius * (depth - 1) / 2
+        outer = [1, 0, 0, 1]
+        effective = [e + growth * n for e, n in zip(extents, outer)]
+        assert max(effective) - min(effective) <= growth * 0.1 + 2
+
+    @given(
+        st.integers(16, 2048),
+        st.integers(1, 8),
+        st.integers(0, 3),
+        st.integers(1, 64),
+    )
+    def test_always_sums_and_positive(self, region, count, radius, depth):
+        if region < count:
+            return
+        extents = balanced_extents(region, count, radius, depth)
+        assert sum(extents) == region
+        assert all(e >= 1 for e in extents)
+        assert len(extents) == count
+
+
+class TestBalancedTileGrid:
+    def test_region_shape_preserved(self):
+        grid = balanced_tile_grid((512, 512), (4, 4), (1, 1), 63)
+        assert grid.region_shape == (512, 512)
+        assert grid.counts == (4, 4)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SpecificationError):
+            balanced_tile_grid((512,), (4, 4), (1, 1), 8)
+
+
+class TestBalancingFactors:
+    def test_uniform_grid_factors_one(self):
+        grid = TileGrid.uniform((8, 8), (2, 2))
+        factors = balancing_factors(grid)
+        for dim_factors in factors:
+            assert all(f == pytest.approx(1.0) for f in dim_factors)
+
+    def test_factors_average_one(self):
+        grid = balanced_tile_grid((512,), (4,), (1,), 63)
+        (factors,) = balancing_factors(grid)
+        assert sum(factors) / len(factors) == pytest.approx(1.0)
+
+    def test_boundary_factors_below_one(self):
+        grid = balanced_tile_grid((512,), (4,), (1,), 63)
+        (factors,) = balancing_factors(grid)
+        assert factors[0] < 1.0 < factors[1]

@@ -1,0 +1,129 @@
+"""Tests for iteration-fusion cone geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.tiling.cone import (
+    cone_footprint_shape,
+    cone_read_shape,
+    cone_redundant_cells,
+    cone_total_cells,
+    cone_workloads,
+)
+
+
+class TestFootprint:
+    def test_last_iteration_is_tile(self):
+        shape = cone_footprint_shape((8, 8), (1, 1), (2, 2), 4, 4)
+        assert shape == (8, 8)
+
+    def test_first_iteration_widest(self):
+        shape = cone_footprint_shape((8, 8), (1, 1), (2, 2), 4, 1)
+        assert shape == (14, 14)  # 8 + 2*1*(4-1)
+
+    def test_single_side_growth(self):
+        shape = cone_footprint_shape((8,), (1,), (1,), 4, 1)
+        assert shape == (11,)
+
+    def test_no_growth_when_sides_zero(self):
+        shape = cone_footprint_shape((8,), (1,), (0,), 4, 1)
+        assert shape == (8,)
+
+    def test_radius_two(self):
+        shape = cone_footprint_shape((8,), (2,), (2,), 3, 1)
+        assert shape == (16,)
+
+    def test_iteration_bounds_enforced(self):
+        with pytest.raises(SpecificationError):
+            cone_footprint_shape((8,), (1,), (2,), 4, 0)
+        with pytest.raises(SpecificationError):
+            cone_footprint_shape((8,), (1,), (2,), 4, 5)
+
+    def test_bad_side_multiplicity(self):
+        with pytest.raises(SpecificationError):
+            cone_footprint_shape((8,), (1,), (3,), 4, 1)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SpecificationError):
+            cone_footprint_shape((8, 8), (1,), (2, 2), 4, 1)
+
+    @given(
+        st.integers(2, 32),
+        st.integers(1, 3),
+        st.sampled_from([0, 1, 2]),
+        st.integers(1, 8),
+    )
+    def test_monotone_shrink(self, w, r, sides, h):
+        shapes = [
+            cone_footprint_shape((w,), (r,), (sides,), h, i)
+            for i in range(1, h + 1)
+        ]
+        assert all(a >= b for (a,), (b,) in zip(shapes, shapes[1:]))
+        assert shapes[-1] == (w,)
+
+
+class TestReadShape:
+    def test_full_overlap_read(self):
+        assert cone_read_shape((8,), (1,), (2,), 4) == (16,)
+
+    def test_pipe_halo_read(self):
+        assert cone_read_shape((8,), (1,), (0,), 4, halo_sides=(2,)) == (
+            10,
+        )
+
+    def test_mixed_sides(self):
+        assert cone_read_shape((8,), (1,), (1,), 4, halo_sides=(1,)) == (
+            13,
+        )
+
+    def test_halo_rank_mismatch(self):
+        with pytest.raises(SpecificationError):
+            cone_read_shape((8, 8), (1, 1), (1, 1), 4, halo_sides=(1,))
+
+    def test_read_covers_first_footprint(self):
+        # The read must provide one radius of context around the first
+        # iteration's footprint on cone sides.
+        read = cone_read_shape((8,), (1,), (2,), 4)
+        first = cone_footprint_shape((8,), (1,), (2,), 4, 1)
+        assert read[0] == first[0] + 2
+
+
+class TestWorkloads:
+    def test_sums_match_total(self):
+        workloads = cone_workloads((8, 8), (1, 1), (2, 2), 4)
+        assert sum(workloads) == cone_total_cells((8, 8), (1, 1), (2, 2), 4)
+
+    def test_workloads_decrease(self):
+        workloads = cone_workloads((8,), (1,), (2,), 5)
+        assert workloads == sorted(workloads, reverse=True)
+
+    def test_no_redundancy_without_growth(self):
+        assert cone_redundant_cells((8, 8), (1, 1), (0, 0), 6) == 0
+
+    def test_redundancy_positive_with_growth(self):
+        assert cone_redundant_cells((8, 8), (1, 1), (2, 2), 4) > 0
+
+    def test_redundancy_value_1d(self):
+        # h=2, w=4, r=1, both sides: i=1 computes 6, i=2 computes 4.
+        assert cone_redundant_cells((4,), (1,), (2,), 2) == 2
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_redundancy_grows_with_depth(self, h1, h2):
+        if h1 >= h2:
+            h1, h2 = h2, h1 + 1
+        r1 = cone_redundant_cells((8, 8), (1, 1), (2, 2), h1)
+        r2 = cone_redundant_cells((8, 8), (1, 1), (2, 2), h2)
+        assert r2 >= r1
+
+    def test_redundancy_grows_with_dimension(self):
+        """The paper's motivation: overlap cost explodes with D."""
+        ratios = []
+        for ndim in (1, 2, 3):
+            shape = (8,) * ndim
+            redundant = cone_redundant_cells(
+                shape, (1,) * ndim, (2,) * ndim, 4
+            )
+            useful = 4 * 8**ndim
+            ratios.append(redundant / useful)
+        assert ratios[0] < ratios[1] < ratios[2]

@@ -1,0 +1,182 @@
+"""Tests for the central StencilDesign abstraction."""
+
+import math
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.stencil import jacobi_2d
+from repro.tiling import (
+    DesignKind,
+    TileGrid,
+    make_baseline_design,
+    make_heterogeneous_design,
+    make_pipe_shared_design,
+)
+from repro.tiling.design import StencilDesign, auto_pipe_depth
+
+
+class TestValidation:
+    def test_depth_exceeding_iterations_rejected(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 100)
+
+    def test_region_larger_than_grid_rejected(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_baseline_design(small_jacobi2d, (32, 32), (2, 2), 2)
+
+    def test_rank_mismatch_rejected(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_baseline_design(small_jacobi2d, (8,), (2,), 2)
+
+    def test_baseline_requires_uniform_grid(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            StencilDesign(
+                kind=DesignKind.BASELINE,
+                spec=small_jacobi2d,
+                fused_depth=2,
+                tile_grid=TileGrid([[4, 8], [8, 8]]),
+            )
+
+
+class TestConeSides:
+    def test_baseline_all_sides_expand(self, baseline_design):
+        for tile in baseline_design.tiles:
+            assert baseline_design.cone_sides(tile) == (2, 2)
+            assert baseline_design.halo_sides(tile) == (0, 0)
+
+    def test_sharing_only_outer_sides_expand(self, pipe_design):
+        corner = pipe_design.tile_grid.tile_at((0, 0))
+        assert pipe_design.cone_sides(corner) == (1, 1)
+        assert pipe_design.halo_sides(corner) == (1, 1)
+
+
+class TestWorkloads:
+    def test_baseline_tiles_symmetric(self, baseline_design):
+        totals = {
+            baseline_design.tile_compute_cells(t)
+            for t in baseline_design.tiles
+        }
+        assert len(totals) == 1
+
+    def test_pipe_corner_is_slowest(self, small_jacobi2d):
+        design = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (4, 4), 4
+        )
+        slowest = design.slowest_tile()
+        assert slowest.is_corner
+
+    def test_workloads_sum(self, baseline_design):
+        tile = baseline_design.tiles[0]
+        assert sum(baseline_design.tile_workloads(tile)) == (
+            baseline_design.tile_compute_cells(tile)
+        )
+
+    def test_redundancy_ordering(self, small_jacobi2d):
+        base = make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 4)
+        pipe = make_pipe_shared_design(small_jacobi2d, (8, 8), (2, 2), 4)
+        assert pipe.redundancy_ratio() < base.redundancy_ratio()
+
+    def test_useful_cells_per_region(self, pipe_design):
+        assert pipe_design.region_useful_cells() == 4 * 16 * 16
+
+    def test_region_totals_consistent(self, pipe_design):
+        assert pipe_design.region_compute_cells() == (
+            pipe_design.region_useful_cells()
+            + pipe_design.region_redundant_cells()
+        )
+
+
+class TestMemoryFootprints:
+    def test_baseline_read_shape(self, baseline_design):
+        tile = baseline_design.tiles[0]
+        assert baseline_design.tile_read_shape(tile) == (16, 16)
+
+    def test_pipe_read_shape_smaller(self, pipe_design, baseline_design):
+        corner = pipe_design.tile_grid.tile_at((0, 0))
+        assert pipe_design.tile_read_cells(corner) < (
+            baseline_design.tile_read_cells(
+                baseline_design.tile_grid.tile_at((0, 0))
+            )
+        )
+
+    def test_read_bytes_include_aux(self, small_hotspot2d, small_jacobi2d):
+        hot = make_baseline_design(small_hotspot2d, (8, 8), (2, 2), 2)
+        jac = make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 2)
+        t_hot = hot.tiles[0]
+        t_jac = jac.tiles[0]
+        assert hot.tile_read_bytes(t_hot) == 2 * jac.tile_read_bytes(t_jac)
+
+    def test_write_bytes(self, baseline_design):
+        tile = baseline_design.tiles[0]
+        assert baseline_design.tile_write_bytes(tile) == 8 * 8 * 4
+
+
+class TestPipeTraffic:
+    def test_baseline_has_no_faces(self, baseline_design):
+        assert baseline_design.pipe_faces == ()
+        assert baseline_design.num_pipes == 0
+
+    def test_face_count_2x2(self, pipe_design):
+        assert len(pipe_design.pipe_faces) == 4
+        assert pipe_design.num_pipes == 8
+
+    def test_share_cells_zero_first_iteration(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        assert pipe_design.tile_share_cells(tile, 1) == 0
+
+    def test_share_cells_positive_later(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        assert pipe_design.tile_share_cells(tile, 2) > 0
+
+    def test_share_scales_with_fields(self, small_fdtd2d, small_jacobi2d):
+        fdtd = make_pipe_shared_design(small_fdtd2d, (8, 8), (2, 2), 3)
+        jac = make_pipe_shared_design(small_jacobi2d, (8, 8), (2, 2), 3)
+        t_f = fdtd.tiles[0]
+        t_j = jac.tiles[0]
+        assert fdtd.tile_share_cells(t_f, 2) == 3 * jac.tile_share_cells(
+            t_j, 2
+        )
+
+    def test_share_total_sums_iterations(self, pipe_design):
+        tile = pipe_design.tiles[0]
+        assert pipe_design.tile_share_total(tile) == sum(
+            pipe_design.tile_share_cells(tile, i)
+            for i in range(1, pipe_design.fused_depth + 1)
+        )
+
+    def test_auto_pipe_depth_power_of_two(self, pipe_design):
+        depth = auto_pipe_depth(pipe_design)
+        assert depth & (depth - 1) == 0
+
+    def test_peak_face_transfer_zero_for_baseline(self, baseline_design):
+        assert baseline_design.peak_face_transfer_cells() == 0
+
+
+class TestBlockCounts:
+    def test_num_blocks(self, baseline_design):
+        # 32x32 grid, 16x16 regions, 8 iterations at h=4.
+        assert baseline_design.num_spatial_regions() == 4
+        assert baseline_design.num_temporal_blocks() == 2
+        assert baseline_design.num_blocks() == 8
+
+    def test_paper_nregion_formula(self, baseline_design):
+        # Eq. 2 on an exactly-divisible design equals the integer count.
+        assert baseline_design.num_blocks_paper() == pytest.approx(8.0)
+
+    def test_ceil_on_indivisible_depth(self, small_jacobi2d):
+        design = make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 3)
+        assert design.num_temporal_blocks() == 3  # ceil(8/3)
+
+
+class TestConvenience:
+    def test_with_fused_depth(self, baseline_design):
+        deeper = baseline_design.with_fused_depth(2)
+        assert deeper.fused_depth == 2
+        assert deeper.kind is baseline_design.kind
+
+    def test_describe_mentions_kind(self, hetero_design):
+        assert "heterogeneous" in hetero_design.describe()
+
+    def test_parallelism(self, baseline_design):
+        assert baseline_design.parallelism == 4

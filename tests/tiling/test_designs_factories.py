@@ -1,0 +1,100 @@
+"""Tests for the three design factory functions."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.tiling import (
+    DesignKind,
+    make_baseline_design,
+    make_heterogeneous_design,
+    make_pipe_shared_design,
+)
+
+
+class TestBaselineFactory:
+    def test_kind(self, baseline_design):
+        assert baseline_design.kind is DesignKind.BASELINE
+        assert not baseline_design.sharing
+
+    def test_uniform_tiles(self, baseline_design):
+        shapes = {t.shape for t in baseline_design.tiles}
+        assert shapes == {(8, 8)}
+
+    def test_rank_checked(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_baseline_design(small_jacobi2d, (8, 8, 8), (2, 2, 2), 2)
+
+
+class TestPipeSharedFactory:
+    def test_kind(self, pipe_design):
+        assert pipe_design.kind is DesignKind.PIPE_SHARED
+        assert pipe_design.sharing
+
+    def test_auto_pipe_depth_applied(self, pipe_design):
+        assert pipe_design.pipe_depth >= 8
+
+    def test_explicit_pipe_depth_respected(self, small_jacobi2d):
+        design = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (2, 2), 4, pipe_depth=128
+        )
+        assert design.pipe_depth == 128
+
+    def test_rank_checked(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_pipe_shared_design(small_jacobi2d, (8,), (2, 2), 2)
+
+
+class TestHeterogeneousFactory:
+    def test_kind(self, hetero_design):
+        assert hetero_design.kind is DesignKind.HETEROGENEOUS
+        assert hetero_design.sharing
+
+    def test_region_preserved(self, hetero_design):
+        assert hetero_design.tile_grid.region_shape == (16, 16)
+
+    def test_balancing_applied_when_meaningful(self, small_jacobi2d):
+        design = make_heterogeneous_design(
+            small_jacobi2d, (32, 32), (4, 4), 8
+        )
+        extents = design.tile_grid.extents[0]
+        assert extents[0] < extents[1]
+
+    def test_min_extent_default_radius(self, small_jacobi3d):
+        design = make_heterogeneous_design(
+            small_jacobi3d, (16, 16, 16), (2, 2, 2), 3
+        )
+        for dim_extents in design.tile_grid.extents:
+            assert all(e >= 1 for e in dim_extents)
+
+    def test_workload_balance_improves(self, small_jacobi2d):
+        """Heterogeneous tiling narrows the per-kernel workload spread
+        relative to equal tiling with sharing."""
+        equal = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (4, 4), 6
+        )
+        hetero = make_heterogeneous_design(
+            small_jacobi2d, (32, 32), (4, 4), 6
+        )
+
+        def spread(design):
+            totals = [
+                design.tile_compute_cells(t) for t in design.tiles
+            ]
+            return max(totals) / min(totals)
+
+        assert spread(hetero) < spread(equal)
+
+    def test_slowest_workload_reduced(self, small_jacobi2d):
+        equal = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (4, 4), 6
+        )
+        hetero = make_heterogeneous_design(
+            small_jacobi2d, (32, 32), (4, 4), 6
+        )
+        assert hetero.tile_compute_cells(
+            hetero.slowest_tile()
+        ) < equal.tile_compute_cells(equal.slowest_tile())
+
+    def test_rank_checked(self, small_jacobi2d):
+        with pytest.raises(SpecificationError):
+            make_heterogeneous_design(small_jacobi2d, (16,), (2, 2), 2)

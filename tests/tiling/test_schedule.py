@@ -1,0 +1,64 @@
+"""Tests for interior-first scheduling splits."""
+
+import math
+
+import pytest
+
+from repro.tiling.schedule import (
+    dependent_fraction,
+    split_independent_dependent,
+)
+
+
+class TestSplit:
+    def test_sums_to_footprint(self, pipe_design):
+        for tile in pipe_design.tiles:
+            for i in range(1, pipe_design.fused_depth + 1):
+                indep, dep = split_independent_dependent(
+                    pipe_design, tile, i
+                )
+                footprint = math.prod(
+                    pipe_design.footprint_shape(tile, i)
+                )
+                assert indep + dep == footprint
+
+    def test_baseline_all_independent(self, baseline_design):
+        for tile in baseline_design.tiles:
+            indep, dep = split_independent_dependent(
+                baseline_design, tile, 1
+            )
+            assert dep == 0
+
+    def test_sharing_has_dependent_layer(self, pipe_design):
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        indep, dep = split_independent_dependent(pipe_design, tile, 2)
+        assert dep > 0
+
+    def test_dependent_layer_width(self, pipe_design):
+        # Corner tile at the last iteration: footprint is the 8x8 tile,
+        # dependent layer is one radius along the two shared sides.
+        tile = pipe_design.tile_grid.tile_at((0, 0))
+        h = pipe_design.fused_depth
+        indep, dep = split_independent_dependent(pipe_design, tile, h)
+        assert indep == 7 * 7
+        assert dep == 64 - 49
+
+    def test_fully_shared_tile(self, small_jacobi2d):
+        from repro.tiling import make_pipe_shared_design
+
+        design = make_pipe_shared_design(
+            small_jacobi2d, (8, 8), (4, 4), 2
+        )
+        inner = design.tile_grid.tile_at((1, 1))
+        indep, dep = split_independent_dependent(design, inner, 2)
+        assert indep == 6 * 6
+        assert dep == 64 - 36
+
+    def test_dependent_fraction_bounds(self, pipe_design):
+        for tile in pipe_design.tiles:
+            frac = dependent_fraction(pipe_design, tile, 2)
+            assert 0.0 <= frac < 1.0
+
+    def test_dependent_fraction_zero_for_baseline(self, baseline_design):
+        tile = baseline_design.tiles[0]
+        assert dependent_fraction(baseline_design, tile, 1) == 0.0

@@ -1,0 +1,109 @@
+"""Tests for tile grids."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.tiling.tile import TileGrid
+
+
+class TestConstruction:
+    def test_uniform(self):
+        grid = TileGrid.uniform((8, 8), (2, 3))
+        assert grid.counts == (2, 3)
+        assert grid.region_shape == (16, 24)
+        assert grid.parallelism == 6
+        assert grid.is_uniform
+
+    def test_heterogeneous(self):
+        grid = TileGrid([[4, 8, 4], [6, 6]])
+        assert grid.counts == (3, 2)
+        assert grid.region_shape == (16, 12)
+        assert not grid.is_uniform
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            TileGrid([])
+        with pytest.raises(SpecificationError):
+            TileGrid([[]])
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(SpecificationError):
+            TileGrid([[4, 0]])
+
+    def test_uniform_rank_mismatch(self):
+        with pytest.raises(SpecificationError):
+            TileGrid.uniform((8, 8), (2,))
+
+
+class TestTiles:
+    def test_tile_count(self):
+        assert len(TileGrid.uniform((4,), (5,)).tiles()) == 5
+
+    def test_offsets_accumulate(self):
+        grid = TileGrid([[3, 5, 2]])
+        offsets = [t.offset for t in grid.tiles()]
+        assert offsets == [(0,), (3,), (8,)]
+
+    def test_outer_multiplicity_1d(self):
+        grid = TileGrid.uniform((4,), (3,))
+        outers = [t.outer for t in grid.tiles()]
+        assert outers == [(1,), (0,), (1,)]
+
+    def test_outer_multiplicity_single_tile(self):
+        grid = TileGrid.uniform((4,), (1,))
+        assert grid.tiles()[0].outer == (2,)
+
+    def test_shared_complements_outer(self):
+        for tile in TileGrid.uniform((4, 4), (3, 3)).tiles():
+            assert all(
+                o + s == 2 for o, s in zip(tile.outer, tile.shared)
+            )
+
+    def test_corner_detection_2d(self):
+        grid = TileGrid.uniform((4, 4), (3, 3))
+        corners = [t.index for t in grid.tiles() if t.is_corner]
+        assert set(corners) == {(0, 0), (0, 2), (2, 0), (2, 2)}
+
+    def test_tiles_partition_region(self):
+        grid = TileGrid([[3, 5], [2, 6, 2]])
+        total = sum(t.cells for t in grid.tiles())
+        assert total == 8 * 10
+
+    def test_tile_at(self):
+        grid = TileGrid.uniform((4, 4), (2, 2))
+        tile = grid.tile_at((1, 0))
+        assert tile.offset == (4, 0)
+
+    def test_tile_at_missing(self):
+        with pytest.raises(SpecificationError):
+            TileGrid.uniform((4,), (2,)).tile_at((5,))
+
+    def test_box_property(self):
+        tile = TileGrid([[3, 5]]).tiles()[1]
+        assert tile.box.lo == (3,)
+        assert tile.box.hi == (8,)
+
+
+class TestNeighbors:
+    def test_1d_chain(self):
+        grid = TileGrid.uniform((4,), (4,))
+        pairs = [(a.index, b.index) for a, b, _ in grid.neighbors()]
+        assert set(pairs) == {((0,), (1,)), ((1,), (2,)), ((2,), (3,))}
+
+    def test_2d_face_count(self):
+        grid = TileGrid.uniform((4, 4), (3, 3))
+        # 3x3 grid: 2*3 vertical + 3*2 horizontal = 12 faces.
+        assert len(list(grid.neighbors())) == 12
+
+    def test_neighbor_dim_recorded(self):
+        grid = TileGrid.uniform((4, 4), (2, 1))
+        faces = list(grid.neighbors())
+        assert len(faces) == 1
+        assert faces[0][2] == 0
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_face_count_formula_2d(self, k0, k1):
+        grid = TileGrid.uniform((2, 2), (k0, k1))
+        expected = (k0 - 1) * k1 + k0 * (k1 - 1)
+        assert len(list(grid.neighbors())) == expected

@@ -1,0 +1,193 @@
+"""Unit and property tests for nd-box geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecificationError
+from repro.utils.grids import (
+    Box,
+    box_from_shape,
+    clip_box,
+    expand_box,
+    iter_boxes,
+    partition_extent,
+    shrink_box,
+    split_extent,
+)
+
+
+class TestBox:
+    def test_shape_and_size(self):
+        box = Box((1, 2), (4, 7))
+        assert box.shape == (3, 5)
+        assert box.size == 15
+        assert box.ndim == 2
+
+    def test_empty_box(self):
+        assert Box((3,), (3,)).is_empty
+        assert Box((3,), (3,)).size == 0
+        assert not Box((3,), (4,)).is_empty
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(SpecificationError):
+            Box((5,), (3,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(SpecificationError):
+            Box((0, 0), (1,))
+
+    def test_contains_point(self):
+        box = Box((0, 0), (4, 4))
+        assert box.contains_point((0, 0))
+        assert box.contains_point((3, 3))
+        assert not box.contains_point((4, 0))
+        assert not box.contains_point((-1, 2))
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains_box(Box((2, 2), (5, 5)))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(Box((5, 5), (11, 6)))
+
+    def test_empty_box_contained_everywhere(self):
+        assert Box((0,), (1,)).contains_box(Box((9,), (9,)))
+
+    def test_intersect_overlapping(self):
+        a = Box((0, 0), (5, 5))
+        b = Box((3, 2), (8, 4))
+        assert a.intersect(b) == Box((3, 2), (5, 4))
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Box((0,), (3,))
+        b = Box((5,), (9,))
+        assert a.intersect(b).is_empty
+
+    def test_overlaps(self):
+        assert Box((0,), (3,)).overlaps(Box((2,), (5,)))
+        assert not Box((0,), (3,)).overlaps(Box((3,), (5,)))
+
+    def test_translate(self):
+        assert Box((1, 1), (2, 3)).translate((10, -1)) == Box(
+            (11, 0), (12, 2)
+        )
+
+    def test_slices(self):
+        assert Box((1, 2), (3, 5)).slices() == (slice(1, 3), slice(2, 5))
+
+    def test_local_slices(self):
+        box = Box((10, 10), (12, 14))
+        assert box.local_slices((9, 8)) == (slice(1, 3), slice(2, 6))
+
+    def test_str(self):
+        assert "[1,3)" in str(Box((1,), (3,)))
+
+
+class TestBoxHelpers:
+    def test_box_from_shape(self):
+        assert box_from_shape((3, 4)) == Box((0, 0), (3, 4))
+
+    def test_expand_box(self):
+        assert expand_box(Box((2, 2), (4, 4)), (1, 2)) == Box(
+            (1, 0), (5, 6)
+        )
+
+    def test_shrink_box(self):
+        assert shrink_box(Box((0, 0), (10, 10)), (2, 3)) == Box(
+            (2, 3), (8, 7)
+        )
+
+    def test_shrink_box_clamps_to_empty(self):
+        shrunk = shrink_box(Box((0,), (4,)), (3,))
+        assert shrunk.is_empty
+
+    def test_clip_box(self):
+        domain = Box((0, 0), (8, 8))
+        assert clip_box(Box((-2, 3), (4, 12)), domain) == Box(
+            (0, 3), (4, 8)
+        )
+
+    def test_expand_then_shrink_roundtrip(self):
+        box = Box((5, 5), (9, 9))
+        assert shrink_box(expand_box(box, (2, 2)), (2, 2)) == box
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert split_extent(12, 4) == [3, 3, 3, 3]
+
+    def test_uneven_split_front_loaded(self):
+        assert split_extent(10, 3) == [4, 3, 3]
+
+    def test_zero_length(self):
+        assert split_extent(0, 3) == [0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(SpecificationError):
+            split_extent(10, 0)
+
+    def test_negative_length(self):
+        with pytest.raises(SpecificationError):
+            split_extent(-1, 2)
+
+    @given(st.integers(0, 1000), st.integers(1, 32))
+    def test_sums_to_length(self, length, parts):
+        result = split_extent(length, parts)
+        assert sum(result) == length
+        assert len(result) == parts
+        assert max(result) - min(result) <= 1
+
+
+class TestPartitionExtent:
+    def test_proportional(self):
+        assert partition_extent(100, [1.0, 1.0]) == [50, 50]
+
+    def test_weighted(self):
+        result = partition_extent(90, [1.0, 2.0])
+        assert sum(result) == 90
+        assert result[1] > result[0]
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(SpecificationError):
+            partition_extent(10, [1.0, 0.0])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(SpecificationError):
+            partition_extent(10, [])
+
+    @given(
+        st.integers(4, 500),
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=4),
+    )
+    def test_sums_exactly(self, length, weights):
+        if length < len(weights):
+            return
+        result = partition_extent(length, weights)
+        assert sum(result) == length
+        assert all(r >= 1 for r in result)
+
+
+class TestIterBoxes:
+    def test_uniform_grid(self):
+        boxes = dict(iter_boxes((0, 0), [[2, 2], [3, 3]]))
+        assert len(boxes) == 4
+        assert boxes[(0, 0)] == Box((0, 0), (2, 3))
+        assert boxes[(1, 1)] == Box((2, 3), (4, 6))
+
+    def test_heterogeneous_extents(self):
+        boxes = dict(iter_boxes((10,), [[3, 5, 2]]))
+        assert boxes[(0,)] == Box((10,), (13,))
+        assert boxes[(1,)] == Box((13,), (18,))
+        assert boxes[(2,)] == Box((18,), (20,))
+
+    def test_boxes_partition_region(self):
+        extents = [[3, 5], [2, 2, 4]]
+        boxes = [b for _, b in iter_boxes((0, 0), extents)]
+        total = sum(b.size for b in boxes)
+        assert total == 8 * 8
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_row_major_order(self):
+        indices = [i for i, _ in iter_boxes((0, 0), [[1, 1], [1, 1]])]
+        assert indices == [(0, 0), (0, 1), (1, 0), (1, 1)]

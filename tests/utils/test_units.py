@@ -1,0 +1,55 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.utils.units import (
+    bytes_per_cycle,
+    cycles_to_seconds,
+    gib,
+    kib,
+    mib,
+    seconds_to_cycles,
+)
+
+
+class TestByteUnits:
+    def test_kib(self):
+        assert kib(1) == 1024
+
+    def test_mib(self):
+        assert mib(2) == 2 * 1024 * 1024
+
+    def test_gib(self):
+        assert gib(16) == 16 * 1024**3
+
+
+class TestCycleConversions:
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(200e6, 200e6) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles(self):
+        assert seconds_to_cycles(0.5, 200e6) == pytest.approx(1e8)
+
+    def test_roundtrip(self):
+        cycles = 123456.0
+        freq = 150e6
+        assert seconds_to_cycles(
+            cycles_to_seconds(cycles, freq), freq
+        ) == pytest.approx(cycles)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(SpecificationError):
+            cycles_to_seconds(100, 0)
+        with pytest.raises(SpecificationError):
+            seconds_to_cycles(1, -1)
+
+
+class TestBandwidth:
+    def test_bytes_per_cycle(self):
+        # 12.8 GB/s at 200 MHz = 64 bytes per cycle.
+        assert bytes_per_cycle(12.8e9, 200e6) == pytest.approx(64.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecificationError):
+            bytes_per_cycle(0, 200e6)

@@ -1,0 +1,51 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.utils.validation import (
+    check_dim_tuple,
+    check_positive,
+    check_positive_tuple,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(SpecificationError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SpecificationError):
+            check_positive("x", -1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(SpecificationError):
+            check_probability("p", value)
+
+
+class TestDimTuples:
+    def test_coerces_to_ints(self):
+        assert check_dim_tuple("t", [1.0, 2.0], 2) == (1, 2)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(SpecificationError, match="must have 3 entries"):
+            check_dim_tuple("t", (1, 2), 3)
+
+    def test_positive_tuple_accepts(self):
+        assert check_positive_tuple("t", (4, 5), 2) == (4, 5)
+
+    def test_positive_tuple_rejects_zero(self):
+        with pytest.raises(SpecificationError):
+            check_positive_tuple("t", (4, 0), 2)
