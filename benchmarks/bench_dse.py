@@ -1,11 +1,21 @@
 """Benchmarks of the design-space exploration itself.
 
-Times the optimizer's two search modes and asserts the headline DSE
+Times the optimizer's search modes and asserts the headline DSE
 outcome: the model-chosen heterogeneous design beats the paper-reported
-baseline when both are *measured* on the simulator.
+baseline when both are *measured* on the simulator.  The engine
+benchmark additionally compares the legacy serial evaluation path
+against the cached + pruned :class:`CandidateEvaluator` modes and
+asserts both return the same best design.
 """
 
-from repro.dse import optimize_baseline, optimize_heterogeneous
+import time
+
+from repro.dse import (
+    CandidateEvaluator,
+    optimize_baseline,
+    optimize_full,
+    optimize_heterogeneous,
+)
 from repro.experiments.configs import TABLE3_CONFIGS
 from repro.sim import simulate
 from repro.stencil import jacobi_2d
@@ -47,4 +57,47 @@ def test_baseline_search(benchmark, record):
         "DSE",
         f"jacobi-2d baseline search: {result.evaluated} candidates, "
         f"best {result.best.design.describe()}",
+    )
+
+
+def test_engine_speedup(benchmark, record):
+    """Serial vs cached+pruned ``optimize_full`` — parity and speedup."""
+    spec = jacobi_2d(grid=(256, 256), iterations=32)
+    kwargs = dict(unroll=2, max_kernels=8, max_fused_depth=16)
+
+    start = time.perf_counter()
+    serial = optimize_full(spec, **kwargs)
+    t_serial = time.perf_counter() - start
+
+    engine = CandidateEvaluator(prune=True)
+    start = time.perf_counter()
+    pruned = optimize_full(spec, evaluator=engine, **kwargs)
+    t_pruned = time.perf_counter() - start
+
+    warm = benchmark.pedantic(
+        optimize_full,
+        args=(spec,),
+        kwargs=dict(evaluator=engine, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    t_warm = benchmark.stats.stats.mean
+
+    for kind, serial_result in serial.items():
+        for other in (pruned[kind], warm[kind]):
+            assert (
+                other.best.design.signature()
+                == serial_result.best.design.signature()
+            )
+            assert (
+                other.best.predicted_cycles
+                == serial_result.best.predicted_cycles
+            )
+    assert t_serial / t_warm > 2.0
+    record(
+        "DSE",
+        f"jacobi-2d full search engine: serial {t_serial:.2f}s, "
+        f"pruned {t_pruned:.2f}s ({t_serial / t_pruned:.2f}x), "
+        f"warm cache {t_warm:.2f}s ({t_serial / t_warm:.2f}x); "
+        f"engine totals: {engine.stats.summary()}",
     )

@@ -13,7 +13,7 @@ paper's qualitative claims:
 
 import pytest
 
-from repro.experiments.configs import PAPER_TABLE3, TABLE3_CONFIGS
+from repro.experiments.configs import PAPER_TABLE3
 from repro.experiments.table3 import run_table3
 from repro.stencil.library import PAPER_SUITE
 

@@ -9,15 +9,13 @@ Run:  python examples/design_space_explorer.py
 """
 
 from repro import (
-    estimate_resources,
     get_benchmark,
     make_baseline_design,
     make_heterogeneous_design,
     simulate,
 )
-from repro.dse import optimize_heterogeneous
+from repro.dse import CandidateEvaluator, optimize_heterogeneous
 from repro.dse.pareto import pareto_front
-from repro.model import PerformanceModel
 
 
 def main() -> None:
@@ -26,7 +24,7 @@ def main() -> None:
         spec, (16, 32, 32), (4, 2, 2), 6, unroll=4
     )
     region = baseline.tile_grid.region_shape
-    model = PerformanceModel()
+    engine = CandidateEvaluator()
 
     print(f"Workload: {spec.describe()}")
     print(f"Baseline: {baseline.describe()}")
@@ -41,9 +39,9 @@ def main() -> None:
         design = make_heterogeneous_design(
             spec, region, (4, 2, 2), h, unroll=4
         )
-        predicted = model.predict_cycles(design)
+        predicted = engine.predict_cycles(design)
         measured = simulate(design).total_cycles
-        bram = estimate_resources(design).total.bram18
+        bram = engine.resources(design).total.bram18
         err = (measured - predicted) / measured
         print(
             f"{h:>4} | {predicted:>12.3e} | {measured:>12.3e} | "
@@ -52,8 +50,9 @@ def main() -> None:
         )
 
     print()
-    result = optimize_heterogeneous(spec, baseline)
+    result = optimize_heterogeneous(spec, baseline, evaluator=engine)
     best = result.best.design
+    print(f"Engine: {engine.stats.summary()}")
     print(
         f"Optimizer pick: h={best.fused_depth} "
         f"(explored {result.evaluated}, feasible {result.feasible})"

@@ -84,9 +84,12 @@ from repro.model import (
     predict_latency,
 )
 from repro.dse import (
+    CandidateEvaluator,
     DSEResult,
+    EvaluationStats,
     Optimizer,
     optimize_baseline,
+    optimize_full,
     optimize_heterogeneous,
     optimize_pipe_shared,
 )
@@ -155,9 +158,12 @@ __all__ = [
     "PerformanceModel",
     "predict_latency",
     # dse
+    "CandidateEvaluator",
     "DSEResult",
+    "EvaluationStats",
     "Optimizer",
     "optimize_baseline",
+    "optimize_full",
     "optimize_pipe_shared",
     "optimize_heterogeneous",
     # codegen

@@ -8,9 +8,8 @@ the design's ``N_PE``.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
-from repro.codegen.boundary_gen import iteration_bounds
 from repro.codegen.emit import CodeWriter, float_literal, index_expression
 from repro.codegen.pipe_gen import generate_receive_block, generate_send_block
 from repro.stencil.pattern import StencilPattern

@@ -8,7 +8,7 @@ its faces, with extents driven by the stencil boundary generator.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.codegen.boundary_gen import iteration_bounds
 from repro.codegen.emit import CodeWriter

@@ -6,16 +6,21 @@ from repro.dse.space import (
     parallelism_candidates,
 )
 from repro.dse.constraints import ResourceBudget
-from repro.dse.optimizer import (
+from repro.dse.evaluator import (
+    CandidateEvaluator,
+    CandidateTrace,
     DSEResult,
     EvaluatedDesign,
+    EvaluationStats,
+)
+from repro.dse.optimizer import (
     Optimizer,
     optimize_baseline,
     optimize_full,
     optimize_heterogeneous,
     optimize_pipe_shared,
 )
-from repro.dse.pareto import pareto_front
+from repro.dse.pareto import pareto_explore, pareto_front
 from repro.dse.sensitivity import (
     SensitivityAnalyzer,
     SweepPoint,
@@ -27,13 +32,17 @@ __all__ = [
     "fused_depth_candidates",
     "parallelism_candidates",
     "ResourceBudget",
+    "CandidateEvaluator",
+    "CandidateTrace",
     "DSEResult",
     "EvaluatedDesign",
+    "EvaluationStats",
     "Optimizer",
     "optimize_baseline",
     "optimize_full",
     "optimize_heterogeneous",
     "optimize_pipe_shared",
+    "pareto_explore",
     "pareto_front",
     "SensitivityAnalyzer",
     "SweepPoint",

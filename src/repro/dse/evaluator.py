@@ -1,0 +1,469 @@
+"""The unified candidate-evaluation engine behind every DSE caller.
+
+The paper's whole optimization story (Section 5.1) rests on the
+analytical model making exhaustive enumeration cheap.  This module is
+the single path from a candidate :class:`StencilDesign` to its scored
+:class:`EvaluatedDesign`, shared by the ``optimize_*`` entry points,
+the sensitivity sweeps, the Pareto utilities, the experiment CLI, and
+the benchmarks.  It adds three things the per-caller loops never had:
+
+- **Memoization** — model and resource-estimator results are cached
+  under the design's canonical signature
+  (:meth:`~repro.tiling.design.StencilDesign.signature`); designs recur
+  across the baseline/pipe-shared/heterogeneous sweeps and across
+  repeated experiment runs, and equal signatures guarantee equal
+  results.
+- **Parallel batches** — candidates evaluate concurrently on a
+  :mod:`concurrent.futures` thread pool with a deterministic-ordering
+  guarantee (results are always assembled in candidate order) and a
+  serial fallback (``max_workers=None``).
+- **Admissible pruning** — before the full model runs, a candidate is
+  rejected on resource infeasibility, and optionally on a compute-only
+  latency lower bound: if even its useful computation alone exceeds the
+  best fully-evaluated latency so far, the candidate cannot win.  The
+  bound never exceeds the true prediction, so pruning never discards
+  the optimum.
+
+Every run emits an :class:`EvaluationStats` record and can stream
+per-candidate :class:`CandidateTrace` events to an observer hook.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.constraints import ResourceBudget
+from repro.errors import DesignSpaceError
+from repro.fpga.estimator import DesignResources, ResourceEstimator
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.model.predictor import Fidelity, PerformanceModel
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.tiling.design import StencilDesign
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """One candidate with its predicted latency and resources."""
+
+    design: StencilDesign
+    predicted_cycles: float
+    resources: DesignResources
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    """Outcome of one exploration run."""
+
+    best: EvaluatedDesign
+    evaluated: int
+    feasible: int
+    #: All feasible candidates, fastest first (for Pareto analysis).
+    candidates: Tuple[EvaluatedDesign, ...]
+    #: Engine counters for this run (``None`` for hand-built results).
+    stats: Optional["EvaluationStats"] = field(default=None, compare=False)
+
+
+@dataclass
+class EvaluationStats:
+    """Counters describing what the engine did for a batch of work.
+
+    Attributes:
+        candidates: designs submitted.
+        evaluated: full model evaluations actually performed.
+        cache_hits: designs answered from the signature cache.
+        infeasible: designs rejected by the resource-budget check.
+        pruned: designs rejected by the latency lower bound (their full
+            model evaluation was skipped).
+        wall_time_s: wall-clock seconds spent in the engine.
+    """
+
+    candidates: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    infeasible: int = 0
+    pruned: int = 0
+    wall_time_s: float = 0.0
+
+    def merge(self, other: "EvaluationStats") -> None:
+        """Accumulate another stats record into this one."""
+        self.candidates += other.candidates
+        self.evaluated += other.evaluated
+        self.cache_hits += other.cache_hits
+        self.infeasible += other.infeasible
+        self.pruned += other.pruned
+        self.wall_time_s += other.wall_time_s
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view."""
+        return {
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "infeasible": self.infeasible,
+            "pruned": self.pruned,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.candidates} candidates: {self.evaluated} evaluated, "
+            f"{self.cache_hits} cache hits, {self.pruned} pruned, "
+            f"{self.infeasible} infeasible, {self.wall_time_s:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class CandidateTrace:
+    """One per-candidate observability event.
+
+    Attributes:
+        design: the candidate.
+        outcome: ``"evaluated"``, ``"cache-hit"``, ``"infeasible"`` or
+            ``"pruned"``.
+        predicted_cycles: model prediction when one was produced.
+        lower_bound: the admissible bound, when pruning is active.
+    """
+
+    design: StencilDesign
+    outcome: str
+    predicted_cycles: Optional[float] = None
+    lower_bound: Optional[float] = None
+
+
+TraceHook = Callable[[CandidateTrace], None]
+
+
+class CandidateEvaluator:
+    """Cached, parallel, prunable scorer for candidate designs.
+
+    One evaluator is bound to a board, a model fidelity, and an
+    estimator pair (the performance model and the resource estimator
+    share one FlexCL pipeline analyzer so its reports are computed once
+    per pattern).  All caches live for the evaluator's lifetime, so
+    sharing one instance across sweeps shares their work.
+
+    Args:
+        board: platform the model evaluates against.
+        fidelity: analytical-model variant.
+        estimator: resource estimator (one is built when omitted).
+        model: performance model (one is built when omitted).
+        max_workers: thread-pool width for batch evaluation; ``None``,
+            0, or 1 selects the serial path.
+        prune: enable the compute-only lower-bound pruning in
+            :meth:`explore`.  Pruned candidates are guaranteed slower
+            than the returned best but are absent from
+            ``DSEResult.candidates``.
+        trace: optional per-candidate observer hook.
+    """
+
+    def __init__(
+        self,
+        board: BoardSpec = ADM_PCIE_7V3,
+        fidelity: Fidelity = Fidelity.REFINED,
+        estimator: Optional[ResourceEstimator] = None,
+        model: Optional[PerformanceModel] = None,
+        max_workers: Optional[int] = None,
+        prune: bool = False,
+        trace: Optional[TraceHook] = None,
+    ):
+        if estimator is None:
+            flexcl = model.estimator if model is not None else FlexCLEstimator()
+            estimator = ResourceEstimator(flexcl)
+        if model is None:
+            model = PerformanceModel(board, fidelity, estimator.flexcl)
+        self.board = board
+        self.fidelity = model.fidelity
+        self.estimator = estimator
+        self.model = model
+        self.max_workers = max_workers
+        self.prune = prune
+        self.trace = trace
+        #: Lifetime aggregate over every evaluate/explore call.
+        self.stats = EvaluationStats()
+        self._results: Dict[Tuple, EvaluatedDesign] = {}
+        self._predicted: set = set()
+        self._lock = threading.Lock()
+
+    # -- cached primitives -----------------------------------------------------
+
+    def resources(self, design: StencilDesign) -> DesignResources:
+        """Signature-cached resource estimate."""
+        return self.estimator.estimate(design)
+
+    def predict_cycles(self, design: StencilDesign) -> float:
+        """Signature-cached model prediction (total cycles)."""
+        sig = design.signature()
+        with self._lock:
+            hit = sig in self._predicted
+        cycles = self.model.predict_cycles_cached(design)
+        with self._lock:
+            self._predicted.add(sig)
+            self.stats.candidates += 1
+            if hit:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.evaluated += 1
+        return cycles
+
+    def lower_bound(self, design: StencilDesign) -> float:
+        """Admissible compute-only latency lower bound (cycles).
+
+        Counts only computation cycles — launch, memory, and pipe
+        overheads are all non-negative, so the bound never exceeds the
+        full prediction at either fidelity:
+
+        - ``REFINED``: the slowest kernel's total latency is at least
+          its computation ``C_element · Σ_i workload_i``, maximized
+          over kernels and scaled by the integer block count.
+        - ``PAPER``: Eq. 7's ``L_comp`` is at least the useful part
+          ``C_element · h · Π w_d`` of the slowest kernel, scaled by
+          the real-valued ``N_region`` of Eq. 2.
+        """
+        report = self.model.pipeline_report(design)
+        c_elem = report.cycles_per_element
+        if self.fidelity is Fidelity.PAPER:
+            per_block = (
+                c_elem
+                * design.fused_depth
+                * math.prod(design.slowest_tile().shape)
+            )
+            return per_block * design.num_blocks_paper()
+        per_block = c_elem * max(
+            design.tile_compute_cells(t) for t in design.tiles
+        )
+        return per_block * design.num_blocks()
+
+    # -- single-candidate evaluation -------------------------------------------
+
+    def evaluate(
+        self, design: StencilDesign, budget: ResourceBudget
+    ) -> Optional[EvaluatedDesign]:
+        """Score one candidate against a budget.
+
+        Returns the cached :class:`EvaluatedDesign` when the signature
+        was seen before (same signature → same result object); the
+        budget check always re-runs, so the same design can be feasible
+        under one budget and rejected under another.  Returns ``None``
+        for infeasible candidates.
+        """
+        stats = EvaluationStats()
+        start = time.perf_counter()
+        result = self._evaluate_one(design, budget, stats, incumbent=None)
+        stats.wall_time_s = time.perf_counter() - start
+        with self._lock:
+            self.stats.merge(stats)
+        return result
+
+    def _evaluate_one(
+        self,
+        design: StencilDesign,
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+        incumbent: Optional[List[float]],
+        bound: Optional[float] = None,
+    ) -> Optional[EvaluatedDesign]:
+        """Evaluate one candidate, updating ``stats`` and ``incumbent``.
+
+        ``incumbent`` is a shared single-element list holding the best
+        fully-evaluated feasible latency so far (guarded by
+        ``self._lock``); ``bound`` is the precomputed lower bound, when
+        pruning is active.
+        """
+        stats.candidates += 1
+        sig = design.signature()
+        with self._lock:
+            cached = self._results.get(sig)
+        if cached is not None:
+            stats.cache_hits += 1
+            if not cached.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                self._emit(CandidateTrace(design, "infeasible"))
+                return None
+            self._note_incumbent(incumbent, cached.predicted_cycles)
+            self._emit(
+                CandidateTrace(design, "cache-hit", cached.predicted_cycles)
+            )
+            return cached
+        resources = self.resources(design)
+        if not resources.total.fits_within(budget.limit):
+            stats.infeasible += 1
+            self._emit(CandidateTrace(design, "infeasible"))
+            return None
+        if bound is not None and incumbent is not None:
+            with self._lock:
+                best = incumbent[0]
+            if best is not None and bound >= best:
+                stats.pruned += 1
+                self._emit(
+                    CandidateTrace(design, "pruned", lower_bound=bound)
+                )
+                return None
+        cycles = self.model.predict_cycles_cached(design)
+        stats.evaluated += 1
+        result = EvaluatedDesign(design, cycles, resources)
+        with self._lock:
+            result = self._results.setdefault(sig, result)
+        self._note_incumbent(incumbent, cycles)
+        self._emit(CandidateTrace(design, "evaluated", cycles, bound))
+        return result
+
+    def _note_incumbent(
+        self, incumbent: Optional[List[float]], cycles: float
+    ) -> None:
+        if incumbent is None:
+            return
+        with self._lock:
+            if incumbent[0] is None or cycles < incumbent[0]:
+                incumbent[0] = cycles
+
+    def _emit(self, event: CandidateTrace) -> None:
+        if self.trace is not None:
+            self.trace(event)
+
+    # -- batch evaluation ------------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+        stats: Optional[EvaluationStats] = None,
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score a batch; the result list always matches input order.
+
+        Parallel (``max_workers > 1``) and serial execution return the
+        same values for every candidate — with pruning enabled, the set
+        of skipped candidates can differ between runs, but a skipped
+        candidate is always provably slower than the best, so the
+        returned optimum is invariant.
+        """
+        own_stats = stats if stats is not None else EvaluationStats()
+        start = time.perf_counter()
+        results = self._run_batch(candidates, budget, own_stats)
+        own_stats.wall_time_s += time.perf_counter() - start
+        if stats is None:
+            with self._lock:
+                self.stats.merge(own_stats)
+        return results
+
+    def _run_batch(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+    ) -> List[Optional[EvaluatedDesign]]:
+        incumbent: Optional[List[float]] = [None] if self.prune else None
+        bounds: Optional[List[float]] = None
+        order = range(len(candidates))
+        if self.prune:
+            # Lower bounds are cheap; scheduling candidates by
+            # ascending bound establishes a strong incumbent early and
+            # lets everything past the cutoff be rejected wholesale.
+            bounds = [self.lower_bound(d) for d in candidates]
+            order = sorted(order, key=lambda i: (bounds[i], i))
+        results: List[Optional[EvaluatedDesign]] = [None] * len(candidates)
+        workers = self.max_workers or 0
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                ordered = list(
+                    pool.map(
+                        lambda i: self._evaluate_one(
+                            candidates[i],
+                            budget,
+                            stats,
+                            incumbent,
+                            bounds[i] if bounds else None,
+                        ),
+                        order,
+                    )
+                )
+            for i, result in zip(order, ordered):
+                results[i] = result
+            return results
+        for position, i in enumerate(order):
+            if bounds is not None and incumbent is not None:
+                with self._lock:
+                    best = incumbent[0]
+                if best is not None and bounds[i] >= best:
+                    # Candidates are bound-sorted: everything from here
+                    # on is provably no faster than the incumbent.
+                    remaining = len(candidates) - position
+                    stats.candidates += remaining
+                    stats.pruned += remaining
+                    if self.trace is not None:
+                        for j in list(order)[position:]:
+                            self._emit(
+                                CandidateTrace(
+                                    candidates[j],
+                                    "pruned",
+                                    lower_bound=bounds[j],
+                                )
+                            )
+                    break
+            results[i] = self._evaluate_one(
+                candidates[i],
+                budget,
+                stats,
+                incumbent,
+                bounds[i] if bounds else None,
+            )
+        return results
+
+    # -- exploration (the optimizer entry point) -------------------------------
+
+    def explore(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+    ) -> DSEResult:
+        """Evaluate candidates against a budget; return the fastest.
+
+        Without pruning this reproduces the historical serial
+        ``Optimizer.explore`` bit for bit (same feasible set, same
+        stable ordering); with pruning the best design and its
+        predicted cycles are identical but provably-slower candidates
+        are absent from ``DSEResult.candidates``.
+        """
+        candidates = list(candidates)
+        stats = EvaluationStats()
+        start = time.perf_counter()
+        results = self._run_batch(candidates, budget, stats)
+        feasible = [r for r in results if r is not None]
+        stats.wall_time_s = time.perf_counter() - start
+        with self._lock:
+            self.stats.merge(stats)
+        if not feasible:
+            raise DesignSpaceError(
+                f"No feasible design within budget {budget.label} "
+                f"({len(candidates)} candidates evaluated)"
+            )
+        feasible.sort(key=lambda e: e.predicted_cycles)
+        return DSEResult(
+            best=feasible[0],
+            evaluated=len(candidates),
+            feasible=len(feasible),
+            candidates=tuple(feasible),
+            stats=stats,
+        )
+
+    # -- cache management ------------------------------------------------------
+
+    def cache_size(self) -> int:
+        """Number of memoized candidate evaluations."""
+        with self._lock:
+            return len(self._results)
+
+    def clear_cache(self) -> None:
+        """Drop every memoized evaluation (stats are preserved)."""
+        with self._lock:
+            self._results.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the lifetime counters."""
+        with self._lock:
+            self.stats = EvaluationStats()

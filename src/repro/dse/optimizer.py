@@ -1,22 +1,33 @@
 """The performance optimizer (Section 5.1).
 
-Enumerates candidate designs, evaluates each with the analytical model
-(that is the point of having a model: the search never synthesizes or
-simulates), discards candidates that exceed the resource budget, and
-returns the fastest feasible design.
+Enumerates candidate designs, scores each through the shared
+:class:`~repro.dse.evaluator.CandidateEvaluator` engine (that is the
+point of having a model: the search never synthesizes or simulates),
+discards candidates that exceed the resource budget, and returns the
+fastest feasible design.
+
+All four ``optimize_*`` entry points accept an optional ``evaluator``
+so callers can share one engine — and therefore its signature caches —
+across searches; each also accepts ``max_workers``/``prune`` knobs that
+are forwarded to a freshly built engine when none is supplied.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.dse.constraints import ResourceBudget
+from repro.dse.evaluator import (
+    CandidateEvaluator,
+    DSEResult,
+    EvaluatedDesign,
+    EvaluationStats,
+)
 from repro.dse.space import DesignSpace, fused_depth_candidates
 from repro.errors import DesignSpaceError
-from repro.fpga.estimator import DesignResources, ResourceEstimator
+from repro.fpga.estimator import ResourceEstimator
 from repro.fpga.resources import FpgaDevice, VIRTEX7_690T
-from repro.model.predictor import Fidelity, PerformanceModel
+from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.stencil.spec import StencilSpec
 from repro.tiling.baseline import make_baseline_design
@@ -24,39 +35,43 @@ from repro.tiling.design import StencilDesign
 from repro.tiling.heterogeneous import make_heterogeneous_design
 from repro.tiling.pipeshared import make_pipe_shared_design
 
-
-@dataclass(frozen=True)
-class EvaluatedDesign:
-    """One candidate with its predicted latency and resources."""
-
-    design: StencilDesign
-    predicted_cycles: float
-    resources: DesignResources
-
-
-@dataclass(frozen=True)
-class DSEResult:
-    """Outcome of one exploration run."""
-
-    best: EvaluatedDesign
-    evaluated: int
-    feasible: int
-    #: All feasible candidates, fastest first (for Pareto analysis).
-    candidates: Tuple[EvaluatedDesign, ...]
+__all__ = [
+    "DSEResult",
+    "EvaluatedDesign",
+    "EvaluationStats",
+    "Optimizer",
+    "optimize_baseline",
+    "optimize_full",
+    "optimize_heterogeneous",
+    "optimize_pipe_shared",
+]
 
 
 class Optimizer:
-    """Model-driven design-space explorer."""
+    """Model-driven design-space explorer.
+
+    A thin facade over :class:`CandidateEvaluator` kept for backward
+    compatibility; ``explore`` delegates to the engine.
+    """
 
     def __init__(
         self,
         board: BoardSpec = ADM_PCIE_7V3,
         fidelity: Fidelity = Fidelity.REFINED,
         estimator: Optional[ResourceEstimator] = None,
+        max_workers: Optional[int] = None,
+        prune: bool = False,
     ):
+        self.evaluator = CandidateEvaluator(
+            board=board,
+            fidelity=fidelity,
+            estimator=estimator,
+            max_workers=max_workers,
+            prune=prune,
+        )
         self.board = board
-        self.model = PerformanceModel(board, fidelity)
-        self.estimator = estimator or ResourceEstimator()
+        self.model = self.evaluator.model
+        self.estimator = self.evaluator.estimator
 
     def explore(
         self,
@@ -64,27 +79,24 @@ class Optimizer:
         budget: ResourceBudget,
     ) -> DSEResult:
         """Evaluate candidates against a budget; return the fastest."""
-        evaluated = 0
-        feasible: List[EvaluatedDesign] = []
-        for design in candidates:
-            evaluated += 1
-            resources = self.estimator.estimate(design)
-            if not resources.total.fits_within(budget.limit):
-                continue
-            cycles = self.model.predict_cycles(design)
-            feasible.append(EvaluatedDesign(design, cycles, resources))
-        if not feasible:
-            raise DesignSpaceError(
-                f"No feasible design within budget {budget.label} "
-                f"({evaluated} candidates evaluated)"
-            )
-        feasible.sort(key=lambda e: e.predicted_cycles)
-        return DSEResult(
-            best=feasible[0],
-            evaluated=evaluated,
-            feasible=len(feasible),
-            candidates=tuple(feasible),
-        )
+        return self.evaluator.explore(candidates, budget)
+
+
+def _resolve_evaluator(
+    evaluator: Optional[CandidateEvaluator],
+    board: BoardSpec,
+    estimator: Optional[ResourceEstimator] = None,
+    max_workers: Optional[int] = None,
+    prune: bool = False,
+) -> CandidateEvaluator:
+    if evaluator is not None:
+        return evaluator
+    return CandidateEvaluator(
+        board=board,
+        estimator=estimator,
+        max_workers=max_workers,
+        prune=prune,
+    )
 
 
 def _baseline_candidates(space: DesignSpace) -> List[StencilDesign]:
@@ -107,6 +119,7 @@ def optimize_baseline(
     board: BoardSpec = ADM_PCIE_7V3,
     space: Optional[DesignSpace] = None,
     max_fused_depth: int = 256,
+    evaluator: Optional[CandidateEvaluator] = None,
 ) -> DSEResult:
     """Best baseline (overlapped-tiling) design on a device.
 
@@ -117,8 +130,8 @@ def optimize_baseline(
         space = DesignSpace.default(
             spec, counts, unroll, max_fused_depth=max_fused_depth
         )
-    optimizer = Optimizer(board)
-    return optimizer.explore(
+    engine = _resolve_evaluator(evaluator, board)
+    return engine.explore(
         _baseline_candidates(space), ResourceBudget.from_device(device)
     )
 
@@ -128,6 +141,7 @@ def optimize_pipe_shared(
     baseline: StencilDesign,
     board: BoardSpec = ADM_PCIE_7V3,
     estimator: Optional[ResourceEstimator] = None,
+    evaluator: Optional[CandidateEvaluator] = None,
 ) -> DSEResult:
     """Best equal-tile pipe-shared design within the baseline's budget.
 
@@ -135,7 +149,8 @@ def optimize_pipe_shared(
     baseline (Section 5.4); only the fusion depth is re-explored — the
     BRAM freed by eliminating overlap storage admits deeper cones.
     """
-    budget = ResourceBudget.from_design(baseline, estimator)
+    engine = _resolve_evaluator(evaluator, board, estimator)
+    budget = ResourceBudget.from_design(baseline, engine.estimator)
     slowest = baseline.slowest_tile()
     depths = fused_depth_candidates(
         min(4 * baseline.fused_depth + 64, spec.iterations),
@@ -151,7 +166,7 @@ def optimize_pipe_shared(
         )
         for h in depths
     ]
-    return Optimizer(board, estimator=estimator).explore(candidates, budget)
+    return engine.explore(candidates, budget)
 
 
 def optimize_full(
@@ -162,6 +177,9 @@ def optimize_full(
     max_kernels: int = 16,
     max_fused_depth: int = 64,
     max_tile_options: int = 3,
+    max_workers: Optional[int] = None,
+    prune: bool = False,
+    evaluator: Optional[CandidateEvaluator] = None,
 ) -> dict:
     """Coarse global search over parallelism, tile shape, and depth.
 
@@ -172,7 +190,12 @@ def optimize_full(
 
     The space is pruned for tractability: power-of-two counts, the
     ``max_tile_options`` largest feasible power-of-two tile extents per
-    dimension, and a thinned depth ladder.
+    dimension, and a thinned depth ladder.  One evaluator instance
+    scores all three sweeps, so pipeline reports and recurring designs
+    are shared across them; pass ``max_workers``/``prune=True`` for the
+    engine's parallel and bound-pruned modes (pruning preserves the
+    best design but drops provably-slower candidates from the result's
+    candidate lists).
 
     Returns:
         ``{"baseline": DSEResult, "pipe-shared": DSEResult,
@@ -181,13 +204,12 @@ def optimize_full(
     from repro.dse.space import parallelism_candidates
 
     budget = ResourceBudget.from_device(device)
-    optimizer = Optimizer(board)
-    depth_ladder = [
-        h
-        for h in fused_depth_candidates(
-            max_fused_depth, spec.iterations, dense_until=8, sparse_step=8
-        )
-    ]
+    engine = _resolve_evaluator(
+        evaluator, board, max_workers=max_workers, prune=prune
+    )
+    depth_ladder = fused_depth_candidates(
+        max_fused_depth, spec.iterations, dense_until=8, sparse_step=8
+    )
     baseline_candidates: List[StencilDesign] = []
     pipe_candidates: List[StencilDesign] = []
     hetero_candidates: List[StencilDesign] = []
@@ -228,12 +250,12 @@ def optimize_full(
                             spec, region, counts, h, unroll
                         )
                     )
-                except Exception:
+                except DesignSpaceError:
                     continue
     return {
-        "baseline": optimizer.explore(baseline_candidates, budget),
-        "pipe-shared": optimizer.explore(pipe_candidates, budget),
-        "heterogeneous": optimizer.explore(hetero_candidates, budget),
+        "baseline": engine.explore(baseline_candidates, budget),
+        "pipe-shared": engine.explore(pipe_candidates, budget),
+        "heterogeneous": engine.explore(hetero_candidates, budget),
     }
 
 
@@ -242,6 +264,7 @@ def optimize_heterogeneous(
     baseline: StencilDesign,
     board: BoardSpec = ADM_PCIE_7V3,
     estimator: Optional[ResourceEstimator] = None,
+    evaluator: Optional[CandidateEvaluator] = None,
 ) -> DSEResult:
     """Best heterogeneous design within the baseline's budget.
 
@@ -249,7 +272,8 @@ def optimize_heterogeneous(
     optimal tile extents (the paper's ``f_k_d`` enumeration collapses
     to this closed form), the region layout matching the baseline's.
     """
-    budget = ResourceBudget.from_design(baseline, estimator)
+    engine = _resolve_evaluator(evaluator, board, estimator)
+    budget = ResourceBudget.from_design(baseline, engine.estimator)
     region = baseline.tile_grid.region_shape
     depths = fused_depth_candidates(
         min(4 * baseline.fused_depth + 64, spec.iterations),
@@ -269,4 +293,4 @@ def optimize_heterogeneous(
             )
         except DesignSpaceError:  # pragma: no cover - defensive
             continue
-    return Optimizer(board, estimator=estimator).explore(candidates, budget)
+    return engine.explore(candidates, budget)

@@ -1,10 +1,19 @@
-"""Performance/resource Pareto-frontier utilities."""
+"""Performance/resource Pareto-frontier utilities.
+
+Scoring raw designs for a frontier goes through the shared
+:class:`~repro.dse.evaluator.CandidateEvaluator` engine
+(:func:`pareto_explore`), so frontier construction reuses the same
+signature caches as the ``optimize_*`` searches instead of carrying its
+own evaluation loop.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.dse.optimizer import EvaluatedDesign
+from repro.dse.constraints import ResourceBudget
+from repro.dse.evaluator import CandidateEvaluator, EvaluatedDesign
+from repro.tiling.design import StencilDesign
 
 
 def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -12,6 +21,11 @@ def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(
         x < y for x, y in zip(a, b)
     )
+
+
+def _default_objectives(e: EvaluatedDesign) -> Tuple[float, ...]:
+    """Latency vs BRAM — the trade-off the paper's Table 3 stresses."""
+    return (e.predicted_cycles, float(e.resources.total.bram18))
 
 
 def pareto_front(
@@ -30,10 +44,7 @@ def pareto_front(
         The Pareto-optimal subset, sorted by the first objective.
     """
     if objectives is None:
-        objectives = lambda e: (
-            e.predicted_cycles,
-            float(e.resources.total.bram18),
-        )
+        objectives = _default_objectives
     points = [(objectives(c), c) for c in candidates]
     front = [
         candidate
@@ -46,3 +57,29 @@ def pareto_front(
     ]
     front.sort(key=lambda c: objectives(c)[0])
     return front
+
+
+def pareto_explore(
+    designs: Sequence[StencilDesign],
+    budget: ResourceBudget,
+    evaluator: Optional[CandidateEvaluator] = None,
+    objectives: Callable[[EvaluatedDesign], Tuple[float, ...]] = None,
+) -> List[EvaluatedDesign]:
+    """Evaluate raw designs through the engine and return their front.
+
+    Args:
+        designs: unscored candidate designs.
+        budget: resource ceiling; infeasible designs are excluded.
+        evaluator: shared engine (a serial one is built when omitted).
+        objectives: forwarded to :func:`pareto_front`.
+
+    Returns:
+        The Pareto-optimal subset of the feasible designs.
+    """
+    engine = evaluator or CandidateEvaluator()
+    scored = [
+        result
+        for result in engine.evaluate_batch(designs, budget)
+        if result is not None
+    ]
+    return pareto_front(scored, objectives)

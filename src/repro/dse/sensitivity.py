@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro.dse.evaluator import CandidateEvaluator, EvaluationStats
 from repro.errors import DesignSpaceError
-from repro.model.predictor import Fidelity, PerformanceModel
+from repro.fpga.estimator import ResourceEstimator
+from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.sim.executor import SimulationExecutor
 from repro.tiling.design import StencilDesign
@@ -58,7 +60,14 @@ class SweepResult:
 
 
 class SensitivityAnalyzer:
-    """Sweeps board parameters for a fixed design."""
+    """Sweeps board parameters for a fixed design.
+
+    Model predictions route through one
+    :class:`~repro.dse.evaluator.CandidateEvaluator` per swept board
+    point; the evaluators share a single FlexCL pipeline analyzer and
+    resource estimator (those don't depend on the swept board knobs),
+    so re-sweeping a design re-uses all signature-cached work.
+    """
 
     def __init__(
         self,
@@ -67,13 +76,31 @@ class SensitivityAnalyzer:
     ):
         self.board = board
         self.fidelity = fidelity
+        self._estimator = ResourceEstimator()
+        self._evaluators: Dict[BoardSpec, CandidateEvaluator] = {}
+
+    def _evaluator_for(self, board: BoardSpec) -> CandidateEvaluator:
+        evaluator = self._evaluators.get(board)
+        if evaluator is None:
+            evaluator = CandidateEvaluator(
+                board=board,
+                fidelity=self.fidelity,
+                estimator=self._estimator,
+            )
+            self._evaluators[board] = evaluator
+        return evaluator
+
+    def stats(self) -> EvaluationStats:
+        """Aggregate engine counters across every swept board point."""
+        total = EvaluationStats()
+        for evaluator in self._evaluators.values():
+            total.merge(evaluator.stats)
+        return total
 
     def _evaluate(
         self, design: StencilDesign, board: BoardSpec
     ) -> Tuple[float, float]:
-        predicted = PerformanceModel(board, self.fidelity).predict_cycles(
-            design
-        )
+        predicted = self._evaluator_for(board).predict_cycles(design)
         measured = SimulationExecutor(board).run(design).total_cycles
         return predicted, measured
 

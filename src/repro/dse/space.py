@@ -10,7 +10,7 @@ baseline search of Section 5.4.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DesignSpaceError

@@ -16,7 +16,6 @@ from repro.experiments.configs import TABLE3_CONFIGS
 from repro.experiments.report import render_table
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.sim.executor import SimulationExecutor
-from repro.tiling.design import StencilDesign
 
 
 @dataclass(frozen=True)

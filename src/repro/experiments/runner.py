@@ -45,7 +45,8 @@ def _parse_benchmarks(value: Optional[str], default: Sequence[str]):
     return tuple(name.strip() for name in value.split(",") if name.strip())
 
 
-def _build_designs(benchmark: str):
+def _build_designs(benchmark: str, evaluator=None):
+    from repro.dse.evaluator import CandidateEvaluator
     from repro.dse.optimizer import (
         optimize_heterogeneous,
         optimize_pipe_shared,
@@ -55,33 +56,38 @@ def _build_designs(benchmark: str):
     config = TABLE3_CONFIGS[benchmark]
     baseline = config.baseline()
     spec = baseline.spec
+    engine = evaluator or CandidateEvaluator()
     return {
         "spec": spec,
         "baseline": baseline,
-        "pipe": optimize_pipe_shared(spec, baseline).best.design,
-        "hetero": optimize_heterogeneous(spec, baseline).best.design,
+        "pipe": optimize_pipe_shared(
+            spec, baseline, evaluator=engine
+        ).best.design,
+        "hetero": optimize_heterogeneous(
+            spec, baseline, evaluator=engine
+        ).best.design,
     }
 
 
 def _cmd_optimize(args) -> List[str]:
-    from repro.fpga.estimator import estimate_resources
-    from repro.model import PerformanceModel
+    from repro.dse.evaluator import CandidateEvaluator
     from repro.sim import simulate
 
-    bundle = _build_designs(args.benchmark)
-    model = PerformanceModel()
+    evaluator = CandidateEvaluator()
+    bundle = _build_designs(args.benchmark, evaluator)
     lines = [f"Workload: {bundle['spec'].describe()}"]
     base_cycles = simulate(bundle["baseline"]).total_cycles
     for label in ("baseline", "pipe", "hetero"):
         design = bundle[label]
         measured = simulate(design).total_cycles
-        resources = estimate_resources(design).total
+        resources = evaluator.resources(design).total
         lines.append(
             f"{label:9s} {design.describe()}\n"
-            f"          predicted {model.predict_cycles(design):.3e} "
+            f"          predicted {evaluator.predict_cycles(design):.3e} "
             f"cyc, measured {measured:.3e} cyc "
             f"(speedup {base_cycles / measured:.2f}x), {resources}"
         )
+    lines.append(f"Engine: {evaluator.stats.summary()}")
     return lines
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.experiments.configs import TABLE3_CONFIGS
 from repro.experiments.report import format_shape, render_table
 from repro.stencil.library import PAPER_SUITE, get_benchmark
 

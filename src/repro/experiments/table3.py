@@ -10,14 +10,11 @@ report design parameters, estimated resources, and speedup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dse.evaluator import CandidateEvaluator
 from repro.dse.optimizer import optimize_heterogeneous
-from repro.experiments.configs import (
-    PAPER_TABLE3,
-    TABLE3_CONFIGS,
-    BenchmarkConfig,
-)
+from repro.experiments.configs import PAPER_TABLE3, TABLE3_CONFIGS
 from repro.experiments.report import format_shape, render_table
 from repro.fpga.estimator import ResourceEstimator
 from repro.fpga.resources import ResourceVector
@@ -65,7 +62,7 @@ def run_table3(
     board: BoardSpec = ADM_PCIE_7V3,
 ) -> List[Table3Row]:
     """Regenerate Table 3's rows on the simulator."""
-    estimator = ResourceEstimator()
+    evaluator = CandidateEvaluator(board=board, estimator=ResourceEstimator())
     executor = SimulationExecutor(board)
     rows: List[Table3Row] = []
     for name in benchmarks:
@@ -73,15 +70,15 @@ def run_table3(
         baseline = config.baseline()
         spec = baseline.spec
         hetero = optimize_heterogeneous(
-            spec, baseline, board, estimator
+            spec, baseline, board, evaluator=evaluator
         ).best.design
         rows.append(
             Table3Row(
                 benchmark=name,
                 baseline=baseline,
                 heterogeneous=hetero,
-                baseline_resources=estimator.estimate(baseline).total,
-                hetero_resources=estimator.estimate(hetero).total,
+                baseline_resources=evaluator.resources(baseline).total,
+                hetero_resources=evaluator.resources(hetero).total,
                 baseline_cycles=executor.run(baseline).total_cycles,
                 hetero_cycles=executor.run(hetero).total_cycles,
             )

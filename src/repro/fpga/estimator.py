@@ -21,8 +21,9 @@ estimate is built from first principles:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.fpga.bram import fifo_resources, local_array_blocks
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
@@ -67,15 +68,36 @@ class ResourceEstimator:
 
     def __init__(self, flexcl: Optional[FlexCLEstimator] = None):
         self.flexcl = flexcl or FlexCLEstimator()
+        self._cache: Dict[Tuple, DesignResources] = {}
+        self._lock = threading.Lock()
 
     def estimate(
         self,
         design: StencilDesign,
         report: Optional[PipelineReport] = None,
     ) -> DesignResources:
-        """Estimate a design's total resource utilization."""
-        if report is None:
-            report = self.flexcl.estimate(design.spec.pattern, design.unroll)
+        """Estimate a design's total resource utilization.
+
+        Estimates are memoized by the design's canonical signature (the
+        estimate depends on nothing else), so repeated DSE evaluations
+        of recurring designs are free.  Safe to call from worker
+        threads.  Passing an explicit ``report`` bypasses the cache.
+        """
+        if report is not None:
+            return self._estimate_uncached(design, report)
+        key = design.signature()
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        report = self.flexcl.estimate(design.spec.pattern, design.unroll)
+        resources = self._estimate_uncached(design, report)
+        with self._lock:
+            return self._cache.setdefault(key, resources)
+
+    def _estimate_uncached(
+        self, design: StencilDesign, report: PipelineReport
+    ) -> DesignResources:
         kernels = ResourceVector()
         for tile in design.tiles:
             kernels = kernels + self._kernel_resources(design, tile, report)

@@ -18,8 +18,9 @@ the partition limit.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import SpecificationError
 from repro.stencil.pattern import StencilPattern
@@ -67,6 +68,8 @@ class FlexCLEstimator:
                 f"max_partitions must be >= 1, got {max_partitions}"
             )
         self.max_partitions = max_partitions
+        self._cache: Dict[Tuple, PipelineReport] = {}
+        self._lock = threading.Lock()
 
     def estimate(
         self,
@@ -75,6 +78,11 @@ class FlexCLEstimator:
         partitions: Optional[int] = None,
     ) -> PipelineReport:
         """Estimate II and depth for ``pattern`` at a given unroll.
+
+        Reports are memoized per ``(pattern, unroll, partitions)`` —
+        every candidate of a DSE sweep shares the same pattern, so the
+        pipeline analysis runs once per sweep instead of once per
+        candidate.  The method is safe to call from worker threads.
 
         Args:
             pattern: the stencil update.
@@ -88,6 +96,21 @@ class FlexCLEstimator:
         """
         if unroll < 1:
             raise SpecificationError(f"unroll must be >= 1, got {unroll}")
+        key = (pattern.signature(), unroll, partitions)
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        report = self._estimate_uncached(pattern, unroll, partitions)
+        with self._lock:
+            return self._cache.setdefault(key, report)
+
+    def _estimate_uncached(
+        self,
+        pattern: StencilPattern,
+        unroll: int,
+        partitions: Optional[int],
+    ) -> PipelineReport:
         reads_per_ii = pattern.points_per_cell() * unroll
         if partitions is None:
             partitions = self._auto_partitions(reads_per_ii)

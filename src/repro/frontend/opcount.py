@@ -9,7 +9,7 @@ produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.frontend.ast import (
     ArrayRef,

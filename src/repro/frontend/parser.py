@@ -16,7 +16,7 @@ multi-subscript array references, and calls.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 from repro.errors import ParseError
 from repro.frontend.ast import (

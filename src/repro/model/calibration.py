@@ -13,7 +13,7 @@ the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.fpga.flexcl import FlexCLEstimator

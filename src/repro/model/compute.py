@@ -6,7 +6,7 @@ import math
 from typing import List
 
 from repro.model.params import ModelParameters
-from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+from repro.model.sharing import overlap_lambda_eq11
 
 
 def cycles_per_element_eq9(params: ModelParameters) -> float:

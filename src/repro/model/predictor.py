@@ -22,14 +22,15 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
 from repro.model.compute import cycles_per_element_eq9, iteration_latency_eq8
 from repro.model.latency import num_regions_eq2
 from repro.model.memory import read_latency_eq5, write_latency_eq6
-from repro.model.params import ModelParameters, extract_parameters
+from repro.model.params import extract_parameters
 from repro.model.sharing import share_latency_eq10
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.tiling.design import StencilDesign
@@ -137,6 +138,8 @@ class PerformanceModel:
         self.board = board
         self.fidelity = fidelity
         self.estimator = estimator or FlexCLEstimator()
+        self._cache: Dict[Tuple, LatencyBreakdown] = {}
+        self._lock = threading.Lock()
 
     def pipeline_report(self, design: StencilDesign) -> PipelineReport:
         """The HLS/FlexCL pipeline report used for ``C_element``."""
@@ -152,6 +155,29 @@ class PerformanceModel:
     def predict_cycles(self, design: StencilDesign) -> float:
         """Shortcut for ``predict(design).total``."""
         return self.predict(design).total
+
+    # -- pure, hashable-input entry point --------------------------------------
+
+    def predict_cached(self, design: StencilDesign) -> LatencyBreakdown:
+        """Memoized :meth:`predict`.
+
+        The prediction is a pure function of ``design.signature()``
+        (the board, fidelity, and FlexCL configuration are fixed per
+        model instance), so results are cached under that hashable key.
+        Safe to call concurrently from worker threads.
+        """
+        key = design.signature()
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        breakdown = self.predict(design)
+        with self._lock:
+            return self._cache.setdefault(key, breakdown)
+
+    def predict_cycles_cached(self, design: StencilDesign) -> float:
+        """Shortcut for ``predict_cached(design).total``."""
+        return self.predict_cached(design).total
 
     # -- paper-exact evaluation -------------------------------------------------
 

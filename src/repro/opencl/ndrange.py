@@ -72,8 +72,8 @@ class NDRange:
             "local_size",
             check_positive_tuple("local_size", self.local_size, ndim),
         )
-        for g, l in zip(self.global_size, self.local_size):
-            if g % l != 0:
+        for g, loc in zip(self.global_size, self.local_size):
+            if g % loc != 0:
                 raise SpecificationError(
                     f"global_size {self.global_size} not divisible by "
                     f"local_size {self.local_size}"
@@ -88,7 +88,7 @@ class NDRange:
     def num_groups(self) -> Tuple[int, ...]:
         """Work-group count per dimension."""
         return tuple(
-            g // l for g, l in zip(self.global_size, self.local_size)
+            g // loc for g, loc in zip(self.global_size, self.local_size)
         )
 
     @property

@@ -173,7 +173,6 @@ class FunctionalExecutor:
         self, tile: TileInfo, origin: Tuple[int, ...], h_block: int
     ) -> Box:
         radius = self.pattern.radius
-        sides = self.design.cone_sides(tile)
         lo = []
         hi = []
         for d in range(self.spec.ndim):

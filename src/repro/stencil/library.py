@@ -17,7 +17,7 @@ the same sweep structure.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.errors import SpecificationError
 from repro.stencil.pattern import (

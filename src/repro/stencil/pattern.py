@@ -16,7 +16,8 @@ exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import SpecificationError
@@ -144,7 +145,7 @@ class StencilPattern:
                         f"{tap.source!r}"
                     )
 
-    @property
+    @cached_property
     def radius(self) -> Tuple[int, ...]:
         """Maximum absolute tap offset per dimension (halo width)."""
         radius = [0] * self.ndim
@@ -153,6 +154,26 @@ class StencilPattern:
                 for d, off in enumerate(tap.offset):
                     radius[d] = max(radius[d], abs(off))
         return tuple(radius)
+
+    def signature(self) -> Tuple:
+        """Canonical hashable identity of the update rule.
+
+        Two patterns with equal signatures produce identical model and
+        resource estimates, so the signature is usable as a cache key
+        (``updates`` is a mapping and therefore unhashable directly).
+        """
+        updates = tuple(
+            (
+                fname,
+                tuple(
+                    (t.source, t.offset, t.coeff)
+                    for t in self.updates[fname].taps
+                ),
+                self.updates[fname].constant,
+            )
+            for fname in sorted(self.updates)
+        )
+        return (self.name, self.ndim, self.fields, self.aux, updates)
 
     @property
     def halo_growth(self) -> Tuple[int, ...]:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import SpecificationError
 from repro.stencil.boundary import BoundaryPolicy
-from repro.stencil.pattern import FieldUpdate, StencilPattern
+from repro.stencil.pattern import FieldUpdate
 from repro.stencil.spec import StencilSpec
 from repro.utils.grids import Box, box_from_shape, shrink_box
 

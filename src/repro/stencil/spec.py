@@ -8,8 +8,8 @@ boundary policy, and deterministic initial state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -105,6 +105,24 @@ class StencilSpec:
             )
             for name in self.pattern.aux
         }
+
+    def signature(self) -> Tuple:
+        """Canonical hashable identity of the workload.
+
+        Covers every field that influences evaluation (the pattern via
+        its own signature, geometry, dtype, boundary, seed), so equal
+        signatures imply identical model/resource/simulation results.
+        """
+        return (
+            self.name,
+            self.pattern.signature(),
+            self.grid_shape,
+            self.iterations,
+            self.dtype.str,
+            self.boundary.name,
+            self.source,
+            self.seed,
+        )
 
     def with_grid(self, grid_shape: Sequence[int]) -> "StencilSpec":
         """Copy with a different grid size (for scaled-down testing)."""

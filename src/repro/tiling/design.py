@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.errors import SpecificationError
 from repro.stencil.spec import StencilSpec
@@ -135,6 +135,28 @@ class StencilDesign:
     def tiles(self) -> Tuple[TileInfo, ...]:
         """All tiles of the region."""
         return tuple(self.tile_grid.tiles())
+
+    def signature(self) -> Tuple:
+        """Canonical hashable identity of the design.
+
+        Two designs with equal signatures are indistinguishable to the
+        analytical model, the resource estimator, and the simulator, so
+        the signature is the memoization key for all of them.  The
+        tuple is cached on the instance (the dataclass is frozen, so it
+        can never go stale).
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            cached = (
+                self.kind.value,
+                self.spec.signature(),
+                self.fused_depth,
+                self.tile_grid.signature(),
+                self.unroll,
+                self.pipe_depth,
+            )
+            object.__setattr__(self, "_signature", cached)
+        return cached
 
     def describe(self) -> str:
         """Short human-readable design summary."""

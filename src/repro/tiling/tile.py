@@ -177,5 +177,17 @@ class TileGrid:
                     )
                     yield tile, tiles[nbr_index], d
 
+    def signature(self) -> Tuple[Tuple[int, ...], ...]:
+        """Canonical hashable identity (the per-dimension extents)."""
+        return self.extents
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TileGrid):
+            return NotImplemented
+        return self.extents == other.extents
+
+    def __hash__(self) -> int:
+        return hash(self.extents)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TileGrid(counts={self.counts}, region={self.region_shape})"

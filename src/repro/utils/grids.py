@@ -43,7 +43,7 @@ class Box:
     @property
     def shape(self) -> Tuple[int, ...]:
         """Extent along each dimension."""
-        return tuple(h - l for l, h in zip(self.lo, self.hi))
+        return tuple(hi - lo for lo, hi in zip(self.lo, self.hi))
 
     @property
     def size(self) -> int:
@@ -56,11 +56,11 @@ class Box:
     @property
     def is_empty(self) -> bool:
         """True when the box contains no grid points."""
-        return any(h <= l for l, h in zip(self.lo, self.hi))
+        return any(hi <= lo for lo, hi in zip(self.lo, self.hi))
 
     def contains_point(self, point: Sequence[int]) -> bool:
         """Return True when ``point`` lies inside the box."""
-        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+        return all(lo <= p < hi for lo, p, hi in zip(self.lo, point, self.hi))
 
     def contains_box(self, other: "Box") -> bool:
         """Return True when ``other`` lies entirely inside this box."""
@@ -74,7 +74,10 @@ class Box:
     def intersect(self, other: "Box") -> "Box":
         """Intersection of two boxes (possibly empty)."""
         lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
-        hi = tuple(max(l, min(a, b)) for l, a, b in zip(lo, self.hi, other.hi))
+        hi = tuple(
+            max(lo_d, min(a, b))
+            for lo_d, a, b in zip(lo, self.hi, other.hi)
+        )
         return Box(lo, hi)
 
     def overlaps(self, other: "Box") -> bool:
@@ -84,22 +87,22 @@ class Box:
     def translate(self, offset: Sequence[int]) -> "Box":
         """Box shifted by ``offset`` along each dimension."""
         return Box(
-            tuple(l + o for l, o in zip(self.lo, offset)),
-            tuple(h + o for h, o in zip(self.hi, offset)),
+            tuple(lo + o for lo, o in zip(self.lo, offset)),
+            tuple(hi + o for hi, o in zip(self.hi, offset)),
         )
 
     def slices(self) -> Tuple[slice, ...]:
         """Numpy slicing tuple selecting the box from a grid array."""
-        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+        return tuple(slice(lo, hi) for lo, hi in zip(self.lo, self.hi))
 
     def local_slices(self, origin: Sequence[int]) -> Tuple[slice, ...]:
         """Slicing tuple relative to a local array anchored at ``origin``."""
         return tuple(
-            slice(l - o, h - o) for l, h, o in zip(self.lo, self.hi, origin)
+            slice(lo - o, hi - o) for lo, hi, o in zip(self.lo, self.hi, origin)
         )
 
     def __str__(self) -> str:
-        spans = ", ".join(f"[{l},{h})" for l, h in zip(self.lo, self.hi))
+        spans = ", ".join(f"[{lo},{hi})" for lo, hi in zip(self.lo, self.hi))
         return f"Box({spans})"
 
 
@@ -111,14 +114,14 @@ def box_from_shape(shape: Sequence[int]) -> Box:
 def expand_box(box: Box, margin: Sequence[int]) -> Box:
     """Grow a box by ``margin_d`` on *both* sides of each dimension."""
     return Box(
-        tuple(l - m for l, m in zip(box.lo, margin)),
-        tuple(h + m for h, m in zip(box.hi, margin)),
+        tuple(lo - m for lo, m in zip(box.lo, margin)),
+        tuple(hi + m for hi, m in zip(box.hi, margin)),
     )
 
 
 def shrink_box(box: Box, margin: Sequence[int]) -> Box:
     """Shrink a box by ``margin_d`` on both sides, clamping at empty."""
-    lo = tuple(l + m for l, m in zip(box.lo, margin))
+    lo = tuple(lo_d + m for lo_d, m in zip(box.lo, margin))
     hi = tuple(max(lo_d, h - m) for lo_d, h, m in zip(lo, box.hi, margin))
     return Box(lo, hi)
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.codegen.boundary_gen import (
     generate_boundary_macros,

@@ -1,6 +1,5 @@
 """Tests for the fused stencil operation generator."""
 
-import pytest
 
 from repro.codegen.fused_gen import generate_fused_loop
 from repro.codegen.pipe_gen import (

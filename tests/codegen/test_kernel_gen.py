@@ -1,6 +1,5 @@
 """Tests for kernel assembly and program generation."""
 
-import pytest
 
 from repro.codegen import (
     generate_program,

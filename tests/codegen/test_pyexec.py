@@ -14,16 +14,11 @@ from repro.errors import SpecificationError
 from repro.sim.functional import run_functional
 from repro.stencil import (
     BoundaryPolicy,
-    fdtd_2d,
     get_benchmark,
     jacobi_2d,
     run_reference,
 )
-from repro.tiling import (
-    make_baseline_design,
-    make_heterogeneous_design,
-    make_pipe_shared_design,
-)
+from repro.tiling import make_heterogeneous_design, make_pipe_shared_design
 
 
 class TestModuleGeneration:

@@ -1,0 +1,235 @@
+"""Tests for the unified candidate-evaluation engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    CandidateEvaluator,
+    CandidateTrace,
+    ResourceBudget,
+    optimize_full,
+)
+from repro.dse.evaluator import EvaluationStats
+from repro.errors import DesignSpaceError
+from repro.fpga.resources import VIRTEX7_690T, ResourceVector
+from repro.stencil import jacobi_2d
+from repro.tiling import make_baseline_design
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return jacobi_2d(grid=(128, 128), iterations=16)
+
+
+@pytest.fixture(scope="module")
+def baseline(spec):
+    return make_baseline_design(spec, (32, 32), (2, 2), 4, unroll=2)
+
+
+@pytest.fixture(scope="module")
+def budget():
+    return ResourceBudget.from_device(VIRTEX7_690T)
+
+
+class TestCaching:
+    def test_same_signature_same_object(self, baseline, budget):
+        engine = CandidateEvaluator()
+        first = engine.evaluate(baseline, budget)
+        second = engine.evaluate(baseline, budget)
+        assert first is not None
+        assert second is first
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.evaluated == 1
+        assert engine.cache_size() == 1
+
+    def test_equal_designs_share_cache_entry(self, baseline, budget):
+        engine = CandidateEvaluator()
+        twin = baseline.with_fused_depth(baseline.fused_depth)
+        assert twin is not baseline
+        assert engine.evaluate(baseline, budget) is engine.evaluate(
+            twin, budget
+        )
+
+    def test_budget_rechecked_on_cache_hit(self, baseline, budget):
+        engine = CandidateEvaluator()
+        assert engine.evaluate(baseline, budget) is not None
+        tiny = ResourceBudget(limit=ResourceVector(1, 1, 1, 1))
+        assert engine.evaluate(baseline, tiny) is None
+        assert engine.stats.infeasible == 1
+        # The cached evaluation survives for permissive budgets.
+        assert engine.evaluate(baseline, budget) is not None
+
+    def test_clear_cache(self, baseline, budget):
+        engine = CandidateEvaluator()
+        engine.evaluate(baseline, budget)
+        engine.clear_cache()
+        assert engine.cache_size() == 0
+        engine.evaluate(baseline, budget)
+        assert engine.stats.evaluated == 2
+
+
+class TestBatch:
+    def test_results_match_input_order(self, baseline, budget):
+        depths = (8, 1, 4, 2, 1)
+        candidates = [baseline.with_fused_depth(h) for h in depths]
+        for workers in (None, 4):
+            engine = CandidateEvaluator(max_workers=workers)
+            results = engine.evaluate_batch(candidates, budget)
+            assert len(results) == len(candidates)
+            for candidate, result in zip(candidates, results):
+                assert result.design.signature() == candidate.signature()
+
+    def test_parallel_matches_serial(self, baseline, budget):
+        candidates = [baseline.with_fused_depth(h) for h in (1, 2, 4, 8)]
+        serial = CandidateEvaluator().evaluate_batch(candidates, budget)
+        parallel = CandidateEvaluator(max_workers=4).evaluate_batch(
+            candidates, budget
+        )
+        assert [r.predicted_cycles for r in serial] == [
+            r.predicted_cycles for r in parallel
+        ]
+
+    def test_explore_attaches_stats(self, baseline, budget):
+        engine = CandidateEvaluator()
+        result = engine.explore(
+            [baseline.with_fused_depth(h) for h in (1, 2, 4)], budget
+        )
+        assert result.stats is not None
+        assert result.stats.candidates == 3
+        assert result.stats.evaluated == 3
+        assert result.evaluated == 3
+
+    def test_explore_empty_feasible_raises(self, baseline):
+        tiny = ResourceBudget(limit=ResourceVector(1, 1, 1, 1))
+        with pytest.raises(DesignSpaceError, match="No feasible design"):
+            CandidateEvaluator().explore([baseline], tiny)
+
+
+class TestPruning:
+    def test_bound_is_admissible(self, baseline):
+        engine = CandidateEvaluator()
+        for h in (1, 2, 4, 8):
+            design = baseline.with_fused_depth(h)
+            assert engine.lower_bound(design) <= engine.predict_cycles(
+                design
+            ) * (1 + 1e-12)
+
+    def test_prune_keeps_best(self, baseline, budget):
+        candidates = [
+            baseline.with_fused_depth(h) for h in (1, 2, 3, 4, 6, 8, 12, 16)
+        ]
+        plain = CandidateEvaluator().explore(candidates, budget)
+        pruned = CandidateEvaluator(prune=True).explore(candidates, budget)
+        assert (
+            pruned.best.design.signature() == plain.best.design.signature()
+        )
+        assert pruned.best.predicted_cycles == plain.best.predicted_cycles
+        assert pruned.stats.evaluated <= plain.stats.evaluated
+
+    def test_pruned_candidates_counted(self, baseline, budget):
+        candidates = [baseline.with_fused_depth(h) for h in range(1, 17)]
+        engine = CandidateEvaluator(prune=True)
+        result = engine.explore(candidates, budget)
+        stats = result.stats
+        assert stats.candidates == len(candidates)
+        assert (
+            stats.evaluated
+            + stats.cache_hits
+            + stats.pruned
+            + stats.infeasible
+            == len(candidates)
+        )
+
+
+class TestPropertyPruning:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        depths=st.lists(
+            st.integers(min_value=1, max_value=16),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+        counts=st.sampled_from([(1, 1), (2, 2), (4, 2)]),
+        unroll=st.sampled_from([1, 2]),
+    )
+    def test_pruning_never_discards_optimum(self, depths, counts, unroll):
+        spec = jacobi_2d(grid=(64, 64), iterations=16)
+        base = make_baseline_design(spec, (16, 16), counts, 1, unroll=unroll)
+        candidates = [base.with_fused_depth(h) for h in depths]
+        budget = ResourceBudget.from_device(VIRTEX7_690T)
+        plain = CandidateEvaluator().explore(candidates, budget)
+        for workers in (None, 2):
+            pruned = CandidateEvaluator(
+                prune=True, max_workers=workers
+            ).explore(candidates, budget)
+            assert (
+                pruned.best.design.signature()
+                == plain.best.design.signature()
+            )
+            assert (
+                pruned.best.predicted_cycles == plain.best.predicted_cycles
+            )
+
+
+class TestOptimizeFullParity:
+    def test_parallel_cached_matches_serial(self, spec):
+        kwargs = dict(unroll=2, max_kernels=4, max_fused_depth=8)
+        serial = optimize_full(spec, **kwargs)
+        engine = CandidateEvaluator(max_workers=4, prune=True)
+        fast = optimize_full(spec, evaluator=engine, **kwargs)
+        assert set(serial) == set(fast)
+        for kind, serial_result in serial.items():
+            assert (
+                fast[kind].best.design.signature()
+                == serial_result.best.design.signature()
+            )
+            assert (
+                fast[kind].best.predicted_cycles
+                == serial_result.best.predicted_cycles
+            )
+
+    def test_serial_engine_is_bit_identical(self, spec):
+        kwargs = dict(unroll=2, max_kernels=4, max_fused_depth=8)
+        legacy = optimize_full(spec, **kwargs)
+        engine = CandidateEvaluator()
+        routed = optimize_full(spec, evaluator=engine, **kwargs)
+        for kind, legacy_result in legacy.items():
+            result = routed[kind]
+            assert result.evaluated == legacy_result.evaluated
+            assert result.feasible == legacy_result.feasible
+            assert [
+                (c.design.signature(), c.predicted_cycles)
+                for c in result.candidates
+            ] == [
+                (c.design.signature(), c.predicted_cycles)
+                for c in legacy_result.candidates
+            ]
+
+
+class TestTraceAndStats:
+    def test_trace_hook_sees_every_candidate(self, baseline, budget):
+        events = []
+        engine = CandidateEvaluator(prune=True, trace=events.append)
+        candidates = [baseline.with_fused_depth(h) for h in (1, 2, 4, 8)]
+        engine.explore(candidates, budget)
+        assert len(events) == len(candidates)
+        assert all(isinstance(e, CandidateTrace) for e in events)
+        outcomes = {e.outcome for e in events}
+        assert outcomes <= {"evaluated", "cache-hit", "infeasible", "pruned"}
+        assert "evaluated" in outcomes
+
+    def test_stats_merge_and_dict(self):
+        a = EvaluationStats(candidates=2, evaluated=1, cache_hits=1)
+        b = EvaluationStats(candidates=3, pruned=2, infeasible=1)
+        a.merge(b)
+        assert a.as_dict() == {
+            "candidates": 5,
+            "evaluated": 1,
+            "cache_hits": 1,
+            "infeasible": 1,
+            "pruned": 2,
+            "wall_time_s": 0.0,
+        }
+        assert "5 candidates" in a.summary()

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dse import (
-    DesignSpace,
     Optimizer,
     ResourceBudget,
     optimize_baseline,

@@ -11,7 +11,6 @@ from repro.experiments import (
 from repro.experiments.figure6 import render_figure6, run_figure6
 from repro.experiments.figure7 import (
     FIGURE7_BENCHMARKS,
-    mean_error,
     render_figure7,
     run_figure7,
 )

@@ -4,11 +4,7 @@ import pytest
 
 from repro.fpga.estimator import ResourceEstimator, estimate_resources
 from repro.stencil import jacobi_2d
-from repro.tiling import (
-    make_baseline_design,
-    make_heterogeneous_design,
-    make_pipe_shared_design,
-)
+from repro.tiling import make_baseline_design, make_heterogeneous_design
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SpecificationError
-from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
+from repro.fpga.flexcl import FlexCLEstimator
 from repro.stencil import get_benchmark
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import ResourceError, SpecificationError
-from repro.fpga.resources import VIRTEX7_690T, FpgaDevice, ResourceVector
+from repro.fpga.resources import VIRTEX7_690T, ResourceVector
 
 vectors = st.builds(
     ResourceVector,

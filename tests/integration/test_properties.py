@@ -66,7 +66,6 @@ def random_cases(draw, boundaries=("frozen",)):
     pattern = draw(random_patterns())
     ndim = pattern.ndim
     counts = tuple(draw(st.sampled_from([1, 2])) for _ in range(ndim))
-    max_r = max(pattern.radius)
     tile = tuple(
         draw(st.sampled_from([4, 6, 8])) for _ in range(ndim)
     )

@@ -1,6 +1,5 @@
 """Tests for the analytical model's individual equations (Section 4)."""
 
-import math
 
 import pytest
 

@@ -6,8 +6,7 @@ from repro.fpga.flexcl import FlexCLEstimator
 from repro.opencl.platform import ADM_PCIE_7V3
 from repro.sim.engine import RegionBlockEngine
 from repro.sim.kernel import KernelPhase
-from repro.stencil import jacobi_2d
-from repro.tiling import make_baseline_design, make_pipe_shared_design
+from repro.tiling import make_pipe_shared_design
 
 
 def run_block(design, board=ADM_PCIE_7V3):

@@ -7,9 +7,7 @@ from repro.errors import SpecificationError
 from repro.sim.functional import FunctionalExecutor, run_functional
 from repro.stencil import (
     BoundaryPolicy,
-    fdtd_2d,
     get_benchmark,
-    hotspot_2d,
     jacobi_2d,
     run_reference,
 )

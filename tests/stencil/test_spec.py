@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SpecificationError
-from repro.stencil import BoundaryPolicy, jacobi_2d, hotspot_2d, fdtd_2d
+from repro.stencil import jacobi_2d, fdtd_2d
 
 
 class TestSpecBasics:

@@ -1,6 +1,5 @@
 """Tests for the workload-balancing solver."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

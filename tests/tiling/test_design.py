@@ -1,16 +1,13 @@
 """Tests for the central StencilDesign abstraction."""
 
-import math
 
 import pytest
 
 from repro.errors import SpecificationError
-from repro.stencil import jacobi_2d
 from repro.tiling import (
     DesignKind,
     TileGrid,
     make_baseline_design,
-    make_heterogeneous_design,
     make_pipe_shared_design,
 )
 from repro.tiling.design import StencilDesign, auto_pipe_depth

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.tiling.schedule import (
     dependent_fraction,
