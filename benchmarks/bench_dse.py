@@ -10,6 +10,7 @@ asserts both return the same best design.
 
 import time
 
+from repro import obs
 from repro.dse import (
     CandidateEvaluator,
     optimize_baseline,
@@ -60,7 +61,7 @@ def test_baseline_search(benchmark, record):
     )
 
 
-def test_engine_speedup(benchmark, record):
+def test_engine_speedup(benchmark, record, metrics_delta):
     """Serial vs cached+pruned ``optimize_full`` — parity and speedup."""
     spec = jacobi_2d(grid=(256, 256), iterations=32)
     kwargs = dict(unroll=2, max_kernels=8, max_fused_depth=16)
@@ -74,6 +75,7 @@ def test_engine_speedup(benchmark, record):
     pruned = optimize_full(spec, evaluator=engine, **kwargs)
     t_pruned = time.perf_counter() - start
 
+    metrics_delta.mark()  # engine rates cover the warm pass only
     warm = benchmark.pedantic(
         optimize_full,
         args=(spec,),
@@ -94,10 +96,19 @@ def test_engine_speedup(benchmark, record):
                 == serial_result.best.predicted_cycles
             )
     assert t_serial / t_warm > 2.0
+    cache_hit_rate = metrics_delta.rate("dse.cache_hits", "dse.candidates")
+    prune_rate = metrics_delta.rate("dse.pruned", "dse.candidates")
+    if obs.enabled():
+        # The warm pass answers every non-pruned candidate from the
+        # signature cache, so the registry must see a real hit rate.
+        assert cache_hit_rate > 0.25
+    benchmark.extra_info["cache_hit_rate"] = round(cache_hit_rate, 4)
+    benchmark.extra_info["prune_rate"] = round(prune_rate, 4)
     record(
         "DSE",
         f"jacobi-2d full search engine: serial {t_serial:.2f}s, "
         f"pruned {t_pruned:.2f}s ({t_serial / t_pruned:.2f}x), "
         f"warm cache {t_warm:.2f}s ({t_serial / t_warm:.2f}x); "
-        f"engine totals: {engine.stats.summary()}",
+        f"cache hit-rate {cache_hit_rate:.1%}, "
+        f"prune rate {prune_rate:.1%} (metrics registry)",
     )

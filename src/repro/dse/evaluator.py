@@ -34,9 +34,10 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.dse.constraints import ResourceBudget
 from repro.errors import DesignSpaceError
 from repro.fpga.estimator import DesignResources, ResourceEstimator
@@ -44,6 +45,8 @@ from repro.fpga.flexcl import FlexCLEstimator
 from repro.model.predictor import Fidelity, PerformanceModel
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.tiling.design import StencilDesign
+
+_log = obs.get_logger("dse")
 
 
 @dataclass(frozen=True)
@@ -128,12 +131,17 @@ class CandidateTrace:
             ``"pruned"``.
         predicted_cycles: model prediction when one was produced.
         lower_bound: the admissible bound, when pruning is active.
+        seq: monotonic per-evaluator sequence id, assigned under the
+            engine lock at emit time — even when the thread pool
+            delivers events concurrently, sorting by ``seq`` recovers a
+            deterministic total order.
     """
 
     design: StencilDesign
     outcome: str
     predicted_cycles: Optional[float] = None
     lower_bound: Optional[float] = None
+    seq: int = -1
 
 
 TraceHook = Callable[[CandidateTrace], None]
@@ -189,6 +197,7 @@ class CandidateEvaluator:
         self._results: Dict[Tuple, EvaluatedDesign] = {}
         self._predicted: set = set()
         self._lock = threading.Lock()
+        self._emit_seq = 0
 
     # -- cached primitives -----------------------------------------------------
 
@@ -209,6 +218,9 @@ class CandidateEvaluator:
                 self.stats.cache_hits += 1
             else:
                 self.stats.evaluated += 1
+        if obs.enabled():
+            obs.inc("dse.candidates")
+            obs.inc("dse.cache_hits" if hit else "dse.evaluated")
         return cycles
 
     def lower_bound(self, design: StencilDesign) -> float:
@@ -254,10 +266,12 @@ class CandidateEvaluator:
         """
         stats = EvaluationStats()
         start = time.perf_counter()
-        result = self._evaluate_one(design, budget, stats, incumbent=None)
+        with obs.span("dse.evaluate", budget=budget.label):
+            result = self._evaluate_one(
+                design, budget, stats, incumbent=None
+            )
         stats.wall_time_s = time.perf_counter() - start
-        with self._lock:
-            self.stats.merge(stats)
+        self._absorb(stats)
         return result
 
     def _evaluate_one(
@@ -273,8 +287,27 @@ class CandidateEvaluator:
         ``incumbent`` is a shared single-element list holding the best
         fully-evaluated feasible latency so far (guarded by
         ``self._lock``); ``bound`` is the precomputed lower bound, when
-        pruning is active.
+        pruning is active.  ``stats`` may be shared across pool
+        threads: the candidate's counters are tallied locally and
+        merged in under the engine lock.
         """
+        delta = EvaluationStats()
+        try:
+            return self._evaluate_one_unsynced(
+                design, budget, delta, incumbent, bound
+            )
+        finally:
+            with self._lock:
+                stats.merge(delta)
+
+    def _evaluate_one_unsynced(
+        self,
+        design: StencilDesign,
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+        incumbent: Optional[List[float]],
+        bound: Optional[float],
+    ) -> Optional[EvaluatedDesign]:
         stats.candidates += 1
         sig = design.signature()
         with self._lock:
@@ -313,6 +346,23 @@ class CandidateEvaluator:
         self._emit(CandidateTrace(design, "evaluated", cycles, bound))
         return result
 
+    def _absorb(self, delta: EvaluationStats) -> None:
+        """Fold a batch's counters into the lifetime stats and metrics."""
+        with self._lock:
+            self.stats.merge(delta)
+        self._publish(delta)
+
+    def _publish(self, delta: EvaluationStats) -> None:
+        """Feed a batch's counters to the metrics registry."""
+        if obs.enabled():
+            obs.inc("dse.candidates", delta.candidates)
+            obs.inc("dse.evaluated", delta.evaluated)
+            obs.inc("dse.cache_hits", delta.cache_hits)
+            obs.inc("dse.infeasible", delta.infeasible)
+            obs.inc("dse.pruned", delta.pruned)
+            obs.observe("dse.batch_wall_s", delta.wall_time_s)
+            obs.set_gauge("dse.cache_size", self.cache_size())
+
     def _note_incumbent(
         self, incumbent: Optional[List[float]], cycles: float
     ) -> None:
@@ -323,8 +373,12 @@ class CandidateEvaluator:
                 incumbent[0] = cycles
 
     def _emit(self, event: CandidateTrace) -> None:
-        if self.trace is not None:
-            self.trace(event)
+        if self.trace is None:
+            return
+        with self._lock:
+            seq = self._emit_seq
+            self._emit_seq += 1
+        self.trace(replace(event, seq=seq))
 
     # -- batch evaluation ------------------------------------------------------
 
@@ -342,13 +396,20 @@ class CandidateEvaluator:
         candidate is always provably slower than the best, so the
         returned optimum is invariant.
         """
-        own_stats = stats if stats is not None else EvaluationStats()
+        delta = EvaluationStats()
         start = time.perf_counter()
-        results = self._run_batch(candidates, budget, own_stats)
-        own_stats.wall_time_s += time.perf_counter() - start
-        if stats is None:
-            with self._lock:
-                self.stats.merge(own_stats)
+        with obs.span(
+            "dse.evaluate_batch",
+            candidates=len(candidates),
+            budget=budget.label,
+        ):
+            results = self._run_batch(candidates, budget, delta)
+        delta.wall_time_s = time.perf_counter() - start
+        if stats is not None:
+            stats.merge(delta)
+            self._publish(delta)
+        else:
+            self._absorb(delta)
         return results
 
     def _run_batch(
@@ -393,8 +454,9 @@ class CandidateEvaluator:
                     # Candidates are bound-sorted: everything from here
                     # on is provably no faster than the incumbent.
                     remaining = len(candidates) - position
-                    stats.candidates += remaining
-                    stats.pruned += remaining
+                    with self._lock:
+                        stats.candidates += remaining
+                        stats.pruned += remaining
                     if self.trace is not None:
                         for j in list(order)[position:]:
                             self._emit(
@@ -432,11 +494,18 @@ class CandidateEvaluator:
         candidates = list(candidates)
         stats = EvaluationStats()
         start = time.perf_counter()
-        results = self._run_batch(candidates, budget, stats)
-        feasible = [r for r in results if r is not None]
+        with obs.span(
+            "dse.explore",
+            candidates=len(candidates),
+            budget=budget.label,
+        ) as explore_span:
+            results = self._run_batch(candidates, budget, stats)
+            feasible = [r for r in results if r is not None]
+            explore_span.set(feasible=len(feasible))
         stats.wall_time_s = time.perf_counter() - start
-        with self._lock:
-            self.stats.merge(stats)
+        self._absorb(stats)
+        if obs.enabled():
+            _log.debug("explore: %s", stats.summary())
         if not feasible:
             raise DesignSpaceError(
                 f"No feasible design within budget {budget.label} "

@@ -25,6 +25,7 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.experiments.figure6 import render_figure6, run_figure6
 from repro.experiments.figure7 import (
     FIGURE7_BENCHMARKS,
@@ -189,8 +190,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="generated",
         help="output directory for codegen",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable observability and write a merged Chrome/Perfetto "
+            "trace (DSE spans + simulator phase timelines) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable observability and write the structured run report "
+            "(counters, derived rates, latency histograms) to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help=(
+            "repro.* log level (debug/info/warning/error; also "
+            "settable via REPRO_LOG_LEVEL)"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    if args.log_level is not None:
+        obs.configure_logging(level=args.log_level)
+    observing = args.trace_out is not None or args.metrics_out is not None
+    if observing:
+        obs.enable()
+    log = obs.get_logger("experiments")
+
+    with obs.span(f"cli.{args.experiment}", benchmark=args.benchmark):
+        outputs = _dispatch(args)
+    if observing:
+        if args.trace_out is not None:
+            path = obs.export_chrome_trace(args.trace_out)
+            log.info("wrote Chrome/Perfetto trace to %s", path)
+            outputs.append(f"Wrote trace {path}")
+        if args.metrics_out is not None:
+            path = obs.export_run_report(args.metrics_out)
+            log.info("wrote run report to %s", path)
+            outputs.append(f"Wrote metrics report {path}")
+    print("\n\n".join(outputs))
+    return 0
+
+
+def _dispatch(args) -> List[str]:
+    """Run the selected experiment/tool; return its output sections."""
     outputs: List[str] = []
     if args.experiment in ("table2", "all"):
         outputs.append(render_table2(run_table2()))
@@ -218,8 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         outputs.append("\n".join(_cmd_codegen(args)))
     if args.experiment == "calibrate":
         outputs.append("\n".join(_cmd_calibrate(args)))
-    print("\n\n".join(outputs))
-    return 0
+    return outputs
 
 
 if __name__ == "__main__":  # pragma: no cover

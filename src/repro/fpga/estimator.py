@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.fpga.bram import fifo_resources, local_array_blocks
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
 from repro.fpga.resources import FpgaDevice, ResourceVector
@@ -88,10 +89,16 @@ class ResourceEstimator:
         key = design.signature()
         with self._lock:
             cached = self._cache.get(key)
+        if obs.enabled():
+            obs.inc("fpga.estimates")
+            obs.inc("fpga.estimate_cache_hits", int(cached is not None))
         if cached is not None:
             return cached
-        report = self.flexcl.estimate(design.spec.pattern, design.unroll)
-        resources = self._estimate_uncached(design, report)
+        with obs.span("fpga.estimate"):
+            report = self.flexcl.estimate(
+                design.spec.pattern, design.unroll
+            )
+            resources = self._estimate_uncached(design, report)
         with self._lock:
             return self._cache.setdefault(key, resources)
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ExtractionError
 from repro.frontend.ast import (
     ArrayRef,
@@ -38,6 +39,8 @@ from repro.stencil.pattern import (
     Tap,
     compose_stages,
 )
+
+_log = obs.get_logger("frontend")
 
 
 class _LinearForm:
@@ -126,7 +129,23 @@ class FeatureExtractor:
             source: a full kernel definition or bare body.
             name: name given to the resulting pattern.
         """
-        statements = parse_kernel_body(source)
+        with obs.span("frontend.extract", kernel=name) as extract_span:
+            features = self._extract(source, name, extract_span)
+        if obs.enabled():
+            obs.inc("frontend.kernels_extracted")
+            _log.debug(
+                "extracted %r: %d-D, %d taps/cell",
+                name,
+                features.ndim,
+                features.pattern.points_per_cell(),
+            )
+        return features
+
+    def _extract(
+        self, source: str, name: str, extract_span
+    ) -> KernelFeatures:
+        with obs.span("frontend.parse", kernel=name):
+            statements = parse_kernel_body(source)
         index_vars = self._find_index_vars(statements)
         scalar_env: Dict[str, Expr] = {}
         array_assigns: List[Assign] = []
@@ -153,6 +172,7 @@ class FeatureExtractor:
             array_assigns, dims, scalar_env, ndim
         )
         pattern = compose_stages(name, ndim, fields, stages, aux=self.aux)
+        extract_span.set(ndim=ndim, stages=len(stages))
         return KernelFeatures(
             pattern=pattern,
             ndim=ndim,

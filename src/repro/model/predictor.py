@@ -26,6 +26,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
 from repro.model.compute import cycles_per_element_eq9, iteration_latency_eq8
 from repro.model.latency import num_regions_eq2
@@ -146,11 +147,17 @@ class PerformanceModel:
         return self.estimator.estimate(design.spec.pattern, design.unroll)
 
     def predict(self, design: StencilDesign) -> LatencyBreakdown:
-        """Predicted latency breakdown over the full execution."""
-        report = self.pipeline_report(design)
-        if self.fidelity is Fidelity.PAPER:
-            return self._predict_paper(design, report)
-        return self._predict_refined(design, report)
+        """Predicted latency breakdown over the full execution.
+
+        When observability is on, every prediction runs inside a
+        ``model.predict`` span, which feeds the like-named latency
+        histogram in the metrics registry.
+        """
+        with obs.span("model.predict", fidelity=self.fidelity.value):
+            report = self.pipeline_report(design)
+            if self.fidelity is Fidelity.PAPER:
+                return self._predict_paper(design, report)
+            return self._predict_refined(design, report)
 
     def predict_cycles(self, design: StencilDesign) -> float:
         """Shortcut for ``predict(design).total``."""
@@ -169,6 +176,9 @@ class PerformanceModel:
         key = design.signature()
         with self._lock:
             cached = self._cache.get(key)
+        if obs.enabled():
+            obs.inc("model.predictions")
+            obs.inc("model.prediction_cache_hits", int(cached is not None))
         if cached is not None:
             return cached
         breakdown = self.predict(design)

@@ -1,0 +1,188 @@
+"""Global observability state: the enable switch and the recorder.
+
+The whole subsystem hangs off one module-level flag.  Every
+instrumentation entry point (:func:`repro.obs.span`,
+:func:`repro.obs.inc`, ...) checks :func:`enabled` first and returns a
+shared no-op immediately when observability is off, so instrumented hot
+paths pay one attribute load and one branch — nothing is allocated,
+timed, or locked.
+
+When enabled, finished spans and pre-encoded Chrome-trace events (from
+the simulator) accumulate in the process-wide :class:`Recorder`, and
+metrics accumulate in the default :class:`~repro.obs.metrics.MetricsRegistry`.
+Both are bounded: past ``max_spans`` / ``max_events`` new records are
+counted as dropped rather than stored, and the drop counts surface in
+the run report so truncation is never silent.
+
+Set ``REPRO_OBS=1`` in the environment to enable recording at import
+time (useful for instrumenting a run without touching its code).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+_enabled: bool = False
+_capture_events: bool = True
+_capture_spans: bool = True
+_epoch: float = 0.0
+_lock = threading.Lock()
+_seq: int = 0
+_pid: int = 0
+
+
+def enabled() -> bool:
+    """Fast check: is observability recording on?"""
+    return _enabled
+
+
+def capture_events() -> bool:
+    """Whether pre-encoded events (simulator timelines) are recorded."""
+    return _enabled and _capture_events
+
+
+def capture_spans() -> bool:
+    """Whether finished spans are stored in the recorder."""
+    return _capture_spans
+
+
+def enable(capture_events: bool = True, capture_spans: bool = True) -> None:
+    """Turn recording on (idempotent; the epoch is set on first call).
+
+    Args:
+        capture_events: also record pre-encoded Chrome-trace events
+            (the simulator's per-kernel phase timelines).  Disable to
+            keep memory flat when running many simulations under
+            metrics-only observation (the benchmark harness does).
+        capture_spans: store finished spans in the recorder for trace
+            export.  When False, spans still time their region and
+            feed the latency histograms, but nothing accumulates —
+            metrics-only mode for long sessions.
+    """
+    global _enabled, _capture_events, _capture_spans, _epoch
+    with _lock:
+        if not _enabled:
+            _epoch = time.perf_counter()
+        _enabled = True
+        _capture_events = capture_events
+        _capture_spans = capture_spans
+
+
+def disable() -> None:
+    """Turn recording off (recorded data is kept until :func:`reset`)."""
+    global _enabled
+    with _lock:
+        _enabled = False
+
+
+def epoch() -> float:
+    """``time.perf_counter()`` value taken when recording was enabled."""
+    return _epoch
+
+
+def next_seq() -> int:
+    """Process-wide monotonic sequence number (thread-safe)."""
+    global _seq
+    with _lock:
+        _seq += 1
+        return _seq
+
+
+def next_pid() -> int:
+    """Allocate a fresh Chrome-trace process id (pid 0 is the spans)."""
+    global _pid
+    with _lock:
+        _pid += 1
+        return _pid
+
+
+class Recorder:
+    """Thread-safe store for finished spans and raw trace events."""
+
+    def __init__(self, max_spans: int = 200_000, max_events: int = 200_000):
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self._lock = threading.Lock()
+        self._spans: List = []
+        self._events: List[dict] = []
+        self.dropped_spans = 0
+        self.dropped_events = 0
+
+    def add_span(self, record) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped_spans += 1
+                return
+            self._spans.append(record)
+
+    def add_events(self, events: List[dict]) -> None:
+        with self._lock:
+            room = self.max_events - len(self._events)
+            if room <= 0:
+                self.dropped_events += len(events)
+                return
+            kept = events[:room]
+            self._events.extend(kept)
+            self.dropped_events += len(events) - len(kept)
+
+    def spans(self) -> List:
+        with self._lock:
+            return list(self._spans)
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def drop_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "spans": self.dropped_spans,
+                "events": self.dropped_events,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._events.clear()
+            self.dropped_spans = 0
+            self.dropped_events = 0
+
+
+#: The process-wide recorder every span/event lands in.
+recorder = Recorder()
+
+
+def record_chrome_events(events: List[dict]) -> None:
+    """Record pre-encoded Chrome-trace events (no-op when disabled)."""
+    if capture_events():
+        recorder.add_events(events)
+
+
+def reset() -> None:
+    """Clear recorded spans/events, counters, and the sequence state.
+
+    The enabled flag is left as-is; the default metrics registry is
+    cleared too (imported lazily to avoid a module cycle).
+    """
+    global _seq, _pid, _epoch
+    from repro.obs.metrics import default_registry
+
+    with _lock:
+        _seq = 0
+        _pid = 0
+        if _enabled:
+            _epoch = time.perf_counter()
+    recorder.clear()
+    default_registry.reset()
+
+
+def _init_from_env(environ: Optional[Dict[str, str]] = None) -> None:
+    env = os.environ if environ is None else environ
+    if env.get("REPRO_OBS", "").strip() not in ("", "0", "false", "off"):
+        enable()
+
+
+_init_from_env()

@@ -1,0 +1,103 @@
+"""Structured logging for the ``repro.*`` namespace.
+
+Thin conventions over stdlib :mod:`logging`:
+
+- every logger lives under the ``repro`` root
+  (``get_logger("dse")`` → ``repro.dse``), so one handler covers the
+  whole framework and third-party noise stays out;
+- the level comes from ``configure_logging(level=...)`` or the
+  ``REPRO_LOG_LEVEL`` environment variable (default ``WARNING``);
+- ``REPRO_LOG_JSON=1`` (or ``json_lines=True``) switches the handler
+  to one JSON object per line — machine-readable run logs that align
+  with the JSON-lines span export.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import IO, Optional
+
+ROOT_LOGGER = "repro"
+
+#: Marker attribute so reconfiguration replaces our handler only.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` namespace (``get_logger("sim")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: time, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    raw = level or os.environ.get("REPRO_LOG_LEVEL") or "WARNING"
+    resolved = logging.getLevelName(str(raw).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"Unknown log level: {raw!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    json_lines: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger and return it.
+
+    Args:
+        level: level name (``"debug"``, ``"INFO"``, ...); defaults to
+            ``REPRO_LOG_LEVEL`` from the environment, then WARNING.
+        json_lines: emit one JSON object per record; defaults to the
+            ``REPRO_LOG_JSON`` environment variable.
+        stream: destination (default ``sys.stderr``).
+    """
+    if json_lines is None:
+        json_lines = os.environ.get("REPRO_LOG_JSON", "").strip() not in (
+            "",
+            "0",
+            "false",
+            "off",
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(_resolve_level(level))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

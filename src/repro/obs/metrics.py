@@ -1,0 +1,220 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Metric objects are cheap, lock-guarded accumulators held in a
+:class:`MetricsRegistry` keyed by dotted name (``dse.cache_hits``,
+``model.predict``).  The module-level helpers (:func:`inc`,
+:func:`set_gauge`, :func:`observe`) write to the default registry and
+no-op when observability is disabled, so instrumented code can call
+them unconditionally.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` over every
+observation but store at most ``sample_limit`` raw values for the
+percentile summary; past the limit percentiles are computed from the
+retained sample (the summary reports ``sampled: true`` so the
+approximation is never silent).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs import core
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"Counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values.
+
+    ``q`` is in [0, 100].  Matches ``numpy.percentile``'s default
+    (``linear``) method, without requiring numpy.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return float(
+        sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+    )
+
+
+class Histogram:
+    """Streaming distribution with a percentile summary."""
+
+    PERCENTILES = (50.0, 90.0, 99.0)
+
+    def __init__(self, name: str, sample_limit: int = 65_536):
+        self.name = name
+        self.sample_limit = sample_limit
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._samples) < self.sample_limit:
+                self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> Dict[str, Number]:
+        """Count, sum, min/max/mean, and p50/p90/p99."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo, hi = self._min, self._max
+            sample = sorted(self._samples)
+            sampled = count > len(self._samples)
+        if count == 0:
+            return {"count": 0, "sum": 0.0}
+        out: Dict[str, Number] = {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
+        }
+        for q in self.PERCENTILES:
+            out[f"p{q:g}"] = percentile(sample, q)
+        if sampled:
+            out["sampled"] = True
+        return out
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics, safe for concurrent use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def report(self) -> Dict[str, Dict]:
+        """Plain-dict snapshot of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The registry the module-level helpers (and the run report) use.
+default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The default process-wide registry."""
+    return default_registry
+
+
+def inc(name: str, amount: Number = 1) -> None:
+    """Increment counter ``name`` (no-op when observability is off).
+
+    The counter is created even for ``amount=0``, so rates derived
+    from it are reported as 0.0 rather than missing.
+    """
+    if core.enabled():
+        default_registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set gauge ``name`` (no-op when observability is off)."""
+    if core.enabled():
+        default_registry.gauge(name).set(value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record ``value`` in histogram ``name`` (no-op when off)."""
+    if core.enabled():
+        default_registry.histogram(name).observe(value)

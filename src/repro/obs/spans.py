@@ -1,0 +1,149 @@
+"""Hierarchical wall-time spans.
+
+``with span("dse.explore", candidates=120):`` times a region of work.
+Spans nest through a per-thread stack, so a ``model.predict`` span
+opened inside a ``dse.explore`` span records the explore span's
+sequence id as its parent — across threads each worker has its own
+stack, which is exactly the Chrome-trace thread model.
+
+Every finished span
+
+- lands in the process recorder (:mod:`repro.obs.core`), and
+- feeds its duration into the histogram named after the span
+  (``registry.histogram("model.predict")``), so span names double as
+  latency metrics with percentile summaries for free.
+
+When observability is disabled, :func:`span` returns a shared no-op
+context manager: no allocation, no clock read, no lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs import core
+from repro.obs.metrics import default_registry
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Times are ``perf_counter`` seconds relative to the observability
+    epoch (set when recording was enabled), so a whole run's spans
+    share one timebase.
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    seq: int
+    parent_seq: Optional[int]
+    thread: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "seq": self.seq,
+            "parent_seq": self.parent_seq,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        self.stack = []
+
+
+_state = _ThreadState()
+
+
+class Span:
+    """Live span handle; use via ``with repro.obs.span(...):``."""
+
+    __slots__ = ("name", "attrs", "seq", "_start", "_parent")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.seq = core.next_seq()
+        self._start = 0.0
+        self._parent: Optional[int] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span mid-flight."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _state.stack
+        self._parent = stack[-1] if stack else None
+        stack.append(self.seq)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        stack = _state.stack
+        if stack and stack[-1] == self.seq:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        epoch = core.epoch()
+        if core.capture_spans():
+            core.recorder.add_span(
+                SpanRecord(
+                    name=self.name,
+                    start_s=self._start - epoch,
+                    end_s=end - epoch,
+                    seq=self.seq,
+                    parent_seq=self._parent,
+                    thread=threading.current_thread().name,
+                    attrs=self.attrs,
+                )
+            )
+        default_registry.histogram(self.name).observe(end - self._start)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span context manager (no-op when observability is off)."""
+    if not core.enabled():
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+def current_span_seq() -> Optional[int]:
+    """Sequence id of the innermost open span on this thread."""
+    stack = _state.stack
+    return stack[-1] if stack else None

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.fpga.flexcl import PipelineReport
 from repro.model.predictor import LatencyBreakdown
 from repro.opencl.platform import BoardSpec
@@ -76,6 +77,17 @@ class RegionBlockEngine:
 
     def run(self) -> RegionBlockResult:
         """Simulate the block and return timelines and breakdowns."""
+        with obs.span(
+            "sim.block",
+            kernels=len(self.design.tiles),
+            fused_depth=self.design.fused_depth,
+        ):
+            result = self._run()
+        if obs.enabled():
+            obs.inc("sim.blocks_simulated")
+        return result
+
+    def _run(self) -> RegionBlockResult:
         design = self.design
         tiles = {t.index: t for t in design.tiles}
         order = self.launcher.launch_order(list(tiles))

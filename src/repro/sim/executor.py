@@ -12,12 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
 from repro.model.predictor import LatencyBreakdown
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.sim.engine import RegionBlockEngine, RegionBlockResult
 from repro.sim.kernel import KernelPhase
 from repro.tiling.design import StencilDesign
+
+_log = obs.get_logger("sim")
 
 Index = Tuple[int, ...]
 
@@ -107,6 +110,24 @@ class SimulationExecutor:
             report = self.estimator.estimate(
                 design.spec.pattern, design.unroll
             )
+        with obs.span(
+            "sim.run",
+            design=design.describe(),
+            kernels=len(design.tiles),
+        ) as sim_span:
+            result = self._run_instrumented(
+                design, report, overlap_sharing, prefetch_reads, sim_span
+            )
+        return result
+
+    def _run_instrumented(
+        self,
+        design: StencilDesign,
+        report: PipelineReport,
+        overlap_sharing: bool,
+        prefetch_reads: bool,
+        sim_span,
+    ) -> SimulationResult:
         engine = RegionBlockEngine(
             design, self.board, report, overlap_sharing
         )
@@ -132,7 +153,7 @@ class SimulationExecutor:
             )
         else:
             total = block.block_cycles * num_blocks
-        return SimulationResult(
+        result = SimulationResult(
             design=design,
             board=self.board,
             total_cycles=total,
@@ -141,6 +162,24 @@ class SimulationExecutor:
             num_blocks=num_blocks,
             prefetched=prefetch_reads,
         )
+        if obs.enabled():
+            sim_span.set(blocks=num_blocks, total_cycles=total)
+            obs.inc("sim.runs")
+            obs.observe("sim.block_cycles", block.block_cycles)
+            obs.set_gauge("sim.last_total_cycles", total)
+            _log.debug(
+                "simulated %s: %.3e cycles over %d blocks",
+                design.describe(),
+                total,
+                num_blocks,
+            )
+            if obs.capture_events():
+                from repro.sim.trace import simulation_chrome_events
+
+                obs.record_chrome_events(
+                    simulation_chrome_events(result, pid=obs.next_pid())
+                )
+        return result
 
 
 def simulate(

@@ -1,10 +1,18 @@
 """Execution-trace export (Chrome tracing / Perfetto format).
 
 The simulator's per-kernel phase timelines are the reproduction's
-version of the paper's Fig. 4 execution diagrams.  This module exports
-one region block's timelines as a Chrome ``chrome://tracing`` /
-Perfetto-compatible JSON object, so the launch stagger, pipe stalls,
-and barrier waits can be inspected visually.
+version of the paper's Fig. 4 execution diagrams.  This module encodes
+one region block's timelines as Chrome ``chrome://tracing`` /
+Perfetto-compatible events, so the launch stagger, pipe stalls, and
+barrier waits can be inspected visually.
+
+Encoding goes through the shared
+:class:`~repro.obs.export.ChromeTraceBuilder`, which is the same path
+the observability layer uses for DSE spans — that is what lets
+:class:`~repro.sim.executor.SimulationExecutor` drop a simulation's
+phase timeline into the same merged trace file as the spans
+(``repro.obs.export_chrome_trace``).  :func:`to_chrome_trace` remains
+the standalone single-simulation exporter.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import json
 import pathlib
 from typing import Dict, List, Union
 
+from repro.obs.export import ChromeTraceBuilder
 from repro.sim.executor import SimulationResult
 from repro.sim.kernel import KernelPhase
 
@@ -27,50 +36,42 @@ _PHASE_COLORS: Dict[KernelPhase, str] = {
 }
 
 
-def to_chrome_trace(result: SimulationResult) -> dict:
-    """One region block's timelines as a Chrome-tracing JSON object.
+def simulation_chrome_events(
+    result: SimulationResult, pid: int = 0, ts_offset_us: float = 0.0
+) -> List[dict]:
+    """One region block's timelines as a list of Chrome-trace events.
 
-    Timestamps are microseconds at the board's kernel clock.  Each
-    kernel becomes a thread; phases become complete ("X") events with
-    the fused-iteration index attached as an argument.
+    Timestamps are microseconds at the board's kernel clock, shifted by
+    ``ts_offset_us`` (used to anchor the block at the wall-clock moment
+    the simulation ran when merging with span events).  Each kernel
+    becomes a thread; phases become complete ("X") events with the
+    fused-iteration index attached as an argument.
     """
     cycles_to_us = 1e6 / result.board.clock_hz
-    events: List[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "args": {"name": result.design.describe()},
-        }
-    ]
+    builder = ChromeTraceBuilder()
+    builder.process_name(pid, result.design.describe())
     for tid, (index, timeline) in enumerate(
         sorted(result.block.timelines.items())
     ):
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": tid,
-                "args": {"name": f"kernel {index}"},
-            }
-        )
+        builder.thread_name(pid, tid, f"kernel {index}")
         for record in timeline.records:
-            events.append(
-                {
-                    "name": str(record.phase),
-                    "cat": "kernel-phase",
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": tid,
-                    "ts": record.start * cycles_to_us,
-                    "dur": record.duration * cycles_to_us,
-                    "cname": _PHASE_COLORS[record.phase],
-                    "args": {"iteration": record.iteration},
-                }
+            builder.complete(
+                str(record.phase),
+                "kernel-phase",
+                pid,
+                tid,
+                ts_offset_us + record.start * cycles_to_us,
+                record.duration * cycles_to_us,
+                args={"iteration": record.iteration},
+                cname=_PHASE_COLORS[record.phase],
             )
+    return builder.events
+
+
+def to_chrome_trace(result: SimulationResult) -> dict:
+    """One simulation as a standalone Chrome-tracing JSON object."""
     return {
-        "traceEvents": events,
+        "traceEvents": simulation_chrome_events(result),
         "displayTimeUnit": "ms",
         "otherData": {
             "design": result.design.describe(),

@@ -220,6 +220,29 @@ class TestTraceAndStats:
         assert outcomes <= {"evaluated", "cache-hit", "infeasible", "pruned"}
         assert "evaluated" in outcomes
 
+    def test_trace_seq_ids_are_monotonic(self, baseline, budget):
+        events = []
+        engine = CandidateEvaluator(prune=True, trace=events.append)
+        candidates = [baseline.with_fused_depth(h) for h in (1, 2, 4, 8)]
+        engine.explore(candidates, budget)
+        engine.explore(candidates, budget)  # second batch keeps counting
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_trace_seq_ids_unique_under_thread_pool(
+        self, baseline, budget
+    ):
+        events = []
+        engine = CandidateEvaluator(max_workers=4, trace=events.append)
+        candidates = [
+            baseline.with_fused_depth(h) for h in (1, 2, 3, 4, 5, 6, 7, 8)
+        ] * 2
+        engine.explore(candidates, budget)
+        seqs = [e.seq for e in events]
+        # Assigned under the engine lock at emit time: the arrival
+        # order of trace callbacks IS the sequence order.
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(candidates)
+
     def test_stats_merge_and_dict(self):
         a = EvaluationStats(candidates=2, evaluated=1, cache_hits=1)
         b = EvaluationStats(candidates=3, pruned=2, infeasible=1)

@@ -1,0 +1,113 @@
+"""Structured logging: namespace, levels, JSON-lines formatter."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.log import ROOT_LOGGER, _HANDLER_TAG
+
+
+@pytest.fixture(autouse=True)
+def clean_repro_logger():
+    """Drop our handlers and restore defaults after each test."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_names_nest_under_repro(self):
+        assert obs.get_logger().name == "repro"
+        assert obs.get_logger("dse").name == "repro.dse"
+        assert obs.get_logger("repro.sim").name == "repro.sim"
+
+    def test_same_name_same_logger(self):
+        assert obs.get_logger("sim") is obs.get_logger("repro.sim")
+
+
+class TestConfigureLogging:
+    def test_level_argument(self):
+        root = obs.configure_logging(level="debug", stream=io.StringIO())
+        assert root.level == logging.DEBUG
+
+    def test_level_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        root = obs.configure_logging(stream=io.StringIO())
+        assert root.level == logging.ERROR
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        root = obs.configure_logging(level="info", stream=io.StringIO())
+        assert root.level == logging.INFO
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            obs.configure_logging(level="loud")
+
+    def test_reconfigure_replaces_handler(self):
+        obs.configure_logging(level="info", stream=io.StringIO())
+        obs.configure_logging(level="info", stream=io.StringIO())
+        root = logging.getLogger(ROOT_LOGGER)
+        ours = [
+            h for h in root.handlers if getattr(h, _HANDLER_TAG, False)
+        ]
+        assert len(ours) == 1
+
+    def test_messages_reach_stream(self):
+        stream = io.StringIO()
+        obs.configure_logging(level="info", stream=stream)
+        obs.get_logger("dse").info("explored %d candidates", 7)
+        text = stream.getvalue()
+        assert "explored 7 candidates" in text
+        assert "repro.dse" in text
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        obs.configure_logging(level="warning", stream=stream)
+        obs.get_logger("sim").debug("hidden")
+        obs.get_logger("sim").warning("shown")
+        text = stream.getvalue()
+        assert "hidden" not in text
+        assert "shown" in text
+
+
+class TestJsonLines:
+    def test_records_are_json_objects(self):
+        stream = io.StringIO()
+        obs.configure_logging(
+            level="info", json_lines=True, stream=stream
+        )
+        obs.get_logger("frontend").info("parsed %s", "jacobi-2d")
+        (line,) = stream.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.frontend"
+        assert record["message"] == "parsed jacobi-2d"
+        assert "time" in record
+
+    def test_json_mode_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        obs.configure_logging(level="info", stream=stream)
+        obs.get_logger().info("hello")
+        assert json.loads(stream.getvalue())["message"] == "hello"
+
+    def test_exceptions_serialized(self):
+        stream = io.StringIO()
+        obs.configure_logging(
+            level="info", json_lines=True, stream=stream
+        )
+        try:
+            raise RuntimeError("bad tile")
+        except RuntimeError:
+            obs.get_logger().exception("evaluation failed")
+        record = json.loads(stream.getvalue().splitlines()[0])
+        assert "bad tile" in record["exc_info"]
+        assert record["level"] == "ERROR"
