@@ -20,6 +20,7 @@ from repro.dse import (
 from repro.experiments.configs import TABLE3_CONFIGS
 from repro.sim import simulate
 from repro.stencil import jacobi_2d
+from repro.store import DesignStore
 
 
 def test_heterogeneous_search(benchmark, record):
@@ -111,4 +112,69 @@ def test_engine_speedup(benchmark, record, metrics_delta):
         f"warm cache {t_warm:.2f}s ({t_serial / t_warm:.2f}x); "
         f"cache hit-rate {cache_hit_rate:.1%}, "
         f"prune rate {prune_rate:.1%} (metrics registry)",
+    )
+
+
+def test_store_warm_start(benchmark, record, metrics_delta, tmp_path):
+    """Cold-store vs warm-store ``optimize_full`` — the persistence win.
+
+    The cold pass populates a fresh :class:`DesignStore`; the warm pass
+    reopens it in a fresh evaluator (simulating a new process) and must
+    answer every candidate from disk — at least 2x fewer model
+    evaluations, counted both by engine stats and the obs registry.
+    """
+    spec = jacobi_2d(grid=(256, 256), iterations=32)
+    kwargs = dict(unroll=2, max_kernels=8, max_fused_depth=16)
+    store_dir = tmp_path / "store"
+
+    start = time.perf_counter()
+    with DesignStore(store_dir) as store:
+        cold_engine = CandidateEvaluator(store=store)
+        cold = optimize_full(spec, evaluator=cold_engine, **kwargs)
+    t_cold = time.perf_counter() - start
+    cold_evaluated = cold_engine.stats.evaluated
+    assert cold_evaluated > 0
+
+    warm_stats = {}
+    metrics_delta.mark()  # store/engine rates cover the warm pass only
+
+    def warm_run():
+        with DesignStore(store_dir) as store:
+            engine = CandidateEvaluator(store=store)
+            result = optimize_full(spec, evaluator=engine, **kwargs)
+            warm_stats["stats"] = engine.stats
+            return result
+
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    t_warm = benchmark.stats.stats.mean
+
+    for kind, cold_result in cold.items():
+        assert (
+            warm[kind].best.design.signature()
+            == cold_result.best.design.signature()
+        )
+        assert (
+            warm[kind].best.predicted_cycles
+            == cold_result.best.predicted_cycles
+        )
+    stats = warm_stats["stats"]
+    assert stats.evaluated * 2 <= cold_evaluated
+    assert stats.store_hits > 0
+    deltas = metrics_delta.delta()
+    probes = deltas.get("store.hits", 0) + deltas.get("store.misses", 0)
+    store_hit_rate = deltas.get("store.hits", 0) / probes if probes else 0.0
+    if obs.enabled():
+        # The registry agrees: the warm pass ran (at most half) the
+        # cold pass's model evaluations and hit the store heavily.
+        assert deltas.get("dse.evaluated", 0) * 2 <= cold_evaluated
+        assert store_hit_rate > 0.5
+    benchmark.extra_info["store_hit_rate"] = round(store_hit_rate, 4)
+    benchmark.extra_info["warm_speedup"] = round(t_cold / t_warm, 2)
+    record(
+        "DSE",
+        f"jacobi-2d full search store: cold {t_cold:.2f}s "
+        f"({cold_evaluated} model evals), warm {t_warm:.2f}s "
+        f"({t_cold / t_warm:.2f}x, {stats.evaluated} model evals, "
+        f"{stats.store_hits} store hits); "
+        f"store hit-rate {float(store_hit_rate or 0):.1%}",
     )

@@ -23,6 +23,11 @@ the benchmarks.  It adds three things the per-caller loops never had:
   best fully-evaluated latency so far, the candidate cannot win.  The
   bound never exceeds the true prediction, so pruning never discards
   the optimum.
+- **Persistent warm starts** — with a
+  :class:`~repro.store.backing.BackingStore` attached, a memo miss
+  consults the store before running the model, and every fresh
+  evaluation is written through, so results survive the process and
+  warm-start the next run (see ``docs/STORE.md``).
 
 Every run emits an :class:`EvaluationStats` record and can stream
 per-candidate :class:`CandidateTrace` events to an observer hook.
@@ -33,6 +38,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +50,7 @@ from repro.fpga.estimator import DesignResources, ResourceEstimator
 from repro.fpga.flexcl import FlexCLEstimator
 from repro.model.predictor import Fidelity, PerformanceModel
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.store.backing import BackingStore, evaluation_context
 from repro.tiling.design import StencilDesign
 
 _log = obs.get_logger("dse")
@@ -79,6 +86,8 @@ class EvaluationStats:
         candidates: designs submitted.
         evaluated: full model evaluations actually performed.
         cache_hits: designs answered from the signature cache.
+        store_hits: designs whose prediction was answered by the
+            persistent backing store (no model evaluation ran).
         infeasible: designs rejected by the resource-budget check.
         pruned: designs rejected by the latency lower bound (their full
             model evaluation was skipped).
@@ -88,6 +97,7 @@ class EvaluationStats:
     candidates: int = 0
     evaluated: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
     infeasible: int = 0
     pruned: int = 0
     wall_time_s: float = 0.0
@@ -97,6 +107,7 @@ class EvaluationStats:
         self.candidates += other.candidates
         self.evaluated += other.evaluated
         self.cache_hits += other.cache_hits
+        self.store_hits += other.store_hits
         self.infeasible += other.infeasible
         self.pruned += other.pruned
         self.wall_time_s += other.wall_time_s
@@ -107,6 +118,7 @@ class EvaluationStats:
             "candidates": self.candidates,
             "evaluated": self.evaluated,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
             "infeasible": self.infeasible,
             "pruned": self.pruned,
             "wall_time_s": self.wall_time_s,
@@ -116,7 +128,8 @@ class EvaluationStats:
         """One-line human-readable rendering."""
         return (
             f"{self.candidates} candidates: {self.evaluated} evaluated, "
-            f"{self.cache_hits} cache hits, {self.pruned} pruned, "
+            f"{self.cache_hits} cache hits, {self.store_hits} store hits, "
+            f"{self.pruned} pruned, "
             f"{self.infeasible} infeasible, {self.wall_time_s:.2f}s"
         )
 
@@ -127,8 +140,8 @@ class CandidateTrace:
 
     Attributes:
         design: the candidate.
-        outcome: ``"evaluated"``, ``"cache-hit"``, ``"infeasible"`` or
-            ``"pruned"``.
+        outcome: ``"evaluated"``, ``"cache-hit"``, ``"store-hit"``,
+            ``"infeasible"`` or ``"pruned"``.
         predicted_cycles: model prediction when one was produced.
         lower_bound: the admissible bound, when pruning is active.
         seq: monotonic per-evaluator sequence id, assigned under the
@@ -168,6 +181,17 @@ class CandidateEvaluator:
             than the returned best but are absent from
             ``DSEResult.candidates``.
         trace: optional per-candidate observer hook.
+        store: optional persistent backing store — consulted on every
+            memo miss, written through on every fresh evaluation.
+            Entries are content-addressed under this evaluator's board,
+            fidelity, and FlexCL configuration, so a store shared
+            across differently-configured evaluators never serves a
+            stale result.
+        max_memo_entries: bound on the in-memory signature memo; when
+            set, the least-recently-used entries are evicted past the
+            bound (an evicted design re-evaluates — or, with a store
+            attached, reloads — on its next appearance).  ``None``
+            keeps the memo unbounded.
     """
 
     def __init__(
@@ -179,12 +203,18 @@ class CandidateEvaluator:
         max_workers: Optional[int] = None,
         prune: bool = False,
         trace: Optional[TraceHook] = None,
+        store: Optional[BackingStore] = None,
+        max_memo_entries: Optional[int] = None,
     ):
         if estimator is None:
             flexcl = model.estimator if model is not None else FlexCLEstimator()
             estimator = ResourceEstimator(flexcl)
         if model is None:
             model = PerformanceModel(board, fidelity, estimator.flexcl)
+        if max_memo_entries is not None and max_memo_entries < 1:
+            raise DesignSpaceError(
+                f"max_memo_entries must be >= 1, got {max_memo_entries}"
+            )
         self.board = board
         self.fidelity = model.fidelity
         self.estimator = estimator
@@ -192,10 +222,17 @@ class CandidateEvaluator:
         self.max_workers = max_workers
         self.prune = prune
         self.trace = trace
+        self.store = store
+        self.max_memo_entries = max_memo_entries
+        self.store_context = (
+            evaluation_context(board, self.fidelity, estimator.flexcl)
+            if store is not None
+            else None
+        )
         #: Lifetime aggregate over every evaluate/explore call.
         self.stats = EvaluationStats()
-        self._results: Dict[Tuple, EvaluatedDesign] = {}
-        self._predicted: set = set()
+        self._results: "OrderedDict[Tuple, EvaluatedDesign]" = OrderedDict()
+        self._predicted: "OrderedDict[Tuple, None]" = OrderedDict()
         self._lock = threading.Lock()
         self._emit_seq = 0
 
@@ -205,22 +242,103 @@ class CandidateEvaluator:
         """Signature-cached resource estimate."""
         return self.estimator.estimate(design)
 
+    # -- store + memo plumbing -------------------------------------------------
+
+    def _store_lookup(self, design: StencilDesign):
+        """Consult the backing store; ``None`` without one (or on miss)."""
+        if self.store is None:
+            return None
+        return self.store.lookup_design(design, self.store_context)
+
+    def _store_record(
+        self,
+        design: StencilDesign,
+        cycles: Optional[float] = None,
+        resources: Optional[DesignResources] = None,
+    ) -> None:
+        """Write a fresh result through to the backing store."""
+        if self.store is None:
+            return
+        self.store.record_design(
+            design, self.store_context, cycles=cycles, resources=resources
+        )
+
+    def _memo_get(self, sig: Tuple) -> Optional[EvaluatedDesign]:
+        """LRU-aware memo read (call under ``self._lock``)."""
+        result = self._results.get(sig)
+        if result is not None and self.max_memo_entries is not None:
+            self._results.move_to_end(sig)
+        return result
+
+    def _memo_put(
+        self, sig: Tuple, result: EvaluatedDesign
+    ) -> EvaluatedDesign:
+        """LRU-aware memo insert (call under ``self._lock``).
+
+        Returns the canonical result object for the signature: a
+        concurrent writer may have won the race, in which case its
+        object is kept (same signature → same values).
+        """
+        existing = self._results.get(sig)
+        if existing is not None:
+            return existing
+        self._results[sig] = result
+        if (
+            self.max_memo_entries is not None
+            and len(self._results) > self.max_memo_entries
+        ):
+            self._results.popitem(last=False)
+        return result
+
     def predict_cycles(self, design: StencilDesign) -> float:
-        """Signature-cached model prediction (total cycles)."""
+        """Signature-cached model prediction (total cycles).
+
+        Resolution order on a memo miss: the persistent store (when
+        attached), then the model — with the fresh prediction written
+        through to the store.
+        """
         sig = design.signature()
         with self._lock:
             hit = sig in self._predicted
-        cycles = self.model.predict_cycles_cached(design)
+            if hit and self.max_memo_entries is not None:
+                self._predicted.move_to_end(sig)
+        cycles: Optional[float] = None
+        store_hit = False
+        if not hit:
+            stored = self._store_lookup(design)
+            if stored is not None and stored.cycles is not None:
+                cycles = stored.cycles
+                store_hit = True
+        if cycles is None:
+            cycles = self.model.predict_cycles_cached(design)
         with self._lock:
-            self._predicted.add(sig)
+            if not store_hit:
+                # A store-served prediction never reaches the model's
+                # own cache, so only model-backed signatures may short-
+                # circuit future calls through ``_predicted``.
+                self._predicted[sig] = None
+                if (
+                    self.max_memo_entries is not None
+                    and len(self._predicted) > self.max_memo_entries
+                ):
+                    self._predicted.popitem(last=False)
             self.stats.candidates += 1
             if hit:
                 self.stats.cache_hits += 1
+            elif store_hit:
+                self.stats.store_hits += 1
             else:
                 self.stats.evaluated += 1
         if obs.enabled():
             obs.inc("dse.candidates")
-            obs.inc("dse.cache_hits" if hit else "dse.evaluated")
+            if hit:
+                obs.inc("dse.cache_hits")
+            elif store_hit:
+                obs.inc("dse.store_hits")
+            else:
+                obs.inc("dse.evaluated")
+        if not hit and not store_hit:
+            self._store_record(design, cycles=cycles)
         return cycles
 
     def lower_bound(self, design: StencilDesign) -> float:
@@ -311,7 +429,7 @@ class CandidateEvaluator:
         stats.candidates += 1
         sig = design.signature()
         with self._lock:
-            cached = self._results.get(sig)
+            cached = self._memo_get(sig)
         if cached is not None:
             stats.cache_hits += 1
             if not cached.resources.total.fits_within(budget.limit):
@@ -323,9 +441,33 @@ class CandidateEvaluator:
                 CandidateTrace(design, "cache-hit", cached.predicted_cycles)
             )
             return cached
-        resources = self.resources(design)
+        stored = self._store_lookup(design)
+        if stored is not None and stored.complete:
+            result = EvaluatedDesign(
+                design, stored.cycles, stored.resources
+            )
+            with self._lock:
+                result = self._memo_put(sig, result)
+            stats.store_hits += 1
+            if not result.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                self._emit(CandidateTrace(design, "infeasible"))
+                return None
+            self._note_incumbent(incumbent, result.predicted_cycles)
+            self._emit(
+                CandidateTrace(design, "store-hit", result.predicted_cycles)
+            )
+            return result
+        if stored is not None and stored.resources is not None:
+            resources = stored.resources
+            fresh_resources = False
+        else:
+            resources = self.resources(design)
+            fresh_resources = True
         if not resources.total.fits_within(budget.limit):
             stats.infeasible += 1
+            if fresh_resources:
+                self._store_record(design, resources=resources)
             self._emit(CandidateTrace(design, "infeasible"))
             return None
         if bound is not None and incumbent is not None:
@@ -333,15 +475,24 @@ class CandidateEvaluator:
                 best = incumbent[0]
             if best is not None and bound >= best:
                 stats.pruned += 1
+                if fresh_resources:
+                    self._store_record(design, resources=resources)
                 self._emit(
                     CandidateTrace(design, "pruned", lower_bound=bound)
                 )
                 return None
-        cycles = self.model.predict_cycles_cached(design)
-        stats.evaluated += 1
+        if stored is not None and stored.cycles is not None:
+            cycles = stored.cycles
+            stats.store_hits += 1
+            if fresh_resources:
+                self._store_record(design, resources=resources)
+        else:
+            cycles = self.model.predict_cycles_cached(design)
+            stats.evaluated += 1
+            self._store_record(design, cycles=cycles, resources=resources)
         result = EvaluatedDesign(design, cycles, resources)
         with self._lock:
-            result = self._results.setdefault(sig, result)
+            result = self._memo_put(sig, result)
         self._note_incumbent(incumbent, cycles)
         self._emit(CandidateTrace(design, "evaluated", cycles, bound))
         return result
@@ -358,6 +509,7 @@ class CandidateEvaluator:
             obs.inc("dse.candidates", delta.candidates)
             obs.inc("dse.evaluated", delta.evaluated)
             obs.inc("dse.cache_hits", delta.cache_hits)
+            obs.inc("dse.store_hits", delta.store_hits)
             obs.inc("dse.infeasible", delta.infeasible)
             obs.inc("dse.pruned", delta.pruned)
             obs.observe("dse.batch_wall_s", delta.wall_time_s)

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.dse.constraints import ResourceBudget
 from repro.dse.evaluator import CandidateEvaluator, EvaluatedDesign
+from repro.store.backing import BackingStore
 from repro.tiling.design import StencilDesign
 
 
@@ -64,6 +65,7 @@ def pareto_explore(
     budget: ResourceBudget,
     evaluator: Optional[CandidateEvaluator] = None,
     objectives: Callable[[EvaluatedDesign], Tuple[float, ...]] = None,
+    store: Optional[BackingStore] = None,
 ) -> List[EvaluatedDesign]:
     """Evaluate raw designs through the engine and return their front.
 
@@ -72,11 +74,15 @@ def pareto_explore(
         budget: resource ceiling; infeasible designs are excluded.
         evaluator: shared engine (a serial one is built when omitted).
         objectives: forwarded to :func:`pareto_front`.
+        store: persistent backing store for the freshly-built engine —
+            frontier scoring warm-starts from (and writes through to)
+            disk.  Ignored when ``evaluator`` is supplied; attach the
+            store to that evaluator instead.
 
     Returns:
         The Pareto-optimal subset of the feasible designs.
     """
-    engine = evaluator or CandidateEvaluator()
+    engine = evaluator or CandidateEvaluator(store=store)
     scored = [
         result
         for result in engine.evaluate_batch(designs, budget)

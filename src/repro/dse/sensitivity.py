@@ -12,14 +12,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.evaluator import CandidateEvaluator, EvaluationStats
 from repro.errors import DesignSpaceError
 from repro.fpga.estimator import ResourceEstimator
 from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
-from repro.sim.executor import SimulationExecutor
+from repro.store.backing import BackingStore
+from repro.store.checkpoint import CheckpointedExecutor, SweepCheckpoint
 from repro.tiling.design import StencilDesign
 
 
@@ -67,17 +68,29 @@ class SensitivityAnalyzer:
     point; the evaluators share a single FlexCL pipeline analyzer and
     resource estimator (those don't depend on the swept board knobs),
     so re-sweeping a design re-uses all signature-cached work.
+
+    With a persistent ``store``, every per-board evaluator consults and
+    writes through it (each board point gets its own evaluation
+    context, so entries never cross boards); with a ``checkpoint``,
+    simulator measurements are durable too — an interrupted sweep
+    resumed from the same files repeats no completed work and returns
+    identical points.
     """
 
     def __init__(
         self,
         board: BoardSpec = ADM_PCIE_7V3,
         fidelity: Fidelity = Fidelity.REFINED,
+        store: Optional[BackingStore] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
     ):
         self.board = board
         self.fidelity = fidelity
+        self.store = store
+        self.checkpoint = checkpoint
         self._estimator = ResourceEstimator()
         self._evaluators: Dict[BoardSpec, CandidateEvaluator] = {}
+        self._executors: Dict[BoardSpec, CheckpointedExecutor] = {}
 
     def _evaluator_for(self, board: BoardSpec) -> CandidateEvaluator:
         evaluator = self._evaluators.get(board)
@@ -86,9 +99,17 @@ class SensitivityAnalyzer:
                 board=board,
                 fidelity=self.fidelity,
                 estimator=self._estimator,
+                store=self.store,
             )
             self._evaluators[board] = evaluator
         return evaluator
+
+    def _executor_for(self, board: BoardSpec) -> CheckpointedExecutor:
+        executor = self._executors.get(board)
+        if executor is None:
+            executor = CheckpointedExecutor(board, self.checkpoint)
+            self._executors[board] = executor
+        return executor
 
     def stats(self) -> EvaluationStats:
         """Aggregate engine counters across every swept board point."""
@@ -101,7 +122,7 @@ class SensitivityAnalyzer:
         self, design: StencilDesign, board: BoardSpec
     ) -> Tuple[float, float]:
         predicted = self._evaluator_for(board).predict_cycles(design)
-        measured = SimulationExecutor(board).run(design).total_cycles
+        measured = self._executor_for(board).total_cycles(design)
         return predicted, measured
 
     def sweep_bandwidth(
@@ -169,10 +190,9 @@ class SensitivityAnalyzer:
         results = []
         for bw in bandwidths_bytes_per_s:
             board = self.board.with_bandwidth(bw)
-            executor = SimulationExecutor(board)
-            speedup = (
-                executor.run(baseline).total_cycles
-                / executor.run(optimized).total_cycles
+            executor = self._executor_for(board)
+            speedup = executor.total_cycles(baseline) / executor.total_cycles(
+                optimized
             )
             results.append((bw, speedup))
         return results

@@ -42,6 +42,16 @@ class DesignSpaceError(ReproError):
     """The design-space exploration was given an infeasible space."""
 
 
+class StoreError(ReproError):
+    """The persistent design store hit corruption or an I/O failure.
+
+    Every filesystem or decoding failure inside :mod:`repro.store` is
+    re-raised as this type (with the original exception chained), so
+    callers never see a bare ``OSError`` or ``json.JSONDecodeError``
+    escape the store layer.
+    """
+
+
 class SimulationError(ReproError):
     """The execution simulator reached an inconsistent state."""
 

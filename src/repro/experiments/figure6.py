@@ -9,13 +9,14 @@ bars from the simulator's critical-kernel breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.dse.evaluator import CandidateEvaluator
 from repro.dse.optimizer import optimize_heterogeneous, optimize_pipe_shared
 from repro.experiments.configs import TABLE3_CONFIGS
 from repro.experiments.report import render_table
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
-from repro.sim.executor import SimulationExecutor
+from repro.store.checkpoint import CheckpointedExecutor
 
 
 @dataclass(frozen=True)
@@ -31,28 +32,38 @@ class Figure6Bar:
 def run_figure6(
     benchmarks: Sequence[str] = ("jacobi-2d", "jacobi-3d"),
     board: BoardSpec = ADM_PCIE_7V3,
+    evaluator: Optional[CandidateEvaluator] = None,
+    executor: Optional[CheckpointedExecutor] = None,
 ) -> List[Figure6Bar]:
-    """Regenerate Fig. 6's breakdown bars on the simulator."""
-    executor = SimulationExecutor(board)
+    """Regenerate Fig. 6's breakdown bars on the simulator.
+
+    ``evaluator``/``executor`` follow the same warm-start/resume
+    contract as :func:`repro.experiments.table3.run_table3`.
+    """
+    executor = executor or CheckpointedExecutor(board)
     bars: List[Figure6Bar] = []
     for name in benchmarks:
         config = TABLE3_CONFIGS[name]
         baseline = config.baseline()
         spec = baseline.spec
-        pipe = optimize_pipe_shared(spec, baseline, board).best.design
-        hetero = optimize_heterogeneous(spec, baseline, board).best.design
+        pipe = optimize_pipe_shared(
+            spec, baseline, board, evaluator=evaluator
+        ).best.design
+        hetero = optimize_heterogeneous(
+            spec, baseline, board, evaluator=evaluator
+        ).best.design
         for label, design in (
             ("baseline", baseline),
             ("pipe-shared", pipe),
             ("heterogeneous", hetero),
         ):
-            result = executor.run(design)
+            total_cycles, fractions = executor.breakdown(design)
             bars.append(
                 Figure6Bar(
                     benchmark=name,
                     design_label=label,
-                    total_cycles=result.total_cycles,
-                    fractions=result.breakdown.fractions(),
+                    total_cycles=total_cycles,
+                    fractions=fractions,
                 )
             )
     return bars

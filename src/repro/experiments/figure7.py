@@ -15,13 +15,14 @@ observations, which this harness re-checks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dse.evaluator import CandidateEvaluator
 from repro.experiments.configs import TABLE3_CONFIGS
 from repro.experiments.report import render_table
-from repro.model.predictor import Fidelity, PerformanceModel
+from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
-from repro.sim.executor import SimulationExecutor
+from repro.store.checkpoint import CheckpointedExecutor
 from repro.tiling.heterogeneous import make_heterogeneous_design
 
 #: The six benchmarks of the paper's Fig. 7 panels.
@@ -103,10 +104,19 @@ def run_figure7(
     benchmarks: Sequence[str] = FIGURE7_BENCHMARKS,
     board: BoardSpec = ADM_PCIE_7V3,
     fidelity: Fidelity = Fidelity.REFINED,
+    evaluator: Optional[CandidateEvaluator] = None,
+    executor: Optional[CheckpointedExecutor] = None,
 ) -> List[Figure7Series]:
-    """Regenerate the model-validation sweeps."""
-    model = PerformanceModel(board, fidelity)
-    executor = SimulationExecutor(board)
+    """Regenerate the model-validation sweeps.
+
+    ``evaluator``/``executor`` follow the same warm-start/resume
+    contract as :func:`repro.experiments.table3.run_table3`; the
+    evaluator must match ``board``/``fidelity`` when supplied.
+    """
+    evaluator = evaluator or CandidateEvaluator(
+        board=board, fidelity=fidelity
+    )
+    executor = executor or CheckpointedExecutor(board)
     series: List[Figure7Series] = []
     for name in benchmarks:
         config = TABLE3_CONFIGS[name]
@@ -120,8 +130,8 @@ def run_figure7(
             design = make_heterogeneous_design(
                 spec, region, config.counts, h, config.unroll
             )
-            predicted.append(model.predict_cycles(design))
-            measured.append(executor.run(design).total_cycles)
+            predicted.append(evaluator.predict_cycles(design))
+            measured.append(executor.total_cycles(design))
         series.append(
             Figure7Series(
                 benchmark=name,

@@ -16,11 +16,22 @@ Tooling (use the framework on one benchmark)::
     python -m repro.experiments simulate  --benchmark jacobi-2d [--design hetero]
     python -m repro.experiments codegen   --benchmark jacobi-2d [--output DIR]
     python -m repro.experiments calibrate
+
+Every experiment/tool accepts ``--store DIR`` to persist design
+evaluations and sweep measurements: a rerun (or a run resumed after a
+crash) warm-starts from the stored results and produces byte-identical
+reports.  The store itself is managed with::
+
+    python -m repro.experiments store stats      --store DIR
+    python -m repro.experiments store compact    --store DIR
+    python -m repro.experiments store gc         --store DIR [--context FP]
+    python -m repro.experiments store invalidate --store DIR [--context FP]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -38,12 +49,66 @@ from repro.stencil.library import PAPER_SUITE
 
 _REPRO_COMMANDS = ("table2", "table3", "figure6", "figure7", "all")
 _TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate")
+_STORE_ACTIONS = ("stats", "compact", "gc", "invalidate")
 
 
 def _parse_benchmarks(value: Optional[str], default: Sequence[str]):
     if not value:
         return tuple(default)
     return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+class _StoreSession:
+    """The CLI's persistence bundle: design store + sweep checkpoint.
+
+    Built from ``--store DIR``; without the flag every accessor returns
+    a plain (non-persistent) engine/executor, so the command paths are
+    identical either way.
+    """
+
+    RESULTS_DIR = "results"
+    SWEEPS_FILE = "sweeps.jsonl"
+
+    def __init__(self, path: Optional[str]):
+        self.store = None
+        self.checkpoint = None
+        if path:
+            from repro.store import DesignStore, SweepCheckpoint
+
+            root = pathlib.Path(path)
+            self.store = DesignStore(root / self.RESULTS_DIR)
+            self.checkpoint = SweepCheckpoint(root / self.SWEEPS_FILE)
+
+    def evaluator(self):
+        from repro.dse.evaluator import CandidateEvaluator
+
+        return CandidateEvaluator(store=self.store)
+
+    def executor(self, board=None):
+        from repro.opencl.platform import ADM_PCIE_7V3
+        from repro.store.checkpoint import CheckpointedExecutor
+
+        return CheckpointedExecutor(
+            board or ADM_PCIE_7V3, self.checkpoint
+        )
+
+    def summary_lines(self) -> List[str]:
+        if self.store is None:
+            return []
+        stats = self.store.stats_summary()
+        runtime = stats["runtime"]
+        return [
+            f"Store {stats['root']}: {stats['entries']} entries "
+            f"({runtime['hits']} hits, {runtime['misses']} misses, "
+            f"{runtime['writes']} writes this run); "
+            f"checkpoint {len(self.checkpoint)} steps"
+        ]
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+        if self.checkpoint is not None:
+            self.checkpoint.close()
 
 
 def _build_designs(benchmark: str, evaluator=None):
@@ -70,11 +135,10 @@ def _build_designs(benchmark: str, evaluator=None):
     }
 
 
-def _cmd_optimize(args) -> List[str]:
-    from repro.dse.evaluator import CandidateEvaluator
+def _cmd_optimize(args, session: _StoreSession) -> List[str]:
     from repro.sim import simulate
 
-    evaluator = CandidateEvaluator()
+    evaluator = session.evaluator()
     bundle = _build_designs(args.benchmark, evaluator)
     lines = [f"Workload: {bundle['spec'].describe()}"]
     base_cycles = simulate(bundle["baseline"]).total_cycles
@@ -92,10 +156,10 @@ def _cmd_optimize(args) -> List[str]:
     return lines
 
 
-def _cmd_simulate(args) -> List[str]:
+def _cmd_simulate(args, session: _StoreSession) -> List[str]:
     from repro.sim import simulate
 
-    bundle = _build_designs(args.benchmark)
+    bundle = _build_designs(args.benchmark, session.evaluator())
     design = bundle[args.design]
     result = simulate(design)
     fractions = ", ".join(
@@ -114,10 +178,10 @@ def _cmd_simulate(args) -> List[str]:
     ]
 
 
-def _cmd_codegen(args) -> List[str]:
+def _cmd_codegen(args, session: _StoreSession) -> List[str]:
     from repro.codegen import generate_program
 
-    bundle = _build_designs(args.benchmark)
+    bundle = _build_designs(args.benchmark, session.evaluator())
     design = bundle[args.design]
     program = generate_program(design)
     out_dir = pathlib.Path(args.output)
@@ -166,8 +230,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_REPRO_COMMANDS + _TOOL_COMMANDS,
-        help="experiment to regenerate or tool to run",
+        choices=_REPRO_COMMANDS + _TOOL_COMMANDS + ("store",),
+        help="experiment to regenerate, tool to run, or 'store'",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help=(
+            "store maintenance action "
+            f"({'/'.join(_STORE_ACTIONS)}; 'store' command only)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist design evaluations and sweep measurements under "
+            "DIR; reruns and crash-resumed runs warm-start from it"
+        ),
+    )
+    parser.add_argument(
+        "--context",
+        default=None,
+        metavar="FINGERPRINT",
+        help=(
+            "evaluation-context fingerprint for 'store gc' (keep only "
+            "this context) and 'store invalidate' (drop this context)"
+        ),
     )
     parser.add_argument(
         "--benchmarks",
@@ -226,8 +317,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.enable()
     log = obs.get_logger("experiments")
 
-    with obs.span(f"cli.{args.experiment}", benchmark=args.benchmark):
-        outputs = _dispatch(args)
+    if args.experiment == "store":
+        print("\n".join(_cmd_store(args, parser)))
+        return 0
+
+    session = _StoreSession(args.store)
+    try:
+        with obs.span(f"cli.{args.experiment}", benchmark=args.benchmark):
+            outputs = _dispatch(args, session)
+        outputs.extend(session.summary_lines())
+    finally:
+        session.close()
     if observing:
         if args.trace_out is not None:
             path = obs.export_chrome_trace(args.trace_out)
@@ -241,7 +341,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
-def _dispatch(args) -> List[str]:
+def _dispatch(args, session: _StoreSession) -> List[str]:
     """Run the selected experiment/tool; return its output sections."""
     outputs: List[str] = []
     if args.experiment in ("table2", "all"):
@@ -249,28 +349,78 @@ def _dispatch(args) -> List[str]:
     if args.experiment in ("table3", "all"):
         outputs.append(
             render_table3(
-                run_table3(_parse_benchmarks(args.benchmarks, PAPER_SUITE))
+                run_table3(
+                    _parse_benchmarks(args.benchmarks, PAPER_SUITE),
+                    evaluator=session.evaluator(),
+                    executor=session.executor(),
+                )
             )
         )
     if args.experiment in ("figure6", "all"):
-        outputs.append(render_figure6(run_figure6()))
+        outputs.append(
+            render_figure6(
+                run_figure6(
+                    evaluator=session.evaluator(),
+                    executor=session.executor(),
+                )
+            )
+        )
     if args.experiment in ("figure7", "all"):
         outputs.append(
             render_figure7(
                 run_figure7(
-                    _parse_benchmarks(args.benchmarks, FIGURE7_BENCHMARKS)
+                    _parse_benchmarks(args.benchmarks, FIGURE7_BENCHMARKS),
+                    evaluator=session.evaluator(),
+                    executor=session.executor(),
                 )
             )
         )
     if args.experiment == "optimize":
-        outputs.append("\n".join(_cmd_optimize(args)))
+        outputs.append("\n".join(_cmd_optimize(args, session)))
     if args.experiment == "simulate":
-        outputs.append("\n".join(_cmd_simulate(args)))
+        outputs.append("\n".join(_cmd_simulate(args, session)))
     if args.experiment == "codegen":
-        outputs.append("\n".join(_cmd_codegen(args)))
+        outputs.append("\n".join(_cmd_codegen(args, session)))
     if args.experiment == "calibrate":
         outputs.append("\n".join(_cmd_calibrate(args)))
     return outputs
+
+
+def _cmd_store(args, parser: argparse.ArgumentParser) -> List[str]:
+    """The ``store`` maintenance subcommand (stats/compact/gc/invalidate)."""
+    from repro.store import DesignStore
+
+    if args.action not in _STORE_ACTIONS:
+        parser.error(
+            f"store requires an action: {', '.join(_STORE_ACTIONS)}"
+        )
+    if not args.store:
+        parser.error("store maintenance requires --store DIR")
+    root = pathlib.Path(args.store) / _StoreSession.RESULTS_DIR
+    with DesignStore(root) as store:
+        if args.action == "stats":
+            return [json.dumps(store.stats_summary(), indent=1)]
+        if args.action == "compact":
+            outcome = store.compact()
+            return [
+                f"Compacted {root}: folded "
+                f"{outcome['journal_folded']} journal record(s) into a "
+                f"{outcome['snapshot_entries']}-entry snapshot"
+            ]
+        if args.action == "gc":
+            dropped = store.gc(keep_context=args.context)
+            return [
+                f"GC {root}: dropped {dropped} unusable entr"
+                f"{'y' if dropped == 1 else 'ies'}, "
+                f"{len(store)} kept"
+            ]
+        dropped = store.invalidate(context=args.context)
+        scope = args.context or "all contexts"
+        return [
+            f"Invalidated {dropped} entr"
+            f"{'y' if dropped == 1 else 'ies'} ({scope}), "
+            f"{len(store)} kept"
+        ]
 
 
 if __name__ == "__main__":  # pragma: no cover

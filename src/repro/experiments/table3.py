@@ -19,8 +19,8 @@ from repro.experiments.report import format_shape, render_table
 from repro.fpga.estimator import ResourceEstimator
 from repro.fpga.resources import ResourceVector
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
-from repro.sim.executor import SimulationExecutor
 from repro.stencil.library import PAPER_SUITE
+from repro.store.checkpoint import CheckpointedExecutor
 from repro.tiling.design import StencilDesign
 
 
@@ -60,10 +60,24 @@ class Table3Row:
 def run_table3(
     benchmarks: Sequence[str] = PAPER_SUITE,
     board: BoardSpec = ADM_PCIE_7V3,
+    evaluator: Optional[CandidateEvaluator] = None,
+    executor: Optional[CheckpointedExecutor] = None,
 ) -> List[Table3Row]:
-    """Regenerate Table 3's rows on the simulator."""
-    evaluator = CandidateEvaluator(board=board, estimator=ResourceEstimator())
-    executor = SimulationExecutor(board)
+    """Regenerate Table 3's rows on the simulator.
+
+    Args:
+        benchmarks: suite subset to run.
+        board: target platform.
+        evaluator: shared scoring engine — pass a store-backed one
+            (``CandidateEvaluator(store=...)``) to warm-start the
+            heterogeneous search from persisted evaluations.
+        executor: measurement front door — pass a checkpointed one to
+            make the simulator measurements resumable.
+    """
+    evaluator = evaluator or CandidateEvaluator(
+        board=board, estimator=ResourceEstimator()
+    )
+    executor = executor or CheckpointedExecutor(board)
     rows: List[Table3Row] = []
     for name in benchmarks:
         config = TABLE3_CONFIGS[name]
@@ -79,8 +93,8 @@ def run_table3(
                 heterogeneous=hetero,
                 baseline_resources=evaluator.resources(baseline).total,
                 hetero_resources=evaluator.resources(hetero).total,
-                baseline_cycles=executor.run(baseline).total_cycles,
-                hetero_cycles=executor.run(hetero).total_cycles,
+                baseline_cycles=executor.total_cycles(baseline),
+                hetero_cycles=executor.total_cycles(hetero),
             )
         )
     return rows

@@ -216,6 +216,13 @@ def _derived_rates(counters: Dict[str, float]) -> Dict[str, float]:
         derived["fpga.estimate_cache_hit_rate"] = (
             counters.get("fpga.estimate_cache_hits", 0) / estimates
         )
+    store_probes = counters.get("store.hits", 0) + counters.get(
+        "store.misses", 0
+    )
+    if store_probes:
+        derived["store.hit_rate"] = (
+            counters.get("store.hits", 0) / store_probes
+        )
     return derived
 
 

@@ -1,0 +1,74 @@
+"""repro.store — persistent design store + crash-safe resumable DSE.
+
+The design-space evaluations the paper's optimizer enumerates are pure
+functions of ``(design signature, evaluation context)``; this package
+makes them durable artifacts instead of per-process throwaways:
+
+- :mod:`repro.store.journal` — crash-safe append-only JSONL journal
+  (CRC per record, fsync-on-batch, torn-tail recovery).
+- :mod:`repro.store.index` — compacted snapshots and the offline
+  compaction step.
+- :mod:`repro.store.backing` — the content-addressed
+  :class:`DesignStore` and the :class:`BackingStore` protocol the
+  :class:`~repro.dse.evaluator.CandidateEvaluator` consults on miss
+  and writes through on evaluation.
+- :mod:`repro.store.checkpoint` — :class:`SweepCheckpoint` and
+  :class:`CheckpointedExecutor` for resumable experiment sweeps.
+
+Typical warm-start usage::
+
+    from repro.dse.evaluator import CandidateEvaluator
+    from repro.store import DesignStore
+
+    with DesignStore("results-store") as store:
+        engine = CandidateEvaluator(store=store)
+        ...  # optimize_* / pareto_explore / sensitivity
+
+Formats, invalidation rules, and resume semantics are documented in
+``docs/STORE.md``.
+"""
+
+from repro.store.backing import (
+    BackingStore,
+    DesignStore,
+    StoredResult,
+    design_key,
+    digest,
+    evaluation_context,
+)
+from repro.store.checkpoint import CheckpointedExecutor, SweepCheckpoint
+from repro.store.index import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    STORE_SCHEMA,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.store.journal import (
+    CRASH_ENV,
+    Journal,
+    canonical_json,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "BackingStore",
+    "DesignStore",
+    "StoredResult",
+    "design_key",
+    "digest",
+    "evaluation_context",
+    "SweepCheckpoint",
+    "CheckpointedExecutor",
+    "Journal",
+    "canonical_json",
+    "decode_record",
+    "encode_record",
+    "CRASH_ENV",
+    "STORE_SCHEMA",
+    "JOURNAL_NAME",
+    "SNAPSHOT_NAME",
+    "load_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,391 @@
+"""The persistent, content-addressed design-result store.
+
+Entries are keyed by a SHA-256 digest over everything that determines
+an evaluation result:
+
+- the design's canonical :meth:`~repro.tiling.design.StencilDesign.signature`,
+- the **evaluation context**: the full board spec (including the FPGA
+  part's capacities), the model fidelity, and the FlexCL pipeline
+  parameters,
+- the on-disk schema version (:data:`~repro.store.index.STORE_SCHEMA`).
+
+Recalibrating the model, changing the board, or bumping the schema
+therefore changes the key — stale entries become unreachable instead
+of being silently served, and ``gc``/``invalidate`` exist to reclaim
+them.
+
+:class:`DesignStore` is the concrete implementation (journal + snapshot
+under one directory, see :mod:`repro.store.index`); the
+:class:`BackingStore` protocol is what the
+:class:`~repro.dse.evaluator.CandidateEvaluator` consults on a memo
+miss and writes through on every fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pathlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+try:  # pragma: no cover - version dispatch
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 has no Protocol
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro import obs
+from repro.errors import StoreError
+from repro.fpga.estimator import DesignResources
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.fpga.resources import ResourceVector
+from repro.model.predictor import Fidelity
+from repro.opencl.platform import BoardSpec
+from repro.store.index import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    STORE_SCHEMA,
+    compact,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.store.journal import Journal, canonical_json, replay_latest
+from repro.tiling.design import StencilDesign
+
+PathLike = Union[str, pathlib.Path]
+
+
+def digest(value) -> str:
+    """SHA-256 hex digest of a value's canonical JSON encoding."""
+    return hashlib.sha256(
+        canonical_json(value).encode("utf-8")
+    ).hexdigest()
+
+
+def evaluation_context(
+    board: BoardSpec,
+    fidelity: Fidelity,
+    flexcl: FlexCLEstimator,
+) -> str:
+    """Fingerprint of everything besides the design that shapes results.
+
+    Covers every board/model parameter the predictor and resource
+    estimator read, so two evaluators with equal contexts are
+    guaranteed to produce interchangeable results for equal designs.
+    """
+    return digest(
+        {
+            "schema": STORE_SCHEMA,
+            "board": dataclasses.asdict(board),
+            "fidelity": fidelity.value,
+            "flexcl": {"max_partitions": flexcl.max_partitions},
+        }
+    )
+
+
+def design_key(design_signature, context: str) -> str:
+    """Content address of one (design, evaluation-context) result."""
+    return digest(
+        {
+            "schema": STORE_SCHEMA,
+            "ctx": context,
+            "design": design_signature,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One store entry decoded for the evaluator.
+
+    Either field may be absent: the prediction-only path
+    (``predict_cycles``) stores cycles without resources, and the full
+    ``evaluate`` path later upgrades the same entry in place.
+    """
+
+    cycles: Optional[float] = None
+    resources: Optional[DesignResources] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when both the prediction and the estimate are present."""
+        return self.cycles is not None and self.resources is not None
+
+
+@runtime_checkable
+class BackingStore(Protocol):
+    """What the evaluator needs from a persistent result store."""
+
+    def lookup_design(
+        self, design: StencilDesign, context: str
+    ) -> Optional[StoredResult]:
+        """Return the stored result for a design, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def record_design(
+        self,
+        design: StencilDesign,
+        context: str,
+        cycles: Optional[float] = None,
+        resources: Optional[DesignResources] = None,
+    ) -> None:
+        """Write (or upgrade) a design's result."""
+        ...  # pragma: no cover - protocol
+
+
+def _resources_to_json(resources: DesignResources) -> Dict:
+    return resources.as_dict()
+
+
+def _resources_from_json(data) -> DesignResources:
+    try:
+        return DesignResources(
+            total=ResourceVector(**data["total"]),
+            kernels=ResourceVector(**data["kernels"]),
+            pipes=ResourceVector(**data["pipes"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreError(
+            f"Malformed resources payload in store entry: {exc}"
+        ) from exc
+
+
+class DesignStore:
+    """Directory-backed persistent result store.
+
+    Layout: ``root/journal.jsonl`` (append-only write path) plus
+    ``root/snapshot.jsonl`` (compacted state).  Opening replays both;
+    a torn journal tail is repaired automatically (see
+    :mod:`repro.store.journal`).  All methods are thread-safe — the
+    evaluator's parallel batch path calls :meth:`lookup_design` and
+    :meth:`record_design` concurrently from pool workers.
+
+    Args:
+        root: store directory (created if missing).
+        sync: journal fsync policy (``batch``/``always``/``never``).
+        batch_size: journal writes are buffered and flushed as one
+            fsynced batch every this many records (and on
+            :meth:`flush`/:meth:`close`).  A crash loses at most the
+            buffered tail — which is recomputed, never corrupted.
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        sync: str = "batch",
+        batch_size: int = 32,
+    ):
+        if batch_size < 1:
+            raise StoreError(f"batch_size must be >= 1, got {batch_size}")
+        self.root = pathlib.Path(root)
+        self.batch_size = batch_size
+        self._lock = threading.Lock()
+        self._pending = []
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.invalidated = 0
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"Cannot create store directory {self.root}: {exc}"
+            ) from exc
+        with obs.span("store.open", root=str(self.root)):
+            self._entries = load_snapshot(self.root / SNAPSHOT_NAME)
+            self._journal = Journal(self.root / JOURNAL_NAME, sync=sync)
+            self._entries.update(replay_latest(self._journal.records()))
+        obs.set_gauge("store.entries", len(self._entries))
+
+    # -- evaluator-facing API ---------------------------------------------------
+
+    def lookup_design(
+        self, design: StencilDesign, context: str
+    ) -> Optional[StoredResult]:
+        """Decode the stored result for ``design`` under ``context``."""
+        key = design_key(design.signature(), context)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or entry.get("v") != STORE_SCHEMA:
+            with self._lock:
+                self.misses += 1
+            obs.inc("store.misses")
+            return None
+        resources = entry.get("resources")
+        with self._lock:
+            self.hits += 1
+        obs.inc("store.hits")
+        return StoredResult(
+            cycles=entry.get("cycles"),
+            resources=(
+                _resources_from_json(resources)
+                if resources is not None
+                else None
+            ),
+        )
+
+    def record_design(
+        self,
+        design: StencilDesign,
+        context: str,
+        cycles: Optional[float] = None,
+        resources: Optional[DesignResources] = None,
+    ) -> None:
+        """Write through one result, merging with any existing entry."""
+        if cycles is None and resources is None:
+            return
+        key = design_key(design.signature(), context)
+        record = {
+            "key": key,
+            "v": STORE_SCHEMA,
+            "ctx": context,
+            "cycles": cycles,
+            "resources": (
+                _resources_to_json(resources)
+                if resources is not None
+                else None
+            ),
+        }
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.get("v") == STORE_SCHEMA:
+                if record["cycles"] is None:
+                    record["cycles"] = existing.get("cycles")
+                if record["resources"] is None:
+                    record["resources"] = existing.get("resources")
+                if (
+                    existing.get("cycles") == record["cycles"]
+                    and existing.get("resources") == record["resources"]
+                ):
+                    return  # nothing new to persist
+            self._entries[key] = record
+            self._pending.append(record)
+            self.writes += 1
+            flush_now = len(self._pending) >= self.batch_size
+            batch = self._pending if flush_now else None
+            if flush_now:
+                self._pending = []
+        obs.inc("store.writes")
+        obs.set_gauge("store.entries", len(self._entries))
+        if batch:
+            self._journal.append_batch(batch)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist buffered writes (one fsynced journal batch)."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+        if batch:
+            self._journal.append_batch(batch)
+        else:
+            self._journal.flush()
+
+    def close(self) -> None:
+        """Flush and release the journal handle."""
+        self.flush()
+        self._journal.close()
+
+    def __enter__(self) -> "DesignStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- maintenance (the ``store`` CLI surface) --------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def recovered_drops(self) -> int:
+        """Torn journal records dropped during this open."""
+        return self._journal.recovered_drops
+
+    def stats_summary(self) -> Dict:
+        """Structured description of the store's state and counters."""
+        with self._lock:
+            entries = dict(self._entries)
+            runtime = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "invalidated": self.invalidated,
+            }
+        contexts: Dict[str, int] = {}
+        complete = 0
+        for entry in entries.values():
+            contexts[entry.get("ctx", "?")] = (
+                contexts.get(entry.get("ctx", "?"), 0) + 1
+            )
+            if (
+                entry.get("cycles") is not None
+                and entry.get("resources") is not None
+            ):
+                complete += 1
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA,
+            "entries": len(entries),
+            "complete_entries": complete,
+            "contexts": dict(sorted(contexts.items())),
+            "journal_records": len(self._journal),
+            "recovered_drops": self.recovered_drops,
+            "runtime": runtime,
+        }
+
+    def compact(self) -> Dict:
+        """Fold the journal into the snapshot; report the outcome."""
+        self.flush()
+        with self._lock:
+            folded, total = compact(self.root, self._journal)
+        return {"journal_folded": folded, "snapshot_entries": total}
+
+    def _rewrite(self, keep) -> int:
+        """Keep only entries passing ``keep``; rewrite snapshot, empty journal."""
+        self.flush()
+        with self._lock:
+            before = len(self._entries)
+            self._entries = {
+                key: entry
+                for key, entry in self._entries.items()
+                if keep(entry)
+            }
+            dropped = before - len(self._entries)
+            write_snapshot(self.root / SNAPSHOT_NAME, self._entries)
+            self._journal.truncate()
+            self.invalidated += dropped
+        obs.inc("store.invalidated", dropped)
+        obs.set_gauge("store.entries", len(self._entries))
+        return dropped
+
+    def gc(self, keep_context: Optional[str] = None) -> int:
+        """Drop unusable entries; return how many were dropped.
+
+        Unusable means: written under another schema version, or
+        (when ``keep_context`` is given) belonging to any other
+        evaluation context — e.g. a board the deployment no longer
+        evaluates against.
+        """
+        def keep(entry: dict) -> bool:
+            if entry.get("v") != STORE_SCHEMA:
+                return False
+            if keep_context is not None and entry.get("ctx") != keep_context:
+                return False
+            return True
+
+        return self._rewrite(keep)
+
+    def invalidate(self, context: Optional[str] = None) -> int:
+        """Drop entries of one evaluation context (or all of them)."""
+        if context is None:
+            return self._rewrite(lambda entry: False)
+        return self._rewrite(
+            lambda entry: entry.get("ctx") != context
+        )

@@ -1,0 +1,100 @@
+"""Indexed snapshots: the compacted form of a journal.
+
+A store directory holds two files::
+
+    journal.jsonl    append-only, one record per write (crash-safe)
+    snapshot.jsonl   compacted latest-record-per-key state + header
+
+The snapshot is written atomically (temp + fsync + rename), so it is
+either entirely the old state or entirely the new one; the journal
+then only needs to carry writes made *since* the last compaction.
+Loading is ``snapshot ∪ journal-replay`` with journal records winning,
+which makes the compaction sequence crash-safe at every step:
+
+1. write the merged snapshot atomically;
+2. truncate the journal.
+
+A crash between 1 and 2 merely replays journal records that the new
+snapshot already contains — the merge is idempotent.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple, Union
+
+from repro import obs
+from repro.errors import StoreError
+from repro.store.journal import (
+    Journal,
+    encode_record,
+    read_snapshot_lines,
+    replay_latest,
+    write_atomic,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+#: On-disk schema of the store directory layout and record shapes.
+#: Bump on any incompatible change: entries written under another
+#: version are never served (see ``DesignStore.gc``).
+STORE_SCHEMA = "repro.store/1"
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "snapshot.jsonl"
+
+
+def load_snapshot(path: PathLike) -> Dict[str, dict]:
+    """Load a snapshot file into a key → record mapping.
+
+    The first record is the header (``schema``/``entries``); a header
+    from a different schema version raises :class:`StoreError` rather
+    than guessing at the layout.
+    """
+    records, exists = read_snapshot_lines(path)
+    if not exists:
+        return {}
+    if not records:
+        raise StoreError(f"Snapshot {path} is empty (missing header)")
+    header, entries = records[0], records[1:]
+    if header.get("schema") != STORE_SCHEMA:
+        raise StoreError(
+            f"Snapshot {path} has schema {header.get('schema')!r}, "
+            f"expected {STORE_SCHEMA!r}"
+        )
+    declared = header.get("entries")
+    if declared is not None and declared != len(entries):
+        raise StoreError(
+            f"Snapshot {path} declares {declared} entries "
+            f"but holds {len(entries)}"
+        )
+    return replay_latest(entries)
+
+
+def write_snapshot(path: PathLike, entries: Dict[str, dict]) -> None:
+    """Atomically replace the snapshot with ``entries``.
+
+    Entries are written in sorted-key order so equal states produce
+    byte-identical snapshot files.
+    """
+    header = {"schema": STORE_SCHEMA, "entries": len(entries)}
+    lines = [encode_record(header)]
+    lines.extend(encode_record(entries[key]) for key in sorted(entries))
+    write_atomic(path, lines)
+
+
+def compact(store_dir: PathLike, journal: Journal) -> Tuple[int, int]:
+    """Fold the journal into the snapshot; empty the journal.
+
+    Returns ``(journal_records_folded, snapshot_entries_after)``.
+    """
+    store_dir = pathlib.Path(store_dir)
+    snapshot_path = store_dir / SNAPSHOT_NAME
+    with obs.span("store.compact"):
+        entries = load_snapshot(snapshot_path)
+        folded = journal.records()
+        entries.update(replay_latest(folded))
+        write_snapshot(snapshot_path, entries)
+        journal.truncate()
+    obs.inc("store.compactions")
+    return len(folded), len(entries)

@@ -1,0 +1,362 @@
+"""Crash-safe append-only JSONL journal.
+
+The durability primitive under the whole store: one record per line,
+each line carrying a CRC-32 of its canonically-encoded payload, so a
+torn write (process killed mid-``write``) or a bit flip in the tail is
+*detected* rather than silently served back.  Recovery on open follows
+the classic write-ahead-log rule:
+
+- a valid prefix followed only by garbage is a **torn tail** — the
+  journal is truncated back to the last good record and the drop is
+  counted (and reported through the ``store.torn_dropped`` metric);
+- an invalid record *followed by valid records* cannot be produced by
+  an append-only writer dying mid-write, so it is treated as real
+  corruption and raised as :class:`~repro.errors.StoreError`.
+
+Durability policy is explicit: ``sync="batch"`` (the default) issues
+one ``fsync`` per append batch, ``"always"`` syncs every record, and
+``"never"`` leaves flushing to the OS (fine for caches that may be
+rebuilt, wrong for checkpoints).
+
+For crash testing, the environment variable ``REPRO_STORE_CRASH_AFTER=N``
+arms a fault injector: the *N*-th appended record process-wide is
+written only halfway (flushed, so the torn bytes reach the file) and
+the process is SIGKILLed — a deterministic stand-in for pulling the
+plug mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import threading
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.errors import StoreError
+
+PathLike = Union[str, pathlib.Path]
+
+_SYNC_MODES = ("batch", "always", "never")
+
+#: Environment variable arming the torn-write fault injector.
+CRASH_ENV = "REPRO_STORE_CRASH_AFTER"
+
+_crash_lock = threading.Lock()
+_crash_appends = 0
+
+
+def canonical_json(value) -> str:
+    """Canonical (sorted-key, compact) JSON encoding of ``value``."""
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"Record is not JSON-serializable: {exc}") from exc
+
+
+def encode_record(data: dict) -> str:
+    """One journal line: the payload wrapped with its CRC-32."""
+    payload = canonical_json(data)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f'{{"crc":"{crc:08x}","data":{payload}}}'
+
+
+def decode_record(line: str) -> Optional[dict]:
+    """Parse one journal line; ``None`` when torn or corrupt."""
+    try:
+        wrapper = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(wrapper, dict) or set(wrapper) != {"crc", "data"}:
+        return None
+    payload = wrapper["data"]
+    expect = wrapper["crc"]
+    crc = zlib.crc32(canonical_json(payload).encode("utf-8")) & 0xFFFFFFFF
+    if not isinstance(expect, str) or expect != f"{crc:08x}":
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def _crash_countdown() -> Optional[int]:
+    value = os.environ.get(CRASH_ENV)
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+def _maybe_crash(handle, line: str) -> bool:
+    """Fault injector: tear the write and die when the countdown hits.
+
+    Returns True when the record was written whole (the normal path);
+    on the armed append it writes half the line, flushes, and SIGKILLs
+    the process — the flush makes the torn bytes visible to the
+    recovery scan of the next open.
+    """
+    global _crash_appends
+    limit = _crash_countdown()
+    if limit is None:
+        return True
+    with _crash_lock:
+        _crash_appends += 1
+        count = _crash_appends
+    if count < limit:
+        return True
+    handle.write(line[: max(1, len(line) // 2)])
+    handle.flush()
+    os.kill(os.getpid(), signal.SIGKILL)
+    return False  # pragma: no cover - unreachable
+
+
+class Journal:
+    """Append-only JSONL file with per-record CRC and tail recovery.
+
+    Opening scans the whole file, validates every record, repairs a
+    torn tail in place, and exposes the surviving records via
+    :meth:`records`.  Appends go straight to the file handle; the
+    ``sync`` policy controls when ``fsync`` is issued.
+    """
+
+    def __init__(self, path: PathLike, sync: str = "batch"):
+        if sync not in _SYNC_MODES:
+            raise StoreError(
+                f"Unknown sync mode {sync!r} (choose from {_SYNC_MODES})"
+            )
+        self.path = pathlib.Path(path)
+        self.sync = sync
+        self._lock = threading.Lock()
+        self._records: List[dict] = []
+        self.recovered_drops = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(
+                f"Cannot open journal {self.path}: {exc}"
+            ) from exc
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Validate the on-disk file, truncating a torn tail."""
+        if not self.path.exists():
+            self.path.touch()
+            return
+        try:
+            raw = self.path.read_bytes()
+        except OSError as exc:
+            raise StoreError(
+                f"Cannot read journal {self.path}: {exc}"
+            ) from exc
+        good_end = 0
+        records: List[dict] = []
+        bad: List[str] = []
+        offset = 0
+        for chunk in raw.split(b"\n"):
+            line = chunk.decode("utf-8", errors="replace")
+            end = offset + len(chunk) + 1  # include the newline
+            if chunk.strip():
+                record = decode_record(line)
+                if record is None:
+                    bad.append(line)
+                elif bad:
+                    # Valid data past an invalid record: an append-only
+                    # writer cannot produce this, so the file was
+                    # damaged, not torn.
+                    raise StoreError(
+                        f"Journal {self.path} is corrupt: invalid record "
+                        f"followed by {len(records)}+ valid ones"
+                    )
+                else:
+                    records.append(record)
+                    good_end = end
+            offset = end
+        self._records = records
+        if bad:
+            self.recovered_drops = len(bad)
+            obs.inc("store.torn_dropped", len(bad))
+            obs.get_logger("store").warning(
+                "journal %s: dropped %d torn record(s) at tail",
+                self.path,
+                len(bad),
+            )
+            try:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_end)
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot repair journal {self.path}: {exc}"
+                ) from exc
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> List[dict]:
+        """All valid records, in append order (recovered + appended)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- writing ----------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one record (fsync per the journal's sync policy)."""
+        self.append_batch([record])
+
+    def append_batch(self, records: Iterable[dict]) -> None:
+        """Append records as one batch: one write pass, one fsync."""
+        records = list(records)
+        if not records:
+            return
+        lines = [encode_record(r) for r in records]
+        with self._lock:
+            self._check_open()
+            try:
+                for record, line in zip(records, lines):
+                    if not _maybe_crash(self._handle, line + "\n"):
+                        return  # pragma: no cover - crash injector fired
+                    self._handle.write(line + "\n")
+                    self._records.append(record)
+                    if self.sync == "always":
+                        self._handle.flush()
+                        os.fsync(self._handle.fileno())
+                self._handle.flush()
+                if self.sync == "batch":
+                    os.fsync(self._handle.fileno())
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot append to journal {self.path}: {exc}"
+                ) from exc
+        obs.inc("store.journal_appends", len(records))
+
+    def flush(self) -> None:
+        """Flush and fsync regardless of the sync policy."""
+        with self._lock:
+            self._check_open()
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot flush journal {self.path}: {exc}"
+                ) from exc
+
+    def truncate(self) -> None:
+        """Drop every record (used after compaction into a snapshot)."""
+        with self._lock:
+            self._check_open()
+            try:
+                self._handle.truncate(0)
+                self._handle.seek(0)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot truncate journal {self.path}: {exc}"
+                ) from exc
+            self._records = []
+
+    def close(self) -> None:
+        """Flush (with fsync unless ``sync="never"``) and close."""
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                self._handle.flush()
+                if self.sync != "never":
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot close journal {self.path}: {exc}"
+                ) from exc
+            finally:
+                self._handle = None
+
+    def _check_open(self) -> None:
+        if self._handle is None:
+            raise StoreError(f"Journal {self.path} is closed")
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def replay_latest(records: Iterable[dict], key_field: str = "key") -> Dict:
+    """Fold journal records into latest-record-per-key mapping.
+
+    Records without the key field are ignored (forward compatibility:
+    an older reader skips record kinds it does not understand).
+    """
+    latest: Dict[str, dict] = {}
+    for record in records:
+        key = record.get(key_field)
+        if isinstance(key, str):
+            latest[key] = record
+    return latest
+
+
+def write_atomic(path: PathLike, lines: Iterable[str]) -> None:
+    """Write a file atomically: temp file + fsync + rename.
+
+    A crash at any point leaves either the old file or the new one,
+    never a mix — which is what lets snapshots skip per-record
+    recovery.
+    """
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError as exc:
+        raise StoreError(f"Cannot write {target}: {exc}") from exc
+
+
+def read_snapshot_lines(path: PathLike) -> Tuple[List[dict], bool]:
+    """Read an atomically-written snapshot file.
+
+    Returns ``(records, exists)``.  Unlike the journal, a snapshot is
+    never legitimately torn (it is replaced atomically), so any invalid
+    record raises :class:`StoreError`.
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        return [], False
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StoreError(f"Cannot read snapshot {target}: {exc}") from exc
+    records = []
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        record = decode_record(line)
+        if record is None:
+            raise StoreError(
+                f"Snapshot {target} is corrupt at line {number}"
+            )
+        records.append(record)
+    return records, True

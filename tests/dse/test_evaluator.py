@@ -251,6 +251,7 @@ class TestTraceAndStats:
             "candidates": 5,
             "evaluated": 1,
             "cache_hits": 1,
+            "store_hits": 0,
             "infeasible": 1,
             "pruned": 2,
             "wall_time_s": 0.0,

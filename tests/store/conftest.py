@@ -1,0 +1,15 @@
+"""Store tests touch the process-global metrics registry; isolate them."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Start every test disabled and empty; leave no state behind."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,141 @@
+"""Tests for sweep checkpointing and the checkpointed executor."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.sim.executor import SimulationExecutor
+from repro.store import CheckpointedExecutor, DesignStore, SweepCheckpoint
+from repro.tiling import make_baseline_design
+
+
+@pytest.fixture
+def design(small_jacobi2d):
+    return make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 4)
+
+
+class TestSweepCheckpoint:
+    def test_run_computes_once(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1.5}
+
+        with SweepCheckpoint(tmp_path / "c.jsonl") as checkpoint:
+            assert checkpoint.run("step", compute) == {"x": 1.5}
+            assert checkpoint.run("step", compute) == {"x": 1.5}
+        assert len(calls) == 1
+
+    def test_resume_returns_recorded_payload(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with SweepCheckpoint(path) as checkpoint:
+            checkpoint.run("step", lambda: [1.0, {"a": 0.25}])
+        with SweepCheckpoint(path) as checkpoint:
+            # A resumed sweep must never recompute a completed step.
+            value = checkpoint.run(
+                "step", lambda: pytest.fail("recomputed a durable step")
+            )
+            assert value == [1.0, {"a": 0.25}]
+            assert len(checkpoint) == 1
+
+    def test_get_and_put(self, tmp_path):
+        with SweepCheckpoint(tmp_path / "c.jsonl") as checkpoint:
+            assert checkpoint.get("missing") is None
+            assert checkpoint.get("missing", default=7) == 7
+            checkpoint.put("k", 3.25)
+            assert checkpoint.get("k") == 3.25
+
+    def test_durable_before_run_returns(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        checkpoint = SweepCheckpoint(path)
+        checkpoint.run("step", lambda: 42)
+        # No flush/close: the record must already be on disk (fsynced).
+        with SweepCheckpoint(path) as other:
+            assert other.get("step") == 42
+        checkpoint.close()
+
+    def test_torn_tail_recovered(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with SweepCheckpoint(path) as checkpoint:
+            checkpoint.put("a", 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc":"00000000","data"')
+        with SweepCheckpoint(path) as checkpoint:
+            assert checkpoint.recovered_drops == 1
+            assert checkpoint.get("a") == 1
+
+
+class TestCheckpointedExecutor:
+    def test_passthrough_matches_simulator(self, design):
+        plain = SimulationExecutor(ADM_PCIE_7V3)
+        front = CheckpointedExecutor(ADM_PCIE_7V3)
+        assert front.checkpoint is None
+        assert front.total_cycles(design) == plain.run(design).total_cycles
+
+    def test_checkpointed_matches_simulator(self, tmp_path, design):
+        plain = SimulationExecutor(ADM_PCIE_7V3)
+        result = plain.run(design)
+        with SweepCheckpoint(tmp_path / "c.jsonl") as checkpoint:
+            front = CheckpointedExecutor(ADM_PCIE_7V3, checkpoint)
+            assert front.total_cycles(design) == result.total_cycles
+            total, fractions = front.breakdown(design)
+            assert total == result.total_cycles
+            assert fractions == result.breakdown.fractions()
+
+    def test_resume_skips_simulation(self, tmp_path, design):
+        path = tmp_path / "c.jsonl"
+        with SweepCheckpoint(path) as checkpoint:
+            front = CheckpointedExecutor(ADM_PCIE_7V3, checkpoint)
+            expected = front.total_cycles(design)
+        with SweepCheckpoint(path) as checkpoint:
+            front = CheckpointedExecutor(ADM_PCIE_7V3, checkpoint)
+            front._executor = None  # any simulation would crash
+            assert front.total_cycles(design) == expected
+
+    def test_board_keys_do_not_collide(self, tmp_path, design):
+        slow = ADM_PCIE_7V3.with_bandwidth(
+            ADM_PCIE_7V3.bandwidth_bytes_per_s / 4
+        )
+        with SweepCheckpoint(tmp_path / "c.jsonl") as checkpoint:
+            fast_front = CheckpointedExecutor(ADM_PCIE_7V3, checkpoint)
+            slow_front = CheckpointedExecutor(slow, checkpoint)
+            assert fast_front.total_cycles(design) != slow_front.total_cycles(
+                design
+            )
+
+    def test_malformed_breakdown_payload_raises(self, tmp_path, design):
+        with SweepCheckpoint(tmp_path / "c.jsonl") as checkpoint:
+            front = CheckpointedExecutor(ADM_PCIE_7V3, checkpoint)
+            checkpoint.put(
+                front._key("sim.breakdown", design), [1.0, "not-a-dict"]
+            )
+            with pytest.raises(StoreError, match="breakdown"):
+                front.breakdown(design)
+
+
+class TestSensitivityResume:
+    def test_interrupted_sweep_resumes_identically(self, tmp_path, design):
+        from repro.dse.sensitivity import SensitivityAnalyzer
+
+        bandwidths = [4e9, 8e9, 16e9]
+        store_root = tmp_path / "s"
+        checkpoint_path = tmp_path / "c.jsonl"
+        with DesignStore(store_root) as store, SweepCheckpoint(
+            checkpoint_path
+        ) as checkpoint:
+            cold = SensitivityAnalyzer(store=store, checkpoint=checkpoint)
+            first = cold.sweep_bandwidth(design, bandwidths)
+            assert cold.stats().evaluated == len(bandwidths)
+        with DesignStore(store_root) as store, SweepCheckpoint(
+            checkpoint_path
+        ) as checkpoint:
+            resumed = SensitivityAnalyzer(
+                store=store, checkpoint=checkpoint
+            )
+            second = resumed.sweep_bandwidth(design, bandwidths)
+            # Predictions come from the store, measurements from the
+            # checkpoint: nothing re-evaluates, values are identical.
+            assert resumed.stats().evaluated == 0
+            assert resumed.stats().store_hits == len(bandwidths)
+        assert second == first

@@ -1,0 +1,349 @@
+"""Crash-safety tests for the append-only journal and snapshots."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import StoreError
+from repro.store import (
+    CRASH_ENV,
+    Journal,
+    canonical_json,
+    decode_record,
+    encode_record,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.store.journal import replay_latest
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        record = {"key": "k", "value": [1, 2.5, "x"], "nested": {"a": 1}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(StoreError):
+            canonical_json({"x": float("nan")})
+
+    def test_canonical_json_rejects_non_serializable(self):
+        with pytest.raises(StoreError):
+            canonical_json({"x": object()})
+
+    def test_decode_rejects_garbage(self):
+        assert decode_record("not json at all") is None
+        assert decode_record("") is None
+        assert decode_record('{"crc":"00000000"}') is None
+        assert decode_record('{"data":{}}') is None
+
+    def test_decode_rejects_crc_mismatch(self):
+        line = encode_record({"key": "k", "n": 1})
+        tampered = line.replace('"n":1', '"n":2')
+        assert decode_record(line) is not None
+        assert decode_record(tampered) is None
+
+    def test_decode_rejects_non_dict_payload(self):
+        import zlib
+
+        payload = canonical_json([1, 2, 3])
+        crc = zlib.crc32(payload.encode()) & 0xFFFFFFFF
+        assert decode_record(f'{{"crc":"{crc:08x}","data":{payload}}}') is None
+
+
+class TestJournal:
+    def test_append_and_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append({"key": "a", "n": 1})
+            journal.append({"key": "b", "n": 2})
+            assert len(journal) == 2
+        with Journal(path) as journal:
+            assert journal.records() == [
+                {"key": "a", "n": 1},
+                {"key": "b", "n": 2},
+            ]
+            assert journal.recovered_drops == 0
+
+    def test_append_batch(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl", sync="always") as journal:
+            journal.append_batch([{"key": str(i)} for i in range(5)])
+            journal.append_batch([])
+            assert len(journal) == 5
+
+    def test_unknown_sync_mode(self, tmp_path):
+        with pytest.raises(StoreError):
+            Journal(tmp_path / "j.jsonl", sync="sometimes")
+
+    def test_closed_journal_raises(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(StoreError):
+            journal.append({"key": "a"})
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append({"key": "a", "n": 1})
+            journal.append({"key": "b", "n": 2})
+        # Tear the file mid-record, as a crash during write would.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(encode_record({"key": "c", "n": 3})[:10])
+        with Journal(path) as journal:
+            assert [r["key"] for r in journal.records()] == ["a", "b"]
+            assert journal.recovered_drops == 1
+        # The repair is durable: a second open sees a clean file.
+        with Journal(path) as journal:
+            assert journal.recovered_drops == 0
+            assert len(journal) == 2
+
+    def test_bit_flip_in_tail_record_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append({"key": "a", "n": 1})
+            journal.append({"key": "b", "n": 2})
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace('"n":2', '"n":7')  # breaks the CRC
+        path.write_text("\n".join(lines) + "\n")
+        with Journal(path) as journal:
+            assert [r["key"] for r in journal.records()] == ["a"]
+            assert journal.recovered_drops == 1
+
+    def test_torn_drop_reported_via_metrics(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append({"key": "a"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc":"feedface","data":')
+        obs.enable()
+        with Journal(path):
+            pass
+        counters = obs.get_registry().report()["counters"]
+        assert counters["store.torn_dropped"] == 1
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            for key in ("a", "b", "c"):
+                journal.append({"key": key})
+        lines = path.read_text().splitlines()
+        lines[0] = "X" + lines[0][1:]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="corrupt"):
+            Journal(path)
+
+    def test_truncate_empties_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.append({"key": "a"})
+            journal.truncate()
+            assert len(journal) == 0
+        assert path.read_text() == ""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        records=st.lists(
+            st.dictionaries(
+                st.text(min_size=1, max_size=4),
+                st.one_of(st.integers(), st.text(max_size=6)),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        cut=st.integers(min_value=0, max_value=400),
+    )
+    def test_any_tail_truncation_recovers_a_prefix(self, records, cut):
+        """Chopping the file at any byte never loses a *committed* prefix."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "j.jsonl")
+            with Journal(path) as journal:
+                journal.append_batch(records)
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(min(cut, size))
+            with Journal(path) as journal:
+                recovered = journal.records()
+            assert recovered == records[: len(recovered)]
+
+
+class TestReplay:
+    def test_latest_record_wins(self):
+        folded = replay_latest(
+            [
+                {"key": "a", "n": 1},
+                {"key": "b", "n": 2},
+                {"key": "a", "n": 3},
+                {"no_key_field": True},
+            ]
+        )
+        assert folded == {
+            "a": {"key": "a", "n": 3},
+            "b": {"key": "b", "n": 2},
+        }
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        entries = {
+            "a": {"key": "a", "n": 1},
+            "b": {"key": "b", "n": 2},
+        }
+        write_snapshot(path, entries)
+        assert load_snapshot(path) == entries
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_snapshot(tmp_path / "none.jsonl") == {}
+
+    def test_byte_identical_for_equal_states(self, tmp_path):
+        entries = {"b": {"key": "b"}, "a": {"key": "a"}}
+        write_snapshot(tmp_path / "one.jsonl", entries)
+        write_snapshot(tmp_path / "two.jsonl", dict(reversed(entries.items())))
+        assert (tmp_path / "one.jsonl").read_bytes() == (
+            tmp_path / "two.jsonl"
+        ).read_bytes()
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text(
+            encode_record({"schema": "repro.store/999", "entries": 0}) + "\n"
+        )
+        with pytest.raises(StoreError, match="schema"):
+            load_snapshot(path)
+
+    def test_entry_count_mismatch_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text(
+            encode_record({"schema": "repro.store/1", "entries": 5}) + "\n"
+        )
+        with pytest.raises(StoreError, match="declares"):
+            load_snapshot(path)
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        write_snapshot(path, {"a": {"key": "a"}})
+        path.write_text(path.read_text() + "garbage\n")
+        with pytest.raises(StoreError, match="corrupt"):
+            load_snapshot(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        path.write_text("\n")
+        with pytest.raises(StoreError, match="header"):
+            load_snapshot(path)
+
+
+class TestCrashInjector:
+    def test_sigkill_leaves_recoverable_torn_tail(self, tmp_path):
+        """The armed fault injector tears a write exactly like a crash."""
+        path = tmp_path / "j.jsonl"
+        script = (
+            "from repro.store import Journal\n"
+            f"journal = Journal({str(path)!r}, sync='always')\n"
+            "for i in range(10):\n"
+            "    journal.append({'key': str(i), 'n': i})\n"
+        )
+        env = dict(os.environ)
+        env[CRASH_ENV] = "4"
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [_src_dir(), env.get("PYTHONPATH", "")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        with Journal(path) as journal:
+            # Records 0..2 committed whole; the 4th append was torn.
+            assert [r["key"] for r in journal.records()] == ["0", "1", "2"]
+            assert journal.recovered_drops == 1
+
+
+def _src_dir() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(os.path.dirname(here)), "src")
+
+
+class TestCompaction:
+    def test_compact_folds_journal_into_snapshot(self, tmp_path):
+        from repro.store.index import SNAPSHOT_NAME, compact
+
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"key": "a", "n": 1})
+        journal.append({"key": "a", "n": 2})
+        journal.append({"key": "b", "n": 1})
+        folded, total = compact(tmp_path, journal)
+        assert (folded, total) == (3, 2)
+        assert len(journal) == 0
+        snapshot = load_snapshot(tmp_path / SNAPSHOT_NAME)
+        assert snapshot["a"]["n"] == 2
+
+    def test_crash_between_snapshot_and_truncate_is_idempotent(
+        self, tmp_path
+    ):
+        """Replaying journal records already in the snapshot is harmless."""
+        from repro.store.index import SNAPSHOT_NAME, compact
+
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"key": "a", "n": 1})
+        # Simulate the crash: snapshot written, journal NOT truncated.
+        write_snapshot(
+            tmp_path / SNAPSHOT_NAME, replay_latest(journal.records())
+        )
+        folded, total = compact(tmp_path, journal)
+        assert (folded, total) == (1, 1)
+        assert load_snapshot(tmp_path / SNAPSHOT_NAME)["a"]["n"] == 1
+
+    def test_report_includes_compaction_counters(self, tmp_path):
+        from repro.store.index import compact
+
+        obs.enable()
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append({"key": "a"})
+        compact(tmp_path, journal)
+        report = obs.run_report()
+        assert report["metrics"]["counters"]["store.compactions"] == 1
+        assert "store.compact" in report["spans"]["by_name"]
+        journal.close()
+
+
+class TestDerivedRates:
+    def test_store_hit_rate_in_run_report(self):
+        obs.enable()
+        obs.inc("store.hits", 3)
+        obs.inc("store.misses", 1)
+        report = obs.run_report()
+        assert report["derived"]["store.hit_rate"] == pytest.approx(0.75)
+
+    def test_no_rate_without_probes(self):
+        obs.enable()
+        obs.inc("dse.candidates", 0)
+        report = obs.run_report()
+        assert "store.hit_rate" not in report["derived"]
+
+
+def test_journal_lines_are_plain_jsonl(tmp_path):
+    """The on-disk format stays greppable: one JSON object per line."""
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        journal.append({"key": "a", "n": 1})
+    (line,) = path.read_text().splitlines()
+    wrapper = json.loads(line)
+    assert set(wrapper) == {"crc", "data"}
+    assert wrapper["data"] == {"key": "a", "n": 1}
