@@ -1,0 +1,182 @@
+"""Closed-loop load benchmark for the synthesis service.
+
+A small fleet of client threads submits overlapping jobs against an
+in-process :class:`~repro.service.SynthesisService` and waits for each
+result before sending the next (closed loop).  Reported per phase:
+p50/p99 job latency and throughput — once against a cold design store
+and once against the same store re-opened warm, which is the restart
+scenario the service's persistence exists for.  The dedup/memo rates
+for just this workload come from the ``metrics_delta`` fixture.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.service import JobRequest, JobState, SynthesisService
+from repro.store import DesignStore
+
+WAIT_S = 300.0
+CLIENTS = 4
+JOBS_PER_CLIENT = 6
+
+#: Three tiny, disjoint workloads; the fleet cycles through them, so
+#: most submissions repeat a signature some other client already sent.
+REQUESTS = [
+    {"benchmark": "jacobi-1d", "grid_shape": (64,), "iterations": 4},
+    {"benchmark": "jacobi-2d", "grid_shape": (32, 32), "iterations": 4},
+    {
+        "benchmark": "jacobi-3d",
+        "grid_shape": (16, 16, 16),
+        "iterations": 4,
+    },
+]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    index = min(
+        len(sorted_values) - 1, int(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _closed_loop(
+    service: SynthesisService,
+) -> Tuple[List[float], float]:
+    """Run the client fleet; return (per-job latencies, wall time)."""
+    latencies: List[float] = []
+    failures: List[str] = []
+    lock = threading.Lock()
+    start_line = threading.Barrier(CLIENTS)
+
+    def client(index: int) -> None:
+        start_line.wait()
+        for turn in range(JOBS_PER_CLIENT):
+            spec = REQUESTS[(index + turn) % len(REQUESTS)]
+            begin = time.perf_counter()
+            job, _ = service.submit(JobRequest(**spec))
+            service.wait(job.id, timeout=WAIT_S)
+            elapsed = time.perf_counter() - begin
+            with lock:
+                latencies.append(elapsed)
+                if job.state is not JobState.DONE:
+                    failures.append(f"{job.id}: {job.error}")
+
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(CLIENTS)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(WAIT_S)
+    wall = time.perf_counter() - wall_start
+    assert not failures, failures
+    return latencies, wall
+
+
+def _phase_summary(latencies: List[float], wall: float) -> Dict:
+    ordered = sorted(latencies)
+    return {
+        "jobs": len(ordered),
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+        "throughput": len(ordered) / wall if wall else 0.0,
+    }
+
+
+def test_service_closed_loop_cold_vs_warm(
+    benchmark, record, metrics_delta, tmp_path
+):
+    store_dir = tmp_path / "results"
+
+    # Phase 1 — cold store: every unique signature runs the model.
+    metrics_delta.mark()
+    store = DesignStore(store_dir)
+    cold_service = SynthesisService(store=store, workers=4)
+    try:
+        cold_latencies, cold_wall = _closed_loop(cold_service)
+    finally:
+        cold_service.shutdown(drain=True, timeout=WAIT_S)
+        store.close()
+    cold = _phase_summary(cold_latencies, cold_wall)
+    cold_deltas = metrics_delta.delta()
+    assert cold_service.evaluator.stats.evaluated > 0
+
+    # Phase 2 — warm store, fresh service (the restart scenario),
+    # timed by pytest-benchmark as the headline number.
+    metrics_delta.mark()
+    store = DesignStore(store_dir)
+    warm_service = SynthesisService(store=store, workers=4)
+    try:
+        warm_latencies, warm_wall = benchmark.pedantic(
+            _closed_loop,
+            args=(warm_service,),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        warm_service.shutdown(drain=True, timeout=WAIT_S)
+        store.close()
+    warm = _phase_summary(warm_latencies, warm_wall)
+
+    # The warm service never ran the model: pure store/memo traffic.
+    assert warm_service.evaluator.stats.evaluated == 0
+    assert warm_service.evaluator.stats.store_hits > 0
+
+    total = CLIENTS * JOBS_PER_CLIENT
+    dedup_rate = metrics_delta.rate(
+        "service.dedup", "service.requests"
+    )
+    record(
+        "Service",
+        f"closed loop ({CLIENTS} clients x {JOBS_PER_CLIENT} jobs, "
+        f"{len(REQUESTS)} unique workloads): "
+        f"cold p50 {cold['p50_ms']:.1f}ms p99 {cold['p99_ms']:.1f}ms "
+        f"({cold['throughput']:.1f} jobs/s) | "
+        f"warm p50 {warm['p50_ms']:.1f}ms p99 {warm['p99_ms']:.1f}ms "
+        f"({warm['throughput']:.1f} jobs/s)",
+    )
+    record(
+        "Service",
+        f"warm phase: {total} jobs, 0 model evaluations "
+        f"({warm_service.evaluator.stats.store_hits} store hits), "
+        f"dedup rate {dedup_rate:.0%}, cold-phase evaluations "
+        f"{cold_deltas.get('dse.evaluated', 0):g}",
+    )
+    assert cold["jobs"] == warm["jobs"] == total
+
+
+def test_service_dedup_saves_evaluations(
+    benchmark, record, metrics_delta
+):
+    """Same service, repeat submissions: evaluations stay flat."""
+    service = SynthesisService(workers=2)
+    request = REQUESTS[1]
+
+    def repeat_submissions(count: int = 5) -> None:
+        for _ in range(count):
+            job, _ = service.submit(JobRequest(**request))
+            service.wait(job.id, timeout=WAIT_S)
+            assert job.state is JobState.DONE
+
+    try:
+        first, _ = service.submit(JobRequest(**request))
+        service.wait(first.id, timeout=WAIT_S)
+        evaluated_once = service.evaluator.stats.evaluated
+        metrics_delta.mark()
+        benchmark.pedantic(repeat_submissions, rounds=1, iterations=1)
+        assert service.evaluator.stats.evaluated == evaluated_once
+        deltas = metrics_delta.delta()
+        record(
+            "Service",
+            f"5 repeat submissions: +{deltas.get('dse.evaluated', 0):g} "
+            f"model evaluations, "
+            f"+{deltas.get('dse.cache_hits', 0):g} memo hits, "
+            f"completed {service.stats.completed} jobs",
+        )
+    finally:
+        service.shutdown(drain=True, timeout=WAIT_S)

@@ -2,33 +2,42 @@
 
 Sweeps the fused-iteration depth for Jacobi-3D, prints the analytical
 model's prediction next to the simulator's measurement (the paper's
-Fig. 7 view), and shows the performance/BRAM Pareto frontier the
-optimizer works with.
+Fig. 7 view), then hands the same engine to :func:`repro.synthesize`
+for the optimizer's pick and the performance/BRAM Pareto frontier.
 
 Run:  python examples/design_space_explorer.py
 """
 
-from repro import (
-    get_benchmark,
-    make_baseline_design,
-    make_heterogeneous_design,
-    simulate,
-)
-from repro.dse import CandidateEvaluator, optimize_heterogeneous
+from repro import get_benchmark, simulate, synthesize
+from repro.dse import CandidateEvaluator
 from repro.dse.pareto import pareto_front
+from repro.tiling import make_heterogeneous_design
+
+BASELINE = {
+    "tile_shape": (16, 32, 32),
+    "counts": (4, 2, 2),
+    "fused_depth": 6,
+    "unroll": 4,
+}
 
 
 def main() -> None:
     spec = get_benchmark("jacobi-3d")
-    baseline = make_baseline_design(
-        spec, (16, 32, 32), (4, 2, 2), 6, unroll=4
-    )
-    region = baseline.tile_grid.region_shape
     engine = CandidateEvaluator()
 
+    # The one-call facade builds the baseline and runs the optimizer;
+    # the manual sweep below explores the same region with the same
+    # engine, so every score is shared.
+    synth = synthesize(benchmark="jacobi-3d", evaluator=engine,
+                       emit=False, **BASELINE)
+
     print(f"Workload: {spec.describe()}")
-    print(f"Baseline: {baseline.describe()}")
+    print(f"Baseline: {synth.baseline.describe()}")
     print()
+
+    # Manual sweep: model vs simulator across the cone depth, over
+    # the region the baseline's tile grid covers.
+    region = synth.baseline.tile_grid.region_shape
     header = (
         f"{'h':>4} | {'model (cyc)':>12} | {'sim (cyc)':>12} | "
         f"{'err':>7} | {'BRAM':>5} | {'redund':>6}"
@@ -37,7 +46,7 @@ def main() -> None:
     print("-" * len(header))
     for h in (2, 4, 6, 8, 12, 16, 24, 32):
         design = make_heterogeneous_design(
-            spec, region, (4, 2, 2), h, unroll=4
+            spec, region, BASELINE["counts"], h, unroll=4
         )
         predicted = engine.predict_cycles(design)
         measured = simulate(design).total_cycles
@@ -50,17 +59,17 @@ def main() -> None:
         )
 
     print()
-    result = optimize_heterogeneous(spec, baseline, evaluator=engine)
-    best = result.best.design
+    best = synth.design
     print(f"Engine: {engine.stats.summary()}")
     print(
         f"Optimizer pick: h={best.fused_depth} "
-        f"(explored {result.evaluated}, feasible {result.feasible})"
+        f"(explored {synth.dse.evaluated}, "
+        f"feasible {synth.dse.feasible})"
     )
 
-    front = pareto_front(result.candidates)
+    front = pareto_front(synth.dse.candidates)
     print(f"Performance/BRAM Pareto frontier "
-          f"({len(front)} of {result.feasible} feasible points):")
+          f"({len(front)} of {synth.dse.feasible} feasible points):")
     for point in front[:8]:
         print(
             f"  h={point.design.fused_depth:>3} "
@@ -69,7 +78,8 @@ def main() -> None:
         )
 
     speedup = (
-        simulate(baseline).total_cycles / simulate(best).total_cycles
+        simulate(synth.baseline).total_cycles
+        / simulate(best).total_cycles
     )
     print(f"Measured speedup of the pick: {speedup:.2f}x "
           f"(paper reports 2.05x for Jacobi-3D)")

@@ -94,6 +94,7 @@ from repro.dse import (
     optimize_pipe_shared,
 )
 from repro.codegen import GeneratedProgram, generate_program
+from repro.api import SynthesisResult, synthesize
 from repro.sim import (
     FunctionalExecutor,
     SimulationExecutor,
@@ -169,6 +170,9 @@ __all__ = [
     # codegen
     "GeneratedProgram",
     "generate_program",
+    # facade
+    "SynthesisResult",
+    "synthesize",
     # sim
     "FunctionalExecutor",
     "SimulationExecutor",

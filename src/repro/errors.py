@@ -52,6 +52,36 @@ class StoreError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The synthesis service rejected or could not process a request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's admission control rejected a job: queue full.
+
+    Attributes:
+        retry_after_s: the server's estimate of when capacity frees up;
+            surfaced over HTTP as a ``Retry-After`` header with a 429.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled (explicitly, or by its deadline)."""
+
+
+class TransientServiceError(ServiceError):
+    """A retryable failure inside a job (I/O hiccup, racing resource).
+
+    The service worker retries jobs failing with this type (or another
+    type in its ``transient`` tuple) with exponential backoff before
+    declaring the job failed.
+    """
+
+
 class SimulationError(ReproError):
     """The execution simulator reached an inconsistent state."""
 

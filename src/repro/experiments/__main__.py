@@ -1,8 +1,15 @@
-"""``python -m repro.experiments`` entry point."""
+"""``python -m repro.experiments`` / ``repro`` console entry point."""
 
 import sys
+from typing import List, Optional
 
-from repro.experiments.runner import main
+from repro.experiments.runner import main as _runner_main
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry (the ``repro`` command)."""
+    return _runner_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -17,10 +17,21 @@ Tooling (use the framework on one benchmark)::
     python -m repro.experiments codegen   --benchmark jacobi-2d [--output DIR]
     python -m repro.experiments calibrate
 
+Service (synthesis-as-a-service, see ``docs/SERVICE.md``)::
+
+    python -m repro.experiments serve  [--host H] [--port P]
+                                       [--workers N] [--queue-depth D]
+                                       [--store DIR]
+    python -m repro.experiments submit --url http://H:P
+                                       --benchmark jacobi-2d
+                                       [--design hetero] [--output DIR]
+
 Every experiment/tool accepts ``--store DIR`` to persist design
 evaluations and sweep measurements: a rerun (or a run resumed after a
 crash) warm-starts from the stored results and produces byte-identical
-reports.  The store itself is managed with::
+reports.  A server started with ``--store DIR`` answers repeat queries
+from the same store across restarts.  The store itself is managed
+with::
 
     python -m repro.experiments store stats      --store DIR
     python -m repro.experiments store compact    --store DIR
@@ -49,7 +60,15 @@ from repro.stencil.library import PAPER_SUITE
 
 _REPRO_COMMANDS = ("table2", "table3", "figure6", "figure7", "all")
 _TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate")
+_SERVICE_COMMANDS = ("serve", "submit")
 _STORE_ACTIONS = ("stats", "compact", "gc", "invalidate")
+
+#: CLI design labels → service/facade design kinds.
+_DESIGN_KINDS = {
+    "baseline": "baseline",
+    "pipe": "pipe-shared",
+    "hetero": "heterogeneous",
+}
 
 
 def _parse_benchmarks(value: Optional[str], default: Sequence[str]):
@@ -184,7 +203,7 @@ def _cmd_codegen(args, session: _StoreSession) -> List[str]:
     bundle = _build_designs(args.benchmark, session.evaluator())
     design = bundle[args.design]
     program = generate_program(design)
-    out_dir = pathlib.Path(args.output)
+    out_dir = pathlib.Path(args.output or "generated")
     out_dir.mkdir(parents=True, exist_ok=True)
     stem = args.benchmark.replace("-", "_")
     kernel_path = out_dir / f"{stem}_{args.design}.cl"
@@ -198,6 +217,91 @@ def _cmd_codegen(args, session: _StoreSession) -> List[str]:
         f"{program.num_kernels} kernels)",
         f"Wrote {host_path}",
     ]
+
+
+def _cmd_serve(args, session: _StoreSession) -> List[str]:
+    """Run the synthesis service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.service import SynthesisService, make_server
+
+    if not obs.enabled():
+        # A resident server should always be observable: metrics-only
+        # mode keeps per-kernel event streams out of memory.
+        obs.enable(capture_events=False)
+    service = SynthesisService(
+        store=session.store,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout_s=args.job_timeout,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro synthesis service listening on http://{host}:{port} "
+        f"({args.workers} workers, queue depth {args.queue_depth}, "
+        f"store {'attached' if session.store is not None else 'none'})",
+        flush=True,
+    )
+
+    def _stop(_signum, _frame):
+        # shutdown() must not run on the serving thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.shutdown(drain=True)
+    stats = service.stats.as_dict()
+    return [
+        f"Drained: {stats['completed']} completed, "
+        f"{stats['failed']} failed, {stats['cancelled']} cancelled "
+        f"({stats['deduped']} deduped, {stats['rejected']} rejected "
+        f"of {stats['requests']} requests)",
+        f"Engine: {service.evaluator.stats.summary()}",
+    ]
+
+
+def _cmd_submit(args) -> List[str]:
+    """Submit one job to a running service over HTTP."""
+    from repro.service import ServiceClient, write_result_program
+
+    client = ServiceClient(args.url)
+    payload = {
+        "benchmark": args.benchmark,
+        "design": _DESIGN_KINDS[args.design],
+        "priority": args.priority,
+    }
+    if args.job_timeout is not None:
+        payload["timeout_s"] = args.job_timeout
+    job = client.submit(**payload)
+    lines = [
+        f"Submitted {job['id']} "
+        f"({'coalesced onto in-flight job' if job['coalesced'] else 'queued'})"
+    ]
+    if args.no_wait:
+        lines.append(f"Poll: {args.url}/jobs/{job['id']}")
+        return lines
+    result = client.wait(job["id"], timeout_s=args.wait_timeout)
+    design = result["design"]
+    lines.extend(
+        [
+            f"Workload: {result['workload']}",
+            f"Design:   {design['summary']}",
+            f"Predicted {result['predicted_cycles']:.3e} cycles; "
+            f"DSE evaluated {result['dse']['evaluated']} candidates "
+            f"({result['dse']['feasible']} feasible)",
+        ]
+    )
+    if args.output:
+        stem = f"{args.benchmark.replace('-', '_')}_{args.design}"
+        for path in write_result_program(result, args.output, stem):
+            lines.append(f"Wrote {path}")
+    return lines
 
 
 def _cmd_calibrate(_args) -> List[str]:
@@ -230,8 +334,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_REPRO_COMMANDS + _TOOL_COMMANDS + ("store",),
-        help="experiment to regenerate, tool to run, or 'store'",
+        choices=(
+            _REPRO_COMMANDS + _TOOL_COMMANDS + _SERVICE_COMMANDS
+            + ("store",)
+        ),
+        help=(
+            "experiment to regenerate, tool to run, 'serve'/'submit' "
+            "for the synthesis service, or 'store'"
+        ),
     )
     parser.add_argument(
         "action",
@@ -278,8 +388,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default="generated",
-        help="output directory for codegen",
+        default=None,
+        help="output directory for codegen / submit "
+        "(codegen defaults to 'generated')",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve'",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8349,
+        help="bind port for 'serve' (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads for 'serve'",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help=(
+            "admission-control bound for 'serve'; a full queue "
+            "rejects jobs with HTTP 429 + Retry-After"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline ('serve' default / 'submit' override)",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8349",
+        help="service base URL for 'submit'",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="job priority for 'submit' (higher runs first)",
+    )
+    parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="'submit': return the job id without waiting",
+    )
+    parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="'submit': bound on waiting for the result",
     )
     parser.add_argument(
         "--trace-out",
@@ -383,6 +550,10 @@ def _dispatch(args, session: _StoreSession) -> List[str]:
         outputs.append("\n".join(_cmd_codegen(args, session)))
     if args.experiment == "calibrate":
         outputs.append("\n".join(_cmd_calibrate(args)))
+    if args.experiment == "serve":
+        outputs.append("\n".join(_cmd_serve(args, session)))
+    if args.experiment == "submit":
+        outputs.append("\n".join(_cmd_submit(args)))
     return outputs
 
 

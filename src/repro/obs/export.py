@@ -223,6 +223,14 @@ def _derived_rates(counters: Dict[str, float]) -> Dict[str, float]:
         derived["store.hit_rate"] = (
             counters.get("store.hits", 0) / store_probes
         )
+    requests = counters.get("service.requests", 0)
+    if requests:
+        derived["service.dedup_rate"] = (
+            counters.get("service.dedup", 0) / requests
+        )
+        derived["service.reject_rate"] = (
+            counters.get("service.rejected", 0) / requests
+        )
     return derived
 
 

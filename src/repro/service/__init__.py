@@ -1,0 +1,54 @@
+"""repro.service — synthesis-as-a-service.
+
+The paper's push-button compile/DSE pipeline, packaged as a resident
+service: a bounded priority job queue with admission control, a worker
+pool sharing one warm :class:`~repro.dse.evaluator.CandidateEvaluator`
+(and, optionally, a persistent :class:`~repro.store.DesignStore`),
+request dedup/coalescing on content signatures, per-job timeouts,
+cancellation, bounded retry, and graceful drain shutdown — exposed
+over a stdlib HTTP JSON API with a small blocking client.
+
+Start one in-process::
+
+    from repro.service import JobRequest, SynthesisService
+
+    with SynthesisService(workers=2) as service:
+        job, _ = service.submit(JobRequest(benchmark="jacobi-2d"))
+        service.wait(job.id)
+        print(job.result["design"]["summary"])
+
+or over HTTP (``python -m repro.experiments serve``), then talk to it
+with :class:`~repro.service.client.ServiceClient` or curl.  Full API
+and lifecycle semantics: ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import JobFailedError, ServiceClient
+from repro.service.core import (
+    DEFAULT_TRANSIENT,
+    ServiceStats,
+    SynthesisService,
+    result_payload,
+)
+from repro.service.http import (
+    ServiceHTTPServer,
+    make_server,
+    write_result_program,
+)
+from repro.service.jobs import Job, JobRequest, JobState
+from repro.service.queue import JobQueue
+
+__all__ = [
+    "DEFAULT_TRANSIENT",
+    "Job",
+    "JobFailedError",
+    "JobQueue",
+    "JobRequest",
+    "JobState",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "ServiceStats",
+    "SynthesisService",
+    "make_server",
+    "result_payload",
+    "write_result_program",
+]

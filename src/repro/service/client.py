@@ -1,0 +1,217 @@
+"""Small blocking Python client for the synthesis service.
+
+Talks the JSON API of :mod:`repro.service.http` over stdlib
+``urllib`` — no dependencies, usable from scripts, tests, CI, and the
+``submit`` CLI subcommand::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8349")
+    job = client.submit(benchmark="jacobi-2d", design="heterogeneous")
+    result = client.wait(job["id"])
+    print(result["design"]["summary"])
+
+Overload (HTTP 429) surfaces as
+:class:`~repro.errors.ServiceOverloadError` carrying the server's
+retry-after hint; :meth:`ServiceClient.synthesize` honors it
+automatically with a bounded number of resubmissions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import ServiceError, ServiceOverloadError
+
+
+class JobFailedError(ServiceError):
+    """The job reached ``failed``/``cancelled`` instead of ``done``."""
+
+    def __init__(self, message: str, job: Optional[Dict] = None):
+        super().__init__(message)
+        self.job = job
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one service base URL.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8349`` (trailing slash ok).
+        timeout_s: per-HTTP-call socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                decoded = json.loads(response.read().decode("utf-8"))
+                decoded["_status"] = response.status
+                return decoded
+        except urllib.error.HTTPError as exc:
+            detail = self._decode_error(exc)
+            if exc.code == 429:
+                raise ServiceOverloadError(
+                    detail.get("error", "service overloaded"),
+                    retry_after_s=float(
+                        detail.get("retry_after_s")
+                        or exc.headers.get("Retry-After")
+                        or 1.0
+                    ),
+                ) from None
+            detail["_status"] = exc.code
+            return detail
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _decode_error(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return {"error": f"HTTP {exc.code}"}
+
+    @staticmethod
+    def _raise_for(status: int, payload: Dict[str, Any]) -> None:
+        if status == 404:
+            raise ServiceError(payload.get("error", "not found"))
+        if status >= 400 and status != 409:
+            raise ServiceError(
+                payload.get("error", f"service error (HTTP {status})")
+            )
+
+    # -- API --------------------------------------------------------------------
+
+    def submit(self, **request) -> Dict[str, Any]:
+        """POST a job; returns the job dict (``["coalesced"]`` set).
+
+        Keyword arguments mirror the JSON job payload
+        (``benchmark=``/``source=``, ``design=``, ``priority=``, ...).
+
+        Raises:
+            ServiceOverloadError: admission control rejected (429).
+            ServiceError: malformed request or draining service.
+        """
+        payload = self._call("POST", "/jobs", request)
+        status = payload.pop("_status", 500)
+        self._raise_for(status, payload)
+        job = payload["job"]
+        job["coalesced"] = payload["coalesced"]
+        return job
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """GET one job's status."""
+        payload = self._call("GET", f"/jobs/{job_id}")
+        self._raise_for(payload.pop("_status", 500), payload)
+        return payload
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """GET a job's result; ``None`` while still in flight.
+
+        Raises:
+            JobFailedError: the job failed or was cancelled.
+            ServiceError: unknown job id.
+        """
+        payload = self._call("GET", f"/jobs/{job_id}/result")
+        status = payload.pop("_status", 500)
+        if status == 202:
+            return None
+        if status == 409:
+            raise JobFailedError(
+                f"job {job_id} {payload.get('state')}: "
+                f"{payload.get('error')}",
+                job=payload,
+            )
+        self._raise_for(status, payload)
+        return payload["result"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; return its result payload.
+
+        Polling backs off geometrically from ``poll_s`` to 1s.
+
+        Raises:
+            JobFailedError / ServiceError: as :meth:`result`, plus a
+            :class:`ServiceError` on wait timeout.
+        """
+        deadline = time.monotonic() + timeout_s
+        delay = poll_s
+        while True:
+            result = self.result(job_id)
+            if result is not None:
+                return result
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(delay)
+            delay = min(1.0, delay * 1.5)
+
+    def synthesize(
+        self,
+        max_submit_attempts: int = 5,
+        timeout_s: float = 300.0,
+        **request,
+    ) -> Dict[str, Any]:
+        """Submit-and-wait convenience, honoring 429 retry-after."""
+        for attempt in range(max_submit_attempts):
+            try:
+                job = self.submit(**request)
+                break
+            except ServiceOverloadError as exc:
+                if attempt == max_submit_attempts - 1:
+                    raise
+                time.sleep(exc.retry_after_s)
+        return self.wait(job["id"], timeout_s=timeout_s)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """DELETE a job (request cancellation)."""
+        payload = self._call("DELETE", f"/jobs/{job_id}")
+        self._raise_for(payload.pop("_status", 500), payload)
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        """GET /healthz."""
+        payload = self._call("GET", "/healthz")
+        self._raise_for(payload.pop("_status", 500), payload)
+        return payload
+
+    def metrics(self) -> Dict[str, Any]:
+        """GET /metricsz (the observability run report + service stats)."""
+        payload = self._call("GET", "/metricsz")
+        self._raise_for(payload.pop("_status", 500), payload)
+        return payload

@@ -1,0 +1,218 @@
+"""Stdlib HTTP JSON API over the synthesis service.
+
+Routes (see ``docs/SERVICE.md`` for curl examples):
+
+- ``POST /jobs`` — submit a synthesis request; ``202`` with the job
+  status (``coalesced: true`` when attached to an identical in-flight
+  job), ``429`` + ``Retry-After`` when admission control rejects,
+  ``503`` while draining, ``400`` on a malformed payload.
+- ``GET /jobs/<id>`` — job status.
+- ``GET /jobs/<id>/result`` — ``200`` with the result payload once
+  done; ``202`` with the status while queued/running; ``409`` with the
+  error for failed/cancelled jobs; ``404`` for unknown ids.
+- ``DELETE /jobs/<id>`` — request cancellation.
+- ``GET /healthz`` — service liveness + counters.
+- ``GET /metricsz`` — the observability run report (counters, derived
+  rates such as ``service.dedup_rate``, histograms, span aggregates)
+  plus the service's own stats block.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no third-party
+dependencies, matching the rest of the framework.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro import obs
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.obs.export import run_report
+from repro.service.core import SynthesisService
+from repro.service.jobs import JobRequest, JobState
+
+_log = obs.get_logger("service.http")
+
+_JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)$")
+_RESULT_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)/result$")
+
+
+def to_json_bytes(payload: Any) -> bytes:
+    """Canonical response encoding (sorted keys → byte-stable)."""
+    return (
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the server's service instance."""
+
+    server_version = "repro-synthd/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # BaseHTTPRequestHandler logs to stderr by default; route through
+    # the structured logger instead so REPRO_LOG_* applies.
+    def log_message(self, fmt: str, *args) -> None:
+        _log.debug("%s %s", self.address_string(), fmt % args)
+
+    def _reply(
+        self,
+        status: int,
+        payload: Any,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        body = to_json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header(
+                "Retry-After", str(max(1, int(round(retry_after_s))))
+            )
+        self.end_headers()
+        self.wfile.write(body)
+        obs.inc(f"service.http.{status}")
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"invalid JSON body: {exc}") from exc
+
+    # -- routes -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib interface
+        if self.path.rstrip("/") != "/jobs":
+            self._reply(404, {"error": f"no such route: {self.path}"})
+            return
+        try:
+            request = JobRequest.from_json(self._read_body())
+            job, coalesced = self.service.submit(request)
+        except ServiceOverloadError as exc:
+            self._reply(
+                429,
+                {
+                    "error": str(exc),
+                    "retry_after_s": exc.retry_after_s,
+                },
+                retry_after_s=exc.retry_after_s,
+            )
+            return
+        except ServiceError as exc:
+            status = 503 if self.service.draining else 400
+            self._reply(status, {"error": str(exc)})
+            return
+        self._reply(
+            202, {"job": job.as_dict(), "coalesced": coalesced}
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib interface
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._reply(200, self.service.health())
+            return
+        if path == "/metricsz":
+            report = run_report()
+            report["service"] = self.service.stats.as_dict()
+            report["evaluator"] = self.service.evaluator.stats.as_dict()
+            self._reply(200, report)
+            return
+        match = _RESULT_PATH.match(path)
+        if match:
+            self._get_result(match.group("id"))
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            job = self.service.job(match.group("id"))
+            if job is None:
+                self._reply(404, {"error": "unknown job"})
+            else:
+                self._reply(200, job.as_dict())
+            return
+        self._reply(404, {"error": f"no such route: {path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib interface
+        match = _JOB_PATH.match(self.path)
+        if not match:
+            self._reply(404, {"error": f"no such route: {self.path}"})
+            return
+        job = self.service.cancel(match.group("id"))
+        if job is None:
+            self._reply(404, {"error": "unknown job"})
+        else:
+            self._reply(200, job.as_dict())
+
+    def _get_result(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        if job is None:
+            self._reply(404, {"error": "unknown job"})
+            return
+        if job.state is JobState.DONE:
+            self._reply(200, {"job_id": job.id, "result": job.result})
+            return
+        if job.state.finished:  # failed or cancelled
+            self._reply(
+                409,
+                {
+                    "job_id": job.id,
+                    "state": job.state.value,
+                    "error": job.error,
+                },
+            )
+            return
+        self._reply(202, job.as_dict())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying its service instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SynthesisService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 8349,
+) -> ServiceHTTPServer:
+    """Bind the JSON API; ``port=0`` picks a free port (tests).
+
+    The caller drives the loop (``serve_forever``) and shutdown — see
+    the ``serve`` CLI subcommand for the SIGTERM-drain wiring.
+    """
+    server = ServiceHTTPServer((host, port), service)
+    _log.info(
+        "synthesis service listening on http://%s:%d",
+        *server.server_address[:2],
+    )
+    return server
+
+
+def write_result_program(result: dict, out_dir, stem: str) -> list:
+    """Drop a job result's generated sources into ``out_dir``.
+
+    Shared by the ``submit --output`` CLI and tests; returns the
+    written paths.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    program = result["program"]
+    kernel = out / f"{stem}.cl"
+    host = out / f"{stem}_host.c"
+    kernel.write_text(program["kernel_source"])
+    host.write_text(program["host_source"])
+    return [kernel, host]

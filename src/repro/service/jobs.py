@@ -1,0 +1,271 @@
+"""Job model for the synthesis service.
+
+A :class:`JobRequest` is the validated, canonicalized form of one
+synthesis ask — everything :func:`repro.api.synthesize` needs, in
+JSON-able primitives.  Its :meth:`~JobRequest.signature` is a content
+digest over exactly the fields that determine the synthesized output,
+so two requests with equal signatures are interchangeable: the service
+coalesces them onto one in-flight :class:`Job`, and repeat requests
+after completion warm-start from the evaluator memo and the persistent
+:class:`~repro.store.backing.DesignStore`.
+
+Scheduling knobs (``priority``, ``timeout_s``) are deliberately *not*
+part of the signature — they change when a job runs, never what it
+produces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import JobCancelledError, ServiceError
+from repro.store.backing import digest
+
+#: Request fields that shape the synthesized output (signature inputs).
+_CONTENT_FIELDS = (
+    "benchmark",
+    "source",
+    "name",
+    "field_map",
+    "aux",
+    "grid_shape",
+    "iterations",
+    "tile_shape",
+    "counts",
+    "fused_depth",
+    "unroll",
+    "design",
+)
+#: Scheduling-only fields accepted alongside the content fields.
+_SCHED_FIELDS = ("priority", "timeout_s")
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job (see ``docs/SERVICE.md``)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        """True once the job can never run again."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+def _int_tuple(name: str, value) -> Optional[Tuple[int, ...]]:
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ServiceError(f"{name} must be a non-empty list of ints")
+    try:
+        return tuple(int(v) for v in value)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{name} must contain only integers") from None
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated synthesis request.
+
+    Exactly one of ``benchmark`` / ``source`` must be set; the
+    remaining fields mirror :func:`repro.api.synthesize` (see there for
+    semantics).  ``priority`` orders the queue — higher runs first;
+    ``timeout_s`` bounds the job's wall time once it starts.
+    """
+
+    benchmark: Optional[str] = None
+    source: Optional[str] = None
+    name: str = "user-stencil"
+    field_map: Optional[Mapping[str, str]] = None
+    aux: Tuple[str, ...] = ()
+    grid_shape: Optional[Tuple[int, ...]] = None
+    iterations: Optional[int] = None
+    tile_shape: Optional[Tuple[int, ...]] = None
+    counts: Optional[Tuple[int, ...]] = None
+    fused_depth: Optional[int] = None
+    unroll: int = 1
+    design: str = "heterogeneous"
+    priority: int = 0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.source is None):
+            raise ServiceError(
+                "a job needs exactly one of 'benchmark' or 'source'"
+            )
+        if self.design not in ("baseline", "pipe-shared", "heterogeneous"):
+            raise ServiceError(
+                f"unknown design kind {self.design!r} (expected "
+                "baseline/pipe-shared/heterogeneous)"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError("timeout_s must be positive")
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "JobRequest":
+        """Build a request from a decoded JSON object, strictly.
+
+        Unknown keys are rejected — a typo'd field silently changing
+        the dedup signature would be far worse than a 400.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("job payload must be a JSON object")
+        unknown = (
+            set(payload) - set(_CONTENT_FIELDS) - set(_SCHED_FIELDS)
+        )
+        if unknown:
+            raise ServiceError(
+                f"unknown job field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            return cls(
+                benchmark=payload.get("benchmark"),
+                source=payload.get("source"),
+                name=payload.get("name", "user-stencil"),
+                field_map=payload.get("field_map"),
+                aux=tuple(payload.get("aux", ())),
+                grid_shape=_int_tuple(
+                    "grid_shape", payload.get("grid_shape")
+                ),
+                iterations=payload.get("iterations"),
+                tile_shape=_int_tuple(
+                    "tile_shape", payload.get("tile_shape")
+                ),
+                counts=_int_tuple("counts", payload.get("counts")),
+                fused_depth=payload.get("fused_depth"),
+                unroll=int(payload.get("unroll", 1)),
+                design=payload.get("design", "heterogeneous"),
+                priority=int(payload.get("priority", 0)),
+                timeout_s=payload.get("timeout_s"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job payload: {exc}") from exc
+
+    def content(self) -> Dict[str, Any]:
+        """The signature-relevant fields, JSON-canonicalizable."""
+        return {
+            "benchmark": self.benchmark,
+            "source": self.source,
+            "name": self.name,
+            "field_map": (
+                dict(sorted(self.field_map.items()))
+                if self.field_map
+                else None
+            ),
+            "aux": list(self.aux),
+            "grid_shape": (
+                list(self.grid_shape) if self.grid_shape else None
+            ),
+            "iterations": self.iterations,
+            "tile_shape": (
+                list(self.tile_shape) if self.tile_shape else None
+            ),
+            "counts": list(self.counts) if self.counts else None,
+            "fused_depth": self.fused_depth,
+            "unroll": self.unroll,
+            "design": self.design,
+        }
+
+    def signature(self) -> str:
+        """Content digest keying dedup/coalescing (see module doc)."""
+        return digest(self.content())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Full JSON-able view (content + scheduling knobs)."""
+        data = self.content()
+        data["priority"] = self.priority
+        data["timeout_s"] = self.timeout_s
+        return data
+
+
+@dataclass
+class Job:
+    """One unit of service work and its mutable lifecycle state.
+
+    All mutation happens under the owning service's lock; readers get
+    consistent snapshots via :meth:`as_dict`.
+    """
+
+    id: str
+    request: JobRequest
+    signature: str
+    state: JobState = JobState.QUEUED
+    created_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    timed_out: bool = False
+    #: Requests that coalesced onto this job after submission.
+    coalesced: int = 0
+    result: Optional[Dict[str, Any]] = None
+    _cancel: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+    #: Monotonic deadline, armed when the job starts running.
+    _deadline: Optional[float] = field(default=None, repr=False)
+
+    def cancel(self) -> None:
+        """Request cancellation (takes effect at the next checkpoint)."""
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def arm_deadline(self) -> None:
+        """Start the ``timeout_s`` clock (called when the job starts)."""
+        if self.request.timeout_s is not None:
+            self._deadline = time.monotonic() + self.request.timeout_s
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`JobCancelledError` at a cancellation point.
+
+        The service's pipeline calls this between stages and from the
+        evaluator's per-candidate trace hook, so cancellation and
+        timeouts cut into a running exploration rather than waiting it
+        out.
+        """
+        if self._cancel.is_set():
+            raise JobCancelledError(f"job {self.id} cancelled")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self.timed_out = True
+            raise JobCancelledError(
+                f"job {self.id} exceeded its "
+                f"{self.request.timeout_s:g}s timeout"
+            )
+
+    def mark_finished(self) -> None:
+        """Flip the completion latch (after state is final)."""
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True if it did in time."""
+        return self._done.wait(timeout)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able status view (the ``GET /jobs/<id>`` body)."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "signature": self.signature,
+            "request": self.request.as_dict(),
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "attempts": self.attempts,
+            "coalesced": self.coalesced,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "has_result": self.result is not None,
+        }

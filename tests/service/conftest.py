@@ -1,0 +1,56 @@
+"""Shared helpers for the synthesis-service suite.
+
+Service tests exercise real threads, so every fixture keeps the work
+small (tiny grids, injected pipelines) and shuts the service down even
+when an assertion fires mid-test.  Obs state is isolated per test
+because the service mirrors its counters into the global registry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro import obs
+from repro.service import JobRequest, SynthesisService
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Start every test disabled and empty; leave no state behind."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def small_request():
+    """A real but tiny synthesis request (32x32 Jacobi-2D, 4 iters)."""
+    return JobRequest(
+        benchmark="jacobi-2d", grid_shape=(32, 32), iterations=4
+    )
+
+
+@pytest.fixture
+def service_factory():
+    """Build services that are always shut down at test exit."""
+    services = []
+
+    def build(**kw) -> SynthesisService:
+        kw.setdefault("workers", 2)
+        service = SynthesisService(**kw)
+        services.append(service)
+        return service
+
+    yield build
+    for service in services:
+        with contextlib.suppress(Exception):
+            service.shutdown(drain=False, timeout=10.0)
+
+
+def echo_pipeline(job, _evaluator):
+    """Injected job body: instant, deterministic, content-keyed."""
+    return {"echo": job.request.content()}

@@ -1,0 +1,175 @@
+"""The one-call facade: repro.api.synthesize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CandidateEvaluator, synthesize
+from repro.api import default_baseline_parameters
+from repro.errors import SpecificationError
+from repro.stencil import get_benchmark
+from repro.tiling import DesignKind
+
+JACOBI_1D_SRC = """
+__kernel void jac(__global float* A, __global float* B) {
+    int i = get_global_id(0);
+    B[i] = 0.33333f * (A[i-1] + A[i] + A[i+1]);
+}
+"""
+
+
+class TestInputResolution:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(SpecificationError):
+            synthesize()
+        with pytest.raises(SpecificationError):
+            synthesize(JACOBI_1D_SRC, benchmark="jacobi-1d")
+
+    def test_source_requires_scope(self):
+        with pytest.raises(SpecificationError, match="grid_shape"):
+            synthesize(JACOBI_1D_SRC)
+
+    def test_rejects_unknown_design_kind(self):
+        with pytest.raises(SpecificationError, match="design kind"):
+            synthesize(benchmark="jacobi-2d", design="quantum")
+
+
+class TestBenchmarkPath:
+    def test_full_pipeline_small(self):
+        synth = synthesize(
+            benchmark="jacobi-2d", grid_shape=(32, 32), iterations=4
+        )
+        assert synth.spec.grid_shape == (32, 32)
+        assert synth.design.kind is DesignKind.HETEROGENEOUS
+        assert synth.predicted_cycles > 0
+        assert synth.dse.evaluated > 0
+        assert "__kernel" in synth.program.kernel_source
+        assert "stencil_host" in synth.program.host_source
+
+    def test_emit_false_skips_codegen(self):
+        synth = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(32, 32),
+            iterations=4,
+            emit=False,
+        )
+        assert synth.program is None
+
+    def test_baseline_kind_scores_baseline(self):
+        synth = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(32, 32),
+            iterations=4,
+            design="baseline",
+            emit=False,
+        )
+        assert synth.design is synth.baseline
+
+    def test_pipe_shared_kind(self):
+        synth = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(32, 32),
+            iterations=4,
+            design="pipe-shared",
+            emit=False,
+        )
+        assert synth.design.kind is DesignKind.PIPE_SHARED
+
+    def test_explicit_baseline_parameters_respected(self):
+        synth = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(64, 64),
+            iterations=8,
+            tile_shape=(16, 16),
+            counts=(2, 2),
+            fused_depth=4,
+            unroll=2,
+            emit=False,
+        )
+        assert synth.baseline.tile_grid.extents == (
+            (16, 16), (16, 16)
+        )
+        assert synth.baseline.fused_depth == 4
+        assert synth.baseline.unroll == 2
+
+    def test_shared_evaluator_reuses_scores(self):
+        engine = CandidateEvaluator()
+        first = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(32, 32),
+            iterations=4,
+            evaluator=engine,
+            emit=False,
+        )
+        evaluated_once = engine.stats.evaluated
+        second = synthesize(
+            benchmark="jacobi-2d",
+            grid_shape=(32, 32),
+            iterations=4,
+            evaluator=engine,
+            emit=False,
+        )
+        assert second.evaluator is engine
+        # The repeat resolved entirely from the memo.
+        assert engine.stats.evaluated == evaluated_once
+        assert engine.stats.cache_hits > 0
+        assert (
+            second.predicted_cycles == first.predicted_cycles
+        )
+
+
+class TestSourcePath:
+    def test_opencl_source_in_design_out(self):
+        synth = synthesize(
+            JACOBI_1D_SRC,
+            name="jac1d",
+            grid_shape=(256,),
+            iterations=8,
+            emit=False,
+        )
+        assert synth.spec.name == "jac1d"
+        assert synth.spec.pattern.radius == (1,)
+        assert synth.design.kind is DesignKind.HETEROGENEOUS
+        assert synth.predicted_cycles > 0
+
+    def test_source_matches_equivalent_benchmark(self):
+        from_source = synthesize(
+            JACOBI_1D_SRC, grid_shape=(256,), iterations=8, emit=False
+        )
+        from_library = synthesize(
+            benchmark="jacobi-1d",
+            grid_shape=(256,),
+            iterations=8,
+            emit=False,
+        )
+        assert (
+            from_source.predicted_cycles
+            == from_library.predicted_cycles
+        )
+
+
+class TestDefaultBaselineParameters:
+    @pytest.mark.parametrize(
+        "name,grid",
+        [
+            ("jacobi-1d", (64,)),
+            ("jacobi-2d", (32, 32)),
+            ("jacobi-3d", (16, 16, 16)),
+            ("fdtd-2d", (24, 24)),
+            ("hotspot-2d", (32, 32)),
+        ],
+    )
+    def test_defaults_are_always_constructible(self, name, grid):
+        spec = get_benchmark(name, grid=grid, iterations=4)
+        synth = synthesize(
+            benchmark=name, grid_shape=grid, iterations=4, emit=False
+        )
+        assert synth.spec.name == spec.name
+        assert synth.dse.feasible > 0
+
+    def test_defaults_shape(self):
+        spec = get_benchmark("jacobi-2d", grid=(64, 64), iterations=20)
+        tile, counts, depth = default_baseline_parameters(spec)
+        assert len(tile) == len(counts) == 2
+        assert all(t >= 3 for t in tile)  # at least 2*radius + 1
+        assert depth == 8  # capped

@@ -1,0 +1,276 @@
+"""HTTP surface + client, end to end on a real socket (port 0).
+
+Includes the acceptance flows: byte-identical repeat results, overload
+(429 + Retry-After), and a server restart answering from the persistent
+store without re-running the model.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.service import (
+    JobFailedError,
+    JobRequest,
+    ServiceClient,
+    SynthesisService,
+    make_server,
+    write_result_program,
+)
+from repro.store import DesignStore
+
+from tests.service.conftest import echo_pipeline
+
+WAIT_S = 60.0
+
+
+@pytest.fixture
+def served():
+    """A live server+client on an OS-assigned port; always torn down."""
+    resources = []
+
+    def build(**service_kw):
+        service_kw.setdefault("workers", 2)
+        service = SynthesisService(**service_kw)
+        server = make_server(service, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        resources.append((server, service))
+        return service, client
+
+    yield build
+    for server, service in resources:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=False, timeout=10.0)
+
+
+def _get_raw(client: ServiceClient, path: str):
+    with urllib.request.urlopen(client.base_url + path, timeout=10) as r:
+        return r.status, r.read()
+
+
+class TestRoutes:
+    def test_health(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["queue_capacity"] == 64
+
+    def test_submit_and_wait(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        job = client.submit(benchmark="jacobi-2d")
+        assert job["state"] in ("queued", "running", "done")
+        assert job["coalesced"] is False
+        result = client.wait(job["id"], timeout_s=WAIT_S)
+        assert result["echo"]["benchmark"] == "jacobi-2d"
+
+    def test_job_status_view(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        job = client.submit(benchmark="jacobi-2d", priority=2)
+        status = client.job(job["id"])
+        assert status["id"] == job["id"]
+        assert status["request"]["priority"] == 2
+
+    def test_unknown_job_404(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.job("job-424242")
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.result("job-424242")
+
+    def test_unknown_route_404(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        payload = client._call("GET", "/nope")
+        assert payload["_status"] == 404
+        assert "no such route" in payload["error"]
+
+    def test_malformed_payload_400(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        with pytest.raises(ServiceError, match="unknown job field"):
+            client.submit(benchmark="jacobi-2d", bogus_field=1)
+        with pytest.raises(ServiceError, match="design"):
+            client.submit(benchmark="jacobi-2d", design="quantum")
+
+    def test_failed_job_409(self, served):
+        def broken(_job, _evaluator):
+            raise ServiceError("synthetic failure")
+
+        _, client = served(pipeline=broken)
+        job = client.submit(benchmark="jacobi-2d")
+        with pytest.raises(JobFailedError) as excinfo:
+            client.wait(job["id"], timeout_s=WAIT_S)
+        assert "synthetic failure" in str(excinfo.value)
+        assert excinfo.value.job["state"] == "failed"
+
+    def test_cancel_via_delete(self, served):
+        # One busy worker keeps the second job queued until the
+        # cancellation lands.
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gated(job, _evaluator):
+            entered.set()
+            release.wait(WAIT_S)
+            return {"ok": True}
+
+        _, client = served(pipeline=gated, workers=1)
+        blocker = client.submit(benchmark="jacobi-1d")
+        assert entered.wait(WAIT_S)
+        queued = client.submit(benchmark="jacobi-2d")
+        cancelled = client.cancel(queued["id"])
+        assert cancelled["id"] == queued["id"]
+        release.set()
+        with pytest.raises(JobFailedError, match="cancelled"):
+            client.wait(queued["id"], timeout_s=WAIT_S)
+        client.wait(blocker["id"], timeout_s=WAIT_S)
+
+    def test_metricsz_reports_service_stats(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        job = client.submit(benchmark="jacobi-2d")
+        client.wait(job["id"], timeout_s=WAIT_S)
+        metrics = client.metrics()
+        assert metrics["service"]["completed"] == 1
+        assert "evaluator" in metrics
+        assert metrics["schema"].startswith("repro.run_report")
+
+
+class TestOverload:
+    def test_429_with_retry_after(self, served):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gated(job, _evaluator):
+            entered.set()
+            release.wait(WAIT_S)
+            return {"ok": True}
+
+        _, client = served(pipeline=gated, workers=1, queue_depth=1)
+        client.submit(benchmark="jacobi-1d")
+        assert entered.wait(WAIT_S)
+        client.submit(benchmark="jacobi-2d")
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            client.submit(benchmark="jacobi-3d")
+        assert excinfo.value.retry_after_s >= 1.0
+        release.set()
+
+
+class TestDeterminism:
+    def test_repeat_results_are_byte_identical(self, served):
+        _, client = served()
+        request = dict(
+            benchmark="jacobi-2d", grid_shape=[32, 32], iterations=4
+        )
+        first = client.submit(**request)
+        client.wait(first["id"], timeout_s=120.0)
+        second = client.submit(**request)
+        client.wait(second["id"], timeout_s=120.0)
+        assert first["id"] != second["id"]
+        _, raw_first = _get_raw(client, f"/jobs/{first['id']}/result")
+        _, raw_second = _get_raw(client, f"/jobs/{second['id']}/result")
+        # The payloads differ only in the job id envelope.
+        body_first = json.loads(raw_first)["result"]
+        body_second = json.loads(raw_second)["result"]
+        canon = lambda body: json.dumps(body, sort_keys=True)  # noqa: E731
+        assert canon(body_first) == canon(body_second)
+
+    def test_inflight_coalescing_over_http(self, served):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gated(job, _evaluator):
+            entered.set()
+            release.wait(WAIT_S)
+            return {"echo": job.request.content()}
+
+        service, client = served(pipeline=gated, workers=1)
+        first = client.submit(benchmark="jacobi-2d")
+        assert entered.wait(WAIT_S)
+        second = client.submit(benchmark="jacobi-2d")
+        assert second["coalesced"] is True
+        assert second["id"] == first["id"]
+        assert service.stats.deduped == 1
+        release.set()
+        client.wait(first["id"], timeout_s=WAIT_S)
+
+
+class TestRestartWarmPath:
+    def test_restarted_server_answers_from_store(self, served, tmp_path):
+        request = dict(
+            benchmark="jacobi-2d", grid_shape=[32, 32], iterations=4
+        )
+        store = DesignStore(tmp_path / "results")
+        service, client = served(store=store, workers=1)
+        result_cold = client.synthesize(timeout_s=120.0, **request)
+        assert service.evaluator.stats.evaluated > 0
+        service.shutdown(drain=True, timeout=WAIT_S)
+        store.close()
+
+        # A brand-new process-equivalent: fresh store handle, fresh
+        # service, same directory.
+        store2 = DesignStore(tmp_path / "results")
+        service2, client2 = served(store=store2, workers=1)
+        result_warm = client2.synthesize(timeout_s=120.0, **request)
+        assert service2.evaluator.stats.evaluated == 0
+        assert service2.evaluator.stats.store_hits > 0
+        assert json.dumps(result_warm, sort_keys=True) == json.dumps(
+            result_cold, sort_keys=True
+        )
+        store2.close()
+
+
+class TestWriteResultProgram:
+    def test_writes_generated_sources(self, served, tmp_path):
+        _, client = served()
+        result = client.synthesize(
+            timeout_s=120.0,
+            benchmark="jacobi-2d",
+            grid_shape=[32, 32],
+            iterations=4,
+        )
+        paths = write_result_program(result, tmp_path, "jac2d")
+        assert [p.name for p in paths] == ["jac2d.cl", "jac2d_host.c"]
+        assert "__kernel" in paths[0].read_text()
+
+
+def test_request_signature_used_for_http_dedup(served):
+    """Scheduling knobs must not defeat HTTP-level coalescing."""
+    release = threading.Event()
+    entered = threading.Event()
+
+    def gated(job, _evaluator):
+        entered.set()
+        release.wait(WAIT_S)
+        return {"ok": True}
+
+    _, client = served(pipeline=gated, workers=1)
+    first = client.submit(benchmark="jacobi-2d", priority=0)
+    assert entered.wait(WAIT_S)
+    second = client.submit(
+        benchmark="jacobi-2d", priority=5, timeout_s=99.0
+    )
+    assert second["coalesced"] is True
+    assert second["id"] == first["id"]
+    release.set()
+    client.wait(first["id"], timeout_s=WAIT_S)
+
+
+def test_job_request_fixture_alignment(small_request):
+    """The conftest request matches what the HTTP layer builds."""
+    via_json = JobRequest.from_json(
+        {
+            "benchmark": "jacobi-2d",
+            "grid_shape": [32, 32],
+            "iterations": 4,
+        }
+    )
+    assert via_json.signature() == small_request.signature()

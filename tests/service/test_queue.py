@@ -1,0 +1,79 @@
+"""Bounded priority queue: ordering, admission control, close modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.service import Job, JobQueue, JobRequest
+
+
+def _job(job_id: str, priority: int = 0) -> Job:
+    request = JobRequest(benchmark="jacobi-2d", priority=priority)
+    return Job(id=job_id, request=request,
+               signature=request.signature())
+
+
+class TestOrdering:
+    def test_higher_priority_first(self):
+        queue = JobQueue(max_depth=8)
+        queue.put(_job("low", priority=0))
+        queue.put(_job("high", priority=5))
+        queue.put(_job("mid", priority=2))
+        assert [queue.get().id for _ in range(3)] == [
+            "high", "mid", "low"
+        ]
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue(max_depth=8)
+        for n in range(4):
+            queue.put(_job(f"job-{n}", priority=1))
+        assert [queue.get().id for _ in range(4)] == [
+            "job-0", "job-1", "job-2", "job-3"
+        ]
+
+
+class TestAdmission:
+    def test_rejects_when_full_with_retry_hint(self):
+        queue = JobQueue(max_depth=2)
+        queue.put(_job("a"))
+        queue.put(_job("b"))
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            queue.put(_job("c"), retry_after_s=7.5)
+        assert excinfo.value.retry_after_s == 7.5
+        assert len(queue) == 2
+
+    def test_frees_capacity_after_get(self):
+        queue = JobQueue(max_depth=1)
+        queue.put(_job("a"))
+        queue.get()
+        queue.put(_job("b"))  # no raise
+
+    def test_invalid_depth(self):
+        with pytest.raises(ServiceError):
+            JobQueue(max_depth=0)
+
+
+class TestClose:
+    def test_put_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(ServiceError):
+            queue.put(_job("late"))
+
+    def test_drain_close_hands_out_remaining(self):
+        queue = JobQueue()
+        queue.put(_job("a"))
+        queue.put(_job("b"))
+        assert queue.close(drain=True) == []
+        assert queue.get().id == "a"
+        assert queue.get().id == "b"
+        assert queue.get() is None  # workers exit
+
+    def test_abort_close_returns_stranded(self):
+        queue = JobQueue()
+        queue.put(_job("a"))
+        queue.put(_job("b"))
+        stranded = queue.close(drain=False)
+        assert sorted(job.id for job in stranded) == ["a", "b"]
+        assert queue.get() is None

@@ -1,0 +1,157 @@
+"""Concurrent DesignStore access from the service worker pool.
+
+The acceptance property is exactly-once evaluation per unique design
+signature: N worker threads racing over overlapping jobs must resolve
+duplicates through the evaluator memo / the persistent store, never by
+re-running the model for a signature it already scored.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.service import JobRequest, JobState, SynthesisService
+from repro.store import DesignStore
+
+WAIT_S = 120.0
+
+#: Three distinct tiny workloads; every thread submits all of them.
+#: Disjoint specs → disjoint candidate signatures, so service-level
+#: coalescing alone must deliver exactly-once model evaluation.
+REQUESTS = [
+    {"benchmark": "jacobi-1d", "grid_shape": (64,), "iterations": 4},
+    {"benchmark": "jacobi-2d", "grid_shape": (32, 32), "iterations": 4},
+    {
+        "benchmark": "jacobi-3d",
+        "grid_shape": (16, 16, 16),
+        "iterations": 4,
+    },
+]
+
+
+def _storm(service: SynthesisService, threads: int = 6):
+    """Submit every request from `threads` racing submitters."""
+    jobs, errors = [], []
+    lock = threading.Lock()
+    start = threading.Barrier(threads)
+
+    def submitter():
+        start.wait()
+        for spec in REQUESTS:
+            try:
+                job, _ = service.submit(JobRequest(**spec))
+                with lock:
+                    jobs.append(job)
+            except ServiceOverloadError as exc:  # pragma: no cover
+                with lock:
+                    errors.append(exc)
+
+    workers = [
+        threading.Thread(target=submitter) for _ in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(WAIT_S)
+    return jobs, errors
+
+
+@pytest.fixture
+def store(tmp_path):
+    handle = DesignStore(tmp_path / "results")
+    yield handle
+    handle.close()
+
+
+class TestExactlyOnceEvaluation:
+    def test_worker_pool_storm_never_reevaluates(self, store):
+        service = SynthesisService(
+            store=store, workers=4, queue_depth=256
+        )
+        try:
+            jobs, errors = _storm(service, threads=6)
+            assert not errors
+            for job in jobs:
+                service.wait(job.id, timeout=WAIT_S)
+                assert job.state is JobState.DONE, job.error
+            # 6 threads x 3 requests; every duplicate either coalesced
+            # onto an in-flight job or warm-started from memo/store.
+            assert service.stats.requests == 18
+            stats = service.evaluator.stats
+            # Exactly-once: the three unique workloads are disjoint
+            # design spaces, so every candidate signature was scored
+            # by the model exactly once — reruns hit the memo.
+            assert stats.evaluated == len(store)
+            assert stats.cache_hits + service.stats.deduped > 0
+            # Distinct payloads per unique signature.
+            unique = {job.signature: job.result for job in jobs}
+            assert len(unique) == len(REQUESTS)
+        finally:
+            service.shutdown(drain=True, timeout=WAIT_S)
+
+    def test_fresh_service_same_store_is_pure_warm_path(self, store):
+        # Phase 1: cold store, populate it.
+        cold = SynthesisService(store=store, workers=2)
+        try:
+            jobs, errors = _storm(cold, threads=4)
+            assert not errors
+            for job in jobs:
+                cold.wait(job.id, timeout=WAIT_S)
+                assert job.state is JobState.DONE, job.error
+            cold_results = {
+                job.signature: job.result for job in jobs
+            }
+            assert cold.evaluator.stats.evaluated > 0
+        finally:
+            cold.shutdown(drain=True, timeout=WAIT_S)
+
+        # Phase 2: new service (fresh memo) over the same store; a
+        # full storm must be answered without one model evaluation.
+        warm = SynthesisService(store=store, workers=4)
+        try:
+            jobs, errors = _storm(warm, threads=6)
+            assert not errors
+            for job in jobs:
+                warm.wait(job.id, timeout=WAIT_S)
+                assert job.state is JobState.DONE, job.error
+            assert warm.evaluator.stats.evaluated == 0
+            assert warm.evaluator.stats.store_hits > 0
+            # Byte-equivalent results across service generations.
+            import json
+
+            for job in jobs:
+                assert json.dumps(
+                    job.result, sort_keys=True
+                ) == json.dumps(
+                    cold_results[job.signature], sort_keys=True
+                )
+        finally:
+            warm.shutdown(drain=True, timeout=WAIT_S)
+
+    def test_store_writes_survive_concurrent_flush(self, store):
+        # Drain-shutdown flushes while workers may still be writing;
+        # the store contents must match a serial reference run.
+        service = SynthesisService(store=store, workers=4)
+        try:
+            jobs, _ = _storm(service, threads=4)
+            for job in jobs:
+                service.wait(job.id, timeout=WAIT_S)
+        finally:
+            service.shutdown(drain=True, timeout=WAIT_S)
+        persisted = len(store)
+        assert persisted > 0
+
+        reference = SynthesisService(workers=1)  # no store
+        try:
+            evaluated = 0
+            for spec in REQUESTS:
+                job, _ = reference.submit(JobRequest(**spec))
+                reference.wait(job.id, timeout=WAIT_S)
+                assert job.state is JobState.DONE, job.error
+            evaluated = reference.evaluator.stats.evaluated
+        finally:
+            reference.shutdown(drain=True, timeout=WAIT_S)
+        assert persisted == evaluated
