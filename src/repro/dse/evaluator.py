@@ -46,8 +46,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.dse.constraints import ResourceBudget
 from repro.errors import DesignSpaceError
+from repro.fpga.batch import estimate_batch
 from repro.fpga.estimator import DesignResources, ResourceEstimator
 from repro.fpga.flexcl import FlexCLEstimator
+from repro.model.batch import BatchRangeError, predict_batch
 from repro.model.predictor import Fidelity, PerformanceModel
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.store.backing import BackingStore, evaluation_context
@@ -159,6 +161,10 @@ class CandidateTrace:
 
 TraceHook = Callable[[CandidateTrace], None]
 
+#: Smallest batch worth routing through the vectorized engine when
+#: ``vectorize`` is left on auto (a single candidate gains nothing).
+_VECTOR_MIN_BATCH = 2
+
 
 class CandidateEvaluator:
     """Cached, parallel, prunable scorer for candidate designs.
@@ -192,6 +198,14 @@ class CandidateEvaluator:
             bound (an evicted design re-evaluates — or, with a store
             attached, reloads — on its next appearance).  ``None``
             keeps the memo unbounded.
+        vectorize: batch-scoring mode.  ``None`` (default) routes
+            batches of two or more candidates through the NumPy batch
+            engine (:mod:`repro.model.batch` / :mod:`repro.fpga.batch`)
+            whenever pruning is off; ``True`` forces it for any
+            non-empty batch; ``False`` disables it.  The vectorized
+            path returns bitwise-identical results, stats, and traces —
+            candidates out of the batch engine's exact-parity range
+            fall back to the scalar path automatically.
     """
 
     def __init__(
@@ -205,6 +219,7 @@ class CandidateEvaluator:
         trace: Optional[TraceHook] = None,
         store: Optional[BackingStore] = None,
         max_memo_entries: Optional[int] = None,
+        vectorize: Optional[bool] = None,
     ):
         if estimator is None:
             flexcl = model.estimator if model is not None else FlexCLEstimator()
@@ -224,6 +239,7 @@ class CandidateEvaluator:
         self.trace = trace
         self.store = store
         self.max_memo_entries = max_memo_entries
+        self.vectorize = vectorize
         self.store_context = (
             evaluation_context(board, self.fidelity, estimator.flexcl)
             if store is not None
@@ -532,6 +548,173 @@ class CandidateEvaluator:
             self._emit_seq += 1
         self.trace(replace(event, seq=seq))
 
+    # -- vectorized fast path --------------------------------------------------
+
+    def _vector_eligible(self, count: int) -> bool:
+        """Whether a batch of ``count`` candidates may use the fast path.
+
+        Pruning needs per-candidate incumbent interleaving, which batch
+        scoring cannot honor, so pruned engines always take the scalar
+        path.
+        """
+        if self.prune or self.vectorize is False:
+            return False
+        if self.vectorize is True:
+            return count > 0
+        return count >= _VECTOR_MIN_BATCH
+
+    def _score_vectorized(
+        self, items: Sequence[Tuple[Tuple, StencilDesign]]
+    ) -> Optional[Dict[Tuple, Tuple[float, DesignResources]]]:
+        """Batch-score fresh designs; ``None`` -> fall back to scalar.
+
+        Runs the vectorized model and resource estimator over every
+        design that neither the memo nor the store can answer, primes
+        the scalar caches with the (bitwise-identical) results, and
+        returns ``{signature: (total_cycles, resources)}``.
+        """
+        scored: Dict[Tuple, Tuple[float, DesignResources]] = {}
+        if not items:
+            return scored
+        designs = [design for _sig, design in items]
+        try:
+            resources = estimate_batch(designs, flexcl=self.estimator.flexcl)
+            prediction = predict_batch(
+                designs,
+                board=self.board,
+                fidelity=self.fidelity,
+                flexcl=self.model.estimator,
+            )
+        except BatchRangeError:
+            return None
+        for i, (sig, design) in enumerate(items):
+            breakdown = self.model.prime(design, prediction.breakdown(i))
+            res = self.estimator.prime(
+                design, resources.design_resources(i)
+            )
+            scored[sig] = (breakdown.total, res)
+        return scored
+
+    def _run_batch_vectorized(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+    ) -> Optional[List[Optional[EvaluatedDesign]]]:
+        """Vectorized ``_run_batch`` body; ``None`` -> use the scalar path.
+
+        Scoring is hoisted: one batched model/estimator pass covers
+        every design the memo and store cannot answer, then each
+        candidate walks the exact per-candidate memo/store/budget
+        sequence of :meth:`_evaluate_one_unsynced`, preserving stats,
+        traces, and store write-through byte for byte.
+        """
+        stored_entries: Dict[Tuple, object] = {}
+        fresh: "OrderedDict[Tuple, StencilDesign]" = OrderedDict()
+        with self._lock:
+            known = set(self._results)
+        for design in candidates:
+            sig = design.signature()
+            if sig in known or sig in fresh:
+                continue
+            if sig not in stored_entries:
+                stored_entries[sig] = self._store_lookup(design)
+            entry = stored_entries[sig]
+            if entry is not None and entry.complete:
+                continue
+            fresh[sig] = design
+        scored = self._score_vectorized(list(fresh.items()))
+        if scored is None:
+            return None
+        local = EvaluationStats()
+        recorded: set = set()
+        results = [
+            self._finish_one_vectorized(
+                design, budget, local, stored_entries, scored, recorded
+            )
+            for design in candidates
+        ]
+        with self._lock:
+            stats.merge(local)
+        return results
+
+    def _finish_one_vectorized(
+        self,
+        design: StencilDesign,
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+        stored: Dict[Tuple, object],
+        scored: Dict[Tuple, Tuple[float, DesignResources]],
+        recorded: set,
+    ) -> Optional[EvaluatedDesign]:
+        """Per-candidate epilogue of the vectorized path.
+
+        Mirrors :meth:`_evaluate_one_unsynced` (minus pruning, which
+        never reaches here) with model/estimator calls replaced by the
+        precomputed ``scored`` values; ``recorded`` guards the store
+        against duplicate resource-only records for repeated designs.
+        """
+        stats.candidates += 1
+        sig = design.signature()
+        with self._lock:
+            cached = self._memo_get(sig)
+        if cached is not None:
+            stats.cache_hits += 1
+            if not cached.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                self._emit(CandidateTrace(design, "infeasible"))
+                return None
+            self._emit(
+                CandidateTrace(design, "cache-hit", cached.predicted_cycles)
+            )
+            return cached
+        entry = stored.get(sig)
+        if entry is not None and entry.complete:
+            result = EvaluatedDesign(design, entry.cycles, entry.resources)
+            with self._lock:
+                result = self._memo_put(sig, result)
+            stats.store_hits += 1
+            if not result.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                self._emit(CandidateTrace(design, "infeasible"))
+                return None
+            self._emit(
+                CandidateTrace(design, "store-hit", result.predicted_cycles)
+            )
+            return result
+        if entry is not None and entry.resources is not None:
+            resources = entry.resources
+            fresh_resources = False
+        else:
+            resources = scored[sig][1]
+            fresh_resources = True
+        if not resources.total.fits_within(budget.limit):
+            stats.infeasible += 1
+            if fresh_resources and sig not in recorded:
+                recorded.add(sig)
+                self._store_record(design, resources=resources)
+            self._emit(CandidateTrace(design, "infeasible"))
+            return None
+        if entry is not None and entry.cycles is not None:
+            cycles = entry.cycles
+            stats.store_hits += 1
+            if fresh_resources and sig not in recorded:
+                recorded.add(sig)
+                self._store_record(design, resources=resources)
+        else:
+            cycles = scored[sig][0]
+            stats.evaluated += 1
+            if sig not in recorded:
+                recorded.add(sig)
+                self._store_record(
+                    design, cycles=cycles, resources=resources
+                )
+        result = EvaluatedDesign(design, cycles, resources)
+        with self._lock:
+            result = self._memo_put(sig, result)
+        self._emit(CandidateTrace(design, "evaluated", cycles, None))
+        return result
+
     # -- batch evaluation ------------------------------------------------------
 
     def evaluate_batch(
@@ -570,6 +753,10 @@ class CandidateEvaluator:
         budget: ResourceBudget,
         stats: EvaluationStats,
     ) -> List[Optional[EvaluatedDesign]]:
+        if self._vector_eligible(len(candidates)):
+            vectorized = self._run_batch_vectorized(candidates, budget, stats)
+            if vectorized is not None:
+                return vectorized
         incumbent: Optional[List[float]] = [None] if self.prune else None
         bounds: Optional[List[float]] = None
         order = range(len(candidates))

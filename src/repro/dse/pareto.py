@@ -9,6 +9,7 @@ own evaluation loop.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.dse.constraints import ResourceBudget
@@ -31,9 +32,17 @@ def _default_objectives(e: EvaluatedDesign) -> Tuple[float, ...]:
 
 def pareto_front(
     candidates: Sequence[EvaluatedDesign],
-    objectives: Callable[[EvaluatedDesign], Tuple[float, ...]] = None,
+    objectives: Optional[
+        Callable[[EvaluatedDesign], Tuple[float, ...]]
+    ] = None,
 ) -> List[EvaluatedDesign]:
     """Non-dominated candidates (all objectives minimized).
+
+    Each objective tuple is computed once, and candidates with exactly
+    equal tuples are deduplicated before the dominance scan (keeping
+    the design with the lowest canonical signature, so the pick is
+    deterministic regardless of input order) — the returned frontier
+    never contains two entries with the same objectives.
 
     Args:
         candidates: evaluated designs.
@@ -46,25 +55,34 @@ def pareto_front(
     """
     if objectives is None:
         objectives = _default_objectives
-    points = [(objectives(c), c) for c in candidates]
+    best: "OrderedDict[Tuple[float, ...], EvaluatedDesign]" = OrderedDict()
+    for candidate in candidates:
+        values = tuple(objectives(candidate))
+        kept = best.get(values)
+        if kept is None or repr(candidate.design.signature()) < repr(
+            kept.design.signature()
+        ):
+            best[values] = candidate
+    points = list(best.items())
     front = [
-        candidate
+        (values, candidate)
         for values, candidate in points
         if not any(
             _dominates(other_values, values)
             for other_values, _ in points
-            if other_values != values
         )
     ]
-    front.sort(key=lambda c: objectives(c)[0])
-    return front
+    front.sort(key=lambda pair: pair[0][0])
+    return [candidate for _values, candidate in front]
 
 
 def pareto_explore(
     designs: Sequence[StencilDesign],
     budget: ResourceBudget,
     evaluator: Optional[CandidateEvaluator] = None,
-    objectives: Callable[[EvaluatedDesign], Tuple[float, ...]] = None,
+    objectives: Optional[
+        Callable[[EvaluatedDesign], Tuple[float, ...]]
+    ] = None,
     store: Optional[BackingStore] = None,
 ) -> List[EvaluatedDesign]:
     """Evaluate raw designs through the engine and return their front.

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dse.evaluator import CandidateEvaluator, EvaluationStats
 from repro.errors import DesignSpaceError
 from repro.fpga.estimator import ResourceEstimator
+from repro.model.batch import BatchRangeError, predict_batch
 from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.store.backing import BackingStore
@@ -125,6 +126,32 @@ class SensitivityAnalyzer:
         measured = self._executor_for(board).total_cycles(design)
         return predicted, measured
 
+    def _prime_boards(
+        self, design: StencilDesign, boards: Sequence[BoardSpec]
+    ) -> None:
+        """Vectorize one design across every swept board point.
+
+        ``predict_batch`` accepts one board per candidate, so a whole
+        sweep's model work collapses into a single batched pass; the
+        bitwise-identical breakdowns are primed into each per-board
+        evaluator's model cache, and the per-point loop then answers
+        from cache.  Out-of-range designs fall back to the scalar path
+        (stats and results are unchanged either way).
+        """
+        try:
+            prediction = predict_batch(
+                [design] * len(boards),
+                board=boards,
+                fidelity=self.fidelity,
+                flexcl=self._estimator.flexcl,
+            )
+        except BatchRangeError:
+            return
+        for i, board in enumerate(boards):
+            self._evaluator_for(board).model.prime(
+                design, prediction.breakdown(i)
+            )
+
     def sweep_bandwidth(
         self,
         design: StencilDesign,
@@ -133,9 +160,12 @@ class SensitivityAnalyzer:
         """Latency vs peak global-memory bandwidth ``BW``."""
         if not bandwidths_bytes_per_s:
             raise DesignSpaceError("Bandwidth sweep needs values")
+        boards = [
+            self.board.with_bandwidth(bw) for bw in bandwidths_bytes_per_s
+        ]
+        self._prime_boards(design, boards)
         points = []
-        for bw in bandwidths_bytes_per_s:
-            board = self.board.with_bandwidth(bw)
+        for bw, board in zip(bandwidths_bytes_per_s, boards):
             predicted, measured = self._evaluate(design, board)
             points.append(SweepPoint(bw, predicted, measured))
         return SweepResult("bandwidth", design.describe(), tuple(points))
@@ -148,11 +178,13 @@ class SensitivityAnalyzer:
         """Latency vs ``C_pipe`` (cycles per transferred element)."""
         if not cycles_per_word:
             raise DesignSpaceError("Pipe-cost sweep needs values")
+        boards = [
+            dataclasses.replace(self.board, pipe_cycles_per_word=int(cost))
+            for cost in cycles_per_word
+        ]
+        self._prime_boards(design, boards)
         points = []
-        for cost in cycles_per_word:
-            board = dataclasses.replace(
-                self.board, pipe_cycles_per_word=int(cost)
-            )
+        for cost, board in zip(cycles_per_word, boards):
             predicted, measured = self._evaluate(design, board)
             points.append(SweepPoint(float(cost), predicted, measured))
         return SweepResult("pipe_cost", design.describe(), tuple(points))
@@ -165,11 +197,13 @@ class SensitivityAnalyzer:
         """Latency vs the sequential kernel-launch stagger."""
         if not stagger_cycles:
             raise DesignSpaceError("Launch sweep needs values")
+        boards = [
+            dataclasses.replace(self.board, launch_stagger_cycles=int(stagger))
+            for stagger in stagger_cycles
+        ]
+        self._prime_boards(design, boards)
         points = []
-        for stagger in stagger_cycles:
-            board = dataclasses.replace(
-                self.board, launch_stagger_cycles=int(stagger)
-            )
+        for stagger, board in zip(stagger_cycles, boards):
             predicted, measured = self._evaluate(design, board)
             points.append(
                 SweepPoint(float(stagger), predicted, measured)

@@ -7,6 +7,12 @@ from repro.fpga.resources import (
 )
 from repro.fpga.bram import bram18_blocks, fifo_resources, local_array_blocks
 from repro.fpga.flexcl import FlexCLEstimator, PipelineReport
+from repro.fpga.batch import BatchResources, ResourceColumns, estimate_batch
+from repro.fpga.estimator import (
+    DesignResources,
+    ResourceEstimator,
+    estimate_resources,
+)
 
 __all__ = [
     "FpgaDevice",
@@ -17,4 +23,10 @@ __all__ = [
     "local_array_blocks",
     "FlexCLEstimator",
     "PipelineReport",
+    "BatchResources",
+    "ResourceColumns",
+    "estimate_batch",
+    "DesignResources",
+    "ResourceEstimator",
+    "estimate_resources",
 ]

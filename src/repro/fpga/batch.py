@@ -1,0 +1,284 @@
+"""NumPy-vectorized batch resource estimation.
+
+Companion to :mod:`repro.model.batch`: estimates FF/LUT/DSP/BRAM for a
+whole array of candidate designs in one pass, with the same parity
+contract — component ``i`` of every array is bitwise-equal (here:
+integer-equal) to :meth:`ResourceEstimator.estimate`'s result for
+``designs[i]``.
+
+The estimator's arithmetic is almost entirely integer (exact in any
+order), so vectorization is straightforward; the one rounding-sensitive
+step is the BRAM packing model's ``math.ceil(a / b)``, which divides
+through ``float``.  The shared :func:`~repro.fpga.parity.check_parity_range`
+guard keeps cell counts below ``2**52`` so NumPy's
+``ceil(int64 / int64)`` rounds identically, and every integer
+intermediate below ``2**62``.
+
+Per-candidate scalars that are cheap and already memoized (the FlexCL
+pipeline report, per-pattern operator counts, per-configuration FIFO
+resources) are computed in plain Python; the per-tile array-packing
+math — the part that scales with the size of the design space — runs
+on ``int64`` columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.bram import _depth_per_block, fifo_resources
+from repro.fpga.estimator import (
+    DSP_PER_ADD,
+    DSP_PER_MUL,
+    FF_PER_ADD,
+    FF_PER_BRAM,
+    FF_PER_MUL,
+    KERNEL_BASE,
+    LUT_PER_ADD,
+    LUT_PER_BRAM,
+    LUT_PER_MUL,
+    DesignResources,
+)
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.fpga.parity import check_parity_range
+from repro.fpga.resources import ResourceVector
+from repro.tiling.design import StencilDesign
+
+__all__ = ["BatchResources", "ResourceColumns", "estimate_batch"]
+
+_COMPONENTS = ("ff", "lut", "dsp", "bram18")
+
+
+@dataclass(frozen=True)
+class ResourceColumns:
+    """Columnar ``int64`` view of one resource vector per candidate."""
+
+    ff: np.ndarray
+    lut: np.ndarray
+    dsp: np.ndarray
+    bram18: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ff)
+
+    def row(self, i: int) -> ResourceVector:
+        """Candidate ``i``'s resources as a scalar vector."""
+        return ResourceVector(
+            ff=int(self.ff[i]),
+            lut=int(self.lut[i]),
+            dsp=int(self.dsp[i]),
+            bram18=int(self.bram18[i]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchResources:
+    """Per-candidate resource estimates, kernel/pipe composition kept."""
+
+    total: ResourceColumns
+    kernels: ResourceColumns
+    pipes: ResourceColumns
+
+    def __len__(self) -> int:
+        return len(self.total)
+
+    def design_resources(self, i: int) -> DesignResources:
+        """Candidate ``i``'s estimate as the scalar estimator returns it."""
+        return DesignResources(
+            total=self.total.row(i),
+            kernels=self.kernels.row(i),
+            pipes=self.pipes.row(i),
+        )
+
+    def feasible(self, limit: ResourceVector) -> np.ndarray:
+        """Boolean mask: which candidates fit within ``limit``.
+
+        Entry ``i`` equals ``design_resources(i).total.fits_within(limit)``.
+        """
+        return (
+            (self.total.ff <= limit.ff)
+            & (self.total.lut <= limit.lut)
+            & (self.total.dsp <= limit.dsp)
+            & (self.total.bram18 <= limit.bram18)
+        )
+
+
+def _pipe_face_count(design: StencilDesign) -> int:
+    """``len(design.pipe_faces)`` without materializing the face objects.
+
+    Faces pair adjacent tiles along each dimension with nonzero radius:
+    ``(counts_d - 1) * prod(counts_j, j != d)`` pairs per dimension.
+    """
+    if not design.sharing:
+        return 0
+    counts = design.tile_grid.counts
+    total = 0
+    for d, r in enumerate(design.radius):
+        if r == 0:
+            continue
+        per_dim = counts[d] - 1
+        for j, c in enumerate(counts):
+            if j != d:
+                per_dim *= c
+        total += per_dim
+    return total
+
+
+def estimate_batch(
+    designs: Sequence[StencilDesign],
+    flexcl: Optional[FlexCLEstimator] = None,
+) -> BatchResources:
+    """Estimate resources for a whole array of candidates.
+
+    Args:
+        designs: candidate designs (mixed dimensionalities allowed).
+        flexcl: shared pipeline analyzer (one is built when omitted).
+
+    Returns:
+        A :class:`BatchResources` aligned with ``designs``.
+
+    Raises:
+        BatchRangeError: when any candidate's geometry exceeds the
+            exact-parity range (fall back to the scalar estimator).
+    """
+    designs = list(designs)
+    n = len(designs)
+    flexcl = flexcl or FlexCLEstimator()
+    out: Dict[str, Dict[str, np.ndarray]] = {
+        part: {c: np.zeros(n, dtype=np.int64) for c in _COMPONENTS}
+        for part in ("kernels", "pipes")
+    }
+
+    op_cache: Dict[Tuple, Tuple[int, int]] = {}
+    fifo_cache: Dict[Tuple[int, int, int], ResourceVector] = {}
+    groups: Dict[int, List[int]] = {}
+    for i, design in enumerate(designs):
+        groups.setdefault(design.spec.ndim, []).append(i)
+
+    for ndim, idx in groups.items():
+        g = len(idx)
+        k_arr = np.empty(g, dtype=np.int64)
+        dp = {c: np.empty(g, dtype=np.int64) for c in _COMPONENTS}
+        partitions = np.empty(g, dtype=np.int64)
+        gang = np.empty(g, dtype=np.int64)
+        depth = np.empty(g, dtype=np.int64)
+        narrays = np.empty(g, dtype=np.int64)
+        shapes: List[Tuple[int, ...]] = []
+        cones: List[Tuple[int, ...]] = []
+        halos: List[Tuple[int, ...]] = []
+        radii: List[Tuple[int, ...]] = []
+        h_list: List[int] = []
+        pair_cand: List[int] = []
+        seg_starts: List[int] = []
+        max_extent = 0
+        max_r = 0
+        max_h = 1
+        max_scale = 1
+        for row, i in enumerate(idx):
+            design = designs[i]
+            spec = design.spec
+            pattern = spec.pattern
+            report = flexcl.estimate(pattern, design.unroll)
+            pkey = pattern.signature()
+            ops = op_cache.get(pkey)
+            if ops is None:
+                ops = (
+                    pattern.multiplies_per_cell(),
+                    pattern.adds_per_cell(),
+                )
+                op_cache[pkey] = ops
+            muls, adds = ops
+            unroll = design.unroll
+            dp["ff"][row] = (muls * FF_PER_MUL + adds * FF_PER_ADD) * unroll
+            dp["lut"][row] = (
+                muls * LUT_PER_MUL + adds * LUT_PER_ADD
+            ) * unroll
+            dp["dsp"][row] = (
+                muls * DSP_PER_MUL + adds * DSP_PER_ADD
+            ) * unroll
+            dp["bram18"][row] = 0
+            k_arr[row] = design.parallelism
+            partitions[row] = report.partitions
+            word_bits = spec.element_bytes * 8
+            gang[row], depth[row] = _depth_per_block(word_bits)
+            narrays[row] = pattern.num_fields + len(pattern.aux)
+
+            n_faces = _pipe_face_count(design)
+            if n_faces:
+                fkey = (
+                    design.pipe_depth,
+                    word_bits,
+                    pattern.num_fields,
+                )
+                per_face = fifo_cache.get(fkey)
+                if per_face is None:
+                    per_face = fifo_resources(
+                        design.pipe_depth, word_bits
+                    ).scaled(2 * pattern.num_fields)
+                    fifo_cache[fkey] = per_face
+                for c in _COMPONENTS:
+                    out["pipes"][c][i] = getattr(per_face, c) * n_faces
+
+            seg_starts.append(len(shapes))
+            for tile in design.tiles:
+                shapes.append(tile.shape)
+                cones.append(design.cone_sides(tile))
+                halos.append(design.halo_sides(tile))
+                radii.append(design.radius)
+                h_list.append(design.fused_depth)
+                pair_cand.append(row)
+                max_extent = max(max_extent, max(tile.shape))
+            max_r = max(max_r, max(design.radius))
+            max_h = max(max_h, design.fused_depth)
+            max_scale = max(
+                max_scale,
+                int(narrays[row])
+                * int(gang[row])
+                * design.parallelism
+                * LUT_PER_BRAM
+                + design.parallelism * (KERNEL_BASE.lut + int(dp["lut"][row])),
+            )
+        check_parity_range(
+            max_extent + 2 * max_r * (max_h + 1), ndim, max_scale
+        )
+
+        shape_p = np.asarray(shapes, dtype=np.int64).reshape(-1, ndim)
+        cone_p = np.asarray(cones, dtype=np.int64).reshape(-1, ndim)
+        halo_p = np.asarray(halos, dtype=np.int64).reshape(-1, ndim)
+        r_p = np.asarray(radii, dtype=np.int64).reshape(-1, ndim)
+        h_p = np.asarray(h_list, dtype=np.int64)
+        pair_idx = np.asarray(pair_cand, dtype=np.int64)
+        starts = np.asarray(seg_starts, dtype=np.int64)
+
+        # Local-buffer capacity = the tile's read footprint, packed into
+        # RAMB18 banks exactly as ``bram18_blocks`` does: each of the
+        # ``partitions`` banks rounds up to whole (ganged) blocks.
+        read_shape = shape_p + r_p * h_p[:, None] * cone_p + r_p * halo_p
+        cells_p = np.prod(read_shape, axis=1)
+        part_p = partitions[pair_idx]
+        per_bank = np.ceil(cells_p / part_p).astype(np.int64)
+        per_gang = np.ceil(per_bank / depth[pair_idx]).astype(np.int64)
+        blocks_one = part_p * gang[pair_idx] * per_gang
+        blocks_pair = narrays[pair_idx] * blocks_one
+        blocks_sum = np.add.reduceat(blocks_pair, starts)
+
+        out["kernels"]["ff"][idx] = (
+            k_arr * (KERNEL_BASE.ff + dp["ff"]) + blocks_sum * FF_PER_BRAM
+        )
+        out["kernels"]["lut"][idx] = (
+            k_arr * (KERNEL_BASE.lut + dp["lut"]) + blocks_sum * LUT_PER_BRAM
+        )
+        out["kernels"]["dsp"][idx] = k_arr * dp["dsp"]
+        out["kernels"]["bram18"][idx] = blocks_sum
+
+    kernels = ResourceColumns(**out["kernels"])
+    pipes = ResourceColumns(**out["pipes"])
+    total = ResourceColumns(
+        **{
+            c: out["kernels"][c] + out["pipes"][c]
+            for c in _COMPONENTS
+        }
+    )
+    return BatchResources(total=total, kernels=kernels, pipes=pipes)

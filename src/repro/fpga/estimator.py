@@ -113,6 +113,19 @@ class ResourceEstimator:
             total=kernels + pipes, kernels=kernels, pipes=pipes
         )
 
+    def prime(
+        self, design: StencilDesign, resources: DesignResources
+    ) -> DesignResources:
+        """Seed the estimate cache with an externally-computed result.
+
+        Used by the vectorized batch engine
+        (:func:`repro.fpga.batch.estimate_batch`) to write its
+        integer-identical results through to the scalar cache.  First
+        write wins; the retained entry is returned.
+        """
+        with self._lock:
+            return self._cache.setdefault(design.signature(), resources)
+
     def check_fits(
         self, design: StencilDesign, device: FpgaDevice
     ) -> DesignResources:

@@ -1,0 +1,68 @@
+"""Exact-parity range guard shared by the vectorized batch engines.
+
+The batch engines (:mod:`repro.model.batch`, :mod:`repro.fpga.batch`)
+promise bitwise-identical results to their scalar counterparts.  That
+promise holds only while two numeric-range invariants do:
+
+- every integer cell count stays below ``2**52``, so ``int64 ->
+  float64`` conversions (and ``ceil`` over float divisions, as in the
+  BRAM packing model) round identically to CPython's
+  arbitrary-precision path, and
+- every ``int64`` intermediate stays below ``2**62``, so vectorized
+  integer arithmetic cannot overflow where Python ints silently grow.
+
+:func:`check_parity_range` validates conservative Python-int bounds
+before any array math runs; a violation raises
+:class:`BatchRangeError` and the caller falls back to the scalar
+implementation — the guard affects speed, never results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DesignSpaceError
+
+__all__ = [
+    "BatchRangeError",
+    "CELLS_LIMIT",
+    "INT64_LIMIT",
+    "check_parity_range",
+]
+
+#: Cell counts must stay below this for ``int64 -> float64`` round
+#: trips (and float-ceil divisions) to be exact.
+CELLS_LIMIT = 1 << 52
+
+#: Ceiling for every intermediate ``int64`` product/sum (overflow-free
+#: with headroom below ``2**63 - 1``).
+INT64_LIMIT = 1 << 62
+
+
+class BatchRangeError(DesignSpaceError):
+    """A candidate's geometry exceeds the exact-parity vectorized range.
+
+    Raised before any result is produced; callers fall back to the
+    scalar implementation for the whole batch.
+    """
+
+
+def check_parity_range(extent_bound: int, ndim: int, scale: int) -> int:
+    """Validate Python-int bounds for one batch group; return the cell bound.
+
+    Args:
+        extent_bound: upper bound on any per-dimension extent appearing
+            in the group's integer geometry (including cone-inflated
+            and iteration-extrapolated extents).
+        ndim: dimensionality (cell counts are ``extent_bound ** ndim``).
+        scale: largest factor any cell count is multiplied by (or
+            summed over) in ``int64`` arithmetic.
+
+    Raises:
+        BatchRangeError: when exact scalar parity cannot be guaranteed.
+    """
+    cells_bound = max(1, extent_bound) ** ndim
+    if cells_bound >= CELLS_LIMIT or cells_bound * max(1, scale) >= INT64_LIMIT:
+        raise BatchRangeError(
+            f"Batch geometry out of exact-parity range: cell bound "
+            f"{cells_bound} (extent {extent_bound}^{ndim}), scale {scale}"
+        )
+    return cells_bound

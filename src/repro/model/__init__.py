@@ -9,6 +9,7 @@ from repro.model.compute import (
     iteration_latency_eq8,
 )
 from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+from repro.model.batch import BatchPrediction, BatchRangeError, predict_batch
 from repro.model.calibration import CalibrationResult, OfflineProfiler
 from repro.model.predictor import (
     Fidelity,
@@ -32,6 +33,9 @@ __all__ = [
     "cycles_per_element_eq9",
     "share_latency_eq10",
     "overlap_lambda_eq11",
+    "BatchPrediction",
+    "BatchRangeError",
+    "predict_batch",
     "Fidelity",
     "LatencyBreakdown",
     "PerformanceModel",

@@ -1,0 +1,486 @@
+"""NumPy-vectorized batch evaluation of the performance model.
+
+Evaluates an entire array of candidate designs — all ``(h, f_k_d,
+tile_shape)`` points of an enumerated space — in one pass over NumPy
+arrays: Eq. 2 region counts, Eq. 4-6 memory latencies, Eq. 7-9
+per-iteration cone workloads (the iteration axis is vectorized too),
+and Eq. 10-11 pipe-share/overlap with the same zero-clamp semantics as
+:func:`~repro.model.sharing.share_latency_eq10`.
+
+**Parity is the contract.**  For every candidate, every breakdown
+component equals the scalar :meth:`PerformanceModel.predict` result
+*bitwise* — not approximately.  That requires replicating the scalar
+path's operation order and numeric types per equation:
+
+- Integer geometry (cell counts, footprints, byte sizes) is computed in
+  ``int64``; integer arithmetic is exact in any association order, so
+  these may use ``np.prod``/``reduceat`` freely.  A range guard keeps
+  every intermediate below ``2**62`` (no ``int64`` overflow) and every
+  cell count below ``2**52`` (so ``int -> float64`` conversions and the
+  BRAM model's float-ceil divisions round identically to the scalar
+  path's arbitrary-precision ``int`` arithmetic).
+- Float accumulations (the ``i = 1..h`` iteration loop, Eq. 10's face
+  sums) run as explicit sequential loops over the iteration/dimension
+  axes — ``np.sum``'s pairwise summation would change the rounding.
+  Masked lanes accumulate ``+ 0.0``, which is a bitwise identity for
+  the non-negative quantities involved.
+- Ratios whose scalar form is a Python ``int / int`` true division
+  (Eq. 2's ``N_region``, the integer block count) are computed
+  per-candidate in Python, because CPython's correctly-rounded rational
+  division can differ from NumPy's convert-then-divide for huge
+  operands.
+
+Candidates whose geometry exceeds the guarded range raise
+:class:`BatchRangeError`; callers (the
+:class:`~repro.dse.evaluator.CandidateEvaluator` fast path) fall back
+to the scalar model, so the guard affects speed, never results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import DesignSpaceError
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.fpga.parity import (
+    CELLS_LIMIT,
+    INT64_LIMIT,
+    BatchRangeError,
+    check_parity_range,
+)
+from repro.model.predictor import Fidelity, LatencyBreakdown
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.tiling.design import StencilDesign
+
+__all__ = [
+    "BatchPrediction",
+    "BatchRangeError",
+    "CELLS_LIMIT",
+    "INT64_LIMIT",
+    "check_parity_range",
+    "predict_batch",
+]
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Per-candidate latency components (cycles), as ``float64`` arrays.
+
+    Component ``i`` of every array is bitwise-equal to the same field
+    of ``PerformanceModel.predict(designs[i])`` at the requested
+    fidelity.  ``total`` follows :attr:`LatencyBreakdown.total`'s
+    summation order.
+    """
+
+    launch: np.ndarray
+    read: np.ndarray
+    write: np.ndarray
+    compute_useful: np.ndarray
+    compute_redundant: np.ndarray
+    share_exposed: np.ndarray
+    total: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.total)
+
+    def breakdown(self, i: int) -> LatencyBreakdown:
+        """Candidate ``i``'s components as a scalar breakdown."""
+        return LatencyBreakdown(
+            launch=float(self.launch[i]),
+            read=float(self.read[i]),
+            write=float(self.write[i]),
+            compute_useful=float(self.compute_useful[i]),
+            compute_redundant=float(self.compute_redundant[i]),
+            share_exposed=float(self.share_exposed[i]),
+        )
+
+
+def _normalize_boards(
+    board: Union[BoardSpec, Sequence[BoardSpec]], n: int
+) -> List[BoardSpec]:
+    if isinstance(board, BoardSpec):
+        return [board] * n
+    boards = list(board)
+    if len(boards) != n:
+        raise DesignSpaceError(
+            f"Per-candidate board list has {len(boards)} entries for "
+            f"{n} candidates"
+        )
+    return boards
+
+
+def predict_batch(
+    designs: Sequence[StencilDesign],
+    board: Union[BoardSpec, Sequence[BoardSpec]] = ADM_PCIE_7V3,
+    fidelity: Fidelity = Fidelity.REFINED,
+    flexcl: Optional[FlexCLEstimator] = None,
+) -> BatchPrediction:
+    """Predict latency breakdowns for a whole array of candidates.
+
+    Args:
+        designs: candidate designs (mixed dimensionalities allowed;
+            candidates are grouped by rank internally).
+        board: one board for all candidates, or one per candidate
+            (e.g. a sensitivity sweep's per-point boards).
+        fidelity: analytical-model variant, as in
+            :class:`~repro.model.predictor.PerformanceModel`.
+        flexcl: shared pipeline analyzer (one is built when omitted).
+
+    Returns:
+        A :class:`BatchPrediction` aligned with ``designs``.
+
+    Raises:
+        BatchRangeError: when any candidate's geometry exceeds the
+            exact-parity range (fall back to the scalar model).
+    """
+    designs = list(designs)
+    n = len(designs)
+    boards = _normalize_boards(board, n)
+    flexcl = flexcl or FlexCLEstimator()
+    out = {
+        name: np.zeros(n, dtype=np.float64)
+        for name in (
+            "launch",
+            "read",
+            "write",
+            "compute_useful",
+            "compute_redundant",
+            "share_exposed",
+        )
+    }
+    start = time.perf_counter()
+    with obs.span(
+        "model.predict_batch", candidates=n, fidelity=fidelity.value
+    ):
+        groups: Dict[int, List[int]] = {}
+        for i, design in enumerate(designs):
+            groups.setdefault(design.spec.ndim, []).append(i)
+        for ndim, idx in groups.items():
+            if fidelity is Fidelity.PAPER:
+                parts = _paper_group(designs, boards, flexcl, idx, ndim)
+            else:
+                parts = _refined_group(designs, boards, flexcl, idx, ndim)
+            for name, values in parts.items():
+                out[name][idx] = values
+    elapsed = time.perf_counter() - start
+    if n and obs.enabled():
+        # Keep the ``model.predict`` latency histogram meaningful for
+        # vectorized scoring: one amortized observation per candidate.
+        per_candidate = elapsed / n
+        for _ in range(n):
+            obs.observe("model.predict", per_candidate)
+    total = (
+        out["launch"]
+        + out["read"]
+        + out["write"]
+        + out["compute_useful"]
+        + out["compute_redundant"]
+        + out["share_exposed"]
+    )
+    return BatchPrediction(total=total, **out)
+
+
+# -- shared group plumbing -----------------------------------------------------
+
+
+def _tile_columns(
+    designs: Sequence[StencilDesign], idx: Sequence[int], ndim: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Per-tile ("pair") geometry columns for one rank group.
+
+    Returns ``(shape, cone, halo, pair_cand, seg_starts, max_extent)``:
+    ``(m, ndim)`` int64 arrays of tile extents, cone-side and halo-side
+    multiplicities, the owning group-local candidate index per pair,
+    each candidate's first pair index, and the largest raw extent seen.
+    """
+    shapes: List[Tuple[int, ...]] = []
+    cones: List[Tuple[int, ...]] = []
+    halos: List[Tuple[int, ...]] = []
+    pair_cand: List[int] = []
+    seg_starts: List[int] = []
+    max_extent = 0
+    for g, i in enumerate(idx):
+        design = designs[i]
+        seg_starts.append(len(shapes))
+        for tile in design.tiles:
+            shapes.append(tile.shape)
+            cones.append(design.cone_sides(tile))
+            halos.append(design.halo_sides(tile))
+            pair_cand.append(g)
+            max_extent = max(max_extent, max(tile.shape))
+    return (
+        np.asarray(shapes, dtype=np.int64).reshape(-1, ndim),
+        np.asarray(cones, dtype=np.int64).reshape(-1, ndim),
+        np.asarray(halos, dtype=np.int64).reshape(-1, ndim),
+        np.asarray(pair_cand, dtype=np.int64),
+        np.asarray(seg_starts, dtype=np.int64),
+        max_extent,
+    )
+
+
+def _first_argmax_per_segment(
+    totals: np.ndarray, pair_cand: np.ndarray, seg_starts: np.ndarray
+) -> np.ndarray:
+    """Index of each segment's first maximal element (first max wins).
+
+    Matches the scalar paths' strict ``>`` update loops (and Python's
+    ``max``), which keep the earliest of tied maxima.
+    """
+    seg_max = np.maximum.reduceat(totals, seg_starts)
+    m = len(totals)
+    position = np.where(
+        totals == seg_max[pair_cand], np.arange(m, dtype=np.int64), m
+    )
+    return np.minimum.reduceat(position, seg_starts)
+
+
+# -- paper-exact (Eqs. 1-11) group evaluation ----------------------------------
+
+
+def _paper_group(
+    designs: Sequence[StencilDesign],
+    boards: Sequence[BoardSpec],
+    flexcl: FlexCLEstimator,
+    idx: Sequence[int],
+    ndim: int,
+) -> Dict[str, np.ndarray]:
+    g = len(idx)
+    h_arr = np.empty(g, dtype=np.int64)
+    k_arr = np.empty(g, dtype=np.int64)
+    c_elem = np.empty(g, dtype=np.float64)
+    per_cycle = np.empty(g, dtype=np.float64)
+    pipe = np.empty(g, dtype=np.float64)
+    launch = np.empty(g, dtype=np.float64)
+    read_bpc = np.empty(g, dtype=np.int64)
+    write_bpc = np.empty(g, dtype=np.int64)
+    growth = np.empty((g, ndim), dtype=np.int64)
+    sharing = np.zeros(g, dtype=bool)
+    max_r = 0
+    max_bpc = 1
+    for row, i in enumerate(idx):
+        design = designs[i]
+        spec = design.spec
+        report = flexcl.estimate(spec.pattern, design.unroll)
+        h_arr[row] = design.fused_depth
+        k_arr[row] = design.parallelism
+        c_elem[row] = report.cycles_per_element
+        per_cycle[row] = boards[i].effective_bytes_per_cycle
+        pipe[row] = float(boards[i].pipe_cycles_per_word)
+        launch[row] = float(boards[i].kernel_launch_cycles)
+        aux_bytes = spec.element_bytes * len(spec.pattern.aux)
+        read_bpc[row] = spec.cell_state_bytes + aux_bytes
+        write_bpc[row] = spec.cell_state_bytes
+        growth[row] = spec.pattern.halo_growth
+        sharing[row] = design.sharing
+        max_r = max(max_r, max(spec.pattern.radius))
+        max_bpc = max(max_bpc, spec.cell_state_bytes + aux_bytes)
+
+    shape_p, cone_p, _halo_p, pair_cand, seg_starts, max_extent = (
+        _tile_columns(designs, idx, ndim)
+    )
+    max_h = int(h_arr.max())
+    check_parity_range(
+        max_extent + 2 * max_r * (max_h + 1), ndim, max(max_h, max_bpc)
+    )
+
+    # Slowest-tile selection: total cone workload per tile, first max
+    # wins (mirrors ``max(tiles, key=tile_compute_cells)``).
+    radius_rows = np.asarray(
+        [designs[i].spec.pattern.radius for i in idx], dtype=np.int64
+    ).reshape(g, ndim)
+    rn_p = radius_rows[pair_cand] * cone_p
+    h_p = h_arr[pair_cand]
+    totals_p = np.zeros(len(pair_cand), dtype=np.int64)
+    for i in range(1, max_h + 1):
+        rem = h_p - i
+        cells_i = np.prod(shape_p + rn_p * rem[:, None], axis=1)
+        totals_p += np.where(rem >= 0, cells_i, 0)
+    pick = _first_argmax_per_segment(totals_p, pair_cand, seg_starts)
+    slow_shape = shape_p[pick]
+
+    # Eq. 2 per candidate in pure Python: one correctly-rounded int/int
+    # true division, exactly as ``num_regions_eq2`` computes it.
+    n_region = np.empty(g, dtype=np.float64)
+    for row, i in enumerate(idx):
+        design = designs[i]
+        grid_cells = 1
+        for w in design.spec.grid_shape:
+            grid_cells *= w
+        tile_cells = 1
+        for w in slow_shape[row]:
+            tile_cells *= int(w)
+        n_region[row] = (
+            design.spec.iterations
+            * grid_cells
+            / (design.fused_depth * design.parallelism * tile_cells)
+        )
+
+    denom = per_cycle / k_arr
+    read_cells = np.prod(slow_shape + growth * h_arr[:, None], axis=1)
+    read = (read_cells * read_bpc) / denom
+    tile_cells0 = np.prod(slow_shape, axis=1)
+    write = (tile_cells0 * write_bpc) / denom
+
+    useful = np.zeros(g, dtype=np.float64)
+    redundant = np.zeros(g, dtype=np.float64)
+    exposed = np.zeros(g, dtype=np.float64)
+    useful_i = c_elem * tile_cells0
+    any_sharing = bool(sharing.any())
+    for i in range(1, max_h + 1):
+        rem = h_arr - i
+        active = rem >= 0
+        cells_i = np.prod(slow_shape + growth * rem[:, None], axis=1)
+        l_iter = c_elem * cells_i
+        useful += np.where(active, useful_i, 0.0)
+        redundant += np.where(active, l_iter - useful_i, 0.0)
+        if not any_sharing:
+            continue
+        # Eq. 10 with the scalar clamp: per-face extents shrink inward
+        # by ``Δw_d (h - i)`` and clamp at zero, faces multiply in
+        # ascending dimension order, and faces sum in ascending ``j``.
+        total_face = np.zeros(g, dtype=np.float64)
+        clamped = [
+            np.maximum(0.0, slow_shape[:, d] - growth[:, d] * rem)
+            for d in range(ndim)
+        ]
+        for j in range(ndim):
+            face = np.ones(g, dtype=np.float64)
+            for d in range(ndim):
+                if d == j:
+                    continue
+                face = face * clamped[d]
+            total_face = total_face + face
+        l_share = pipe * total_face
+        exposed += np.where(
+            active & sharing, np.maximum(0.0, l_share - l_iter), 0.0
+        )
+
+    return {
+        "launch": launch * n_region,
+        "read": read * n_region,
+        "write": write * n_region,
+        "compute_useful": useful * n_region,
+        "compute_redundant": redundant * n_region,
+        "share_exposed": exposed * n_region,
+    }
+
+
+# -- refined (exact-geometry) group evaluation ---------------------------------
+
+
+def _refined_group(
+    designs: Sequence[StencilDesign],
+    boards: Sequence[BoardSpec],
+    flexcl: FlexCLEstimator,
+    idx: Sequence[int],
+    ndim: int,
+) -> Dict[str, np.ndarray]:
+    g = len(idx)
+    shape_p, cone_p, halo_p, pair_cand, seg_starts, max_extent = (
+        _tile_columns(designs, idx, ndim)
+    )
+    m = len(pair_cand)
+
+    h_arr = np.empty(g, dtype=np.int64)
+    k_arr = np.empty(g, dtype=np.int64)
+    c_elem = np.empty(g, dtype=np.float64)
+    per_cycle = np.empty(g, dtype=np.float64)
+    pipe = np.empty(g, dtype=np.float64)
+    launch = np.empty(g, dtype=np.float64)
+    read_bpc = np.empty(g, dtype=np.int64)
+    write_bpc = np.empty(g, dtype=np.int64)
+    nf_arr = np.empty(g, dtype=np.int64)
+    radius = np.empty((g, ndim), dtype=np.int64)
+    blocks_f = np.empty(g, dtype=np.float64)
+    max_r = 0
+    max_scale = 1
+    for row, i in enumerate(idx):
+        design = designs[i]
+        spec = design.spec
+        report = flexcl.estimate(spec.pattern, design.unroll)
+        h_arr[row] = design.fused_depth
+        k_arr[row] = design.parallelism
+        c_elem[row] = report.cycles_per_element
+        per_cycle[row] = boards[i].effective_bytes_per_cycle
+        pipe[row] = float(boards[i].pipe_cycles_per_word)
+        launch[row] = float(boards[i].kernel_launch_cycles)
+        aux_bytes = spec.element_bytes * len(spec.pattern.aux)
+        read_bpc[row] = spec.cell_state_bytes + aux_bytes
+        write_bpc[row] = spec.cell_state_bytes
+        nf_arr[row] = spec.pattern.num_fields
+        radius[row] = spec.pattern.radius
+        blocks_f[row] = float(design.num_blocks())
+        max_r = max(max_r, max(spec.pattern.radius))
+        max_scale = max(
+            max_scale,
+            design.fused_depth,
+            (spec.cell_state_bytes + aux_bytes) * design.parallelism,
+            2 * ndim * max(spec.pattern.radius) * spec.pattern.num_fields,
+        )
+    max_h = int(h_arr.max())
+    check_parity_range(max_extent + 2 * max_r * (max_h + 1), ndim, max_scale)
+
+    h_p = h_arr[pair_cand]
+    c_elem_p = c_elem[pair_cand]
+    pipe_p = pipe[pair_cand]
+    per_cycle_p = per_cycle[pair_cand]
+    k_p = k_arr[pair_cand]
+    nf_p = nf_arr[pair_cand]
+    r_p = radius[pair_cand]
+
+    cells_p = np.prod(shape_p, axis=1)
+    read_shape = shape_p + r_p * h_p[:, None] * cone_p + r_p * halo_p
+    read_cells = np.prod(read_shape, axis=1)
+    read = (read_cells * read_bpc[pair_cand] * k_p) / per_cycle_p
+    write = (cells_p * write_bpc[pair_cand] * k_p) / per_cycle_p
+    useful = (c_elem_p * h_p) * cells_p
+
+    compute_cells = np.zeros(m, dtype=np.int64)
+    exposed = np.zeros(m, dtype=np.float64)
+    prev_indep = np.zeros(m, dtype=np.int64)
+    for i in range(1, max_h + 1):
+        rem = h_p - i
+        active = rem >= 0
+        fp = shape_p + r_p * rem[:, None] * cone_p
+        compute_cells += np.where(active, np.prod(fp, axis=1), 0)
+        if i >= 2:
+            # Cells received through pipes before iteration ``i``
+            # (``tile_share_cells``): a radius-wide strip per shared
+            # side, sized to the iteration footprint transversally;
+            # dims with no shared side or zero radius contribute zero.
+            share_cells = np.zeros(m, dtype=np.int64)
+            for d in range(ndim):
+                transverse = np.ones(m, dtype=np.int64)
+                for j in range(ndim):
+                    if j != d:
+                        transverse *= fp[:, j]
+                share_cells += halo_p[:, d] * r_p[:, d] * transverse
+            share = pipe_p * (share_cells * nf_p)
+            mask = active & (share > 0.0)
+            exposed += np.where(
+                mask,
+                np.maximum(0.0, share - c_elem_p * prev_indep),
+                0.0,
+            )
+        # Interior-first schedule: next iteration's halo hides behind
+        # this iteration's independent (interior) cells.
+        prev_indep = np.prod(np.maximum(fp - r_p * halo_p, 0), axis=1)
+    redundant = c_elem_p * compute_cells - useful
+
+    launch_p = launch[pair_cand]
+    totals_p = launch_p + read + write + useful + redundant + exposed
+    pick = _first_argmax_per_segment(totals_p, pair_cand, seg_starts)
+
+    return {
+        "launch": launch * blocks_f,
+        "read": read[pick] * blocks_f,
+        "write": write[pick] * blocks_f,
+        "compute_useful": useful[pick] * blocks_f,
+        "compute_redundant": redundant[pick] * blocks_f,
+        "share_exposed": exposed[pick] * blocks_f,
+    }

@@ -6,7 +6,7 @@ import math
 from typing import List
 
 from repro.model.params import ModelParameters
-from repro.model.sharing import overlap_lambda_eq11
+from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
 
 
 def cycles_per_element_eq9(params: ModelParameters) -> float:
@@ -52,6 +52,14 @@ def compute_latency_eq7(params: ModelParameters, sharing: bool) -> float:
     total = 0.0
     for i in range(1, params.fused_depth + 1):
         l_iter = iteration_latency_eq8(params, i)
+        if sharing and l_iter <= 0.0:
+            # Degenerate cone: the iteration computes nothing
+            # (``Δw_d (h - i)`` consumed the whole extent) but its pipe
+            # transfer still takes ``L_share`` cycles, all exposed.
+            # ``(1 + λ) L_iter`` would lose that term to the zero
+            # multiplier, so charge the transfer directly.
+            total += max(0.0, share_latency_eq10(params, i))
+            continue
         lam = overlap_lambda_eq11(params, i) if sharing else 0.0
         total += (1.0 + lam) * l_iter
     return total

@@ -189,6 +189,19 @@ class PerformanceModel:
         """Shortcut for ``predict_cached(design).total``."""
         return self.predict_cached(design).total
 
+    def prime(self, design: StencilDesign, breakdown: LatencyBreakdown) -> LatencyBreakdown:
+        """Seed the prediction cache with an externally-computed result.
+
+        Used by the vectorized batch engine
+        (:func:`repro.model.batch.predict_batch`) to write its
+        bitwise-identical results through to the scalar cache, so later
+        :meth:`predict_cached` calls for the same design are free.
+        First write wins (matching ``setdefault`` semantics); the
+        retained entry is returned.
+        """
+        with self._lock:
+            return self._cache.setdefault(design.signature(), breakdown)
+
     # -- paper-exact evaluation -------------------------------------------------
 
     def _predict_paper(

@@ -1,0 +1,153 @@
+"""Equivalence tests for the evaluator's vectorized fast path.
+
+The fast path must be *indistinguishable* from the scalar path in
+everything except speed: same results, same engine counters, same
+trace streams, same store contents.  Every comparison here is exact.
+"""
+
+import pytest
+
+from repro.dse import CandidateEvaluator, ResourceBudget
+from repro.fpga.resources import VIRTEX7_690T, ResourceVector
+from repro.model.predictor import Fidelity
+from repro.stencil import hotspot_2d, jacobi_2d
+from repro.store.backing import DesignStore
+from repro.tiling import make_baseline_design, make_pipe_shared_design
+
+
+@pytest.fixture(scope="module")
+def budget():
+    return ResourceBudget.from_device(VIRTEX7_690T)
+
+
+def make_candidates():
+    """A small space mixing kinds, depths, and exact duplicates."""
+    j2d = jacobi_2d(grid=(128, 128), iterations=16)
+    hs = hotspot_2d(grid=(128, 128), iterations=16)
+    designs = []
+    for h in (2, 4, 8):
+        designs.append(make_baseline_design(j2d, (32, 32), (2, 2), h))
+        designs.append(make_pipe_shared_design(j2d, (32, 32), (2, 2), h))
+        designs.append(make_baseline_design(hs, (16, 16), (2, 2), h))
+    # Exact duplicates exercise memo hits inside one batch.
+    designs.append(designs[0])
+    designs.append(designs[3].with_fused_depth(designs[3].fused_depth))
+    return designs
+
+
+def run_engine(vectorize, budget, store=None, fidelity=Fidelity.REFINED):
+    traces = []
+    engine = CandidateEvaluator(
+        fidelity=fidelity,
+        vectorize=vectorize,
+        trace=traces.append,
+        store=store,
+    )
+    results = engine.evaluate_batch(make_candidates(), budget)
+    return engine, results, traces
+
+
+def strip_wall_time(stats):
+    d = stats.as_dict()
+    d.pop("wall_time_s", None)
+    return d
+
+
+@pytest.mark.parametrize("fidelity", [Fidelity.PAPER, Fidelity.REFINED])
+def test_fast_path_matches_scalar_path(budget, fidelity):
+    scalar_engine, scalar, scalar_traces = run_engine(
+        False, budget, fidelity=fidelity
+    )
+    vector_engine, vector, vector_traces = run_engine(
+        True, budget, fidelity=fidelity
+    )
+
+    assert len(scalar) == len(vector)
+    for s, v in zip(scalar, vector):
+        assert (s is None) == (v is None)
+        if s is not None:
+            assert v.design.signature() == s.design.signature()
+            assert v.predicted_cycles == s.predicted_cycles
+            assert v.resources == s.resources
+
+    assert strip_wall_time(vector_engine.stats) == strip_wall_time(
+        scalar_engine.stats
+    )
+    assert [
+        (t.design.signature(), t.outcome, t.predicted_cycles, t.seq)
+        for t in vector_traces
+    ] == [
+        (t.design.signature(), t.outcome, t.predicted_cycles, t.seq)
+        for t in scalar_traces
+    ]
+
+
+def test_duplicates_hit_memo_inside_one_batch(budget):
+    engine, results, _ = run_engine(True, budget)
+    assert engine.stats.cache_hits == 2
+    assert results[-2].predicted_cycles == results[0].predicted_cycles
+
+
+def test_infeasible_budget_matches_scalar(budget):
+    tiny = ResourceBudget(limit=ResourceVector(1, 1, 1, 1))
+    scalar_engine, scalar, _ = run_engine(False, tiny)
+    vector_engine, vector, _ = run_engine(True, tiny)
+    assert all(r is None for r in vector)
+    assert scalar == vector
+    assert strip_wall_time(vector_engine.stats) == strip_wall_time(
+        scalar_engine.stats
+    )
+    assert vector_engine.stats.infeasible == len(make_candidates())
+
+
+def test_store_contents_identical(tmp_path, budget):
+    with DesignStore(tmp_path / "scalar") as store:
+        run_engine(False, budget, store=store)
+    with DesignStore(tmp_path / "vector") as store:
+        run_engine(True, budget, store=store)
+
+    # Same records, same order, same serialization — byte for byte.
+    for name in ("journal.jsonl", "snapshot.jsonl"):
+        scalar_file = tmp_path / "scalar" / name
+        vector_file = tmp_path / "vector" / name
+        assert scalar_file.exists() == vector_file.exists()
+        if scalar_file.exists():
+            assert scalar_file.read_bytes() == vector_file.read_bytes()
+
+
+def test_warm_store_answers_without_evaluation(tmp_path, budget):
+    with DesignStore(tmp_path / "s") as store:
+        run_engine(True, budget, store=store)
+    with DesignStore(tmp_path / "s") as store:
+        engine, results, _ = run_engine(True, budget, store=store)
+        assert engine.stats.evaluated == 0
+        assert engine.stats.store_hits > 0
+        assert all(r is not None for r in results)
+
+
+def test_vectorize_knob_eligibility(budget):
+    auto = CandidateEvaluator()
+    assert not auto._vector_eligible(0)
+    assert not auto._vector_eligible(1)
+    assert auto._vector_eligible(2)
+
+    forced = CandidateEvaluator(vectorize=True)
+    assert forced._vector_eligible(1)
+    assert not forced._vector_eligible(0)
+
+    disabled = CandidateEvaluator(vectorize=False)
+    assert not disabled._vector_eligible(100)
+
+    pruning = CandidateEvaluator(prune=True, vectorize=True)
+    assert not pruning._vector_eligible(100)
+
+
+def test_single_candidate_forced_vector_matches_scalar(budget):
+    design = make_candidates()[0]
+    scalar = CandidateEvaluator(vectorize=False)
+    vector = CandidateEvaluator(vectorize=True)
+    s = scalar.evaluate_batch([design], budget)[0]
+    v = vector.evaluate_batch([design], budget)[0]
+    assert s is not None and v is not None
+    assert v.predicted_cycles == s.predicted_cycles
+    assert v.resources == s.resources

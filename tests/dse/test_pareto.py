@@ -8,9 +8,9 @@ from repro.stencil import jacobi_2d
 from repro.tiling import make_baseline_design
 
 
-def make_candidate(cycles, bram):
+def make_candidate(cycles, bram, tile=(8, 8)):
     spec = jacobi_2d(grid=(32, 32), iterations=4)
-    design = make_baseline_design(spec, (8, 8), (2, 2), 2)
+    design = make_baseline_design(spec, tile, (2, 2), 2)
     resources = DesignResources(
         total=ResourceVector(bram18=bram),
         kernels=ResourceVector(bram18=bram),
@@ -45,10 +45,53 @@ class TestParetoFront:
         cycles = [c.predicted_cycles for c in front]
         assert cycles == sorted(cycles)
 
-    def test_duplicate_objectives_all_kept(self):
+    def test_duplicate_objectives_deduplicated(self):
+        # Duplicated designs with identical objectives collapse to one
+        # frontier entry — a duplicate adds no trade-off information.
         a = make_candidate(100, 10)
         b = make_candidate(100, 10)
-        assert len(pareto_front([a, b])) == 2
+        front = pareto_front([a, b])
+        assert len(front) == 1
+        assert front[0].predicted_cycles == 100
+
+    def test_duplicate_objectives_do_not_shadow_the_front(self):
+        # Historically a tied pair excluded *each other* from the
+        # dominance scan, letting dominated duplicates survive; the
+        # frontier must stay duplicate-free and correct.
+        tied_a = make_candidate(100, 10)
+        tied_b = make_candidate(100, 10)
+        dominated = make_candidate(200, 20)
+        front = pareto_front([tied_a, dominated, tied_b])
+        assert len(front) == 1
+        assert front[0].predicted_cycles == 100
+
+    def test_duplicate_pick_is_deterministic(self):
+        # Distinct designs with equal objectives: the kept one is the
+        # lowest canonical signature, regardless of input order.
+        a = make_candidate(100, 10, tile=(8, 8))
+        b = make_candidate(100, 10, tile=(16, 4))
+        expected = min(
+            (a, b), key=lambda c: repr(c.design.signature())
+        )
+        for ordering in ([a, b], [b, a]):
+            front = pareto_front(ordering)
+            assert len(front) == 1
+            assert front[0] is expected
+
+    def test_objectives_computed_once_per_candidate(self):
+        calls = []
+
+        def counting(e):
+            calls.append(e)
+            return (e.predicted_cycles, float(e.resources.total.bram18))
+
+        candidates = [
+            make_candidate(100, 50),
+            make_candidate(200, 10),
+            make_candidate(300, 5),
+        ]
+        pareto_front(candidates, objectives=counting)
+        assert len(calls) == len(candidates)
 
     def test_custom_objectives(self):
         a = make_candidate(100, 50)

@@ -1,0 +1,127 @@
+"""Degenerate-cone edge cases for Eqs. 7, 10, and 11.
+
+When the fused-iteration cone consumes a tile face entirely
+(``w_d f_d - Δw_d (h - i) <= 0``) or an iteration computes nothing at
+all (``L_iter_i = 0``), the sharing equations sit exactly on their
+clamp boundaries.  These tests pin the agreed semantics so the scalar
+and vectorized engines can both be audited against one reference:
+
+- Eq. 10 clamps consumed faces to zero cells (never negative latency);
+- Eq. 11 returns 0 for a no-op iteration with no transfer, and 1 (all
+  exposed) when a transfer remains;
+- Eq. 7 still charges the un-hideable transfer of a zero-compute
+  iteration instead of losing it to the ``(1 + λ) * 0`` product.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.model.compute import compute_latency_eq7, iteration_latency_eq8
+from repro.model.params import extract_parameters
+from repro.model.sharing import overlap_lambda_eq11, share_latency_eq10
+from repro.opencl.platform import ADM_PCIE_7V3
+from repro.stencil import jacobi_2d
+from repro.tiling import make_pipe_shared_design
+
+
+@pytest.fixture
+def params():
+    spec = jacobi_2d()
+    design = make_pipe_shared_design(spec, (16, 16), (4, 4), 8)
+    return extract_parameters(design, ADM_PCIE_7V3)
+
+
+class TestEq10DegenerateFaces:
+    def test_fully_consumed_tile_shares_nothing(self, params):
+        # Every extent is consumed: 4 - 2*(8-1) < 0 in both dims.
+        p = dataclasses.replace(params, tile_shape=(4, 4))
+        assert share_latency_eq10(p, iteration=1) == 0.0
+
+    def test_consumed_face_clamps_to_zero_not_negative(self, params):
+        # remaining = 3: extents are 4 - 6 = -2 (clamped) and 8 - 6 = 2.
+        # Face j=0 spans dim 1 (2 cells); face j=1 spans dim 0 (0 cells).
+        p = dataclasses.replace(
+            params, tile_shape=(4, 8), fused_depth=4
+        )
+        expected = p.pipe_cycles_per_word * 2.0
+        assert share_latency_eq10(p, iteration=1) == expected
+
+    def test_share_latency_never_negative(self, params):
+        for i in range(1, params.fused_depth + 1):
+            assert share_latency_eq10(params, i) >= 0.0
+
+
+class TestEq11DegenerateIterations:
+    def _zero_iter_params(self, params):
+        # A zero tile extent makes the *last* iteration compute zero
+        # cells (remaining = 0) while the orthogonal face still holds
+        # transferable cells.
+        return dataclasses.replace(params, tile_shape=(0, 8))
+
+    def test_zero_iter_with_transfer_is_fully_exposed(self, params):
+        p = self._zero_iter_params(params)
+        i = p.fused_depth
+        assert iteration_latency_eq8(p, i) == 0.0
+        assert share_latency_eq10(p, i) > 0.0
+        assert overlap_lambda_eq11(p, i) == 1.0
+
+    def test_zero_iter_without_transfer_is_free(self, params):
+        p = dataclasses.replace(params, tile_shape=(0, 0))
+        i = p.fused_depth
+        assert iteration_latency_eq8(p, i) == 0.0
+        assert share_latency_eq10(p, i) == 0.0
+        assert overlap_lambda_eq11(p, i) == 0.0
+
+    def test_hidden_transfer_has_zero_lambda(self, params):
+        # Healthy geometry: transfers fit under compute.
+        for i in range(1, params.fused_depth + 1):
+            if share_latency_eq10(params, i) <= iteration_latency_eq8(
+                params, i
+            ):
+                assert overlap_lambda_eq11(params, i) == 0.0
+
+
+class TestEq7DegenerateContribution:
+    def test_zero_compute_iteration_still_charges_transfer(self, params):
+        p = dataclasses.replace(params, tile_shape=(0, 8))
+        i = p.fused_depth
+        l_share = share_latency_eq10(p, i)
+        assert iteration_latency_eq8(p, i) == 0.0
+        assert l_share > 0.0
+
+        with_sharing = compute_latency_eq7(p, sharing=True)
+        # The manual Eq. 7 sum with the degenerate iteration's exposed
+        # transfer charged directly.
+        expected = 0.0
+        for it in range(1, p.fused_depth + 1):
+            l_iter = iteration_latency_eq8(p, it)
+            if l_iter <= 0.0:
+                expected += max(0.0, share_latency_eq10(p, it))
+                continue
+            expected += (1.0 + overlap_lambda_eq11(p, it)) * l_iter
+        assert with_sharing == expected
+        assert with_sharing >= l_share
+
+    def test_without_sharing_zero_iterations_are_free(self, params):
+        p = dataclasses.replace(params, tile_shape=(0, 8))
+        expected = sum(
+            iteration_latency_eq8(p, it)
+            for it in range(1, p.fused_depth + 1)
+        )
+        assert compute_latency_eq7(p, sharing=False) == expected
+
+    def test_per_iteration_contribution_is_max_of_compute_and_share(
+        self, params
+    ):
+        # With the Eq. 11 λ, each iteration contributes
+        # max(L_iter, L_share) — including on the degenerate boundary.
+        p = dataclasses.replace(params, tile_shape=(0, 8))
+        expected = sum(
+            max(
+                iteration_latency_eq8(p, it),
+                share_latency_eq10(p, it),
+            )
+            for it in range(1, p.fused_depth + 1)
+        )
+        assert compute_latency_eq7(p, sharing=True) == expected
