@@ -16,6 +16,20 @@ which scores the Table 3 jacobi-2d space through the scalar model +
 estimator and through the vectorized batch engines, verifies bitwise
 parity, and fails unless batch scoring is at least ``--min-speedup``
 times faster.
+
+The tiered-search smoke compares exhaustive exact scoring against the
+screen-then-refine :class:`~repro.dse.search.SearchDriver` on an
+inflated (``--inflate`` x Table 3) jacobi-2d space::
+
+    python benchmarks/bench_dse.py --tiered \
+        --inflate 100 --min-speedup 5 --json-out bench-tiered.json
+
+asserting the tiered search (Pareto screen) returns the
+bitwise-identical best design *and* frontier with at least
+``--min-speedup`` times fewer Tier-1 exact evaluations and O(chunk)
+candidate residency.  ``--no-exhaustive`` (with
+``--checkpoint``) runs only the tiered pass — the mode CI's
+kill/resume smoke drives.
 """
 
 import argparse
@@ -26,6 +40,8 @@ import time
 from repro import obs
 from repro.dse import (
     CandidateEvaluator,
+    ResourceBudget,
+    SearchDriver,
     optimize_baseline,
     optimize_full,
     optimize_heterogeneous,
@@ -36,10 +52,11 @@ from repro.fpga.batch import estimate_batch
 from repro.fpga.estimator import ResourceEstimator
 from repro.fpga.flexcl import FlexCLEstimator
 from repro.model.batch import predict_batch
+from repro.fpga.resources import VIRTEX7_690T
 from repro.model.predictor import Fidelity, PerformanceModel
 from repro.sim import simulate
 from repro.stencil import jacobi_2d
-from repro.store import DesignStore
+from repro.store import DesignStore, SearchCheckpoint
 from repro.tiling import make_baseline_design, make_pipe_shared_design
 
 
@@ -220,6 +237,191 @@ def batch_compare(min_speedup, fidelity=Fidelity.REFINED):
     return result
 
 
+#: Parallelism / unroll ladders for the inflated jacobi-2d space.
+INFLATED_COUNTS = (
+    (1, 1), (2, 2), (2, 4), (4, 2), (4, 4), (4, 8), (8, 4), (8, 8),
+)
+INFLATED_UNROLLS = (1, 2, 4, 8)
+INFLATED_MAX_DEPTH = 128
+
+
+def inflated_candidates(inflate=100):
+    """A lazy ``inflate``x-Table-3 jacobi-2d stream.
+
+    Inflates the Table 3 space along every axis the ROADMAP names:
+    more parallelism options, denser (every-integer) depth ladders,
+    more unroll factors, and the full power-of-two tile space per
+    parallelism — then truncates the deterministic mega-stream to
+    exactly ``inflate`` times the base Table 3 size, so the factor in
+    the report is exact.
+
+    Returns:
+        ``(target, stream)`` — the candidate count and a fresh lazy
+        generator over it.  Call again for a second identical stream
+        (the enumeration is deterministic, which is also what lets
+        checkpointed runs resume by re-enumeration).
+    """
+    import itertools
+
+    config = TABLE3_CONFIGS["jacobi-2d"]
+    spec = config.spec()
+    base = DesignSpace.default(
+        spec,
+        config.counts,
+        unroll=config.unroll,
+        max_fused_depth=config.fused_depth,
+    )
+    target = 2 * base.size * inflate  # x2: baseline + pipe-shared
+
+    def stream():
+        for unroll in INFLATED_UNROLLS:
+            for counts in INFLATED_COUNTS:
+                space = DesignSpace.default(
+                    spec, counts, unroll=unroll,
+                    max_fused_depth=INFLATED_MAX_DEPTH,
+                )
+                for tile in space.tile_shapes():
+                    for depth in range(1, INFLATED_MAX_DEPTH + 1):
+                        yield make_baseline_design(
+                            spec, tile, counts, depth, unroll
+                        )
+                        yield make_pipe_shared_design(
+                            spec, tile, counts, depth, unroll
+                        )
+
+    return target, itertools.islice(stream(), target)
+
+
+def _frontier_entry(e):
+    return [
+        repr(e.design.signature()),
+        e.predicted_cycles,
+        e.resources.total.bram18,
+    ]
+
+
+def _tiered_result_json(result, driver):
+    return {
+        "best": {
+            "signature": repr(result.best.design.signature()),
+            "predicted_cycles": result.best.predicted_cycles,
+            "describe": result.best.design.describe(),
+        },
+        "frontier": [_frontier_entry(e) for e in result.frontier],
+        "report": driver.report.as_dict(),
+    }
+
+
+def tiered_compare(
+    min_speedup=5.0,
+    inflate=100,
+    chunk_size=4096,
+    checkpoint=None,
+    exhaustive=True,
+):
+    """Tiered vs exhaustive search on the inflated jacobi-2d space.
+
+    Both passes stream the identical candidate enumeration through a
+    :class:`SearchDriver` in O(chunk) residency; the exhaustive
+    reference disables screening (Tier-1 scores every feasible
+    candidate), the tiered pass runs the Pareto screen — the mode
+    whose contract covers the full frontier, not just the optimum.
+    Asserts bitwise best-design parity, frontier equality, and a
+    ``>= min_speedup`` reduction in Tier-1 exact evaluations.
+
+    With ``exhaustive=False`` only the tiered pass runs (optionally
+    against a durable ``checkpoint`` path) — CI's kill/resume smoke.
+    """
+    budget = ResourceBudget.from_device(VIRTEX7_690T)
+    result = {
+        "space": f"inflated-{inflate}x-table3-jacobi-2d",
+        "inflate": inflate,
+        "chunk_size": chunk_size,
+        "min_speedup": min_speedup,
+    }
+
+    ck = SearchCheckpoint(checkpoint) if checkpoint else None
+    try:
+        target, stream = inflated_candidates(inflate)
+        tiered_driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False),
+            chunk_size=chunk_size,
+            screen="pareto",
+            checkpoint=ck,
+            search_key=f"bench-tiered-{inflate}x",
+        )
+        start = time.perf_counter()
+        tiered = tiered_driver.run(stream, budget)
+        t_tiered = time.perf_counter() - start
+    finally:
+        if ck is not None:
+            ck.close()
+    assert tiered_driver.report.candidates == target, (
+        f"stream exhausted early ({tiered_driver.report.candidates} of "
+        f"{target}); lower --inflate"
+    )
+    # O(chunk) residency: a chunk plus the frontier band, never the
+    # space.  The band is tiny (tens), so 2x chunk is generous.
+    assert tiered_driver.report.peak_resident <= 2 * chunk_size, (
+        f"peak residency {tiered_driver.report.peak_resident} is not "
+        f"O(chunk={chunk_size})"
+    )
+    result["candidates"] = target
+    result["tiered"] = _tiered_result_json(tiered, tiered_driver)
+    result["tiered_s"] = round(t_tiered, 2)
+
+    if exhaustive:
+        _target, stream = inflated_candidates(inflate)
+        exhaustive_driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False),
+            chunk_size=chunk_size,
+            screen=None,
+        )
+        start = time.perf_counter()
+        full = exhaustive_driver.run(stream, budget)
+        t_full = time.perf_counter() - start
+        result["exhaustive"] = _tiered_result_json(
+            full, exhaustive_driver
+        )
+        result["exhaustive_s"] = round(t_full, 2)
+        assert (
+            tiered.best.design.signature()
+            == full.best.design.signature()
+        ), "tiered best differs from exhaustive best"
+        assert (
+            tiered.best.predicted_cycles == full.best.predicted_cycles
+        ), "tiered best cycles differ from exhaustive"
+        assert (
+            result["tiered"]["frontier"]
+            == result["exhaustive"]["frontier"]
+        ), "tiered frontier differs from exhaustive"
+        tier1_full = exhaustive_driver.report.tier1_evaluations
+        tier1_tiered = max(1, tiered_driver.report.tier1_evaluations)
+        eval_speedup = tier1_full / tier1_tiered
+        result["tier1_exhaustive"] = tier1_full
+        result["tier1_tiered"] = tiered_driver.report.tier1_evaluations
+        result["eval_speedup"] = round(eval_speedup, 2)
+        result["wall_speedup"] = round(t_full / t_tiered, 2)
+        assert eval_speedup >= min_speedup, (
+            f"tiered search ran only {eval_speedup:.2f}x fewer Tier-1 "
+            f"evaluations (required {min_speedup}x): {result}"
+        )
+    return result
+
+
+def test_tiered_search_speedup(record):
+    """Tiered search: same best, far fewer exact evaluations."""
+    result = tiered_compare(min_speedup=3.0, inflate=2, chunk_size=2048)
+    record(
+        "DSE",
+        f"jacobi-2d tiered search ({result['inflate']}x Table 3, "
+        f"{result['candidates']} candidates): tier-1 "
+        f"{result['tier1_exhaustive']} -> {result['tier1_tiered']} "
+        f"({result['eval_speedup']}x fewer), best bitwise-identical, "
+        f"peak residency {result['tiered']['report']['peak_resident']}",
+    )
+
+
 def test_batch_engine_speedup(record):
     """Vectorized scoring must beat the scalar loop 10x on Table 3."""
     result = batch_compare(min_speedup=10.0)
@@ -305,10 +507,51 @@ def main(argv=None):
         help="run the scalar-vs-batch engine comparison",
     )
     parser.add_argument(
+        "--tiered",
+        action="store_true",
+        help=(
+            "run the tiered-vs-exhaustive search comparison on the "
+            "inflated Table 3 space"
+        ),
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
-        default=10.0,
-        help="fail below this scalar/batch speedup factor",
+        default=None,
+        help=(
+            "fail below this speedup factor (scalar/batch wall time, "
+            "or exhaustive/tiered Tier-1 evaluation counts; defaults "
+            "10 for --batch-compare, 5 for --tiered)"
+        ),
+    )
+    parser.add_argument(
+        "--inflate",
+        type=int,
+        default=100,
+        help="space inflation factor for --tiered (x Table 3 size)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="candidates per search chunk for --tiered",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "durable search checkpoint for --tiered; an interrupted "
+            "run re-invoked with the same arguments resumes from it"
+        ),
+    )
+    parser.add_argument(
+        "--no-exhaustive",
+        action="store_true",
+        help=(
+            "--tiered: skip the exhaustive reference pass (no parity/"
+            "speedup assertions; used by CI's kill/resume smoke)"
+        ),
     )
     parser.add_argument(
         "--fidelity",
@@ -321,13 +564,28 @@ def main(argv=None):
         help="write the comparison result to this JSON file",
     )
     args = parser.parse_args(argv)
-    if not args.batch_compare:
-        parser.error("nothing to do: pass --batch-compare")
+    if not args.batch_compare and not args.tiered:
+        parser.error("nothing to do: pass --batch-compare or --tiered")
     try:
-        result = batch_compare(
-            min_speedup=args.min_speedup,
-            fidelity=Fidelity(args.fidelity),
-        )
+        if args.tiered:
+            result = tiered_compare(
+                min_speedup=(
+                    5.0 if args.min_speedup is None else args.min_speedup
+                ),
+                inflate=args.inflate,
+                chunk_size=args.chunk_size,
+                checkpoint=args.checkpoint,
+                exhaustive=not args.no_exhaustive,
+            )
+        else:
+            result = batch_compare(
+                min_speedup=(
+                    10.0
+                    if args.min_speedup is None
+                    else args.min_speedup
+                ),
+                fidelity=Fidelity(args.fidelity),
+            )
         failed = False
     except AssertionError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)

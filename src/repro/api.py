@@ -20,7 +20,7 @@ one place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.codegen import GeneratedProgram, generate_program
@@ -38,6 +38,9 @@ from repro.stencil.library import get_benchmark
 from repro.stencil.spec import StencilSpec
 from repro.tiling.baseline import make_baseline_design
 from repro.tiling.design import StencilDesign
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dse.search import SearchDriver
 
 _log = obs.get_logger("api")
 
@@ -156,6 +159,7 @@ def synthesize(
     unroll: int = 1,
     design: str = "heterogeneous",
     evaluator: Optional[CandidateEvaluator] = None,
+    driver: Optional["SearchDriver"] = None,
     emit: bool = True,
 ) -> SynthesisResult:
     """Extract → optimize → codegen, as one call.
@@ -186,6 +190,10 @@ def synthesize(
             against ``board`` when omitted.  Passing the service's (or
             a previous call's) engine reuses its memo and persistent
             store.
+        driver: optional :class:`~repro.dse.search.SearchDriver` for
+            tiered (screen-then-refine) exploration; its evaluator
+            takes precedence over ``evaluator``.  Ignored for the
+            ``"baseline"`` design kind, which scores one candidate.
         emit: generate the OpenCL program for the chosen design.
 
     Returns:
@@ -209,14 +217,19 @@ def synthesize(
             fused_depth if fused_depth is not None else defaults[2],
             unroll=unroll,
         )
-        engine = evaluator or CandidateEvaluator(board=board)
+        if driver is not None:
+            engine = driver.evaluator
+        else:
+            engine = evaluator or CandidateEvaluator(board=board)
         if design == "heterogeneous":
             dse = optimize_heterogeneous(
-                spec, baseline, board=engine.board, evaluator=engine
+                spec, baseline, board=engine.board, evaluator=engine,
+                driver=driver,
             )
         elif design == "pipe-shared":
             dse = optimize_pipe_shared(
-                spec, baseline, board=engine.board, evaluator=engine
+                spec, baseline, board=engine.board, evaluator=engine,
+                driver=driver,
             )
         else:
             dse = engine.explore(

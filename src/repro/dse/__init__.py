@@ -15,12 +15,21 @@ from repro.dse.evaluator import (
 )
 from repro.dse.optimizer import (
     Optimizer,
+    baseline_candidates,
+    full_space_candidates,
     optimize_baseline,
     optimize_full,
     optimize_heterogeneous,
     optimize_pipe_shared,
 )
 from repro.dse.pareto import pareto_explore, pareto_front
+from repro.dse.search import (
+    SCREEN_MODES,
+    SearchDriver,
+    SearchFrontier,
+    SearchReport,
+    merge_results,
+)
 from repro.dse.sensitivity import (
     SensitivityAnalyzer,
     SweepPoint,
@@ -38,6 +47,13 @@ __all__ = [
     "EvaluatedDesign",
     "EvaluationStats",
     "Optimizer",
+    "baseline_candidates",
+    "full_space_candidates",
+    "SCREEN_MODES",
+    "SearchDriver",
+    "SearchFrontier",
+    "SearchReport",
+    "merge_results",
     "optimize_baseline",
     "optimize_full",
     "optimize_heterogeneous",

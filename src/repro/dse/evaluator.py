@@ -49,7 +49,11 @@ from repro.errors import DesignSpaceError
 from repro.fpga.batch import estimate_batch
 from repro.fpga.estimator import DesignResources, ResourceEstimator
 from repro.fpga.flexcl import FlexCLEstimator
-from repro.model.batch import BatchRangeError, predict_batch
+from repro.model.batch import (
+    BatchRangeError,
+    lower_bound_batch,
+    predict_batch,
+)
 from repro.model.predictor import Fidelity, PerformanceModel
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.store.backing import BackingStore, evaluation_context
@@ -75,9 +79,16 @@ class DSEResult:
     evaluated: int
     feasible: int
     #: All feasible candidates, fastest first (for Pareto analysis).
+    #: A tiered search (``SearchDriver`` with screening on) returns
+    #: only the promoted survivors here — O(frontier), not O(space).
     candidates: Tuple[EvaluatedDesign, ...]
     #: Engine counters for this run (``None`` for hand-built results).
     stats: Optional["EvaluationStats"] = field(default=None, compare=False)
+    #: The (cycles, BRAM) Pareto band maintained during a tiered
+    #: search; ``None`` for plain exhaustive explorations.
+    frontier: Optional[Tuple[EvaluatedDesign, ...]] = field(
+        default=None, compare=False
+    )
 
 
 @dataclass
@@ -93,6 +104,10 @@ class EvaluationStats:
         infeasible: designs rejected by the resource-budget check.
         pruned: designs rejected by the latency lower bound (their full
             model evaluation was skipped).
+        screened: designs rejected by the tiered search's vectorized
+            Tier-0 screen (never reached exact scoring).
+        promoted: designs the Tier-0 screen passed through to Tier-1
+            exact scoring.
         wall_time_s: wall-clock seconds spent in the engine.
     """
 
@@ -102,6 +117,8 @@ class EvaluationStats:
     store_hits: int = 0
     infeasible: int = 0
     pruned: int = 0
+    screened: int = 0
+    promoted: int = 0
     wall_time_s: float = 0.0
 
     def merge(self, other: "EvaluationStats") -> None:
@@ -112,6 +129,8 @@ class EvaluationStats:
         self.store_hits += other.store_hits
         self.infeasible += other.infeasible
         self.pruned += other.pruned
+        self.screened += other.screened
+        self.promoted += other.promoted
         self.wall_time_s += other.wall_time_s
 
     def as_dict(self) -> Dict[str, float]:
@@ -123,15 +142,22 @@ class EvaluationStats:
             "store_hits": self.store_hits,
             "infeasible": self.infeasible,
             "pruned": self.pruned,
+            "screened": self.screened,
+            "promoted": self.promoted,
             "wall_time_s": self.wall_time_s,
         }
 
     def summary(self) -> str:
         """One-line human-readable rendering."""
+        tiered = (
+            f"{self.screened} screened, {self.promoted} promoted, "
+            if (self.screened or self.promoted)
+            else ""
+        )
         return (
             f"{self.candidates} candidates: {self.evaluated} evaluated, "
             f"{self.cache_hits} cache hits, {self.store_hits} store hits, "
-            f"{self.pruned} pruned, "
+            f"{self.pruned} pruned, {tiered}"
             f"{self.infeasible} infeasible, {self.wall_time_s:.2f}s"
         )
 
@@ -515,9 +541,23 @@ class CandidateEvaluator:
 
     def _absorb(self, delta: EvaluationStats) -> None:
         """Fold a batch's counters into the lifetime stats and metrics."""
+        self.absorb_stats(delta)
+
+    def absorb_stats(
+        self, delta: EvaluationStats, publish: bool = True
+    ) -> None:
+        """Fold externally-collected counters into the lifetime stats.
+
+        The tiered :class:`~repro.dse.search.SearchDriver` tallies its
+        Tier-0 screen counters outside the engine and folds them in
+        here; ``publish=False`` skips the metrics registry for deltas
+        whose counters were already published (e.g. by
+        :meth:`evaluate_batch`'s ``stats`` path).
+        """
         with self._lock:
             self.stats.merge(delta)
-        self._publish(delta)
+        if publish:
+            self._publish(delta)
 
     def _publish(self, delta: EvaluationStats) -> None:
         """Feed a batch's counters to the metrics registry."""
@@ -528,6 +568,8 @@ class CandidateEvaluator:
             obs.inc("dse.store_hits", delta.store_hits)
             obs.inc("dse.infeasible", delta.infeasible)
             obs.inc("dse.pruned", delta.pruned)
+            obs.inc("search.screened", delta.screened)
+            obs.inc("search.promoted", delta.promoted)
             obs.observe("dse.batch_wall_s", delta.wall_time_s)
             obs.set_gauge("dse.cache_size", self.cache_size())
 
@@ -714,6 +756,62 @@ class CandidateEvaluator:
             result = self._memo_put(sig, result)
         self._emit(CandidateTrace(design, "evaluated", cycles, None))
         return result
+
+    # -- tier-0 screening (the tiered search's vectorized gate) ----------------
+
+    def screen_batch(
+        self,
+        candidates: Sequence[StencilDesign],
+        budget: ResourceBudget,
+    ) -> Tuple[List[bool], List[float], List[int]]:
+        """Cheap per-candidate screen data for one chunk.
+
+        Returns ``(feasible, bounds, bram)``: the exact resource-budget
+        verdict, the admissible compute-only latency lower bound (see
+        :meth:`lower_bound` — never exceeds the full prediction), and
+        the exact total BRAM18 count, one entry per candidate.
+
+        The fast path runs the vectorized estimators
+        (:func:`~repro.fpga.batch.estimate_batch` /
+        :func:`~repro.model.batch.lower_bound_batch`); candidates out
+        of the exact-parity range fall back to scalar estimation.
+        Nothing is memoized on either path — screening a huge space
+        leaves the signature caches untouched, so peak residency stays
+        O(chunk), not O(space).
+        """
+        candidates = list(candidates)
+        if not candidates:
+            return [], [], []
+        if self.vectorize is not False:
+            try:
+                resources = estimate_batch(
+                    candidates, flexcl=self.estimator.flexcl
+                )
+                bounds = lower_bound_batch(
+                    candidates,
+                    fidelity=self.fidelity,
+                    flexcl=self.model.estimator,
+                )
+                feasible = resources.feasible(budget.limit)
+                return (
+                    [bool(f) for f in feasible],
+                    [float(b) for b in bounds],
+                    [int(b) for b in resources.total.bram18],
+                )
+            except BatchRangeError:
+                pass
+        feasible_s: List[bool] = []
+        bounds_s: List[float] = []
+        bram_s: List[int] = []
+        for design in candidates:
+            report = self.model.pipeline_report(design)
+            # An explicit report bypasses the estimator's signature
+            # cache: tier-0 rejects must not grow it.
+            res = self.estimator.estimate(design, report)
+            feasible_s.append(res.total.fits_within(budget.limit))
+            bounds_s.append(self.lower_bound(design))
+            bram_s.append(res.total.bram18)
+        return feasible_s, bounds_s, bram_s
 
     # -- batch evaluation ------------------------------------------------------
 

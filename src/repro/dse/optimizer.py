@@ -10,11 +10,19 @@ All four ``optimize_*`` entry points accept an optional ``evaluator``
 so callers can share one engine — and therefore its signature caches —
 across searches; each also accepts ``max_workers``/``prune`` knobs that
 are forwarded to a freshly built engine when none is supplied.
+
+Candidate enumeration is *streaming*: every entry point builds a lazy
+generator and hands it to a :class:`~repro.dse.search.SearchDriver`.
+Without an explicit ``driver`` the passthrough driver reproduces the
+historical exhaustive exploration bit for bit; passing a tiered driver
+(``SearchDriver(chunk_size=..., screen=...)``) turns the same search
+into a chunked screen-then-refine sweep with O(chunk) candidate
+residency and an optional resume checkpoint (see ``docs/SEARCH.md``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.dse.constraints import ResourceBudget
 from repro.dse.evaluator import (
@@ -23,6 +31,7 @@ from repro.dse.evaluator import (
     EvaluatedDesign,
     EvaluationStats,
 )
+from repro.dse.search import SearchDriver
 from repro.dse.space import DesignSpace, fused_depth_candidates
 from repro.errors import DesignSpaceError
 from repro.fpga.estimator import ResourceEstimator
@@ -31,7 +40,7 @@ from repro.model.predictor import Fidelity
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.stencil.spec import StencilSpec
 from repro.tiling.baseline import make_baseline_design
-from repro.tiling.design import StencilDesign
+from repro.tiling.design import DesignKind, StencilDesign
 from repro.tiling.heterogeneous import make_heterogeneous_design
 from repro.tiling.pipeshared import make_pipe_shared_design
 
@@ -40,6 +49,8 @@ __all__ = [
     "EvaluatedDesign",
     "EvaluationStats",
     "Optimizer",
+    "baseline_candidates",
+    "full_space_candidates",
     "optimize_baseline",
     "optimize_full",
     "optimize_heterogeneous",
@@ -88,7 +99,10 @@ def _resolve_evaluator(
     estimator: Optional[ResourceEstimator] = None,
     max_workers: Optional[int] = None,
     prune: bool = False,
+    driver: Optional[SearchDriver] = None,
 ) -> CandidateEvaluator:
+    if driver is not None:
+        return driver.evaluator
     if evaluator is not None:
         return evaluator
     return CandidateEvaluator(
@@ -99,16 +113,41 @@ def _resolve_evaluator(
     )
 
 
-def _baseline_candidates(space: DesignSpace) -> List[StencilDesign]:
-    candidates: List[StencilDesign] = []
+def _run_search(
+    engine: CandidateEvaluator,
+    driver: Optional[SearchDriver],
+    candidates: Iterator[StencilDesign],
+    budget: ResourceBudget,
+    entry: str,
+    identity: Optional[dict] = None,
+) -> DSEResult:
+    """Route one search through a driver (a passthrough one by default).
+
+    The passthrough driver delegates to ``engine.explore``, which
+    keeps the default path bit-identical to the historical
+    materialized exploration.  With a checkpointing driver, the
+    checkpoint key fingerprints the candidate stream (entry point,
+    spec, and search knobs), so several searches can share one
+    checkpoint file without colliding.
+    """
+    if driver is None:
+        driver = SearchDriver(evaluator=engine, chunk_size=None)
+    key = None
+    if driver.checkpoint is not None:
+        from repro.store.backing import digest
+
+        prefix = driver.search_key or "search"
+        key = f"{prefix}:{entry}:{digest(identity or entry)[:12]}"
+    return driver.run(candidates, budget, key=key)
+
+
+def baseline_candidates(space: DesignSpace) -> Iterator[StencilDesign]:
+    """Lazily enumerate a space's baseline designs (tile-major order)."""
     for tile_shape in space.tile_shapes():
         for h in space.depth_candidates():
-            candidates.append(
-                make_baseline_design(
-                    space.spec, tile_shape, space.counts, h, space.unroll
-                )
+            yield make_baseline_design(
+                space.spec, tile_shape, space.counts, h, space.unroll
             )
-    return candidates
 
 
 def optimize_baseline(
@@ -120,6 +159,7 @@ def optimize_baseline(
     space: Optional[DesignSpace] = None,
     max_fused_depth: int = 256,
     evaluator: Optional[CandidateEvaluator] = None,
+    driver: Optional[SearchDriver] = None,
 ) -> DSEResult:
     """Best baseline (overlapped-tiling) design on a device.
 
@@ -130,9 +170,20 @@ def optimize_baseline(
         space = DesignSpace.default(
             spec, counts, unroll, max_fused_depth=max_fused_depth
         )
-    engine = _resolve_evaluator(evaluator, board)
-    return engine.explore(
-        _baseline_candidates(space), ResourceBudget.from_device(device)
+    engine = _resolve_evaluator(evaluator, board, driver=driver)
+    return _run_search(
+        engine,
+        driver,
+        baseline_candidates(space),
+        ResourceBudget.from_device(device),
+        entry="baseline",
+        identity={
+            "spec": spec.signature(),
+            "counts": space.counts,
+            "tiles": space.tile_candidates,
+            "max_fused_depth": space.max_fused_depth,
+            "unroll": space.unroll,
+        },
     )
 
 
@@ -142,6 +193,7 @@ def optimize_pipe_shared(
     board: BoardSpec = ADM_PCIE_7V3,
     estimator: Optional[ResourceEstimator] = None,
     evaluator: Optional[CandidateEvaluator] = None,
+    driver: Optional[SearchDriver] = None,
 ) -> DSEResult:
     """Best equal-tile pipe-shared design within the baseline's budget.
 
@@ -149,14 +201,14 @@ def optimize_pipe_shared(
     baseline (Section 5.4); only the fusion depth is re-explored — the
     BRAM freed by eliminating overlap storage admits deeper cones.
     """
-    engine = _resolve_evaluator(evaluator, board, estimator)
+    engine = _resolve_evaluator(evaluator, board, estimator, driver=driver)
     budget = ResourceBudget.from_design(baseline, engine.estimator)
     slowest = baseline.slowest_tile()
     depths = fused_depth_candidates(
         min(4 * baseline.fused_depth + 64, spec.iterations),
         spec.iterations,
     )
-    candidates = [
+    candidates = (
         make_pipe_shared_design(
             spec,
             slowest.shape,
@@ -165,54 +217,46 @@ def optimize_pipe_shared(
             baseline.unroll,
         )
         for h in depths
-    ]
-    return engine.explore(candidates, budget)
+    )
+    return _run_search(
+        engine,
+        driver,
+        candidates,
+        budget,
+        entry="pipe-shared",
+        identity={
+            "spec": spec.signature(),
+            "baseline": baseline.signature(),
+        },
+    )
 
 
-def optimize_full(
+def full_space_candidates(
     spec: StencilSpec,
-    device: FpgaDevice = VIRTEX7_690T,
-    board: BoardSpec = ADM_PCIE_7V3,
+    kind: DesignKind,
     unroll: int = 1,
     max_kernels: int = 16,
     max_fused_depth: int = 64,
     max_tile_options: int = 3,
-    max_workers: Optional[int] = None,
-    prune: bool = False,
-    evaluator: Optional[CandidateEvaluator] = None,
-) -> dict:
-    """Coarse global search over parallelism, tile shape, and depth.
+    dense_until: int = 8,
+    sparse_step: int = 8,
+) -> Iterator[StencilDesign]:
+    """Lazily enumerate one design kind over the joint full space.
 
-    Explores, for each design kind, the joint space the paper's
-    baseline setup describes ("iteration fusion depth, tile size, and
-    the number of simultaneous executing tiles") under the *device*
-    budget, and returns the best design per kind.
-
-    The space is pruned for tractability: power-of-two counts, the
-    ``max_tile_options`` largest feasible power-of-two tile extents per
-    dimension, and a thinned depth ladder.  One evaluator instance
-    scores all three sweeps, so pipeline reports and recurring designs
-    are shared across them; pass ``max_workers``/``prune=True`` for the
-    engine's parallel and bound-pruned modes (pruning preserves the
-    best design but drops provably-slower candidates from the result's
-    candidate lists).
-
-    Returns:
-        ``{"baseline": DSEResult, "pipe-shared": DSEResult,
-        "heterogeneous": DSEResult}``.
+    One generator serves all three of :func:`optimize_full`'s sweeps
+    (parallelism x tile shape x depth, identical nesting order per
+    kind), so the candidate-construction loop exists once and no
+    design-kind list is ever materialized.  Heterogeneous layouts the
+    balancing solver rejects are skipped, as before.
     """
     from repro.dse.space import parallelism_candidates
 
-    budget = ResourceBudget.from_device(device)
-    engine = _resolve_evaluator(
-        evaluator, board, max_workers=max_workers, prune=prune
-    )
     depth_ladder = fused_depth_candidates(
-        max_fused_depth, spec.iterations, dense_until=8, sparse_step=8
+        max_fused_depth,
+        spec.iterations,
+        dense_until=dense_until,
+        sparse_step=sparse_step,
     )
-    baseline_candidates: List[StencilDesign] = []
-    pipe_candidates: List[StencilDesign] = []
-    hetero_candidates: List[StencilDesign] = []
     for counts in parallelism_candidates(spec, max_kernels):
         try:
             space = DesignSpace.default(
@@ -232,31 +276,96 @@ def optimize_full(
             unroll=unroll,
         )
         for tile_shape in pruned.tile_shapes():
-            region = tuple(
-                t * c for t, c in zip(tile_shape, counts)
-            )
             for h in depth_ladder:
-                baseline_candidates.append(
-                    make_baseline_design(spec, tile_shape, counts, h, unroll)
-                )
-                pipe_candidates.append(
-                    make_pipe_shared_design(
+                if kind is DesignKind.BASELINE:
+                    yield make_baseline_design(
                         spec, tile_shape, counts, h, unroll
                     )
-                )
-                try:
-                    hetero_candidates.append(
-                        make_heterogeneous_design(
+                elif kind is DesignKind.PIPE_SHARED:
+                    yield make_pipe_shared_design(
+                        spec, tile_shape, counts, h, unroll
+                    )
+                else:
+                    region = tuple(
+                        t * c for t, c in zip(tile_shape, counts)
+                    )
+                    try:
+                        yield make_heterogeneous_design(
                             spec, region, counts, h, unroll
                         )
-                    )
-                except DesignSpaceError:
-                    continue
-    return {
-        "baseline": engine.explore(baseline_candidates, budget),
-        "pipe-shared": engine.explore(pipe_candidates, budget),
-        "heterogeneous": engine.explore(hetero_candidates, budget),
+                    except DesignSpaceError:
+                        continue
+
+
+def optimize_full(
+    spec: StencilSpec,
+    device: FpgaDevice = VIRTEX7_690T,
+    board: BoardSpec = ADM_PCIE_7V3,
+    unroll: int = 1,
+    max_kernels: int = 16,
+    max_fused_depth: int = 64,
+    max_tile_options: int = 3,
+    max_workers: Optional[int] = None,
+    prune: bool = False,
+    evaluator: Optional[CandidateEvaluator] = None,
+    driver: Optional[SearchDriver] = None,
+) -> dict:
+    """Coarse global search over parallelism, tile shape, and depth.
+
+    Explores, for each design kind, the joint space the paper's
+    baseline setup describes ("iteration fusion depth, tile size, and
+    the number of simultaneous executing tiles") under the *device*
+    budget, and returns the best design per kind.
+
+    The space is pruned for tractability: power-of-two counts, the
+    ``max_tile_options`` largest feasible power-of-two tile extents per
+    dimension, and a thinned depth ladder.  One evaluator instance
+    scores all three sweeps, so pipeline reports and recurring designs
+    are shared across them; pass ``max_workers``/``prune=True`` for the
+    engine's parallel and bound-pruned modes (pruning preserves the
+    best design but drops provably-slower candidates from the result's
+    candidate lists), or a tiered ``driver`` to stream all three
+    sweeps chunk by chunk.
+
+    Returns:
+        ``{"baseline": DSEResult, "pipe-shared": DSEResult,
+        "heterogeneous": DSEResult}``.
+    """
+    budget = ResourceBudget.from_device(device)
+    engine = _resolve_evaluator(
+        evaluator, board, max_workers=max_workers, prune=prune,
+        driver=driver,
+    )
+    knobs = {
+        "spec": spec.signature(),
+        "unroll": unroll,
+        "max_kernels": max_kernels,
+        "max_fused_depth": max_fused_depth,
+        "max_tile_options": max_tile_options,
+        "device": device.name,
     }
+    results = {}
+    for label, kind in (
+        ("baseline", DesignKind.BASELINE),
+        ("pipe-shared", DesignKind.PIPE_SHARED),
+        ("heterogeneous", DesignKind.HETEROGENEOUS),
+    ):
+        results[label] = _run_search(
+            engine,
+            driver,
+            full_space_candidates(
+                spec,
+                kind,
+                unroll=unroll,
+                max_kernels=max_kernels,
+                max_fused_depth=max_fused_depth,
+                max_tile_options=max_tile_options,
+            ),
+            budget,
+            entry=f"full:{label}",
+            identity=dict(knobs, kind=label),
+        )
+    return results
 
 
 def optimize_heterogeneous(
@@ -265,6 +374,7 @@ def optimize_heterogeneous(
     board: BoardSpec = ADM_PCIE_7V3,
     estimator: Optional[ResourceEstimator] = None,
     evaluator: Optional[CandidateEvaluator] = None,
+    driver: Optional[SearchDriver] = None,
 ) -> DSEResult:
     """Best heterogeneous design within the baseline's budget.
 
@@ -272,25 +382,35 @@ def optimize_heterogeneous(
     optimal tile extents (the paper's ``f_k_d`` enumeration collapses
     to this closed form), the region layout matching the baseline's.
     """
-    engine = _resolve_evaluator(evaluator, board, estimator)
+    engine = _resolve_evaluator(evaluator, board, estimator, driver=driver)
     budget = ResourceBudget.from_design(baseline, engine.estimator)
     region = baseline.tile_grid.region_shape
     depths = fused_depth_candidates(
         min(4 * baseline.fused_depth + 64, spec.iterations),
         spec.iterations,
     )
-    candidates: List[StencilDesign] = []
-    for h in depths:
-        try:
-            candidates.append(
-                make_heterogeneous_design(
+
+    def candidates() -> Iterator[StencilDesign]:
+        for h in depths:
+            try:
+                yield make_heterogeneous_design(
                     spec,
                     region,
                     baseline.tile_grid.counts,
                     h,
                     baseline.unroll,
                 )
-            )
-        except DesignSpaceError:  # pragma: no cover - defensive
-            continue
-    return engine.explore(candidates, budget)
+            except DesignSpaceError:  # pragma: no cover - defensive
+                continue
+
+    return _run_search(
+        engine,
+        driver,
+        candidates(),
+        budget,
+        entry="heterogeneous",
+        identity={
+            "spec": spec.signature(),
+            "baseline": baseline.signature(),
+        },
+    )

@@ -10,12 +10,16 @@ own evaluation loop.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.dse.constraints import ResourceBudget
 from repro.dse.evaluator import CandidateEvaluator, EvaluatedDesign
+from repro.errors import DesignSpaceError
 from repro.store.backing import BackingStore
 from repro.tiling.design import StencilDesign
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dse.search import SearchDriver
 
 
 def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -84,11 +88,14 @@ def pareto_explore(
         Callable[[EvaluatedDesign], Tuple[float, ...]]
     ] = None,
     store: Optional[BackingStore] = None,
+    driver: Optional["SearchDriver"] = None,
 ) -> List[EvaluatedDesign]:
     """Evaluate raw designs through the engine and return their front.
 
     Args:
-        designs: unscored candidate designs.
+        designs: unscored candidate designs (any iterable; with a
+            tiered ``driver`` the stream is consumed chunk by chunk
+            and never materialized).
         budget: resource ceiling; infeasible designs are excluded.
         evaluator: shared engine (a serial one is built when omitted).
         objectives: forwarded to :func:`pareto_front`.
@@ -96,14 +103,66 @@ def pareto_explore(
             frontier scoring warm-starts from (and writes through to)
             disk.  Ignored when ``evaluator`` is supplied; attach the
             store to that evaluator instead.
+        driver: optional :class:`~repro.dse.search.SearchDriver`.  A
+            tiered driver must screen in ``"pareto"`` mode (or not at
+            all) for the default objectives — the latency screen
+            discards low-BRAM points the frontier needs; custom
+            objectives require screening off, since the Tier-0 bound
+            speaks only for the (cycles, BRAM) pair.
 
     Returns:
         The Pareto-optimal subset of the feasible designs.
     """
-    engine = evaluator or CandidateEvaluator(store=store)
+    if driver is not None and driver.chunk_size is not None:
+        if objectives is not None and driver.screen is not None:
+            raise DesignSpaceError(
+                "Custom Pareto objectives require a non-screening "
+                "driver (screen=None): the Tier-0 bound is admissible "
+                "only for the (cycles, BRAM) objectives"
+            )
+        if objectives is None and driver.screen == "latency":
+            raise DesignSpaceError(
+                "pareto_explore needs a driver with screen='pareto' "
+                "(or None); the latency screen drops frontier points"
+            )
+        if objectives is not None:
+            # Chunked exhaustive scoring with an incremental front
+            # under the caller's objectives (dominance is transitive
+            # and the dedup keeps the lowest signature, so the
+            # incremental front equals the one-shot construction).
+            import itertools
+
+            front: List[EvaluatedDesign] = []
+            stream = iter(designs)
+            while True:
+                chunk = list(itertools.islice(stream, driver.chunk_size))
+                if not chunk:
+                    break
+                scored = [
+                    result
+                    for result in driver.evaluator.evaluate_batch(
+                        chunk, budget
+                    )
+                    if result is not None
+                ]
+                if scored:
+                    front = pareto_front(front + scored, objectives)
+            return front
+        try:
+            result = driver.run(designs, budget)
+        except DesignSpaceError as exc:
+            if "No feasible design" in str(exc):
+                return []
+            raise
+        return list(result.frontier)
+    engine = (
+        driver.evaluator
+        if driver is not None
+        else evaluator or CandidateEvaluator(store=store)
+    )
     scored = [
         result
-        for result in engine.evaluate_batch(designs, budget)
+        for result in engine.evaluate_batch(list(designs), budget)
         if result is not None
     ]
     return pareto_front(scored, objectives)

@@ -9,6 +9,7 @@ baseline search of Section 5.4.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -44,9 +45,15 @@ def fused_depth_candidates(
     limit = min(max_depth, total_iterations)
     candidates = set(range(1, min(dense_until, limit) + 1))
     candidates.update(range(dense_until, limit + 1, sparse_step))
-    for h in range(1, limit + 1):
-        if total_iterations % h == 0:
-            candidates.add(h)
+    # Divisors come in pairs (d, H // d) with the smaller member at
+    # most sqrt(H), so one pass to the square root finds them all.
+    for d in range(1, math.isqrt(total_iterations) + 1):
+        if total_iterations % d == 0:
+            if d <= limit:
+                candidates.add(d)
+            paired = total_iterations // d
+            if paired <= limit:
+                candidates.add(paired)
     candidates.add(limit)
     return sorted(candidates)
 
@@ -169,20 +176,12 @@ class DesignSpace:
         )
 
     def tile_shapes(self) -> Iterator[Tuple[int, ...]]:
-        """Cartesian product of the per-dimension tile candidates."""
-        dims = self.tile_candidates
-        index = [0] * len(dims)
-        while True:
-            yield tuple(dims[d][index[d]] for d in range(len(dims)))
-            d = len(dims) - 1
-            while d >= 0:
-                index[d] += 1
-                if index[d] < len(dims[d]):
-                    break
-                index[d] = 0
-                d -= 1
-            if d < 0:
-                return
+        """Cartesian product of the per-dimension tile candidates.
+
+        Yields in lexicographic order with the last dimension varying
+        fastest, exactly as ``itertools.product`` enumerates.
+        """
+        return itertools.product(*self.tile_candidates)
 
     def depth_candidates(self) -> List[int]:
         """Candidate ``h`` values for this space."""
@@ -191,7 +190,14 @@ class DesignSpace:
         )
 
     @property
-    def size_estimate(self) -> int:
-        """Approximate number of (tile, h) points."""
+    def size(self) -> int:
+        """Exact number of (tile, h) points :meth:`tile_shapes` x
+        :meth:`depth_candidates` enumerate."""
         tiles = math.prod(len(c) for c in self.tile_candidates)
         return tiles * len(self.depth_candidates())
+
+    @property
+    def size_estimate(self) -> int:
+        """Alias of :attr:`size` (the historical name; the count is
+        exact, not an estimate)."""
+        return self.size

@@ -87,21 +87,42 @@ class _StoreSession:
 
     RESULTS_DIR = "results"
     SWEEPS_FILE = "sweeps.jsonl"
+    SEARCHES_FILE = "searches.jsonl"
 
     def __init__(self, path: Optional[str]):
         self.store = None
         self.checkpoint = None
+        self.search_checkpoint = None
         if path:
-            from repro.store import DesignStore, SweepCheckpoint
+            from repro.store import (
+                DesignStore,
+                SearchCheckpoint,
+                SweepCheckpoint,
+            )
 
             root = pathlib.Path(path)
             self.store = DesignStore(root / self.RESULTS_DIR)
             self.checkpoint = SweepCheckpoint(root / self.SWEEPS_FILE)
+            self.search_checkpoint = SearchCheckpoint(
+                root / self.SEARCHES_FILE
+            )
 
     def evaluator(self):
         from repro.dse.evaluator import CandidateEvaluator
 
         return CandidateEvaluator(store=self.store)
+
+    def driver(self, args, evaluator=None):
+        """A tiered SearchDriver when ``--tiered``, else ``None``."""
+        if not getattr(args, "tiered", False):
+            return None
+        from repro.dse.search import SearchDriver
+
+        return SearchDriver(
+            evaluator=evaluator or self.evaluator(),
+            chunk_size=args.chunk_size,
+            checkpoint=self.search_checkpoint,
+        )
 
     def executor(self, board=None):
         from repro.opencl.platform import ADM_PCIE_7V3
@@ -128,9 +149,11 @@ class _StoreSession:
             self.store.close()
         if self.checkpoint is not None:
             self.checkpoint.close()
+        if self.search_checkpoint is not None:
+            self.search_checkpoint.close()
 
 
-def _build_designs(benchmark: str, evaluator=None):
+def _build_designs(benchmark: str, evaluator=None, driver=None):
     from repro.dse.evaluator import CandidateEvaluator
     from repro.dse.optimizer import (
         optimize_heterogeneous,
@@ -146,10 +169,10 @@ def _build_designs(benchmark: str, evaluator=None):
         "spec": spec,
         "baseline": baseline,
         "pipe": optimize_pipe_shared(
-            spec, baseline, evaluator=engine
+            spec, baseline, evaluator=engine, driver=driver
         ).best.design,
         "hetero": optimize_heterogeneous(
-            spec, baseline, evaluator=engine
+            spec, baseline, evaluator=engine, driver=driver
         ).best.design,
     }
 
@@ -158,7 +181,8 @@ def _cmd_optimize(args, session: _StoreSession) -> List[str]:
     from repro.sim import simulate
 
     evaluator = session.evaluator()
-    bundle = _build_designs(args.benchmark, evaluator)
+    driver = session.driver(args, evaluator)
+    bundle = _build_designs(args.benchmark, evaluator, driver)
     lines = [f"Workload: {bundle['spec'].describe()}"]
     base_cycles = simulate(bundle["baseline"]).total_cycles
     for label in ("baseline", "pipe", "hetero"):
@@ -178,7 +202,9 @@ def _cmd_optimize(args, session: _StoreSession) -> List[str]:
 def _cmd_simulate(args, session: _StoreSession) -> List[str]:
     from repro.sim import simulate
 
-    bundle = _build_designs(args.benchmark, session.evaluator())
+    bundle = _build_designs(
+        args.benchmark, session.evaluator(), session.driver(args)
+    )
     design = bundle[args.design]
     result = simulate(design)
     fractions = ", ".join(
@@ -200,7 +226,9 @@ def _cmd_simulate(args, session: _StoreSession) -> List[str]:
 def _cmd_codegen(args, session: _StoreSession) -> List[str]:
     from repro.codegen import generate_program
 
-    bundle = _build_designs(args.benchmark, session.evaluator())
+    bundle = _build_designs(
+        args.benchmark, session.evaluator(), session.driver(args)
+    )
     design = bundle[args.design]
     program = generate_program(design)
     out_dir = pathlib.Path(args.output or "generated")
@@ -235,6 +263,8 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_timeout_s=args.job_timeout,
+        tiered=args.tiered,
+        search_chunk_size=args.chunk_size,
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
@@ -447,6 +477,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=300.0,
         metavar="SECONDS",
         help="'submit': bound on waiting for the result",
+    )
+    parser.add_argument(
+        "--tiered",
+        action="store_true",
+        help=(
+            "route design-space exploration through the tiered "
+            "screen-then-refine SearchDriver (same best designs, far "
+            "fewer exact evaluations; with --store, interrupted "
+            "searches resume from searches.jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="candidates per tiered-search chunk (with --tiered)",
     )
     parser.add_argument(
         "--trace-out",

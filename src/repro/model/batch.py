@@ -63,6 +63,7 @@ __all__ = [
     "CELLS_LIMIT",
     "INT64_LIMIT",
     "check_parity_range",
+    "lower_bound_batch",
     "predict_batch",
 ]
 
@@ -183,6 +184,119 @@ def predict_batch(
         + out["share_exposed"]
     )
     return BatchPrediction(total=total, **out)
+
+
+def lower_bound_batch(
+    designs: Sequence[StencilDesign],
+    fidelity: Fidelity = Fidelity.REFINED,
+    flexcl: Optional[FlexCLEstimator] = None,
+) -> np.ndarray:
+    """Admissible compute-only latency lower bounds for a batch.
+
+    Entry ``i`` is bitwise-equal to
+    :meth:`repro.dse.evaluator.CandidateEvaluator.lower_bound` for
+    ``designs[i]`` at the same fidelity: the per-tile cone workloads
+    run on vectorized ``int64`` columns (exact), and the final float
+    products replicate the scalar bound's operation order per
+    candidate in pure Python.  Since the bound counts computation
+    cycles only, it never exceeds the Eq. 7-11 prediction, so a
+    screen that drops candidates whose bound already loses to an
+    incumbent never drops the optimum.
+
+    Args:
+        designs: candidate designs (mixed dimensionalities allowed).
+        fidelity: analytical-model variant the bound must undercut.
+        flexcl: shared pipeline analyzer (one is built when omitted).
+
+    Returns:
+        A ``float64`` array of cycle lower bounds aligned with
+        ``designs``.
+
+    Raises:
+        BatchRangeError: when any candidate's geometry exceeds the
+            exact-parity range (fall back to the scalar bound).
+    """
+    designs = list(designs)
+    n = len(designs)
+    flexcl = flexcl or FlexCLEstimator()
+    out = np.zeros(n, dtype=np.float64)
+    with obs.span(
+        "model.lower_bound_batch", candidates=n, fidelity=fidelity.value
+    ):
+        groups: Dict[int, List[int]] = {}
+        for i, design in enumerate(designs):
+            groups.setdefault(design.spec.ndim, []).append(i)
+        for ndim, idx in groups.items():
+            _lower_bound_group(designs, flexcl, fidelity, idx, ndim, out)
+    return out
+
+
+def _lower_bound_group(
+    designs: Sequence[StencilDesign],
+    flexcl: FlexCLEstimator,
+    fidelity: Fidelity,
+    idx: Sequence[int],
+    ndim: int,
+    out: np.ndarray,
+) -> None:
+    g = len(idx)
+    shape_p, cone_p, _halo_p, pair_cand, seg_starts, max_extent = (
+        _tile_columns(designs, idx, ndim)
+    )
+    h_arr = np.empty(g, dtype=np.int64)
+    radius_rows = np.empty((g, ndim), dtype=np.int64)
+    max_r = 0
+    for row, i in enumerate(idx):
+        design = designs[i]
+        h_arr[row] = design.fused_depth
+        radius_rows[row] = design.spec.pattern.radius
+        max_r = max(max_r, max(design.spec.pattern.radius))
+    max_h = int(h_arr.max())
+    check_parity_range(max_extent + 2 * max_r * (max_h + 1), ndim, max_h)
+
+    # Total cone workload per tile (``tile_compute_cells``), with the
+    # iteration axis vectorized exactly as the predictor kernels do.
+    rn_p = radius_rows[pair_cand] * cone_p
+    h_p = h_arr[pair_cand]
+    totals_p = np.zeros(len(pair_cand), dtype=np.int64)
+    for i in range(1, max_h + 1):
+        rem = h_p - i
+        cells_i = np.prod(shape_p + rn_p * rem[:, None], axis=1)
+        totals_p += np.where(rem >= 0, cells_i, 0)
+    seg_max = np.maximum.reduceat(totals_p, seg_starts)
+    if fidelity is Fidelity.PAPER:
+        # Slowest-tile selection mirrors ``slowest_tile()``: first
+        # maximal total wins.
+        pick = _first_argmax_per_segment(totals_p, pair_cand, seg_starts)
+        slow_shape = shape_p[pick]
+        for row, i in enumerate(idx):
+            design = designs[i]
+            report = flexcl.estimate(design.spec.pattern, design.unroll)
+            tile_cells = 1
+            for w in slow_shape[row]:
+                tile_cells *= int(w)
+            per_block = (
+                report.cycles_per_element
+                * design.fused_depth
+                * tile_cells
+            )
+            grid_cells = 1
+            for w in design.spec.grid_shape:
+                grid_cells *= w
+            # Eq. 2's ``N_region``: one correctly-rounded int/int true
+            # division, exactly as ``num_blocks_paper`` computes it.
+            n_region = (
+                design.spec.iterations
+                * grid_cells
+                / (design.fused_depth * design.parallelism * tile_cells)
+            )
+            out[i] = per_block * n_region
+        return
+    for row, i in enumerate(idx):
+        design = designs[i]
+        report = flexcl.estimate(design.spec.pattern, design.unroll)
+        per_block = report.cycles_per_element * int(seg_max[row])
+        out[i] = per_block * design.num_blocks()
 
 
 # -- shared group plumbing -----------------------------------------------------

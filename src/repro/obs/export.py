@@ -223,6 +223,12 @@ def _derived_rates(counters: Dict[str, float]) -> Dict[str, float]:
         derived["store.hit_rate"] = (
             counters.get("store.hits", 0) / store_probes
         )
+    screened = counters.get("search.screened", 0)
+    promoted = counters.get("search.promoted", 0)
+    if screened or promoted:
+        derived["search.promotion_rate"] = promoted / (
+            screened + promoted
+        )
     requests = counters.get("service.requests", 0)
     if requests:
         derived["service.dedup_rate"] = (

@@ -131,8 +131,12 @@ class Histogram:
             "max": hi,
             "mean": total / count,
         }
+        # Interpolation rounding can de-order near-equal percentiles
+        # by one ulp; a running max keeps p50 <= p90 <= p99.
+        floor = float("-inf")
         for q in self.PERCENTILES:
-            out[f"p{q:g}"] = percentile(sample, q)
+            floor = max(floor, percentile(sample, q))
+            out[f"p{q:g}"] = floor
         if sampled:
             out["sampled"] = True
         return out

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Tuple, Type
 from repro import obs
 from repro.api import SynthesisResult, synthesize
 from repro.dse.evaluator import CandidateEvaluator
+from repro.dse.search import SearchDriver
 from repro.errors import (
     JobCancelledError,
     ReproError,
@@ -158,6 +159,12 @@ class SynthesisService:
             server must not grow without bound).
         max_history: finished jobs kept for status queries; older ones
             are evicted oldest-first.
+        tiered: route each job's exploration through a
+            :class:`~repro.dse.search.SearchDriver` (Tier-0 vectorized
+            screen, Tier-1 exact scoring) instead of the materialized
+            exhaustive sweep.  Identical best designs, far fewer exact
+            evaluations on large spaces (see ``docs/SEARCH.md``).
+        search_chunk_size: candidates per driver chunk when tiered.
         transient: exception types treated as retryable.
         pipeline: override of the job body (tests inject slow/failing
             pipelines); receives ``(job, evaluator)`` and returns the
@@ -176,6 +183,8 @@ class SynthesisService:
         default_timeout_s: Optional[float] = None,
         max_memo_entries: Optional[int] = 4096,
         max_history: int = 1024,
+        tiered: bool = False,
+        search_chunk_size: int = 1024,
         transient: Tuple[Type[BaseException], ...] = DEFAULT_TRANSIENT,
         pipeline=None,
     ):
@@ -192,6 +201,8 @@ class SynthesisService:
         self.retry_backoff_s = retry_backoff_s
         self.default_timeout_s = default_timeout_s
         self.transient = tuple(transient)
+        self.tiered = tiered
+        self.search_chunk_size = search_chunk_size
         self.stats = ServiceStats()
         self._pipeline = pipeline or self._synthesize_pipeline
         self._active = threading.local()
@@ -350,6 +361,7 @@ class SynthesisService:
                 "queue_capacity": self._queue.max_depth,
                 "running": self._running,
                 "avg_job_s": self._avg_job_s,
+                "tiered": self.tiered,
                 "store_attached": self.store is not None,
                 "evaluator": self.evaluator.stats.as_dict(),
                 "stats": self.stats.as_dict(),
@@ -374,6 +386,17 @@ class SynthesisService:
     ) -> Dict[str, Any]:
         """Default job body: the full facade pipeline, instrumented."""
         request = job.request
+        # One driver per job: the engine (and its memo/store) is the
+        # shared warm state; SearchDriver.report is per-run and must
+        # not be contended across worker threads.
+        driver = (
+            SearchDriver(
+                evaluator=evaluator,
+                chunk_size=self.search_chunk_size,
+            )
+            if self.tiered
+            else None
+        )
         with obs.span(
             "service.synthesize", job=job.id, design=request.design
         ):
@@ -391,6 +414,7 @@ class SynthesisService:
                 unroll=request.unroll,
                 design=request.design,
                 evaluator=evaluator,
+                driver=driver,
             )
         return result_payload(synth)
 

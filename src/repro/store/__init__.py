@@ -13,7 +13,9 @@ makes them durable artifacts instead of per-process throwaways:
   :class:`~repro.dse.evaluator.CandidateEvaluator` consults on miss
   and writes through on evaluation.
 - :mod:`repro.store.checkpoint` — :class:`SweepCheckpoint` and
-  :class:`CheckpointedExecutor` for resumable experiment sweeps.
+  :class:`CheckpointedExecutor` for resumable experiment sweeps, and
+  :class:`SearchCheckpoint` for resumable/shardable tiered searches
+  (see ``docs/SEARCH.md``).
 
 Typical warm-start usage::
 
@@ -36,7 +38,11 @@ from repro.store.backing import (
     digest,
     evaluation_context,
 )
-from repro.store.checkpoint import CheckpointedExecutor, SweepCheckpoint
+from repro.store.checkpoint import (
+    CheckpointedExecutor,
+    SearchCheckpoint,
+    SweepCheckpoint,
+)
 from repro.store.index import (
     JOURNAL_NAME,
     SNAPSHOT_NAME,
@@ -60,6 +66,7 @@ __all__ = [
     "digest",
     "evaluation_context",
     "SweepCheckpoint",
+    "SearchCheckpoint",
     "CheckpointedExecutor",
     "Journal",
     "canonical_json",

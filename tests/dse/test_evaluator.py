@@ -254,6 +254,8 @@ class TestTraceAndStats:
             "store_hits": 0,
             "infeasible": 1,
             "pruned": 2,
+            "screened": 0,
+            "promoted": 0,
             "wall_time_s": 0.0,
         }
         assert "5 candidates" in a.summary()

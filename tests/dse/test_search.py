@@ -1,0 +1,697 @@
+"""Tests for the tiered streaming search driver.
+
+The contract under test is exact: a tiered search (any chunk size, any
+screen mode, vectorized or scalar screening) must return the
+*bitwise-identical* best design the exhaustive sweep returns, and —
+with a non-pruning evaluator and a frontier-preserving screen (``None``
+or ``"pareto"``; the latency screen may legitimately drop band points
+slower than the best) — the identical final Pareto frontier.
+Checkpointed runs must resume to the same answer after interruption,
+including a SIGKILL mid-chunk.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    CandidateEvaluator,
+    DesignSpace,
+    ResourceBudget,
+    SearchDriver,
+    baseline_candidates,
+    merge_results,
+    optimize_baseline,
+    optimize_full,
+    optimize_heterogeneous,
+    optimize_pipe_shared,
+    pareto_explore,
+    pareto_front,
+)
+from repro.dse.search import SearchFrontier
+from repro.errors import DesignSpaceError, StoreError
+from repro.fpga.resources import VIRTEX7_690T, ResourceVector
+from repro.model.batch import lower_bound_batch
+from repro.model.predictor import Fidelity
+from repro.stencil import jacobi_2d
+from repro.store import CRASH_ENV, SearchCheckpoint
+from repro.tiling import make_baseline_design, make_pipe_shared_design
+
+
+def _budget():
+    return ResourceBudget.from_device(VIRTEX7_690T)
+
+
+def _space(spec, counts=(2, 2), **kw):
+    return DesignSpace.default(spec, counts, **kw)
+
+
+def _mixed_candidates(spec, space):
+    """Baseline + pipe-shared designs over a small space."""
+    designs = []
+    for tile in space.tile_shapes():
+        for depth in space.depth_candidates():
+            designs.append(
+                make_baseline_design(
+                    spec, tile, space.counts, depth, space.unroll
+                )
+            )
+            designs.append(
+                make_pipe_shared_design(
+                    spec, tile, space.counts, depth, space.unroll
+                )
+            )
+    return designs
+
+
+def _signature_view(results):
+    return [
+        (e.design.signature(), e.predicted_cycles) for e in results
+    ]
+
+
+def _assert_same_best(a, b):
+    assert a.best.design.signature() == b.best.design.signature()
+    assert a.best.predicted_cycles == b.best.predicted_cycles
+
+
+class TestLowerBoundBatch:
+    @pytest.mark.parametrize(
+        "fidelity", [Fidelity.REFINED, Fidelity.PAPER]
+    )
+    def test_bitwise_parity_with_scalar_bound(
+        self, small_jacobi2d, fidelity
+    ):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        engine = CandidateEvaluator(fidelity=fidelity)
+        bounds = lower_bound_batch(
+            designs, fidelity=fidelity, flexcl=engine.model.estimator
+        )
+        for design, bound in zip(designs, bounds):
+            assert float(bound) == engine.lower_bound(design)
+
+    def test_mixed_rank_groups(self, small_jacobi1d, small_jacobi2d):
+        designs = [
+            make_baseline_design(small_jacobi1d, (8,), (2,), 2),
+            make_baseline_design(small_jacobi2d, (8, 8), (2, 2), 2),
+            make_baseline_design(small_jacobi1d, (16,), (2,), 3),
+        ]
+        engine = CandidateEvaluator()
+        bounds = lower_bound_batch(
+            designs, flexcl=engine.model.estimator
+        )
+        for design, bound in zip(designs, bounds):
+            assert float(bound) == engine.lower_bound(design)
+
+    def test_bound_is_admissible(self, small_jacobi2d):
+        """The screen bound never exceeds the exact prediction."""
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        engine = CandidateEvaluator()
+        bounds = lower_bound_batch(
+            designs, flexcl=engine.model.estimator
+        )
+        for design, bound in zip(designs, bounds):
+            assert float(bound) <= engine.predict_cycles(design)
+
+
+class TestScreenBatch:
+    def test_matches_scalar_components(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        engine = CandidateEvaluator()
+        feasible, bounds, bram = engine.screen_batch(designs, budget)
+        scalar = CandidateEvaluator(vectorize=False)
+        s_feasible, s_bounds, s_bram = scalar.screen_batch(
+            designs, budget
+        )
+        assert feasible == s_feasible
+        assert bounds == s_bounds
+        assert bram == s_bram
+        for design, ok in zip(designs, feasible):
+            total = scalar.resources(design).total
+            assert ok == total.fits_within(budget.limit)
+
+    def test_does_not_grow_the_memo(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        for engine in (
+            CandidateEvaluator(),
+            CandidateEvaluator(vectorize=False),
+        ):
+            before = len(engine._results)
+            engine.screen_batch(designs, _budget())
+            assert len(engine._results) == before
+
+
+class TestSearchFrontier:
+    def test_incumbent_keeps_first_of_ties(self, small_jacobi2d):
+        engine = CandidateEvaluator()
+        design = make_baseline_design(
+            small_jacobi2d, (8, 8), (2, 2), 2
+        )
+        scored = engine.evaluate_batch([design], _budget())
+        frontier = SearchFrontier()
+        frontier.extend(scored)
+        first = frontier.best
+        # An equal-cycles result later in the stream must not displace
+        # the incumbent (strict-< update, like the engine).
+        frontier.extend(scored)
+        assert frontier.best is first
+
+    def test_latency_screen_rule(self):
+        frontier = SearchFrontier()
+        assert frontier.admits_cycles(1e18)  # empty: everything admits
+        assert frontier.admits(1e18, 10**9)
+
+    def test_pareto_screen_admits_equal_tuples(self, small_jacobi2d):
+        engine = CandidateEvaluator()
+        design = make_baseline_design(
+            small_jacobi2d, (8, 8), (2, 2), 2
+        )
+        [scored] = engine.evaluate_batch([design], _budget())
+        frontier = SearchFrontier()
+        frontier.extend([scored])
+        bram = scored.resources.total.bram18
+        cycles = scored.predicted_cycles
+        assert frontier.admits(cycles, bram)  # equal tuple survives
+        assert not frontier.admits(cycles + 1, bram)
+        assert not frontier.admits(cycles, bram + 1)
+        assert frontier.admits(cycles - 1, bram + 1)  # trade-off
+
+
+class TestDriverValidation:
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(DesignSpaceError, match="chunk_size"):
+            SearchDriver(chunk_size=0)
+
+    def test_rejects_unknown_screen(self):
+        with pytest.raises(DesignSpaceError, match="screen"):
+            SearchDriver(screen="resources")
+
+    def test_rejects_bad_shard(self):
+        with pytest.raises(DesignSpaceError, match="shard"):
+            SearchDriver(shard=(2, 2))
+        with pytest.raises(DesignSpaceError, match="shard"):
+            SearchDriver(shard=(0, 0))
+
+
+class TestDriverEquivalence:
+    def test_passthrough_is_exhaustive_explore(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        reference = CandidateEvaluator().explore(designs, budget)
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(), chunk_size=None
+        )
+        result = driver.run(iter(designs), budget)
+        _assert_same_best(result, reference)
+        assert _signature_view(result.candidates) == _signature_view(
+            reference.candidates
+        )
+
+    @pytest.mark.parametrize("screen", [None, "latency", "pareto"])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 10_000])
+    def test_best_and_frontier_match_exhaustive(
+        self, small_jacobi2d, screen, chunk_size
+    ):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        reference = CandidateEvaluator(prune=False).explore(
+            designs, budget
+        )
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False),
+            chunk_size=chunk_size,
+            screen=screen,
+        )
+        result = driver.run(iter(designs), budget)
+        _assert_same_best(result, reference)
+        if screen != "latency":
+            # The latency screen only promises the best design; it may
+            # drop band points slower than the incumbent (documented).
+            assert _signature_view(result.frontier) == _signature_view(
+                pareto_front(list(reference.candidates))
+            )
+
+    def test_scalar_screen_fallback_matches(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        vectorized = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False), chunk_size=16
+        ).run(iter(designs), budget)
+        scalar = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False, vectorize=False),
+            chunk_size=16,
+        ).run(iter(designs), budget)
+        _assert_same_best(vectorized, scalar)
+        assert _signature_view(vectorized.frontier) == _signature_view(
+            scalar.frontier
+        )
+
+    def test_pruned_serial_engine_same_best(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        reference = CandidateEvaluator().explore(designs, budget)
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=True), chunk_size=16
+        )
+        result = driver.run(iter(designs), budget)
+        _assert_same_best(result, reference)
+
+    def test_no_feasible_design_raises(self, small_jacobi2d):
+        design = make_baseline_design(
+            small_jacobi2d, (8, 8), (2, 2), 2
+        )
+        tiny = ResourceBudget(limit=ResourceVector(1, 1, 1, 1))
+        driver = SearchDriver(chunk_size=4)
+        with pytest.raises(DesignSpaceError, match="No feasible"):
+            driver.run(iter([design]), tiny)
+
+    def test_report_accounts_for_every_candidate(self, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False), chunk_size=16
+        )
+        driver.run(iter(designs), _budget())
+        report = driver.report
+        assert report.candidates == len(designs)
+        assert (
+            report.infeasible
+            + report.screened
+            + report.tier1_evaluations
+            == len(designs)
+        )
+        assert report.promoted == report.tier1_evaluations
+        # O(chunk) residency: chunk + frontier band + incumbent.
+        assert report.peak_resident <= 16 + report.band_size + 1
+        # Engine lifetime stats absorbed both tiers.
+        stats = driver.evaluator.stats
+        assert stats.candidates == len(designs)
+        assert stats.screened == report.screened
+        assert stats.promoted == report.promoted
+
+
+class TestCheckpointResume:
+    def _driver(self, checkpoint, **kw):
+        return SearchDriver(
+            evaluator=CandidateEvaluator(prune=False),
+            chunk_size=kw.pop("chunk_size", 16),
+            checkpoint=checkpoint,
+            search_key=kw.pop("search_key", "test"),
+            **kw,
+        )
+
+    def test_interrupted_stream_resumes_to_same_result(
+        self, tmp_path, small_jacobi2d
+    ):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        reference = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False), chunk_size=16
+        ).run(iter(designs), budget)
+        path = tmp_path / "search.jsonl"
+        # "Interrupt" after three chunks by truncating the stream.
+        with SearchCheckpoint(path) as ck:
+            partial = self._driver(ck)
+            try:
+                partial.run(iter(designs[: 3 * 16]), budget)
+            except DesignSpaceError:
+                pass  # the prefix may hold no feasible design
+        with SearchCheckpoint(path) as ck:
+            resumed = self._driver(ck)
+            result = resumed.run(iter(designs), budget)
+        assert resumed.report.replayed_chunks == 3
+        assert resumed.report.chunks == (len(designs) + 15) // 16
+        _assert_same_best(result, reference)
+        assert _signature_view(result.frontier) == _signature_view(
+            reference.frontier
+        )
+
+    def test_full_replay_runs_no_tier1(self, tmp_path, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        path = tmp_path / "search.jsonl"
+        with SearchCheckpoint(path) as ck:
+            first = self._driver(ck)
+            one = first.run(iter(designs), budget)
+        with SearchCheckpoint(path) as ck:
+            second = self._driver(ck)
+            two = second.run(iter(designs), budget)
+        assert second.report.replayed_chunks == second.report.chunks
+        assert second.report.tier1_evaluations == 0
+        _assert_same_best(two, one)
+        assert _signature_view(two.frontier) == _signature_view(
+            one.frontier
+        )
+        # Replayed EvaluatedDesigns round-trip cycles exactly.
+        assert two.best.predicted_cycles == one.best.predicted_cycles
+        assert two.best.resources == one.best.resources
+
+    def test_meta_mismatch_raises(self, tmp_path, small_jacobi2d):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        path = tmp_path / "search.jsonl"
+        with SearchCheckpoint(path) as ck:
+            self._driver(ck).run(iter(designs), _budget())
+        with SearchCheckpoint(path) as ck:
+            changed = self._driver(ck, chunk_size=8)
+            with pytest.raises(StoreError, match="different config"):
+                changed.run(iter(designs), _budget())
+
+    def test_nondeterministic_stream_raises(
+        self, tmp_path, small_jacobi2d
+    ):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        path = tmp_path / "search.jsonl"
+        with SearchCheckpoint(path) as ck:
+            self._driver(ck).run(iter(designs), _budget())
+        with SearchCheckpoint(path) as ck:
+            with pytest.raises(StoreError, match="deterministic"):
+                # Same chunks, but the final chunk is short: the
+                # recorded n no longer matches the enumeration.
+                self._driver(ck).run(iter(designs[:-3]), _budget())
+
+    def test_sigkill_mid_search_then_resume(
+        self, tmp_path, small_jacobi2d
+    ):
+        """A real SIGKILL mid-chunk leaves a resumable checkpoint."""
+        path = tmp_path / "search.jsonl"
+        script = (
+            "from repro.dse import CandidateEvaluator, DesignSpace, "
+            "ResourceBudget, SearchDriver, baseline_candidates\n"
+            "from repro.fpga.resources import VIRTEX7_690T\n"
+            "from repro.stencil import jacobi_2d\n"
+            "from repro.store import SearchCheckpoint\n"
+            "spec = jacobi_2d(grid=(32, 32), iterations=8)\n"
+            "space = DesignSpace.default(spec, (2, 2))\n"
+            f"with SearchCheckpoint({str(path)!r}) as ck:\n"
+            "    driver = SearchDriver(\n"
+            "        evaluator=CandidateEvaluator(prune=False),\n"
+            "        chunk_size=8, checkpoint=ck, search_key='kill')\n"
+            "    driver.run(\n"
+            "        baseline_candidates(space),\n"
+            "        ResourceBudget.from_device(VIRTEX7_690T))\n"
+        )
+        env = dict(os.environ)
+        env[CRASH_ENV] = "5"  # meta + 3 chunks durable, killed on the 5th append
+        src = os.path.join(
+            os.path.dirname(
+                os.path.dirname(
+                    os.path.dirname(os.path.abspath(__file__))
+                )
+            ),
+            "src",
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH", "")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        spec = jacobi_2d(grid=(32, 32), iterations=8)
+        space = DesignSpace.default(spec, (2, 2))
+        budget = _budget()
+        with SearchCheckpoint(path) as ck:
+            resumed = SearchDriver(
+                evaluator=CandidateEvaluator(prune=False),
+                chunk_size=8,
+                checkpoint=ck,
+                search_key="kill",
+            )
+            result = resumed.run(baseline_candidates(space), budget)
+        assert resumed.report.replayed_chunks == 3
+        fresh = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False), chunk_size=8
+        ).run(baseline_candidates(space), budget)
+        _assert_same_best(result, fresh)
+        assert _signature_view(result.frontier) == _signature_view(
+            fresh.frontier
+        )
+
+
+class TestSharding:
+    @pytest.mark.parametrize("shards", [2, 3])
+    def test_merged_shards_match_exhaustive(
+        self, small_jacobi2d, shards
+    ):
+        designs = _mixed_candidates(
+            small_jacobi2d, _space(small_jacobi2d)
+        )
+        budget = _budget()
+        reference = CandidateEvaluator(prune=False).explore(
+            designs, budget
+        )
+        partials = []
+        streamed = 0
+        for index in range(shards):
+            driver = SearchDriver(
+                evaluator=CandidateEvaluator(prune=False),
+                chunk_size=8,
+                screen="pareto",
+                shard=(index, shards),
+            )
+            partials.append(driver.run(iter(designs), budget))
+            streamed += driver.report.candidates
+        assert streamed == len(designs)  # disjoint cover
+        merged = merge_results(partials)
+        _assert_same_best(merged, reference)
+        assert _signature_view(merged.frontier) == _signature_view(
+            pareto_front(list(reference.candidates))
+        )
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(DesignSpaceError, match="No shard"):
+            merge_results([])
+
+
+class TestOptimizerIntegration:
+    @pytest.fixture()
+    def spec(self):
+        return jacobi_2d(grid=(64, 64), iterations=16)
+
+    def _tiered(self, chunk_size=16, **kw):
+        return SearchDriver(
+            evaluator=CandidateEvaluator(prune=False, **kw),
+            chunk_size=chunk_size,
+        )
+
+    def test_optimize_baseline_parity(self, spec):
+        reference = optimize_baseline(spec, (2, 2))
+        tiered = optimize_baseline(
+            spec, (2, 2), driver=self._tiered()
+        )
+        _assert_same_best(tiered, reference)
+
+    def test_optimize_pipe_shared_parity(self, spec):
+        baseline = make_baseline_design(spec, (16, 16), (2, 2), 4)
+        reference = optimize_pipe_shared(spec, baseline)
+        tiered = optimize_pipe_shared(
+            spec, baseline, driver=self._tiered()
+        )
+        _assert_same_best(tiered, reference)
+
+    def test_optimize_heterogeneous_parity(self, spec):
+        baseline = make_baseline_design(spec, (16, 16), (2, 2), 4)
+        reference = optimize_heterogeneous(spec, baseline)
+        tiered = optimize_heterogeneous(
+            spec, baseline, driver=self._tiered()
+        )
+        _assert_same_best(tiered, reference)
+
+    def test_optimize_full_parity(self, spec):
+        kwargs = dict(unroll=2, max_kernels=8, max_fused_depth=8)
+        reference = optimize_full(spec, **kwargs)
+        tiered = optimize_full(spec, driver=self._tiered(), **kwargs)
+        assert set(tiered) == {
+            "baseline", "pipe-shared", "heterogeneous",
+        }
+        for kind, ref in reference.items():
+            _assert_same_best(tiered[kind], ref)
+
+    def test_pareto_explore_with_pareto_screen(self, spec):
+        space = _space(spec, max_fused_depth=8)
+        designs = _mixed_candidates(spec, space)
+        budget = _budget()
+        reference = pareto_explore(designs, budget)
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(prune=False),
+            chunk_size=16,
+            screen="pareto",
+        )
+        tiered = pareto_explore(iter(designs), budget, driver=driver)
+        assert _signature_view(tiered) == _signature_view(reference)
+
+    def test_pareto_explore_rejects_latency_screen(self, spec):
+        driver = SearchDriver(chunk_size=16, screen="latency")
+        with pytest.raises(DesignSpaceError, match="latency screen"):
+            pareto_explore([], _budget(), driver=driver)
+
+    def test_pareto_explore_custom_objectives_need_no_screen(
+        self, spec
+    ):
+        def objectives(e):
+            return (float(e.resources.total.dsp), e.predicted_cycles)
+
+        space = _space(spec, max_fused_depth=8)
+        designs = _mixed_candidates(spec, space)
+        budget = _budget()
+        with pytest.raises(DesignSpaceError, match="screen=None"):
+            pareto_explore(
+                designs,
+                budget,
+                objectives=objectives,
+                driver=SearchDriver(chunk_size=16, screen="pareto"),
+            )
+        reference = pareto_explore(
+            designs, budget, objectives=objectives
+        )
+        tiered = pareto_explore(
+            iter(designs),
+            budget,
+            objectives=objectives,
+            driver=SearchDriver(
+                evaluator=CandidateEvaluator(prune=False),
+                chunk_size=16,
+                screen=None,
+            ),
+        )
+        assert _signature_view(tiered) == _signature_view(reference)
+
+
+@st.composite
+def search_scenario(draw):
+    """A small Table-3-style space plus tiered-search knobs."""
+    grid = draw(st.sampled_from([(32, 32), (48, 48), (64, 64)]))
+    iterations = draw(st.sampled_from([4, 8, 12]))
+    counts = draw(st.sampled_from([(1, 1), (2, 2)]))
+    max_depth = draw(st.integers(min_value=1, max_value=iterations))
+    chunk_size = draw(st.sampled_from([1, 3, 8, 64, 1000]))
+    screen = draw(st.sampled_from([None, "latency", "pareto"]))
+    prune = draw(st.booleans())
+    vectorize = draw(st.booleans())
+    resume_at = draw(st.integers(min_value=0, max_value=3))
+    return (
+        grid, iterations, counts, max_depth, chunk_size, screen,
+        prune, vectorize, resume_at,
+    )
+
+
+class TestTieredSearchProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(search_scenario())
+    def test_tiered_matches_exhaustive(self, scenario):
+        (
+            grid, iterations, counts, max_depth, chunk_size, screen,
+            prune, vectorize, resume_at,
+        ) = scenario
+        spec = jacobi_2d(grid=grid, iterations=iterations)
+        space = DesignSpace.default(
+            spec, counts, max_fused_depth=max_depth
+        )
+        designs = _mixed_candidates(spec, space)
+        budget = _budget()
+        reference = CandidateEvaluator(prune=False).explore(
+            designs, budget
+        )
+        driver = SearchDriver(
+            evaluator=CandidateEvaluator(
+                prune=prune, vectorize=vectorize
+            ),
+            chunk_size=chunk_size,
+            screen=screen,
+        )
+        result = driver.run(iter(designs), budget)
+        _assert_same_best(result, reference)
+        if not prune and screen != "latency":
+            # Frontier parity needs every feasible design scored
+            # (pruning Tier-1 engines drop band points) and a
+            # frontier-preserving screen (the latency screen keeps
+            # only the optimum) — both documented.
+            assert _signature_view(
+                result.frontier
+            ) == _signature_view(pareto_front(list(reference.candidates)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(search_scenario())
+    def test_interrupt_and_resume_matches(self, tmp_path_factory, scenario):
+        (
+            grid, iterations, counts, max_depth, chunk_size, screen,
+            _prune, vectorize, resume_at,
+        ) = scenario
+        spec = jacobi_2d(grid=grid, iterations=iterations)
+        space = DesignSpace.default(
+            spec, counts, max_fused_depth=max_depth
+        )
+        designs = _mixed_candidates(spec, space)
+        budget = _budget()
+        path = tmp_path_factory.mktemp("search") / "ck.jsonl"
+
+        def driver(ck):
+            return SearchDriver(
+                evaluator=CandidateEvaluator(
+                    prune=False, vectorize=vectorize
+                ),
+                chunk_size=chunk_size,
+                screen=screen,
+                checkpoint=ck,
+                search_key="prop",
+            )
+
+        with SearchCheckpoint(path) as ck:
+            try:
+                driver(ck).run(
+                    iter(designs[: resume_at * chunk_size]), budget
+                )
+            except DesignSpaceError:
+                pass  # truncated prefix may hold no feasible design
+        with SearchCheckpoint(path) as ck:
+            resumed = driver(ck)
+            result = resumed.run(iter(designs), budget)
+        assert resumed.report.replayed_chunks == min(
+            resume_at,
+            (len(designs) + chunk_size - 1) // chunk_size,
+        )
+        reference = SearchDriver(
+            evaluator=CandidateEvaluator(
+                prune=False, vectorize=vectorize
+            ),
+            chunk_size=chunk_size,
+            screen=screen,
+        ).run(iter(designs), budget)
+        _assert_same_best(result, reference)
+        assert _signature_view(result.frontier) == _signature_view(
+            reference.frontier
+        )

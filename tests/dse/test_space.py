@@ -30,6 +30,27 @@ class TestDepthCandidates:
         with pytest.raises(DesignSpaceError):
             fused_depth_candidates(0, 100)
 
+    def test_sqrt_divisor_scan_matches_naive_reference(self):
+        # The sqrt-paired divisor iteration must enumerate exactly the
+        # divisors the O(iterations) scan did.
+        def naive(max_depth, iterations):
+            limit = min(max_depth, iterations)
+            depths = set(range(1, min(32, limit) + 1))
+            depths.update(range(32, limit + 1, 4))
+            depths.update(
+                d
+                for d in range(1, iterations + 1)
+                if iterations % d == 0 and d <= limit
+            )
+            depths.add(limit)
+            return sorted(depths)
+
+        for iterations in (1, 7, 10, 36, 100, 1000, 1024, 1025):
+            for limit in (1, 2, 31, 32, 33, 100, 999, 1024, 2048):
+                assert fused_depth_candidates(
+                    limit, iterations
+                ) == naive(limit, iterations), (limit, iterations)
+
 
 class TestDesignSpace:
     def test_default_space(self, paper_jacobi2d):
@@ -53,6 +74,28 @@ class TestDesignSpace:
         assert space.size_estimate == len(
             list(space.tile_shapes())
         ) * len(space.depth_candidates())
+
+    def test_size_exact_without_enumeration(self, paper_jacobi2d):
+        # `size` is computed from the candidate lists alone; pin it
+        # against a full enumeration for several depth bounds.
+        for max_depth in (1, 5, 16, 64):
+            space = DesignSpace.default(
+                paper_jacobi2d, (2, 2), max_fused_depth=max_depth
+            )
+            enumerated = [
+                (tile, depth)
+                for tile in space.tile_shapes()
+                for depth in space.depth_candidates()
+            ]
+            assert space.size == len(enumerated)
+            assert space.size_estimate == space.size
+
+    def test_tile_shapes_is_lazy(self, paper_jacobi2d):
+        space = DesignSpace.default(paper_jacobi2d, (4, 4))
+        shapes = space.tile_shapes()
+        assert iter(shapes) is shapes  # a generator, not a list
+        first = next(shapes)
+        assert first == tuple(c[0] for c in space.tile_candidates)
 
     def test_rank_validation(self, paper_jacobi2d):
         with pytest.raises(DesignSpaceError):
