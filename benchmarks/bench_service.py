@@ -99,6 +99,12 @@ def test_service_closed_loop_cold_vs_warm(
     cold_service = SynthesisService(store=store, workers=4)
     try:
         cold_latencies, cold_wall = _closed_loop(cold_service)
+        # The health view is the ops contract: capacity fields must be
+        # present and sane while the service is live.
+        health = cold_service.health()
+        assert health["uptime_s"] > 0.0
+        assert 0 <= health["workers_busy"] <= health["workers"]
+        assert 0 <= health["queue_depth"] <= health["queue_capacity"]
     finally:
         cold_service.shutdown(drain=True, timeout=WAIT_S)
         store.close()
@@ -166,6 +172,10 @@ def test_service_dedup_saves_evaluations(
     try:
         first, _ = service.submit(JobRequest(**request))
         service.wait(first.id, timeout=WAIT_S)
+        # Every finished job carries its resource flight record.
+        assert first.flight is not None
+        assert first.flight["run_s"] > 0.0
+        assert first.flight["queue_wait_s"] >= 0.0
         evaluated_once = service.evaluator.stats.evaluated
         metrics_delta.mark()
         benchmark.pedantic(repeat_submissions, rounds=1, iterations=1)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.obs import trace as obs_trace
 from repro.dse.constraints import ResourceBudget
 from repro.errors import DesignSpaceError
 from repro.fpga.batch import estimate_batch
@@ -867,19 +868,28 @@ class CandidateEvaluator:
         results: List[Optional[EvaluatedDesign]] = [None] * len(candidates)
         workers = self.max_workers or 0
         if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                ordered = list(
-                    pool.map(
-                        lambda i: self._evaluate_one(
-                            candidates[i],
-                            budget,
-                            stats,
-                            incumbent,
-                            bounds[i] if bounds else None,
-                        ),
-                        order,
-                    )
+            def evaluate(i):
+                return self._evaluate_one(
+                    candidates[i],
+                    budget,
+                    stats,
+                    incumbent,
+                    bounds[i] if bounds else None,
                 )
+            # Pool threads have no trace context of their own; carry
+            # the caller's (parented at this fan-out point) so every
+            # per-candidate span still lands in the request's trace.
+            # fork() is None when untraced — the common path stays
+            # allocation-free.
+            ctx = obs_trace.fork()
+            if ctx is None:
+                task = evaluate
+            else:
+                def task(i):
+                    with obs_trace.activate(ctx):
+                        return evaluate(i)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                ordered = list(pool.map(task, order))
             for i, result in zip(order, ordered):
                 results[i] = result
             return results

@@ -37,6 +37,14 @@ with::
     python -m repro.experiments store compact    --store DIR
     python -m repro.experiments store gc         --store DIR [--context FP]
     python -m repro.experiments store invalidate --store DIR [--context FP]
+
+Observability (see ``docs/OBSERVABILITY.md``) — a server started with
+``--store DIR`` also journals per-job flight records and periodic
+metric snapshots to ``DIR/telemetry.jsonl`` (override the path with
+``--telemetry``); watch a live service or a journal with::
+
+    python -m repro.experiments obs top --url http://H:P
+    python -m repro.experiments obs top --telemetry DIR/telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ _REPRO_COMMANDS = ("table2", "table3", "figure6", "figure7", "all")
 _TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate")
 _SERVICE_COMMANDS = ("serve", "submit")
 _STORE_ACTIONS = ("stats", "compact", "gc", "invalidate")
+_OBS_ACTIONS = ("top",)
 
 #: CLI design labels → service/facade design kinds.
 _DESIGN_KINDS = {
@@ -256,8 +265,15 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
 
     if not obs.enabled():
         # A resident server should always be observable: metrics-only
-        # mode keeps per-kernel event streams out of memory.
+        # mode keeps per-kernel event streams out of memory.  Spans
+        # stay on so per-job traces (GET /jobs/<id>/trace) work.
         obs.enable(capture_events=False)
+    telemetry = None
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.store:
+        telemetry_path = pathlib.Path(args.store) / "telemetry.jsonl"
+    if telemetry_path:
+        telemetry = obs.TelemetryJournal(telemetry_path)
     service = SynthesisService(
         store=session.store,
         workers=args.workers,
@@ -265,13 +281,17 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
         default_timeout_s=args.job_timeout,
         tiered=args.tiered,
         search_chunk_size=args.chunk_size,
+        telemetry=telemetry,
+        slo_p99_target_s=args.slo_p99,
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(
         f"repro synthesis service listening on http://{host}:{port} "
         f"({args.workers} workers, queue depth {args.queue_depth}, "
-        f"store {'attached' if session.store is not None else 'none'})",
+        f"store {'attached' if session.store is not None else 'none'}, "
+        f"telemetry "
+        f"{telemetry_path if telemetry_path else 'none'})",
         flush=True,
     )
 
@@ -366,11 +386,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment",
         choices=(
             _REPRO_COMMANDS + _TOOL_COMMANDS + _SERVICE_COMMANDS
-            + ("store",)
+            + ("store", "obs")
         ),
         help=(
             "experiment to regenerate, tool to run, 'serve'/'submit' "
-            "for the synthesis service, or 'store'"
+            "for the synthesis service, 'store', or 'obs'"
         ),
     )
     parser.add_argument(
@@ -379,7 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help=(
             "store maintenance action "
-            f"({'/'.join(_STORE_ACTIONS)}; 'store' command only)"
+            f"({'/'.join(_STORE_ACTIONS)}; 'store' command only) or "
+            f"obs action ({'/'.join(_OBS_ACTIONS)}; 'obs' command only)"
         ),
     )
     parser.add_argument(
@@ -514,6 +535,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "'serve': journal per-job flight records and periodic "
+            "metric snapshots to PATH (defaults to "
+            "STORE/telemetry.jsonl when --store is given); "
+            "'obs top': read the dashboard from this journal"
+        ),
+    )
+    parser.add_argument(
+        "--slo-p99",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help=(
+            "'serve': p99 job-latency objective behind the derived "
+            "service.slo.* gauges on /metricsz"
+        ),
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="'obs top': refresh interval",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="'obs top': stop after N refreshes (default: run forever)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         metavar="LEVEL",
@@ -534,6 +590,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "store":
         print("\n".join(_cmd_store(args, parser)))
         return 0
+    if args.experiment == "obs":
+        return _cmd_obs(args, parser)
 
     session = _StoreSession(args.store)
     try:
@@ -602,6 +660,25 @@ def _dispatch(args, session: _StoreSession) -> List[str]:
     if args.experiment == "submit":
         outputs.append("\n".join(_cmd_submit(args)))
     return outputs
+
+
+def _cmd_obs(args, parser: argparse.ArgumentParser) -> int:
+    """The ``obs`` subcommand (currently only ``top``)."""
+    from repro.obs.top import run_top
+
+    if args.action not in _OBS_ACTIONS:
+        parser.error(f"obs requires an action: {', '.join(_OBS_ACTIONS)}")
+    if args.telemetry is not None:
+        return run_top(
+            journal=args.telemetry,
+            interval_s=args.interval,
+            frames=args.frames,
+        )
+    return run_top(
+        url=args.url,
+        interval_s=args.interval,
+        frames=args.frames,
+    )
 
 
 def _cmd_store(args, parser: argparse.ArgumentParser) -> List[str]:

@@ -72,7 +72,29 @@ from repro.obs.metrics import (
     percentile,
     set_gauge,
 )
+from repro.obs.prom import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    ExpositionError,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.record import (
+    FlightRecord,
+    TelemetryJournal,
+    latest_snapshot,
+    peak_rss_kb,
+    read_telemetry,
+    recent_flights,
+    thread_cpu_s,
+)
 from repro.obs.spans import NOOP_SPAN, Span, SpanRecord, current_span_seq, span
+from repro.obs.trace import (
+    NOOP_ACTIVATION,
+    TraceContext,
+    activate as activate_trace,
+    current as current_trace,
+    fork as fork_trace,
+)
 
 __all__ = [
     # switch + recorder
@@ -92,6 +114,12 @@ __all__ = [
     "SpanRecord",
     "NOOP_SPAN",
     "current_span_seq",
+    # trace context
+    "TraceContext",
+    "activate_trace",
+    "current_trace",
+    "fork_trace",
+    "NOOP_ACTIVATION",
     # metrics
     "Counter",
     "Gauge",
@@ -117,4 +145,17 @@ __all__ = [
     "run_report",
     "export_run_report",
     "render_report_markdown",
+    # prometheus exposition
+    "render_prometheus",
+    "parse_prometheus",
+    "ExpositionError",
+    "PROMETHEUS_CONTENT_TYPE",
+    # flight records + telemetry journal
+    "FlightRecord",
+    "TelemetryJournal",
+    "read_telemetry",
+    "latest_snapshot",
+    "recent_flights",
+    "peak_rss_kb",
+    "thread_cpu_s",
 ]

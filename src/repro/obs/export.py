@@ -109,6 +109,8 @@ def spans_to_chrome_events(
         args = {"seq": record.seq}
         if record.parent_seq is not None:
             args["parent_seq"] = record.parent_seq
+        if record.trace_id is not None:
+            args["trace_id"] = record.trace_id
         args.update(record.attrs)
         builder.complete(
             record.name,
@@ -122,11 +124,21 @@ def spans_to_chrome_events(
     return builder.events
 
 
-def build_chrome_trace() -> dict:
-    """The full recording as one Chrome-tracing JSON object."""
+def build_chrome_trace(trace_id: Optional[str] = None) -> dict:
+    """The full recording as one Chrome-tracing JSON object.
+
+    With ``trace_id``, only the spans stamped with that request's trace
+    context are included — the merged per-job trace the service serves
+    from ``GET /jobs/<id>/trace``.  Raw simulator events carry no trace
+    ids and are omitted from a filtered trace.
+    """
     spans = core.recorder.spans()
-    events = spans_to_chrome_events(spans) + core.recorder.events()
-    return {
+    if trace_id is not None:
+        spans = [s for s in spans if s.trace_id == trace_id]
+        events = spans_to_chrome_events(spans)
+    else:
+        events = spans_to_chrome_events(spans) + core.recorder.events()
+    trace = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
@@ -134,12 +146,17 @@ def build_chrome_trace() -> dict:
             "dropped": core.recorder.drop_counts(),
         },
     }
+    if trace_id is not None:
+        trace["otherData"]["trace_id"] = trace_id
+    return trace
 
 
-def export_chrome_trace(path: PathLike) -> pathlib.Path:
+def export_chrome_trace(
+    path: PathLike, trace_id: Optional[str] = None
+) -> pathlib.Path:
     """Write the merged Chrome trace to ``path`` and return it."""
     target = pathlib.Path(path)
-    target.write_text(json.dumps(build_chrome_trace(), indent=1))
+    target.write_text(json.dumps(build_chrome_trace(trace_id), indent=1))
     return target
 
 

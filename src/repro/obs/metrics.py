@@ -9,14 +9,22 @@ them unconditionally.
 
 Histograms keep exact ``count``/``sum``/``min``/``max`` over every
 observation but store at most ``sample_limit`` raw values for the
-percentile summary; past the limit percentiles are computed from the
-retained sample (the summary reports ``sampled: true`` so the
-approximation is never silent).
+percentile summary.  Past the limit the retained values form a
+uniform reservoir (Algorithm R) over the *whole* stream — each
+observation, early or late, survives with probability
+``sample_limit / count`` — so a long-running service's percentiles
+keep tracking current behaviour instead of freezing on the first
+65k observations.  The reservoir's randomness is a per-histogram
+``random.Random`` seeded from the metric name: deterministic across
+runs and untangled from the global ``random`` state.  The summary
+reports ``sampled: true`` whenever it is an approximation.
 """
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.obs import core
@@ -96,6 +104,10 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        # Reservoir randomness seeded from the metric name: the same
+        # observation stream always yields the same percentiles, and
+        # nothing here touches the global `random` state.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Number) -> None:
         value = float(value)
@@ -108,6 +120,13 @@ class Histogram:
                 self._max = value
             if len(self._samples) < self.sample_limit:
                 self._samples.append(value)
+            else:
+                # Algorithm R: keep a uniform sample of the stream so
+                # far, so late observations displace early ones with
+                # the probability that keeps the reservoir unbiased.
+                slot = self._rng.randrange(self._count)
+                if slot < self.sample_limit:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:

@@ -1,0 +1,212 @@
+"""Prometheus text exposition (format 0.0.4), dependency-free.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into the plain-text format every Prometheus-compatible scraper
+understands:
+
+- counters become ``repro_<name>_total`` counter families,
+- gauges become ``repro_<name>`` gauge families,
+- histograms become summaries — ``{quantile="0.5|0.9|0.99"}`` series
+  plus ``_sum``/``_count`` — since the registry keeps exact
+  count/sum and reservoir-sampled percentiles rather than fixed
+  buckets.
+
+Dotted metric names map to underscores (``service.queue_wait_s`` →
+``repro_service_queue_wait_s``); any character outside
+``[a-zA-Z0-9_]`` is folded to ``_`` so arbitrary span names stay legal.
+
+:func:`parse_prometheus` is the matching validating parser.  It exists
+for the tests and the CI smoke job (no new dependencies), not as a
+general scraper: it checks ``# TYPE`` consistency, name legality, label
+syntax, and float-parseable values, and returns the samples it read.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, Number
+
+#: Prefix for every exported metric family.
+NAMESPACE = "repro"
+
+#: Content type a compliant scrape endpoint must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_QUANTILES = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def metric_name(dotted: str, suffix: str = "") -> str:
+    """Map a dotted registry name to a legal Prometheus family name."""
+    flat = _SANITIZE.sub("_", dotted)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{NAMESPACE}_{flat}{suffix}"
+
+
+def _fmt(value: Number) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    extra_gauges: Optional[Mapping[str, Number]] = None,
+) -> str:
+    """Render the registry (plus derived gauges) as exposition text.
+
+    ``extra_gauges`` carries point-in-time derived values computed at
+    scrape time — the service's SLO gauges — without writing them back
+    into the registry.
+    """
+    report = registry.report()
+    lines: List[str] = []
+
+    for dotted, value in report["counters"].items():
+        name = metric_name(dotted, "_total")
+        lines.append(f"# HELP {name} {_escape_help(dotted)}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+
+    gauges: Dict[str, float] = dict(report["gauges"])
+    if extra_gauges:
+        for dotted, value in extra_gauges.items():
+            gauges[dotted] = float(value)
+    for dotted in sorted(gauges):
+        name = metric_name(dotted)
+        lines.append(f"# HELP {name} {_escape_help(dotted)}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(gauges[dotted])}")
+
+    for dotted, summary in report["histograms"].items():
+        if not summary.get("count"):
+            continue
+        name = metric_name(dotted)
+        lines.append(f"# HELP {name} {_escape_help(dotted)}")
+        lines.append(f"# TYPE {name} summary")
+        for key, quantile in _QUANTILES.items():
+            if key in summary:
+                lines.append(
+                    f'{name}{{quantile="{quantile}"}} '
+                    f"{_fmt(summary[key])}"
+                )
+        lines.append(f"{name}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{name}_count {_fmt(summary['count'])}")
+
+    return "\n".join(lines) + "\n"
+
+
+class Sample(NamedTuple):
+    """One parsed exposition sample."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+
+class ExpositionError(ValueError):
+    """The scraped text violates the exposition format."""
+
+
+def _base_family(sample_name: str) -> str:
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse and validate exposition text.
+
+    Returns ``{family: {"type": str, "samples": [Sample, ...]}}``.
+    Raises :class:`ExpositionError` on any formatting violation —
+    unknown sample families, illegal names, bad label syntax,
+    non-float values, or a ``# TYPE`` repeated/after samples.
+    """
+    families: Dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ExpositionError(f"line {lineno}: malformed TYPE")
+            _, _, name, kind = parts
+            if not _NAME_OK.match(name):
+                raise ExpositionError(
+                    f"line {lineno}: illegal family name {name!r}"
+                )
+            if kind not in (
+                "counter",
+                "gauge",
+                "summary",
+                "histogram",
+                "untyped",
+            ):
+                raise ExpositionError(
+                    f"line {lineno}: unknown type {kind!r}"
+                )
+            if name in families and families[name]["samples"]:
+                raise ExpositionError(
+                    f"line {lineno}: TYPE for {name!r} after samples"
+                )
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ExpositionError(
+                f"line {lineno}: malformed sample {line!r}"
+            )
+        name = match.group("name")
+        labels: List[Tuple[str, str]] = []
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for part in raw_labels.split(","):
+                pair = _LABEL.match(part.strip())
+                if not pair:
+                    raise ExpositionError(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                labels.append((pair.group(1), pair.group(2)))
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ExpositionError(
+                f"line {lineno}: non-float value {raw_value!r}"
+            ) from None
+        family = families.get(name) or families.get(_base_family(name))
+        if family is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} without a TYPE line"
+            )
+        family["samples"].append(
+            Sample(name=name, labels=tuple(labels), value=value)
+        )
+    for name, family in families.items():
+        if not family["samples"]:
+            raise ExpositionError(f"family {name!r} declared but empty")
+    return families

@@ -1,0 +1,281 @@
+"""Per-job flight records and the durable telemetry journal.
+
+A :class:`FlightRecord` is the resource accounting for one finished
+service job — where its latency went (queue wait vs. run time), what it
+cost (CPU seconds, peak-RSS growth), and how much work the engine
+actually did for it (tier-1 evaluations vs. cache/store/dedup hits).
+The service attaches one to every job that reaches a terminal state and
+returns it alongside the result, so capacity planning never requires
+replaying a workload.
+
+The :class:`TelemetryJournal` makes telemetry durable: it reuses the
+store's CRC'd append-only JSONL machinery (:mod:`repro.store.journal`)
+to persist every flight record plus periodic metrics-registry snapshots
+to ``telemetry.jsonl``.  A crashed or drained service leaves a
+post-mortem trail that ``repro obs top`` (and humans with ``jq``) can
+read back — including through a torn final record.  The journal is
+bounded: past ``max_records`` it atomically compacts to the newest
+half, so it never grows without limit.
+
+Nothing here runs unless explicitly constructed; the hot paths are
+untouched.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+try:  # Unix-only; the accounting degrades gracefully elsewhere.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-posix platforms
+    _resource = None
+
+#: Schema tags on journal records, for forward-compatible readers.
+FLIGHT_KIND = "flight"
+SNAPSHOT_KIND = "snapshot"
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KiB, or ``None`` when unavailable.
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalize so
+    flight records compare across machines.
+    """
+    if _resource is None:  # pragma: no cover - non-posix platforms
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - mac only
+        peak //= 1024
+    return int(peak)
+
+
+def thread_cpu_s() -> float:
+    """CPU seconds consumed by the calling thread."""
+    return time.thread_time()
+
+
+@dataclass
+class FlightRecord:
+    """Resource accounting for one finished job."""
+
+    job_id: str
+    state: str
+    trace_id: Optional[str] = None
+    #: Seconds between enqueue and a worker picking the job up.
+    queue_wait_s: float = 0.0
+    #: Seconds a worker actively ran the job (across attempts).
+    run_s: float = 0.0
+    #: End-to-end seconds from submission to the terminal state.
+    wall_s: float = 0.0
+    #: CPU seconds the worker thread spent on the job.
+    cpu_s: float = 0.0
+    #: Peak-RSS growth over the job's run, KiB (None when unknown).
+    peak_rss_delta_kb: Optional[int] = None
+    #: Exact tier-1 model evaluations performed for this job.
+    evaluations: int = 0
+    #: Evaluations answered from the in-memory signature memo.
+    cache_hits: int = 0
+    #: Evaluations answered from the design store.
+    store_hits: int = 0
+    #: Other requests that coalesced onto this job while in flight.
+    coalesced: int = 0
+    attempts: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "trace_id": self.trace_id,
+            "queue_wait_s": self.queue_wait_s,
+            "run_s": self.run_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_rss_delta_kb": self.peak_rss_delta_kb,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "attempts": self.attempts,
+        }
+        out.update(self.extra)
+        return out
+
+
+class TelemetryJournal:
+    """Bounded, crash-safe ``telemetry.jsonl`` writer.
+
+    Records are either job flight records (``kind="flight"``) or
+    metrics-registry snapshots (``kind="snapshot"``); both carry a
+    wall-clock ``ts``.  :meth:`start` spawns a daemon thread appending
+    a snapshot every ``snapshot_interval_s``; :meth:`record_flight` is
+    called inline by the service as jobs finish.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        max_records: int = 4096,
+        snapshot_interval_s: float = 30.0,
+        sync: str = "batch",
+    ):
+        # Lazy import: store.journal imports repro.obs, so importing it
+        # at obs-package init time would be circular.
+        from repro.store.journal import Journal
+
+        self.path = pathlib.Path(path)
+        self.max_records = max(16, int(max_records))
+        self.snapshot_interval_s = float(snapshot_interval_s)
+        self._sync = sync
+        self._journal = Journal(self.path, sync=sync)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- writing ----------------------------------------------------------------
+
+    def record_flight(self, flight: Dict[str, Any]) -> None:
+        """Append one job's flight record (best-effort: never raises)."""
+        self._append({"kind": FLIGHT_KIND, "ts": time.time(), **flight})
+
+    def snapshot(self, metrics: Dict[str, Any], **extra: Any) -> None:
+        """Append a metrics-registry snapshot."""
+        self._append(
+            {
+                "kind": SNAPSHOT_KIND,
+                "ts": time.time(),
+                "metrics": metrics,
+                **extra,
+            }
+        )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        # Telemetry must never take the service down: swallow storage
+        # errors (disk full, closed journal during shutdown races).
+        from repro.errors import StoreError
+
+        with self._lock:
+            if self._journal is None:
+                return
+            try:
+                self._journal.append(record)
+                if len(self._journal) > self.max_records:
+                    self._compact_locked()
+            except StoreError:
+                from repro.obs.log import get_logger
+
+                get_logger("obs").warning(
+                    "telemetry journal %s: append failed", self.path
+                )
+
+    def _compact_locked(self) -> None:
+        """Atomically keep the newest half of the journal."""
+        from repro.store.journal import Journal, encode_record, write_atomic
+
+        keep = self._journal.records()[-self.max_records // 2 :]
+        self._journal.close()
+        write_atomic(self.path, (encode_record(r) for r in keep))
+        self._journal = Journal(self.path, sync=self._sync)
+
+    # -- periodic snapshotter -----------------------------------------------------
+
+    def start(self, registry=None) -> None:
+        """Begin periodic registry snapshots on a daemon thread."""
+        if self._thread is not None:
+            return
+        if registry is None:
+            from repro.obs.metrics import default_registry
+
+            registry = default_registry
+        def loop() -> None:
+            while not self._stop.wait(self.snapshot_interval_s):
+                self.snapshot(registry.report())
+        self._thread = threading.Thread(
+            target=loop, name="telemetry-snapshot", daemon=True
+        )
+        self._thread.start()
+
+    def close(self, final_snapshot: bool = True, registry=None) -> None:
+        """Stop the snapshotter, optionally snapshot once, and close."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_snapshot:
+            if registry is None:
+                from repro.obs.metrics import default_registry
+
+                registry = default_registry
+            self.snapshot(registry.report(), final=True)
+        with self._lock:
+            if self._journal is not None:
+                try:
+                    self._journal.close()
+                finally:
+                    self._journal = None
+
+    def __enter__(self) -> "TelemetryJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_telemetry(path: PathLike) -> List[Dict[str, Any]]:
+    """Read a telemetry journal leniently (tolerates a torn tail).
+
+    Unlike opening a :class:`~repro.store.journal.Journal` this never
+    writes — the reader may be inspecting a live service's file — so
+    invalid lines are simply skipped.
+    """
+    from repro.store.journal import decode_record
+
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = decode_record(line)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def latest_snapshot(
+    records: List[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The newest metrics snapshot in a telemetry record stream."""
+    for record in reversed(records):
+        if record.get("kind") == SNAPSHOT_KIND:
+            return record
+    return None
+
+
+def recent_flights(
+    records: List[Dict[str, Any]], limit: int = 10
+) -> List[Dict[str, Any]]:
+    """The newest ``limit`` flight records, oldest first."""
+    flights = [r for r in records if r.get("kind") == FLIGHT_KIND]
+    return flights[-limit:]
+
+
+__all__ = [
+    "FlightRecord",
+    "TelemetryJournal",
+    "peak_rss_kb",
+    "thread_cpu_s",
+    "read_telemetry",
+    "latest_snapshot",
+    "recent_flights",
+    "FLIGHT_KIND",
+    "SNAPSHOT_KIND",
+]

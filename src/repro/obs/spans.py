@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.obs import core
+from repro.obs import core, trace
 from repro.obs.metrics import default_registry
 
 
@@ -34,7 +34,9 @@ class SpanRecord:
 
     Times are ``perf_counter`` seconds relative to the observability
     epoch (set when recording was enabled), so a whole run's spans
-    share one timebase.
+    share one timebase.  ``trace_id`` groups spans belonging to one
+    request (see :mod:`repro.obs.trace`); it is ``None`` for spans
+    opened outside any request.
     """
 
     name: str
@@ -44,6 +46,7 @@ class SpanRecord:
     parent_seq: Optional[int]
     thread: str
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def duration_s(self) -> float:
@@ -59,6 +62,7 @@ class SpanRecord:
             "parent_seq": self.parent_seq,
             "thread": self.thread,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
         }
 
 
@@ -73,7 +77,7 @@ _state = _ThreadState()
 class Span:
     """Live span handle; use via ``with repro.obs.span(...):``."""
 
-    __slots__ = ("name", "attrs", "seq", "_start", "_parent")
+    __slots__ = ("name", "attrs", "seq", "_start", "_parent", "_trace_id")
 
     def __init__(self, name: str, attrs: Dict[str, Any]):
         self.name = name
@@ -81,6 +85,7 @@ class Span:
         self.seq = core.next_seq()
         self._start = 0.0
         self._parent: Optional[int] = None
+        self._trace_id: Optional[str] = None
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes to the span mid-flight."""
@@ -90,6 +95,14 @@ class Span:
     def __enter__(self) -> "Span":
         stack = _state.stack
         self._parent = stack[-1] if stack else None
+        ctx = trace.current()
+        if ctx is not None:
+            self._trace_id = ctx.trace_id
+            if self._parent is None:
+                # Root span of this thread's slice of the request:
+                # parent it where the request forked (another thread's
+                # span), so the merged trace stays one tree.
+                self._parent = ctx.parent_seq
         stack.append(self.seq)
         self._start = time.perf_counter()
         return self
@@ -112,6 +125,7 @@ class Span:
                     parent_seq=self._parent,
                     thread=threading.current_thread().name,
                     attrs=self.attrs,
+                    trace_id=self._trace_id,
                 )
             )
         default_registry.histogram(self.name).observe(end - self._start)

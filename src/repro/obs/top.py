@@ -1,0 +1,228 @@
+"""``repro obs top`` — a refreshing terminal view over service telemetry.
+
+Two data sources, one dashboard:
+
+- a **telemetry journal** (``telemetry.jsonl`` written by
+  :class:`~repro.obs.record.TelemetryJournal`) — works on a live file
+  or post-mortem after a crash/drain;
+- a **live service** — ``http://host:port`` is polled at
+  ``GET /metricsz`` for the JSON run report (+ service stats and SLO
+  gauges).
+
+Each refresh renders one plain-text frame: headline service counters,
+SLO gauges, the hottest latency histograms, and the most recent job
+flight records.  Rendering is pure (``render_frame`` takes a plain
+dict and returns a string) so tests don't need a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.obs.record import latest_snapshot, read_telemetry, recent_flights
+
+#: ANSI "clear screen + home" prefix used between frames on a TTY.
+CLEAR = "\x1b[2J\x1b[H"
+
+#: Histograms worth front-page billing, in display order.
+_HEADLINE_HISTOGRAMS = (
+    "service.job_wall_s",
+    "service.queue_wait_s",
+    "service.synthesize",
+    "search.tier0",
+    "search.tier1",
+    "store.lookup",
+    "model.predict",
+)
+
+
+def load_from_journal(path, flights: int = 8) -> Dict[str, Any]:
+    """Normalize the newest journal snapshot + flights into frame data."""
+    records = read_telemetry(path)
+    snapshot = latest_snapshot(records)
+    metrics = (snapshot or {}).get("metrics", {})
+    return {
+        "source": f"journal {path}",
+        "ts": (snapshot or {}).get("ts"),
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+        "histograms": metrics.get("histograms", {}),
+        "service": None,
+        "slo": None,
+        "flights": recent_flights(records, limit=flights),
+    }
+
+
+def load_from_url(url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """Normalize a live ``GET /metricsz`` report into frame data."""
+    request = urllib.request.Request(url.rstrip("/") + "/metricsz")
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        report = json.loads(response.read().decode("utf-8"))
+    metrics = report.get("metrics", {})
+    return {
+        "source": f"live {url}",
+        "ts": time.time(),
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+        "histograms": metrics.get("histograms", {}),
+        "service": report.get("service"),
+        "slo": report.get("slo"),
+        "flights": [],
+    }
+
+
+def _fmt_s(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_frame(data: Dict[str, Any], width: int = 78) -> str:
+    """One dashboard frame as plain text (no ANSI)."""
+    lines: List[str] = []
+    rule = "-" * width
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(data["ts"]))
+        if data.get("ts")
+        else "?"
+    )
+    lines.append(f"repro obs top | {data['source']} | as of {stamp}")
+    lines.append(rule)
+
+    service = data.get("service")
+    counters = data.get("counters", {})
+    if service:
+        lines.append(
+            "jobs: "
+            f"accepted={service.get('accepted', 0)} "
+            f"completed={service.get('completed', 0)} "
+            f"failed={service.get('failed', 0)} "
+            f"cancelled={service.get('cancelled', 0)} "
+            f"deduped={service.get('deduped', 0)} "
+            f"rejected={service.get('rejected', 0)}"
+        )
+    else:
+        lines.append(
+            "jobs: "
+            f"accepted={counters.get('service.accepted', 0):g} "
+            f"completed={counters.get('service.completed', 0):g} "
+            f"failed={counters.get('service.failed', 0):g} "
+            f"cancelled={counters.get('service.cancelled', 0):g} "
+            f"deduped={counters.get('service.dedup', 0):g} "
+            f"rejected={counters.get('service.rejected', 0):g}"
+        )
+    gauges = data.get("gauges", {})
+    lines.append(
+        "load: "
+        f"queue_depth={gauges.get('service.queue_depth', 0):g} "
+        f"running={gauges.get('service.running', 0):g} "
+        f"store_entries={gauges.get('store.entries', 0):g}"
+    )
+
+    slo = data.get("slo")
+    if slo:
+        within = slo.get("service.slo.p99_within_target", 1.0)
+        lines.append(
+            "slo:  "
+            f"queue_saturation={slo.get('service.slo.queue_saturation', 0):.1%} "
+            f"reject_rate={slo.get('service.slo.reject_rate', 0):.1%} "
+            f"p99={_fmt_s(slo.get('service.slo.p99_job_wall_s'))} "
+            f"target={_fmt_s(slo.get('service.slo.p99_target_s'))} "
+            f"[{'OK' if within else 'BREACH'}]"
+        )
+
+    histograms = data.get("histograms", {})
+    shown = [
+        name
+        for name in _HEADLINE_HISTOGRAMS
+        if histograms.get(name, {}).get("count")
+    ]
+    if shown:
+        lines.append(rule)
+        lines.append(
+            f"{'latency':<24}{'count':>8}{'mean':>10}"
+            f"{'p50':>10}{'p90':>10}{'p99':>10}"
+        )
+        for name in shown:
+            h = histograms[name]
+            lines.append(
+                f"{name:<24}{h['count']:>8}"
+                f"{_fmt_s(h.get('mean')):>10}"
+                f"{_fmt_s(h.get('p50')):>10}"
+                f"{_fmt_s(h.get('p90')):>10}"
+                f"{_fmt_s(h.get('p99')):>10}"
+            )
+
+    flights = data.get("flights", [])
+    if flights:
+        lines.append(rule)
+        lines.append(
+            f"{'job':<12}{'state':<11}{'queue':>9}{'run':>9}"
+            f"{'cpu':>9}{'evals':>7}{'cache':>7}{'store':>7}"
+        )
+        for flight in flights:
+            lines.append(
+                f"{flight.get('job_id', '?'):<12}"
+                f"{flight.get('state', '?'):<11}"
+                f"{_fmt_s(flight.get('queue_wait_s')):>9}"
+                f"{_fmt_s(flight.get('run_s')):>9}"
+                f"{_fmt_s(flight.get('cpu_s')):>9}"
+                f"{flight.get('evaluations', 0):>7}"
+                f"{flight.get('cache_hits', 0):>7}"
+                f"{flight.get('store_hits', 0):>7}"
+            )
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    journal=None,
+    url: Optional[str] = None,
+    interval_s: float = 2.0,
+    frames: Optional[int] = None,
+    stream=None,
+    clear: Optional[bool] = None,
+) -> int:
+    """Drive the dashboard loop; returns a process exit code.
+
+    Exactly one of ``journal`` / ``url`` must be given.  ``frames``
+    bounds the number of refreshes (``None`` = until interrupted);
+    ``clear`` controls the ANSI screen wipe (default: only on a TTY).
+    """
+    if (journal is None) == (url is None):
+        raise ValueError("pass exactly one of journal= or url=")
+    out = stream if stream is not None else sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    shown = 0
+    while True:
+        try:
+            data = (
+                load_from_journal(journal)
+                if journal is not None
+                else load_from_url(url)
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            out.write(f"repro obs top: source unavailable: {exc}\n")
+            out.flush()
+            return 1
+        if clear:
+            out.write(CLEAR)
+        out.write(render_frame(data))
+        out.flush()
+        shown += 1
+        if frames is not None and shown >= frames:
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

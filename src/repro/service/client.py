@@ -23,9 +23,10 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import ServiceError, ServiceOverloadError
+from repro.obs.trace import TraceContext
 
 
 class JobFailedError(ServiceError):
@@ -55,6 +56,7 @@ class ServiceClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, Any]:
         body = (
             json.dumps(payload).encode("utf-8")
@@ -65,7 +67,10 @@ class ServiceClient:
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                **(headers or {}),
+            },
         )
         try:
             with urllib.request.urlopen(
@@ -110,17 +115,30 @@ class ServiceClient:
 
     # -- API --------------------------------------------------------------------
 
-    def submit(self, **request) -> Dict[str, Any]:
+    def submit(
+        self, trace: Optional[TraceContext] = None, **request
+    ) -> Dict[str, Any]:
         """POST a job; returns the job dict (``["coalesced"]`` set).
 
         Keyword arguments mirror the JSON job payload
         (``benchmark=``/``source=``, ``design=``, ``priority=``, ...).
 
+        The client mints a :class:`~repro.obs.trace.TraceContext` per
+        submission (or propagates ``trace``) and sends it in the
+        ``X-Repro-Trace-*`` headers, so the server-side job — and every
+        span it produces — carries this request's trace id.  The
+        returned job dict includes ``trace_id``; fetch the merged trace
+        with :meth:`trace`.
+
         Raises:
             ServiceOverloadError: admission control rejected (429).
             ServiceError: malformed request or draining service.
         """
-        payload = self._call("POST", "/jobs", request)
+        if trace is None:
+            trace = TraceContext.mint(origin="service.client")
+        payload = self._call(
+            "POST", "/jobs", request, headers=trace.to_headers()
+        )
         status = payload.pop("_status", 500)
         self._raise_for(status, payload)
         job = payload["job"]
@@ -204,6 +222,21 @@ class ServiceClient:
         self._raise_for(payload.pop("_status", 500), payload)
         return payload
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """GET a job's merged Chrome/Perfetto trace JSON.
+
+        Raises:
+            ServiceError: unknown job, or no trace was recorded
+                (observability disabled on the server).
+        """
+        payload = self._call("GET", f"/jobs/{job_id}/trace")
+        self._raise_for(payload.pop("_status", 500), payload)
+        return payload
+
+    def flight(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """GET a job's flight record (``None`` until it finishes)."""
+        return self.job(job_id).get("flight")
+
     def health(self) -> Dict[str, Any]:
         """GET /healthz."""
         payload = self._call("GET", "/healthz")
@@ -215,3 +248,18 @@ class ServiceClient:
         payload = self._call("GET", "/metricsz")
         self._raise_for(payload.pop("_status", 500), payload)
         return payload
+
+    def metrics_prometheus(self) -> str:
+        """GET /metricsz?format=prometheus (raw exposition text)."""
+        request = urllib.request.Request(
+            self.base_url + "/metricsz?format=prometheus"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc

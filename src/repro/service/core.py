@@ -54,6 +54,13 @@ from repro.errors import (
     TransientServiceError,
 )
 from repro.model.predictor import Fidelity
+from repro.obs.record import (
+    FlightRecord,
+    TelemetryJournal,
+    peak_rss_kb,
+    thread_cpu_s,
+)
+from repro.obs.trace import TraceContext, activate as activate_trace
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
 from repro.service.jobs import Job, JobRequest, JobState
 from repro.service.queue import JobQueue
@@ -169,6 +176,12 @@ class SynthesisService:
         pipeline: override of the job body (tests inject slow/failing
             pipelines); receives ``(job, evaluator)`` and returns the
             JSON-able result payload.
+        telemetry: optional durable telemetry journal; the service
+            starts its periodic snapshotter, appends every finished
+            job's flight record to it, and closes it (with a final
+            snapshot) on shutdown.
+        slo_p99_target_s: p99 job-latency objective backing the
+            derived ``service.slo.*`` gauges (see :meth:`slo_gauges`).
     """
 
     def __init__(
@@ -187,6 +200,8 @@ class SynthesisService:
         search_chunk_size: int = 1024,
         transient: Tuple[Type[BaseException], ...] = DEFAULT_TRANSIENT,
         pipeline=None,
+        telemetry: Optional[TelemetryJournal] = None,
+        slo_p99_target_s: float = 120.0,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -197,6 +212,9 @@ class SynthesisService:
         self.board = board
         self.store = store
         self.workers = workers
+        self.telemetry = telemetry
+        self.slo_p99_target_s = slo_p99_target_s
+        self._started_m = time.monotonic()
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.default_timeout_s = default_timeout_s
@@ -234,11 +252,25 @@ class SynthesisService:
         ]
         for thread in self._threads:
             thread.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
 
     # -- submission -------------------------------------------------------------
 
-    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        request: JobRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> Tuple[Job, bool]:
         """Admit (or coalesce) a request.
+
+        Args:
+            request: the validated synthesis ask.
+            trace: request-scoped trace context (propagated from the
+                HTTP headers by the API layer).  When observability is
+                recording and no context was supplied, the service
+                mints one so every job trace is complete; when
+                observability is off nothing is allocated.
 
         Returns:
             ``(job, coalesced)`` — ``coalesced`` is True when the
@@ -258,6 +290,8 @@ class SynthesisService:
             request = dataclasses.replace(
                 request, timeout_s=self.default_timeout_s
             )
+        if trace is None and obs.enabled():
+            trace = TraceContext.mint(origin="service.submit")
         signature = request.signature()
         obs.inc("service.requests")
         with self._lock:
@@ -281,6 +315,7 @@ class SynthesisService:
                 id=f"job-{self._next_id:06d}",
                 request=request,
                 signature=signature,
+                trace=trace,
             )
             try:
                 self._queue.put(job, retry_after_s=self._retry_after())
@@ -357,15 +392,53 @@ class SynthesisService:
                 "status": status,
                 "board": self.board.name,
                 "workers": self.workers,
+                "workers_busy": self._running,
+                "uptime_s": time.monotonic() - self._started_m,
                 "queue_depth": len(self._queue),
                 "queue_capacity": self._queue.max_depth,
                 "running": self._running,
                 "avg_job_s": self._avg_job_s,
                 "tiered": self.tiered,
                 "store_attached": self.store is not None,
+                "telemetry_attached": self.telemetry is not None,
                 "evaluator": self.evaluator.stats.as_dict(),
                 "stats": self.stats.as_dict(),
             }
+
+    def slo_gauges(self) -> Dict[str, float]:
+        """Derived service-level-objective gauges, computed at read time.
+
+        Exported by ``GET /metricsz?format=prometheus`` (and included
+        in the JSON report) so a scraper can alert on saturation and
+        latency without re-deriving them from raw counters:
+
+        - ``service.slo.queue_saturation`` — waiting jobs / capacity.
+        - ``service.slo.reject_rate`` — rejected / submissions.
+        - ``service.slo.p99_job_wall_s`` — p99 of finished-job wall
+          time (0 until a job has finished).
+        - ``service.slo.p99_target_s`` / ``p99_within_target`` — the
+          configured objective and whether p99 currently meets it.
+        """
+        with self._lock:
+            depth = len(self._queue)
+            capacity = self._queue.max_depth
+            requests = self.stats.requests
+            rejected = self.stats.rejected
+        summary = obs.get_registry().histogram(
+            "service.job_wall_s"
+        ).summary()
+        p99 = float(summary.get("p99", 0.0)) if summary.get("count") else 0.0
+        return {
+            "service.slo.queue_saturation": depth / capacity,
+            "service.slo.reject_rate": (
+                rejected / requests if requests else 0.0
+            ),
+            "service.slo.p99_job_wall_s": p99,
+            "service.slo.p99_target_s": self.slo_p99_target_s,
+            "service.slo.p99_within_target": float(
+                p99 <= self.slo_p99_target_s
+            ),
+        }
 
     # -- the worker side --------------------------------------------------------
 
@@ -440,9 +513,21 @@ class SynthesisService:
         obs.set_gauge("service.queue_depth", len(self._queue))
         obs.set_gauge("service.running", self._running)
         start = time.monotonic()
+        # Flight-record baselines: thread CPU and peak RSS before the
+        # job, plus a snapshot of the shared evaluator counters so the
+        # deltas attribute work to this job (approximate when several
+        # workers run concurrently — the counters are service-wide).
+        job._run_started_m = start
+        job._cpu_start_s = thread_cpu_s()
+        job._rss_start_kb = peak_rss_kb()
+        job._evals_start = self.evaluator.stats.as_dict()
         self._active.job = job
         try:
-            self._attempt_until_final(job)
+            # Re-activate the request's trace context on this worker
+            # thread: every span below (service.job, search.tier*,
+            # store.*, model.*) records the job's trace_id.
+            with activate_trace(job.trace):
+                self._attempt_until_final(job)
         finally:
             self._active.job = None
             elapsed = time.monotonic() - start
@@ -522,6 +607,7 @@ class SynthesisService:
         job.finished_s = time.time()
         job.result = result
         job.error = error
+        job.flight = self._flight_record(job, state)
         if self._inflight.get(job.signature) == job.id:
             del self._inflight[job.signature]
         if state is JobState.DONE:
@@ -544,11 +630,64 @@ class SynthesisService:
                     flush()
                 except StoreError as exc:  # durability is best-effort
                     _log.warning("store flush failed: %s", exc)
+        if self.telemetry is not None:
+            self.telemetry.record_flight(job.flight)
         _log.info(
             "%s -> %s (attempts=%d%s)",
             job.id, state.value, job.attempts,
             f", error={error}" if error else "",
         )
+
+    def _flight_record(self, job: Job, state: JobState) -> Dict[str, Any]:
+        """Resource accounting for a job reaching its terminal state.
+
+        Called on the worker thread that ran the job (or the submitter
+        for jobs cancelled while queued), so the thread-CPU delta is
+        the job's own.  Set before :meth:`Job.mark_finished` flips the
+        completion latch: a successful ``wait()`` always sees it.
+        """
+        now_m = time.monotonic()
+        queue_wait = 0.0
+        if job._enqueued_m is not None:
+            queue_wait = (
+                job._dequeued_m if job._dequeued_m is not None else now_m
+            ) - job._enqueued_m
+        run_s = (
+            now_m - job._run_started_m
+            if job._run_started_m is not None
+            else 0.0
+        )
+        cpu_s = (
+            thread_cpu_s() - job._cpu_start_s
+            if job._cpu_start_s is not None
+            else 0.0
+        )
+        rss_now = peak_rss_kb()
+        rss_delta = (
+            rss_now - job._rss_start_kb
+            if rss_now is not None and job._rss_start_kb is not None
+            else None
+        )
+        evals = self.evaluator.stats.as_dict()
+        before = job._evals_start or {}
+        def delta(key: str) -> int:
+            return int(evals.get(key, 0)) - int(before.get(key, 0))
+        obs.observe("service.queue_wait_s", queue_wait)
+        return FlightRecord(
+            job_id=job.id,
+            state=state.value,
+            trace_id=job.trace.trace_id if job.trace else None,
+            queue_wait_s=queue_wait,
+            run_s=run_s,
+            wall_s=job.finished_s - job.created_s,
+            cpu_s=cpu_s,
+            peak_rss_delta_kb=rss_delta,
+            evaluations=delta("evaluated"),
+            cache_hits=delta("cache_hits"),
+            store_hits=delta("store_hits"),
+            coalesced=job.coalesced,
+            attempts=job.attempts,
+        ).as_dict()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -601,6 +740,8 @@ class SynthesisService:
                     # The owner may have closed the store already;
                     # durability was covered by the per-job flushes.
                     _log.warning("final store flush failed: %s", exc)
+        if self.telemetry is not None:
+            self.telemetry.close()
         obs.set_gauge("service.queue_depth", 0)
         obs.set_gauge("service.running", 0)
         _log.info("shutdown complete: %s", self.stats.as_dict())

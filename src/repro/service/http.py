@@ -6,15 +6,28 @@ Routes (see ``docs/SERVICE.md`` for curl examples):
   status (``coalesced: true`` when attached to an identical in-flight
   job), ``429`` + ``Retry-After`` when admission control rejects,
   ``503`` while draining, ``400`` on a malformed payload.
-- ``GET /jobs/<id>`` — job status.
+- ``GET /jobs/<id>`` — job status (including trace id + flight record).
 - ``GET /jobs/<id>/result`` — ``200`` with the result payload once
-  done; ``202`` with the status while queued/running; ``409`` with the
-  error for failed/cancelled jobs; ``404`` for unknown ids.
+  done (the flight record rides alongside, never inside, the result —
+  results stay byte-identical whether telemetry is on or off); ``202``
+  with the status while queued/running; ``409`` with the error for
+  failed/cancelled jobs; ``404`` for unknown ids.
+- ``GET /jobs/<id>/trace`` — the job's merged Chrome/Perfetto trace:
+  every span recorded under the job's trace context, across worker and
+  evaluator-pool threads; ``404`` when no trace was recorded.
 - ``DELETE /jobs/<id>`` — request cancellation.
-- ``GET /healthz`` — service liveness + counters.
+- ``GET /healthz`` — service liveness: status, uptime, queue depth,
+  busy workers, counters.
 - ``GET /metricsz`` — the observability run report (counters, derived
   rates such as ``service.dedup_rate``, histograms, span aggregates)
-  plus the service's own stats block.
+  plus the service's own stats block and derived SLO gauges;
+  ``?format=prometheus`` renders the same registry in the Prometheus
+  text exposition format for scrapers.
+
+``POST /jobs`` honors the ``X-Repro-Trace-*`` headers
+(:mod:`repro.obs.trace`): a client-minted trace context rides the
+request into the job, so the spans the job produces carry the
+client's trace id end to end.
 
 Built on :class:`http.server.ThreadingHTTPServer` — no third-party
 dependencies, matching the rest of the framework.
@@ -30,7 +43,9 @@ from typing import Any, Optional, Tuple
 
 from repro import obs
 from repro.errors import ServiceError, ServiceOverloadError
-from repro.obs.export import run_report
+from repro.obs import prom
+from repro.obs.export import build_chrome_trace, run_report
+from repro.obs.trace import TraceContext
 from repro.service.core import SynthesisService
 from repro.service.jobs import JobRequest, JobState
 
@@ -38,6 +53,7 @@ _log = obs.get_logger("service.http")
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)$")
 _RESULT_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)/result$")
+_TRACE_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)/trace$")
 
 
 def to_json_bytes(payload: Any) -> bytes:
@@ -80,6 +96,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         obs.inc(f"service.http.{status}")
 
+    def _reply_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        obs.inc(f"service.http.{status}")
+
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length", 0) or 0)
         raw = self.rfile.read(length) if length else b""
@@ -98,7 +125,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             request = JobRequest.from_json(self._read_body())
-            job, coalesced = self.service.submit(request)
+            trace = TraceContext.from_headers(self.headers)
+            job, coalesced = self.service.submit(request, trace=trace)
         except ServiceOverloadError as exc:
             self._reply(
                 429,
@@ -118,15 +146,27 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib interface
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         if path == "/healthz":
             self._reply(200, self.service.health())
             return
         if path == "/metricsz":
+            if "format=prometheus" in query:
+                text = prom.render_prometheus(
+                    obs.get_registry(),
+                    extra_gauges=self.service.slo_gauges(),
+                )
+                self._reply_text(200, text, prom.CONTENT_TYPE)
+                return
             report = run_report()
             report["service"] = self.service.stats.as_dict()
             report["evaluator"] = self.service.evaluator.stats.as_dict()
+            report["slo"] = self.service.slo_gauges()
             self._reply(200, report)
+            return
+        match = _TRACE_PATH.match(path)
+        if match:
+            self._get_trace(match.group("id"))
             return
         match = _RESULT_PATH.match(path)
         if match:
@@ -153,13 +193,41 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(200, job.as_dict())
 
+    def _get_trace(self, job_id: str) -> None:
+        """The job's merged Chrome trace (spans under its trace_id)."""
+        job = self.service.job(job_id)
+        if job is None:
+            self._reply(404, {"error": "unknown job"})
+            return
+        if job.trace is None:
+            self._reply(
+                404,
+                {
+                    "error": (
+                        "no trace recorded for this job (enable "
+                        "observability or send X-Repro-Trace-Id)"
+                    )
+                },
+            )
+            return
+        self._reply(200, build_chrome_trace(trace_id=job.trace.trace_id))
+
     def _get_result(self, job_id: str) -> None:
         job = self.service.job(job_id)
         if job is None:
             self._reply(404, {"error": "unknown job"})
             return
         if job.state is JobState.DONE:
-            self._reply(200, {"job_id": job.id, "result": job.result})
+            # The flight record rides beside the result: the result
+            # payload itself stays byte-identical with telemetry off.
+            self._reply(
+                200,
+                {
+                    "job_id": job.id,
+                    "result": job.result,
+                    "flight": job.flight,
+                },
+            )
             return
         if job.state.finished:  # failed or cancelled
             self._reply(

@@ -23,6 +23,7 @@ from enum import Enum
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import JobCancelledError, ServiceError
+from repro.obs.trace import TraceContext
 from repro.store.backing import digest
 
 #: Request fields that shape the synthesized output (signature inputs).
@@ -206,6 +207,14 @@ class Job:
     #: Requests that coalesced onto this job after submission.
     coalesced: int = 0
     result: Optional[Dict[str, Any]] = None
+    #: Request-scoped trace context (client-minted or server-minted);
+    #: re-activated on the worker thread so every span the job opens —
+    #: across the evaluator's pool threads too — shares one trace_id.
+    trace: Optional[TraceContext] = field(default=None, repr=False)
+    #: Resource accounting, set atomically with the terminal state
+    #: (before the completion latch flips), so a waiter never observes
+    #: a finished job without its flight record.
+    flight: Optional[Dict[str, Any]] = None
     _cancel: threading.Event = field(
         default_factory=threading.Event, repr=False
     )
@@ -214,6 +223,16 @@ class Job:
     )
     #: Monotonic deadline, armed when the job starts running.
     _deadline: Optional[float] = field(default=None, repr=False)
+    # Worker-side accounting stamps (monotonic / thread-CPU / RSS),
+    # written by the queue and the worker, read when finalizing.
+    _enqueued_m: Optional[float] = field(default=None, repr=False)
+    _dequeued_m: Optional[float] = field(default=None, repr=False)
+    _run_started_m: Optional[float] = field(default=None, repr=False)
+    _cpu_start_s: Optional[float] = field(default=None, repr=False)
+    _rss_start_kb: Optional[int] = field(default=None, repr=False)
+    _evals_start: Optional[Dict[str, Any]] = field(
+        default=None, repr=False
+    )
 
     def cancel(self) -> None:
         """Request cancellation (takes effect at the next checkpoint)."""
@@ -268,4 +287,6 @@ class Job:
             "timed_out": self.timed_out,
             "error": self.error,
             "has_result": self.result is not None,
+            "trace_id": self.trace.trace_id if self.trace else None,
+            "flight": self.flight,
         }

@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import List, Optional
 
 from repro.errors import ServiceError, ServiceOverloadError
@@ -67,6 +68,7 @@ class JobQueue:
                     f"retry in {retry_after_s:.1f}s",
                     retry_after_s=retry_after_s,
                 )
+            job._enqueued_m = time.monotonic()
             heapq.heappush(
                 self._heap, (-job.request.priority, next(self._seq), job)
             )
@@ -84,7 +86,10 @@ class JobQueue:
                 self._not_empty.wait()
             if not self._heap:
                 return None
-            return heapq.heappop(self._heap)[2]
+            job = heapq.heappop(self._heap)[2]
+            # Queue-wait accounting for the job's flight record.
+            job._dequeued_m = time.monotonic()
+            return job
 
     def close(self, drain: bool = True) -> List[Job]:
         """Stop admissions; wake all waiters.

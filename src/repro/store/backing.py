@@ -208,6 +208,12 @@ class DesignStore:
         self, design: StencilDesign, context: str
     ) -> Optional[StoredResult]:
         """Decode the stored result for ``design`` under ``context``."""
+        with obs.span("store.lookup"):
+            return self._lookup_design(design, context)
+
+    def _lookup_design(
+        self, design: StencilDesign, context: str
+    ) -> Optional[StoredResult]:
         key = design_key(design.signature(), context)
         with self._lock:
             entry = self._entries.get(key)
@@ -281,10 +287,11 @@ class DesignStore:
         """Persist buffered writes (one fsynced journal batch)."""
         with self._lock:
             batch, self._pending = self._pending, []
-        if batch:
-            self._journal.append_batch(batch)
-        else:
-            self._journal.flush()
+        with obs.span("store.flush", records=len(batch)):
+            if batch:
+                self._journal.append_batch(batch)
+            else:
+                self._journal.flush()
 
     def close(self) -> None:
         """Flush and release the journal handle."""

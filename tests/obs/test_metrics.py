@@ -71,6 +71,60 @@ class TestPercentiles:
         assert summary["sampled"] is True
 
 
+class TestReservoirSampling:
+    """Past ``sample_limit`` the histogram keeps a uniform reservoir,
+    not the first N observations (which would freeze quantiles at the
+    warm-up workload)."""
+
+    def test_reservoir_is_not_first_n_biased(self):
+        hist = Histogram("h", sample_limit=100)
+        # 100 small values, then 900 large ones.  A first-N retention
+        # would report p99 ~= 1.0 forever; a uniform reservoir must be
+        # dominated by the large tail.
+        for _ in range(100):
+            hist.observe(1.0)
+        for _ in range(900):
+            hist.observe(1000.0)
+        summary = hist.summary()
+        assert summary["p50"] == 1000.0
+        assert summary["p99"] == 1000.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            hist = Histogram(name, sample_limit=16)
+            for v in range(500):
+                hist.observe(float(v))
+            return hist.summary()
+
+        assert fill("svc.latency") == fill("svc.latency")
+
+    def test_no_global_random_state_is_touched(self):
+        import random
+
+        random.seed(1234)
+        before = random.getstate()
+        hist = Histogram("h", sample_limit=8)
+        for v in range(200):
+            hist.observe(float(v))
+        assert random.getstate() == before
+
+    def test_quantile_ordering_invariant_holds_when_sampled(self):
+        hist = Histogram("h", sample_limit=32)
+        for v in range(1000):
+            hist.observe(float(v % 97))
+        summary = hist.summary()
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+        assert summary["p99"] <= summary["max"]
+
+    def test_under_limit_is_exact_and_unsampled(self):
+        hist = Histogram("h", sample_limit=100)
+        for v in range(50):
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary.get("sampled", False) is False
+        assert summary["max"] == 49.0
+
+
 class TestThreadSafety:
     def test_concurrent_counter_increments_are_exact(self):
         registry = MetricsRegistry()

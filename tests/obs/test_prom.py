@@ -1,0 +1,166 @@
+"""Prometheus text exposition: rendering and the validating parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    ExpositionError,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+def _samples(parsed, family):
+    return {
+        (s.name, tuple(sorted(s.labels))): s.value
+        for s in parsed[family]["samples"]
+    }
+
+
+class TestMetricName:
+    def test_dots_become_underscores_with_namespace(self):
+        assert metric_name("service.queue_depth") == "repro_service_queue_depth"
+
+    def test_suffix_appended(self):
+        assert metric_name("service.accepted", "_total") == (
+            "repro_service_accepted_total"
+        )
+
+    def test_invalid_characters_sanitized(self):
+        name = metric_name("weird-metric/with spaces")
+        assert name == "repro_weird_metric_with_spaces"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        obs.enable()
+        obs.inc("service.accepted", 3)
+        text = render_prometheus(obs.get_registry())
+        assert "# TYPE repro_service_accepted_total counter" in text
+        assert "repro_service_accepted_total 3" in text
+
+    def test_gauge_rendered_plain(self):
+        obs.enable()
+        obs.set_gauge("service.queue_depth", 7)
+        text = render_prometheus(obs.get_registry())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 7" in text
+
+    def test_histogram_rendered_as_summary_with_quantiles(self):
+        obs.enable()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            obs.observe("service.job_wall_s", v)
+        text = render_prometheus(obs.get_registry())
+        assert "# TYPE repro_service_job_wall_s summary" in text
+        assert 'repro_service_job_wall_s{quantile="0.5"}' in text
+        assert 'repro_service_job_wall_s{quantile="0.9"}' in text
+        assert 'repro_service_job_wall_s{quantile="0.99"}' in text
+        assert "repro_service_job_wall_s_count 4" in text
+        assert "repro_service_job_wall_s_sum 1.0" in text
+
+    def test_extra_gauges_appear(self):
+        text = render_prometheus(
+            obs.get_registry(),
+            extra_gauges={"service.slo.reject_rate": 0.25},
+        )
+        assert "# TYPE repro_service_slo_reject_rate gauge" in text
+        assert "repro_service_slo_reject_rate 0.25" in text
+
+    def test_empty_histogram_skipped(self):
+        obs.get_registry().histogram("service.never_observed")
+        text = render_prometheus(obs.get_registry())
+        assert "never_observed" not in text
+
+    def test_content_type_is_exposition_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRoundTrip:
+    def test_render_then_parse(self):
+        obs.enable()
+        obs.inc("service.accepted", 2)
+        obs.set_gauge("service.queue_depth", 1)
+        for v in (0.5, 1.5):
+            obs.observe("service.job_wall_s", v)
+        text = render_prometheus(
+            obs.get_registry(),
+            extra_gauges={"service.slo.queue_saturation": 0.125},
+        )
+        parsed = parse_prometheus(text)
+        assert parsed["repro_service_accepted_total"]["type"] == "counter"
+        assert parsed["repro_service_queue_depth"]["type"] == "gauge"
+        assert parsed["repro_service_job_wall_s"]["type"] == "summary"
+        assert (
+            parsed["repro_service_slo_queue_saturation"]["type"] == "gauge"
+        )
+        samples = _samples(parsed, "repro_service_job_wall_s")
+        assert samples[("repro_service_job_wall_s_count", ())] == 2.0
+        assert samples[("repro_service_job_wall_s_sum", ())] == 2.0
+        quantiles = {
+            labels[0][1]
+            for (name, labels) in samples
+            if name == "repro_service_job_wall_s"
+        }
+        assert quantiles == {"0.5", "0.9", "0.99"}
+
+    def test_quantiles_are_ordered(self):
+        obs.enable()
+        for v in range(100):
+            obs.observe("service.job_wall_s", float(v))
+        parsed = parse_prometheus(render_prometheus(obs.get_registry()))
+        by_q = {
+            dict(s.labels)["quantile"]: s.value
+            for s in parsed["repro_service_job_wall_s"]["samples"]
+            if s.name == "repro_service_job_wall_s"
+        }
+        assert by_q["0.5"] <= by_q["0.9"] <= by_q["0.99"]
+
+
+class TestParserValidation:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("repro_orphan 1\n")
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("# TYPE 9bad counter\n9bad_total 1\n")
+
+    def test_bad_value_rejected(self):
+        text = "# TYPE repro_x gauge\nrepro_x banana\n"
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)
+
+    def test_type_after_samples_rejected(self):
+        text = (
+            "# TYPE repro_x gauge\n"
+            "repro_x 1\n"
+            "# TYPE repro_x counter\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)
+
+    def test_declared_but_empty_family_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("# TYPE repro_ghost gauge\n")
+
+    def test_special_float_values_parse(self):
+        text = "# TYPE repro_x gauge\nrepro_x NaN\n"
+        parsed = parse_prometheus(text)
+        [sample] = parsed["repro_x"]["samples"]
+        assert math.isnan(sample.value)
+
+    def test_help_and_comments_ignored(self):
+        text = (
+            "# HELP repro_x something dotted.name\n"
+            "# TYPE repro_x gauge\n"
+            "# just a comment\n"
+            "repro_x 4\n"
+        )
+        parsed = parse_prometheus(text)
+        assert parsed["repro_x"]["samples"][0].value == 4.0

@@ -1,0 +1,223 @@
+"""Flight records, the telemetry journal, and the ``obs top`` view."""
+
+from __future__ import annotations
+
+import io
+
+from repro import obs
+from repro.obs.record import (
+    FLIGHT_KIND,
+    SNAPSHOT_KIND,
+    FlightRecord,
+    TelemetryJournal,
+    latest_snapshot,
+    peak_rss_kb,
+    read_telemetry,
+    recent_flights,
+    thread_cpu_s,
+)
+from repro.obs.top import load_from_journal, render_frame, run_top
+
+
+def _flight(job_id="job-1", **kw):
+    return FlightRecord(job_id=job_id, state="done", **kw).as_dict()
+
+
+class TestFlightRecord:
+    def test_as_dict_has_the_accounting_fields(self):
+        flight = FlightRecord(
+            job_id="j1",
+            state="done",
+            trace_id="ab" * 16,
+            queue_wait_s=0.25,
+            run_s=1.5,
+            wall_s=2.0,
+            cpu_s=1.2,
+            peak_rss_delta_kb=512,
+            evaluations=40,
+            cache_hits=3,
+            store_hits=2,
+            coalesced=1,
+            attempts=1,
+            extra={"benchmark": "jacobi-2d"},
+        ).as_dict()
+        assert flight["job_id"] == "j1"
+        assert flight["queue_wait_s"] == 0.25
+        assert flight["cpu_s"] == 1.2
+        assert flight["peak_rss_delta_kb"] == 512
+        assert flight["evaluations"] == 40
+        assert flight["benchmark"] == "jacobi-2d"  # extra is inlined
+
+    def test_rusage_helpers_work_here(self):
+        # These run on Linux CI; assert real values, not just None.
+        rss = peak_rss_kb()
+        assert rss is not None and rss > 0
+        assert thread_cpu_s() >= 0.0
+
+
+class TestTelemetryJournal:
+    def test_flights_and_snapshots_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        journal = TelemetryJournal(path)
+        journal.record_flight(_flight("j1"))
+        journal.record_flight(_flight("j2"))
+        journal.snapshot({"counters": {"service.accepted": 2}})
+        journal.close(final_snapshot=False)
+
+        records = read_telemetry(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds == [FLIGHT_KIND, FLIGHT_KIND, SNAPSHOT_KIND]
+        assert all("ts" in r for r in records)
+        assert recent_flights(records, limit=1)[0]["job_id"] == "j2"
+        snap = latest_snapshot(records)
+        assert snap["metrics"]["counters"]["service.accepted"] == 2
+
+    def test_close_writes_a_final_snapshot(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryJournal(path) as journal:
+            journal.record_flight(_flight())
+        snap = latest_snapshot(read_telemetry(path))
+        assert snap is not None and snap.get("final") is True
+
+    def test_close_twice_and_append_after_close_are_safe(self, tmp_path):
+        journal = TelemetryJournal(tmp_path / "t.jsonl")
+        journal.close(final_snapshot=False)
+        journal.close(final_snapshot=False)
+        journal.record_flight(_flight())  # silently dropped
+        assert read_telemetry(journal.path) == []
+
+    def test_bounded_by_compaction(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        journal = TelemetryJournal(path, max_records=16)
+        for i in range(64):
+            journal.record_flight(_flight(f"j{i}"))
+        journal.close(final_snapshot=False)
+        records = read_telemetry(path)
+        assert len(records) <= 17  # newest half + post-compaction appends
+        # Compaction keeps the *newest* records.
+        assert records[-1]["job_id"] == "j63"
+
+    def test_torn_tail_is_skipped_by_reader(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        journal = TelemetryJournal(path)
+        journal.record_flight(_flight("good"))
+        journal.close(final_snapshot=False)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "flight", "job_id": "torn')  # no newline
+        records = read_telemetry(path)
+        assert [r["job_id"] for r in records if r["kind"] == FLIGHT_KIND] == [
+            "good"
+        ]
+
+    def test_reading_a_missing_file_is_empty(self, tmp_path):
+        assert read_telemetry(tmp_path / "nope.jsonl") == []
+
+    def test_periodic_snapshotter_appends(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        journal = TelemetryJournal(path, snapshot_interval_s=0.02)
+        journal.start(registry=obs.get_registry())
+        try:
+            deadline = 100
+            while deadline:
+                records = read_telemetry(path)
+                if any(r["kind"] == SNAPSHOT_KIND for r in records):
+                    break
+                deadline -= 1
+                import time
+
+                time.sleep(0.02)
+            assert deadline, "snapshotter never fired"
+        finally:
+            journal.close(final_snapshot=False)
+
+
+class TestTop:
+    def _journal_with_data(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        journal = TelemetryJournal(path)
+        journal.record_flight(
+            _flight(
+                "job-42",
+                queue_wait_s=0.001,
+                run_s=0.5,
+                cpu_s=0.4,
+                evaluations=12,
+            )
+        )
+        journal.snapshot(
+            {
+                "counters": {"service.accepted": 1, "service.completed": 1},
+                "gauges": {"service.queue_depth": 0},
+                "histograms": {
+                    "service.job_wall_s": {
+                        "count": 1,
+                        "mean": 0.5,
+                        "p50": 0.5,
+                        "p90": 0.5,
+                        "p99": 0.5,
+                    }
+                },
+            }
+        )
+        journal.close(final_snapshot=False)
+        return path
+
+    def test_load_from_journal_normalizes(self, tmp_path):
+        path = self._journal_with_data(tmp_path)
+        data = load_from_journal(path)
+        assert data["counters"]["service.accepted"] == 1
+        assert data["histograms"]["service.job_wall_s"]["count"] == 1
+        assert data["flights"][0]["job_id"] == "job-42"
+
+    def test_render_frame_is_plain_text(self, tmp_path):
+        frame = render_frame(load_from_journal(self._journal_with_data(tmp_path)))
+        assert "repro obs top" in frame
+        assert "job-42" in frame
+        assert "service.job_wall_s" in frame
+        assert "\x1b" not in frame  # clearing is the loop's business
+
+    def test_render_frame_shows_slo_breach(self):
+        data = {
+            "source": "test",
+            "ts": None,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "service": {"accepted": 5, "completed": 4, "failed": 1},
+            "slo": {
+                "service.slo.queue_saturation": 0.5,
+                "service.slo.reject_rate": 0.0,
+                "service.slo.p99_job_wall_s": 300.0,
+                "service.slo.p99_target_s": 120.0,
+                "service.slo.p99_within_target": 0.0,
+            },
+            "flights": [],
+        }
+        frame = render_frame(data)
+        assert "BREACH" in frame
+        assert "accepted=5" in frame
+
+    def test_run_top_journal_frames(self, tmp_path):
+        path = self._journal_with_data(tmp_path)
+        out = io.StringIO()
+        code = run_top(journal=path, interval_s=0.0, frames=2, stream=out)
+        assert code == 0
+        assert out.getvalue().count("repro obs top") == 2
+
+    def test_run_top_unreachable_url_exits_nonzero(self):
+        out = io.StringIO()
+        code = run_top(
+            url="http://127.0.0.1:1",  # nothing listens on port 1
+            frames=1,
+            stream=out,
+        )
+        assert code == 1
+        assert "source unavailable" in out.getvalue()
+
+    def test_run_top_requires_exactly_one_source(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_top()
+        with pytest.raises(ValueError):
+            run_top(journal=tmp_path / "x", url="http://h")
