@@ -65,6 +65,9 @@ class SynthesisResult:
             (``None`` when ``emit=False``).
         evaluator: the engine that scored the candidates; reuse it
             across calls to share its memo and backing store.
+        sim_backend: the resolved value-execution simulator backend
+            (``"numpy"`` or ``"jit"``) any functional execution of
+            this result's designs will use.
     """
 
     spec: StencilSpec
@@ -75,6 +78,7 @@ class SynthesisResult:
     resources: DesignResources
     program: Optional[GeneratedProgram]
     evaluator: CandidateEvaluator
+    sim_backend: str = "numpy"
 
 
 def default_baseline_parameters(
@@ -161,6 +165,7 @@ def synthesize(
     evaluator: Optional[CandidateEvaluator] = None,
     driver: Optional["SearchDriver"] = None,
     emit: bool = True,
+    sim_backend: Optional[str] = None,
 ) -> SynthesisResult:
     """Extract → optimize → codegen, as one call.
 
@@ -195,16 +200,25 @@ def synthesize(
             takes precedence over ``evaluator``.  Ignored for the
             ``"baseline"`` design kind, which scores one candidate.
         emit: generate the OpenCL program for the chosen design.
+        sim_backend: value-execution simulator backend request
+            (``"auto" | "numpy" | "jit"``; default: the process
+            default / ``REPRO_SIM_BACKEND`` / ``"auto"``).  The
+            resolved choice is reported on the result.
 
     Returns:
         A :class:`SynthesisResult`.
     """
+    from repro.sim import jit as sim_jit
+
     if design not in DESIGN_KINDS:
         raise SpecificationError(
             f"Unknown design kind {design!r}; expected one of "
             f"{DESIGN_KINDS}"
         )
-    with obs.span("api.synthesize", design=design):
+    resolved_backend = sim_jit.resolve_backend(sim_backend)
+    with obs.span(
+        "api.synthesize", design=design, sim_backend=resolved_backend
+    ):
         spec = _resolve_spec(
             source, benchmark, name, field_map, aux, grid_shape,
             iterations,
@@ -252,4 +266,5 @@ def synthesize(
         resources=best.resources,
         program=program,
         evaluator=engine,
+        sim_backend=resolved_backend,
     )

@@ -90,5 +90,15 @@ class PipeError(SimulationError):
     """Illegal operation on an OpenCL pipe (e.g. read past end)."""
 
 
+class BackendUnavailable(SimulationError):
+    """A requested simulator backend cannot run in this environment.
+
+    Raised (and always caught — callers fall back to the numpy
+    interpreter) when the JIT backend finds no working C compiler, an
+    unsupported dtype, or a failed compilation.  Never fatal on the
+    ``backend="auto"`` path.
+    """
+
+
 class CodegenError(ReproError):
     """The automatic code generator received an unsupported design."""

@@ -100,23 +100,71 @@ def _depth_sweep(baseline_depth: int, total_iterations: int) -> List[int]:
     return [h for h in candidates if h <= total_iterations]
 
 
+def _check_execution(
+    executor: CheckpointedExecutor,
+    config,
+    region: Tuple[int, ...],
+    h: int,
+) -> None:
+    """Bitwise-verify value execution of one swept design point.
+
+    The paper-scale grids are too large to execute in full, so the
+    check runs a *scaled replica*: the same stencil, tile partition,
+    cone depth, and unroll, but on a one-region grid for ``h``
+    iterations.  The executor's backend (jit or numpy) must match the
+    naive reference executor bit for bit — the same contract the
+    parity test suite enforces, re-checked here on the exact design
+    family the sweep measures.
+    """
+    import numpy as np
+
+    from repro.errors import SimulationError
+    from repro.stencil.reference import run_reference
+
+    spec = config.spec().with_grid(region).with_iterations(h)
+    replica = make_heterogeneous_design(
+        spec, region, config.counts, h, config.unroll
+    )
+    produced = executor.execute(replica)
+    expected = run_reference(spec)
+    for fname, grid in expected.items():
+        if not np.array_equal(grid, produced[fname]):
+            raise SimulationError(
+                f"Execution check failed for {config.name} at h={h} on "
+                f"the {executor.resolved_backend()} backend: field "
+                f"{fname!r} diverged from the reference"
+            )
+
+
 def run_figure7(
     benchmarks: Sequence[str] = FIGURE7_BENCHMARKS,
     board: BoardSpec = ADM_PCIE_7V3,
     fidelity: Fidelity = Fidelity.REFINED,
     evaluator: Optional[CandidateEvaluator] = None,
     executor: Optional[CheckpointedExecutor] = None,
+    check_execution: bool = False,
+    sim_backend: Optional[str] = None,
 ) -> List[Figure7Series]:
     """Regenerate the model-validation sweeps.
 
     ``evaluator``/``executor`` follow the same warm-start/resume
     contract as :func:`repro.experiments.table3.run_table3`; the
     evaluator must match ``board``/``fidelity`` when supplied.
+
+    With ``check_execution=True``, every swept design point is also
+    *executed* on real data (a one-region scaled replica — the full
+    paper-scale grids do not fit in memory) and verified bitwise
+    against the naive reference, on the backend selected by
+    ``sim_backend`` (default: process default / ``REPRO_SIM_BACKEND``
+    / ``auto``).  Raises :class:`~repro.errors.SimulationError` on
+    any divergence.
     """
     evaluator = evaluator or CandidateEvaluator(
         board=board, fidelity=fidelity
     )
-    executor = executor or CheckpointedExecutor(board)
+    executor = executor or CheckpointedExecutor(
+        board, sim_backend=sim_backend
+    )
     series: List[Figure7Series] = []
     for name in benchmarks:
         config = TABLE3_CONFIGS[name]
@@ -132,6 +180,8 @@ def run_figure7(
             )
             predicted.append(evaluator.predict_cycles(design))
             measured.append(executor.total_cycles(design))
+            if check_execution:
+                _check_execution(executor, config, region, h)
         series.append(
             Figure7Series(
                 benchmark=name,

@@ -240,6 +240,13 @@ def _derived_rates(counters: Dict[str, float]) -> Dict[str, float]:
         derived["store.hit_rate"] = (
             counters.get("store.hits", 0) / store_probes
         )
+    jit_probes = counters.get("sim.jit.cache_hits", 0) + counters.get(
+        "sim.jit.cache_misses", 0
+    )
+    if jit_probes:
+        derived["sim.jit.cache_hit_rate"] = (
+            counters.get("sim.jit.cache_hits", 0) / jit_probes
+        )
     screened = counters.get("search.screened", 0)
     promoted = counters.get("search.promoted", 0)
     if screened or promoted:

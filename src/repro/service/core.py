@@ -182,6 +182,10 @@ class SynthesisService:
             snapshot) on shutdown.
         slo_p99_target_s: p99 job-latency objective backing the
             derived ``service.slo.*`` gauges (see :meth:`slo_gauges`).
+        sim_backend: value-execution simulator backend request
+            (``"auto" | "numpy" | "jit"``); resolved lazily and
+            reported under ``/healthz`` as ``sim_backend``.  ``None``
+            defers to the process default / ``REPRO_SIM_BACKEND``.
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class SynthesisService:
         pipeline=None,
         telemetry: Optional[TelemetryJournal] = None,
         slo_p99_target_s: float = 120.0,
+        sim_backend: Optional[str] = None,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -221,6 +226,7 @@ class SynthesisService:
         self.transient = tuple(transient)
         self.tiered = tiered
         self.search_chunk_size = search_chunk_size
+        self.sim_backend = sim_backend
         self.stats = ServiceStats()
         self._pipeline = pipeline or self._synthesize_pipeline
         self._active = threading.local()
@@ -382,6 +388,12 @@ class SynthesisService:
             obs.inc("service.cancel_requests")
         return job
 
+    def _sim_backend_report(self) -> Dict[str, Any]:
+        """Resolved simulator-backend summary for ``/healthz``."""
+        from repro.sim import jit as sim_jit
+
+        return sim_jit.backend_report(self.sim_backend)
+
     def health(self) -> Dict[str, Any]:
         """Liveness/readiness view (the ``GET /healthz`` body)."""
         with self._lock:
@@ -399,6 +411,7 @@ class SynthesisService:
                 "running": self._running,
                 "avg_job_s": self._avg_job_s,
                 "tiered": self.tiered,
+                "sim_backend": self._sim_backend_report(),
                 "store_attached": self.store is not None,
                 "telemetry_attached": self.telemetry is not None,
                 "evaluator": self.evaluator.stats.as_dict(),

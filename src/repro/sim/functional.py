@@ -38,7 +38,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError, SpecificationError
+from repro import obs
+from repro.errors import (
+    BackendUnavailable,
+    SimulationError,
+    SpecificationError,
+)
 from repro.opencl.pipes import Pipe
 from repro.stencil.boundary import BoundaryPolicy
 from repro.stencil.reference import apply_update_interior
@@ -48,6 +53,8 @@ from repro.utils.grids import Box, box_from_shape, shrink_box
 
 State = Dict[str, np.ndarray]
 Index = Tuple[int, ...]
+
+_log = obs.get_logger("sim")
 
 
 @dataclass
@@ -68,9 +75,25 @@ class _TileContext:
 
 
 class FunctionalExecutor:
-    """Executes a design on numpy grids, matching the reference exactly."""
+    """Executes a design on numpy grids, matching the reference exactly.
 
-    def __init__(self, design: StencilDesign):
+    Args:
+        design: the design to execute.
+        backend: ``"auto"``, ``"numpy"``, or ``"jit"`` (default: the
+            process default / ``REPRO_SIM_BACKEND`` / ``"auto"``).
+            The jit backend runs the compiled C kernel from
+            :mod:`repro.sim.jit` — bitwise-identical by contract —
+            and silently falls back to the numpy interpreter when it
+            cannot (no compiler, unsupported dtype or inputs).  The
+            backend that actually ran the last :meth:`run` is
+            exposed as :attr:`active_backend`; note the jit path does
+            not populate :attr:`pipes` (halos move through C buffers,
+            not :class:`~repro.opencl.pipes.Pipe` objects).
+    """
+
+    def __init__(
+        self, design: StencilDesign, backend: Optional[str] = None
+    ):
         if design.spec.boundary is BoundaryPolicy.CLAMP:
             raise SpecificationError(
                 "Functional design execution supports FROZEN and PERIODIC "
@@ -91,6 +114,9 @@ class FunctionalExecutor:
         self.periodic = design.spec.boundary is BoundaryPolicy.PERIODIC
         self.domain = box_from_shape(self.spec.grid_shape)
         self.interior = shrink_box(self.domain, self.pattern.radius)
+        self.backend = backend
+        #: Backend that executed the most recent :meth:`run`.
+        self.active_backend = "numpy"
         #: Pipes created during the run, keyed by name (inspectable).
         self.pipes: Dict[str, Pipe] = {}
 
@@ -110,6 +136,9 @@ class FunctionalExecutor:
             iterations: total iterations (default: the spec's ``H``).
         """
         total = self.spec.iterations if iterations is None else iterations
+        compiled = self._run_compiled(state, aux, total)
+        if compiled is not None:
+            return compiled
         current = {
             k: v.astype(self.spec.dtype, copy=True)
             for k, v in (state or self.spec.initial_state()).items()
@@ -120,7 +149,31 @@ class FunctionalExecutor:
             h_block = min(self.design.fused_depth, total - done)
             current = self._run_temporal_block(current, aux_arrays, h_block)
             done += h_block
+        obs.inc("sim.numpy.runs")
         return current
+
+    def _run_compiled(
+        self, state: Optional[State], aux: Optional[State], total: int
+    ) -> Optional[State]:
+        """Try the jit backend; ``None`` means run the interpreter.
+
+        Every :class:`~repro.errors.BackendUnavailable` is swallowed
+        here (counted in ``sim.jit.fallbacks``): the jit path is an
+        accelerator, never a correctness or availability risk.
+        """
+        from repro.sim import jit
+
+        self.active_backend = "numpy"
+        if jit.resolve_backend(self.backend) != "jit":
+            return None
+        try:
+            result = jit.run_jit(self.design, state, aux, total)
+        except BackendUnavailable as exc:
+            obs.inc("sim.jit.fallbacks")
+            _log.debug("jit fallback for %s: %s", self.spec.name, exc)
+            return None
+        self.active_backend = "jit"
+        return result
 
     # -- block execution ----------------------------------------------------------
 
@@ -403,6 +456,9 @@ def run_functional(
     state: Optional[State] = None,
     aux: Optional[State] = None,
     iterations: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> State:
     """Convenience wrapper around :class:`FunctionalExecutor`."""
-    return FunctionalExecutor(design).run(state, aux, iterations)
+    return FunctionalExecutor(design, backend=backend).run(
+        state, aux, iterations
+    )

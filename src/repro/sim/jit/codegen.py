@@ -1,0 +1,642 @@
+"""C99 lowering of a :class:`StencilDesign` for the JIT backend.
+
+:func:`generate_kernel_source` emits one self-contained translation
+unit specialized to a single (design, dtype) pair: the tile geometry,
+fused cone depths, tap offsets, and coefficients are all baked in as
+compile-time constants, leaving only the buffer strides (which depend
+on the clipped per-region buffer boxes) to runtime arithmetic.
+
+The generated code is a line-for-line transliteration of
+:class:`repro.sim.functional.FunctionalExecutor` — same temporal
+blocks, same buffer boxes, same shrinking fusion cones, same
+per-dimension sequential halo exchange, and crucially the same
+floating-point operation order as
+:func:`repro.stencil.reference.apply_update_interior`: per output cell
+the accumulator starts at the update constant and adds one tap at a
+time in declaration order, every operation rounded in the spec dtype.
+Together with the ``-ffp-contract=off`` compile flag (no FMA fusion)
+this makes the compiled kernel **bitwise identical** to the numpy
+interpreter, which is the backend's correctness contract.
+
+What cannot be lowered (and why) is reported by
+:func:`unsupported_reason`:
+
+- CLAMP boundaries — tiled ghost recomputation is inexact there, the
+  numpy interpreter rejects them too (see :mod:`repro.sim.functional`);
+- dtypes other than float32/float64 — no C scalar type matches
+  numpy's rounding for them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.stencil.boundary import BoundaryPolicy
+from repro.tiling.design import StencilDesign
+
+#: Bumped whenever the emitted C changes; part of every cache key so
+#: stale shared objects can never be loaded by a newer codegen.
+CODEGEN_VERSION = 1
+
+#: Name of the exported entry point in the compiled shared object.
+KERNEL_ENTRY = "repro_jit_run"
+
+#: C declaration of the entry point, consumed by ``ffi.cdef`` and kept
+#: next to the code that emits the definition.
+KERNEL_CDEF = (
+    "long long repro_jit_run(void **fields, void **aux, long long total);"
+)
+
+#: numpy dtype name -> C scalar type.
+_CTYPES = {"float32": "float", "float64": "double"}
+
+
+def unsupported_reason(
+    design: StencilDesign, dtype: np.dtype
+) -> Optional[str]:
+    """Why this design cannot be JIT-compiled, or ``None`` if it can.
+
+    Mirrors the constraints the numpy interpreter enforces plus the
+    JIT's own dtype restriction; callers use a non-``None`` answer to
+    fall back to the interpreter instead of raising.
+    """
+    dtype = np.dtype(dtype)
+    if dtype.name not in _CTYPES:
+        return (
+            f"dtype {dtype.name} has no bitwise-matching C scalar type "
+            "(supported: float32, float64)"
+        )
+    if design.spec.boundary is BoundaryPolicy.CLAMP:
+        return "CLAMP boundaries are interpreter-only (inexact ghosts)"
+    for grid_extent, region_extent in zip(
+        design.spec.grid_shape, design.tile_grid.region_shape
+    ):
+        if grid_extent % region_extent != 0:
+            return (
+                f"grid {design.spec.grid_shape} not divisible by region "
+                f"{design.tile_grid.region_shape}"
+            )
+    return None
+
+
+def _real_literal(value: float, dtype: np.dtype) -> str:
+    """Exact C99 hex-float literal for ``value`` rounded to ``dtype``."""
+    scalar = dtype.type(value)
+    if not np.isfinite(scalar):
+        raise SpecificationError(
+            f"Cannot lower non-finite coefficient {value!r} to C"
+        )
+    text = float(scalar).hex()
+    return text + "f" if dtype.name == "float32" else text
+
+
+def _int_array(name: str, values, per_row: Optional[int] = None) -> str:
+    """A ``static const long long`` array (1-D or 2-D) initializer."""
+    values = list(values)
+    if per_row is None:
+        body = ", ".join(str(int(v)) for v in values)
+        return (
+            f"static const long long {name}[{max(len(values), 1)}] = "
+            f"{{{body or '0'}}};"
+        )
+    rows = ", ".join(
+        "{" + ", ".join(str(int(v)) for v in row) + "}" for row in values
+    )
+    return (
+        f"static const long long {name}[{max(len(values), 1)}]"
+        f"[{per_row}] = {{{rows or '{0}'}}};"
+    )
+
+
+def _tap_source_expr(design: StencilDesign, source: str) -> str:
+    """Buffer-pointer expression for a tap's source array."""
+    pattern = design.spec.pattern
+    if source in pattern.aux:
+        return f"T->aux[{pattern.aux.index(source)}]"
+    return f"cur_{pattern.fields.index(source)}"
+
+
+def _update_body(design: StencilDesign, dtype: np.dtype) -> List[str]:
+    """The per-cell tap accumulation, one ``acc`` per field.
+
+    Reads only the ``cur`` buffers and writes only ``nxt``, so field
+    update order within a cell is free; the *tap* order inside each
+    field follows declaration order exactly, matching
+    ``apply_update_interior``.
+    """
+    pattern = design.spec.pattern
+    lines: List[str] = []
+    for fi, fname in enumerate(pattern.fields):
+        update = pattern.updates[fname]
+        lines.append(
+            f"REAL acc_{fi} = {_real_literal(update.constant, dtype)};"
+        )
+        for ti, tap in enumerate(update.taps):
+            src = _tap_source_expr(design, tap.source)
+            term = f"{src}[off + toff_{fi}_{ti}]"
+            if tap.coeff == 1.0:
+                lines.append(f"acc_{fi} += {term};")
+            else:
+                lines.append(
+                    f"acc_{fi} += {_real_literal(tap.coeff, dtype)} "
+                    f"* {term};"
+                )
+    for fi in range(len(pattern.fields)):
+        lines.append(f"nxt_{fi}[off] = acc_{fi};")
+    return lines
+
+
+def _tap_offset_decls(design: StencilDesign) -> List[str]:
+    """Per-tap linear buffer offsets from the tile's runtime strides."""
+    pattern = design.spec.pattern
+    ndim = design.spec.ndim
+    lines: List[str] = []
+    for fi, fname in enumerate(pattern.fields):
+        for ti, tap in enumerate(pattern.updates[fname].taps):
+            terms = [
+                f"({tap.offset[d]}) * s{d}"
+                for d in range(ndim)
+                if tap.offset[d] != 0
+            ]
+            expr = " + ".join(terms) if terms else "0"
+            lines.append(f"const long long toff_{fi}_{ti} = {expr};")
+    return lines
+
+
+def _compute_loop(design: StencilDesign, dtype: np.dtype) -> str:
+    """The nested loop over the computed box, inner dimension tight."""
+    ndim = design.spec.ndim
+    lines: List[str] = []
+    indent = "        "
+    for d in range(ndim):
+        lines.append(f"{indent}const long long s{d} = T->stride[{d}];")
+    for fi in range(len(design.spec.pattern.fields)):
+        lines.append(
+            f"{indent}const REAL *cur_{fi} = T->cur[{fi}]; "
+            f"REAL *nxt_{fi} = T->nxt[{fi}];"
+        )
+    for line in _tap_offset_decls(design):
+        lines.append(indent + line)
+    # Outer loops over every dimension but the last.
+    for d in range(ndim - 1):
+        pad = indent + "    " * d
+        lines.append(
+            f"{pad}for (long long i{d} = clo[{d}]; i{d} < chi[{d}]; "
+            f"++i{d}) {{"
+        )
+    pad = indent + "    " * (ndim - 1)
+    base_terms = [f"(i{d} - T->blo[{d}]) * s{d}" for d in range(ndim - 1)]
+    base_terms.append(f"(clo[{ndim - 1}] - T->blo[{ndim - 1}])")
+    lines.append(f"{pad}long long off = {' + '.join(base_terms)};")
+    last = ndim - 1
+    lines.append(
+        f"{pad}for (long long i{last} = clo[{last}]; i{last} < "
+        f"chi[{last}]; ++i{last}, ++off) {{"
+    )
+    for line in _update_body(design, dtype):
+        lines.append(pad + "    " + line)
+    lines.append(pad + "}")
+    for d in range(ndim - 2, -1, -1):
+        lines.append(indent + "    " * d + "}")
+    return "\n".join(lines)
+
+
+def generate_kernel_source(
+    design: StencilDesign, dtype: Optional[np.dtype] = None
+) -> str:
+    """Emit the full C99 translation unit for ``design``.
+
+    Raises :class:`SpecificationError` when the design cannot be
+    lowered; call :func:`unsupported_reason` first to fall back
+    gracefully instead.
+    """
+    dtype = np.dtype(design.spec.dtype if dtype is None else dtype)
+    reason = unsupported_reason(design, dtype)
+    if reason is not None:
+        raise SpecificationError(f"Cannot JIT design: {reason}")
+    spec = design.spec
+    pattern = spec.pattern
+    ndim = spec.ndim
+    radius = pattern.radius
+    tiles = design.tiles
+    counts = design.tile_grid.counts
+    region = design.tile_grid.region_shape
+    hmax = design.fused_depth
+    periodic = spec.boundary is BoundaryPolicy.PERIODIC
+    sharing = design.sharing
+
+    grid = spec.grid_shape
+    gstride = [0] * ndim
+    gstride[ndim - 1] = 1
+    for d in range(ndim - 2, -1, -1):
+        gstride[d] = gstride[d + 1] * grid[d + 1]
+    gcells = math.prod(grid)
+    rcounts = [g // r for g, r in zip(grid, region)]
+    # Interior under FROZEN: the domain shrunk by the radius, clamped.
+    int_lo = [radius[d] for d in range(ndim)]
+    int_hi = [max(int_lo[d], grid[d] - radius[d]) for d in range(ndim)]
+    # Largest possible local buffer across tiles/regions/blocks.
+    buf_cells = max(
+        math.prod(w + 2 * r * hmax for w, r in zip(t.shape, radius))
+        for t in tiles
+    )
+    # Halo pairs in the exact order the interpreter builds transfers:
+    # neighbors() order, zero-radius dimensions skipped.
+    pairs = [
+        (tiles.index(low), tiles.index(high), d, high.offset[d])
+        for low, high, d in design.tile_grid.neighbors()
+        if radius[d] > 0
+    ]
+    nfields = len(pattern.fields)
+    naux = len(pattern.aux)
+
+    consts = [
+        f"#define NDIM {ndim}",
+        f"#define NFIELDS {nfields}",
+        f"#define NAUX {naux}",
+        f"#define NAUXP {max(naux, 1)}",
+        f"#define NTILES {len(tiles)}",
+        f"#define NPAIRS {len(pairs)}",
+        f"#define HMAX {hmax}",
+        f"#define SHARING {1 if sharing else 0}",
+        f"#define PERIODIC {1 if periodic else 0}",
+        f"#define GCELLS {gcells}LL",
+        f"#define BUF_CELLS {buf_cells}LL",
+        _int_array("GRID", grid),
+        _int_array("GSTRIDE", gstride),
+        _int_array("RADIUS", radius),
+        _int_array("REGION", region),
+        _int_array("RCOUNTS", rcounts),
+        _int_array("TCOUNTS", counts),
+        _int_array("INTLO", int_lo),
+        _int_array("INTHI", int_hi),
+        _int_array("TILE_OFF", [t.offset for t in tiles], ndim),
+        _int_array("TILE_SHAPE", [t.shape for t in tiles], ndim),
+        _int_array(
+            "T_LOW_OUTER",
+            [[1 if t.index[d] == 0 else 0 for d in range(ndim)]
+             for t in tiles],
+            ndim,
+        ),
+        _int_array(
+            "T_HIGH_OUTER",
+            [[1 if t.index[d] == counts[d] - 1 else 0 for d in range(ndim)]
+             for t in tiles],
+            ndim,
+        ),
+        _int_array("PAIR_LOW", [p[0] for p in pairs]),
+        _int_array("PAIR_HIGH", [p[1] for p in pairs]),
+        _int_array("PAIR_DIM", [p[2] for p in pairs]),
+        _int_array("PAIR_FACE", [p[3] for p in pairs]),
+    ]
+
+    source = _TEMPLATE.format(
+        codegen_version=CODEGEN_VERSION,
+        design_sig=str(design.signature()),
+        dtype=dtype.name,
+        real=_CTYPES[dtype.name],
+        constants="\n".join(consts),
+        compute_loop=_compute_loop(design, dtype),
+    )
+    return source
+
+
+_TEMPLATE = r"""/* Generated by repro.sim.jit.codegen v{codegen_version}.
+ * design: {design_sig}
+ * dtype: {dtype}
+ *
+ * Bitwise-parity transliteration of repro.sim.functional; must be
+ * compiled with -ffp-contract=off and without -ffast-math.
+ */
+#include <stdlib.h>
+#include <string.h>
+
+typedef {real} REAL;
+
+{constants}
+
+static long long imax(long long a, long long b) {{ return a > b ? a : b; }}
+static long long imin(long long a, long long b) {{ return a < b ? a : b; }}
+
+/* Box.intersect semantics: lo' = max(lo), hi' = max(lo', min(hi)). */
+static void box_isect(long long *lo, long long *hi,
+                      const long long *olo, const long long *ohi) {{
+    for (int d = 0; d < NDIM; ++d) {{
+        lo[d] = imax(lo[d], olo[d]);
+        hi[d] = imax(lo[d], imin(hi[d], ohi[d]));
+    }}
+}}
+
+static int box_empty(const long long *lo, const long long *hi) {{
+    for (int d = 0; d < NDIM; ++d)
+        if (hi[d] <= lo[d]) return 1;
+    return 0;
+}}
+
+#if PERIODIC
+static long long wrapmod(long long v, long long m) {{
+    long long r = v % m;
+    return r < 0 ? r + m : r;
+}}
+#endif
+
+typedef struct {{
+    int id;
+    long long blo[NDIM], bhi[NDIM];   /* buffer box (global coords) */
+    long long stride[NDIM];
+    long long bcells;
+    long long olo[NDIM], ohi[NDIM];   /* output box */
+    long long vlo[NDIM], vhi[NDIM];   /* valid (computed) box */
+    REAL *cur[NFIELDS], *nxt[NFIELDS];
+    REAL *aux[NAUXP];
+}} Tile;
+
+/* Copy global box [lo,hi) into a tile buffer anchored at blo. */
+static void gather_box(const REAL *g, REAL *buf,
+                       const long long *lo, const long long *hi,
+                       const long long *blo, const long long *bs) {{
+    long long idx[NDIM];
+    if (box_empty(lo, hi)) return;
+    for (int d = 0; d < NDIM; ++d) idx[d] = lo[d];
+    for (;;) {{
+        long long boff = 0;
+        for (int d = 0; d < NDIM; ++d)
+            boff += (idx[d] - blo[d]) * bs[d];
+#if PERIODIC
+        {{
+            long long gbase = 0;
+            for (int d = 0; d + 1 < NDIM; ++d)
+                gbase += wrapmod(idx[d], GRID[d]) * GSTRIDE[d];
+            for (long long j = lo[NDIM - 1]; j < hi[NDIM - 1]; ++j)
+                buf[boff + (j - lo[NDIM - 1])] =
+                    g[gbase + wrapmod(j, GRID[NDIM - 1])];
+        }}
+#else
+        {{
+            long long gbase = 0;
+            for (int d = 0; d < NDIM; ++d)
+                gbase += idx[d] * GSTRIDE[d];
+            memcpy(buf + boff, g + gbase,
+                   (size_t)(hi[NDIM - 1] - lo[NDIM - 1]) * sizeof(REAL));
+        }}
+#endif
+        {{
+            int d = NDIM - 2;
+            for (; d >= 0; --d) {{
+                if (++idx[d] < hi[d]) break;
+                idx[d] = lo[d];
+            }}
+            if (d < 0) break;
+        }}
+    }}
+}}
+
+/* Copy a tile-buffer box back into a global array (box in-domain). */
+static void scatter_box(const REAL *buf, REAL *g,
+                        const long long *lo, const long long *hi,
+                        const long long *blo, const long long *bs) {{
+    long long idx[NDIM];
+    if (box_empty(lo, hi)) return;
+    for (int d = 0; d < NDIM; ++d) idx[d] = lo[d];
+    for (;;) {{
+        long long boff = 0, gbase = 0;
+        for (int d = 0; d < NDIM; ++d) {{
+            boff += (idx[d] - blo[d]) * bs[d];
+            gbase += idx[d] * GSTRIDE[d];
+        }}
+        memcpy(g + gbase, buf + boff,
+               (size_t)(hi[NDIM - 1] - lo[NDIM - 1]) * sizeof(REAL));
+        {{
+            int d = NDIM - 2;
+            for (; d >= 0; --d) {{
+                if (++idx[d] < hi[d]) break;
+                idx[d] = lo[d];
+            }}
+            if (d < 0) break;
+        }}
+    }}
+}}
+
+/* Copy box [lo,hi) between two tile buffers (halo delivery). */
+static void copy_box(const REAL *src, const long long *sblo,
+                     const long long *sbs, REAL *dst,
+                     const long long *dblo, const long long *dbs,
+                     const long long *lo, const long long *hi) {{
+    long long idx[NDIM];
+    if (box_empty(lo, hi)) return;
+    for (int d = 0; d < NDIM; ++d) idx[d] = lo[d];
+    for (;;) {{
+        long long soff = 0, doff = 0;
+        for (int d = 0; d < NDIM; ++d) {{
+            soff += (idx[d] - sblo[d]) * sbs[d];
+            doff += (idx[d] - dblo[d]) * dbs[d];
+        }}
+        memcpy(dst + doff, src + soff,
+               (size_t)(hi[NDIM - 1] - lo[NDIM - 1]) * sizeof(REAL));
+        {{
+            int d = NDIM - 2;
+            for (; d >= 0; --d) {{
+                if (++idx[d] < hi[d]) break;
+                idx[d] = lo[d];
+            }}
+            if (d < 0) break;
+        }}
+    }}
+}}
+
+/* One fused iteration on one tile: footprint -> computed -> taps. */
+static void update_tile(Tile *T, int iter, int h) {{
+    long long flo[NDIM], fhi[NDIM], clo[NDIM], chi[NDIM];
+    long long rem = (long long)(h - iter);
+    for (int d = 0; d < NDIM; ++d) {{
+        long long grow_lo, grow_hi;
+#if SHARING
+        grow_lo = T_LOW_OUTER[T->id][d] ? RADIUS[d] * rem : 0;
+        grow_hi = T_HIGH_OUTER[T->id][d] ? RADIUS[d] * rem : 0;
+#else
+        grow_lo = grow_hi = RADIUS[d] * rem;
+#endif
+        flo[d] = T->olo[d] - grow_lo;
+        fhi[d] = T->ohi[d] + grow_hi;
+    }}
+#if !PERIODIC
+    for (int d = 0; d < NDIM; ++d) {{
+        flo[d] = imax(flo[d], 0);
+        fhi[d] = imax(flo[d], imin(fhi[d], GRID[d]));
+    }}
+#endif
+    for (int d = 0; d < NDIM; ++d) {{
+        clo[d] = flo[d];
+        chi[d] = fhi[d];
+    }}
+#if !PERIODIC
+    box_isect(clo, chi, INTLO, INTHI);
+#endif
+    for (int f = 0; f < NFIELDS; ++f)
+        memcpy(T->nxt[f], T->cur[f], (size_t)T->bcells * sizeof(REAL));
+    if (!box_empty(clo, chi)) {{
+{compute_loop}
+    }}
+    for (int f = 0; f < NFIELDS; ++f) {{
+        REAL *tmp = T->cur[f];
+        T->cur[f] = T->nxt[f];
+        T->nxt[f] = tmp;
+    }}
+    for (int d = 0; d < NDIM; ++d) {{
+        T->vlo[d] = flo[d];
+        T->vhi[d] = fhi[d];
+    }}
+}}
+
+#if SHARING && NPAIRS > 0
+/* One directed halo transfer across a dim-`dd` face at `start`. */
+static void transfer(Tile *src, Tile *dst, int dd, long long start) {{
+    long long lo[NDIM], hi[NDIM];
+    for (int t = 0; t < NDIM; ++t) {{
+        lo[t] = src->vlo[t];
+        hi[t] = src->vhi[t];
+    }}
+    /* Transverse extents widen across shared sides of dims already
+     * exchanged this round (t < dd). */
+    for (int t = 0; t < dd; ++t) {{
+        if (!T_LOW_OUTER[src->id][t]) lo[t] -= RADIUS[t];
+        if (!T_HIGH_OUTER[src->id][t]) hi[t] += RADIUS[t];
+    }}
+    lo[dd] = start;
+    hi[dd] = start + RADIUS[dd];
+    box_isect(lo, hi, src->blo, src->bhi);
+    box_isect(lo, hi, dst->blo, dst->bhi);
+    if (box_empty(lo, hi)) return;
+    for (int f = 0; f < NFIELDS; ++f)
+        copy_box(src->cur[f], src->blo, src->stride,
+                 dst->cur[f], dst->blo, dst->stride, lo, hi);
+}}
+
+/* Per-dimension sequential exchange, same transfer order as the
+ * interpreter: neighbors() order, low->high then high->low. */
+static void exchange(Tile *tiles, const long long *origin) {{
+    for (int d = 0; d < NDIM; ++d) {{
+        for (int p = 0; p < NPAIRS; ++p) {{
+            if (PAIR_DIM[p] != d) continue;
+            Tile *lowt = &tiles[PAIR_LOW[p]];
+            Tile *hight = &tiles[PAIR_HIGH[p]];
+            long long face = origin[d] + PAIR_FACE[p];
+            transfer(lowt, hight, d, face - RADIUS[d]);
+            transfer(hight, lowt, d, face);
+        }}
+    }}
+}}
+#endif
+
+/* One region block: load tiles, run h fused iterations, write back. */
+static void run_region(REAL **cur, REAL **nxt, REAL **aux,
+                       const long long *origin, int h, REAL *slab) {{
+    Tile tiles[NTILES];
+    for (int t = 0; t < NTILES; ++t) {{
+        Tile *T = &tiles[t];
+        T->id = t;
+        for (int d = 0; d < NDIM; ++d) {{
+            long long lm, hm;
+#if SHARING
+            lm = RADIUS[d] * (T_LOW_OUTER[t][d] ? h : 1);
+            hm = RADIUS[d] * (T_HIGH_OUTER[t][d] ? h : 1);
+#else
+            lm = hm = RADIUS[d] * (long long)h;
+#endif
+            T->blo[d] = origin[d] + TILE_OFF[t][d] - lm;
+            T->bhi[d] = origin[d] + TILE_OFF[t][d] + TILE_SHAPE[t][d] + hm;
+        }}
+#if !PERIODIC
+        for (int d = 0; d < NDIM; ++d) {{
+            T->blo[d] = imax(T->blo[d], 0);
+            T->bhi[d] = imax(T->blo[d], imin(T->bhi[d], GRID[d]));
+        }}
+#endif
+        T->stride[NDIM - 1] = 1;
+        for (int d = NDIM - 2; d >= 0; --d)
+            T->stride[d] =
+                T->stride[d + 1] * (T->bhi[d + 1] - T->blo[d + 1]);
+        T->bcells = T->stride[0] * (T->bhi[0] - T->blo[0]);
+        for (int d = 0; d < NDIM; ++d) {{
+            T->olo[d] = origin[d] + TILE_OFF[t][d];
+            T->ohi[d] = T->olo[d] + TILE_SHAPE[t][d];
+            T->vlo[d] = T->blo[d];
+            T->vhi[d] = T->bhi[d];
+        }}
+        REAL *base = slab + (long long)t * (2 * NFIELDS + NAUX) * BUF_CELLS;
+        for (int f = 0; f < NFIELDS; ++f) {{
+            T->cur[f] = base + (long long)(2 * f) * BUF_CELLS;
+            T->nxt[f] = base + (long long)(2 * f + 1) * BUF_CELLS;
+            gather_box(cur[f], T->cur[f], T->blo, T->bhi, T->blo,
+                       T->stride);
+        }}
+        for (int a = 0; a < NAUX; ++a) {{
+            T->aux[a] = base + (long long)(2 * NFIELDS + a) * BUF_CELLS;
+            gather_box(aux[a], T->aux[a], T->blo, T->bhi, T->blo,
+                       T->stride);
+        }}
+    }}
+    for (int i = 1; i <= h; ++i) {{
+        for (int t = 0; t < NTILES; ++t)
+            update_tile(&tiles[t], i, h);
+#if SHARING && NPAIRS > 0
+        if (i < h) exchange(tiles, origin);
+#endif
+    }}
+    for (int t = 0; t < NTILES; ++t)
+        for (int f = 0; f < NFIELDS; ++f)
+            scatter_box(tiles[t].cur[f], nxt[f], tiles[t].olo,
+                        tiles[t].ohi, tiles[t].blo, tiles[t].stride);
+}}
+
+/* Entry point: run `total` iterations in place on `fields`.
+ * fields/aux are C-contiguous GRID-shaped arrays of REAL.
+ * Returns 0 on success, -1 on allocation failure. */
+long long repro_jit_run(void **fields, void **aux, long long total) {{
+    REAL *cur_g[NFIELDS], *nxt_g[NFIELDS];
+    REAL *aux_g[NAUXP];
+    long long done = 0;
+    size_t slab_cells =
+        (size_t)NTILES * (2 * NFIELDS + NAUX) * (size_t)BUF_CELLS;
+    size_t scratch_cells = (size_t)NFIELDS * (size_t)GCELLS;
+    REAL *mem = (REAL *)malloc(
+        (slab_cells + scratch_cells) * sizeof(REAL));
+    if (mem == NULL) return -1;
+    for (int f = 0; f < NFIELDS; ++f) {{
+        cur_g[f] = (REAL *)fields[f];
+        nxt_g[f] = mem + slab_cells + (size_t)f * (size_t)GCELLS;
+    }}
+    for (int a = 0; a < NAUX; ++a) aux_g[a] = (REAL *)aux[a];
+    while (done < total) {{
+        int h = (int)imin(HMAX, total - done);
+        long long origin[NDIM];
+        long long nregions = 1;
+        for (int d = 0; d < NDIM; ++d) nregions *= RCOUNTS[d];
+        for (int f = 0; f < NFIELDS; ++f)
+            memcpy(nxt_g[f], cur_g[f], (size_t)GCELLS * sizeof(REAL));
+        for (long long flat = 0; flat < nregions; ++flat) {{
+            long long rm = flat;
+            for (int d = NDIM - 1; d >= 0; --d) {{
+                origin[d] = (rm % RCOUNTS[d]) * REGION[d];
+                rm /= RCOUNTS[d];
+            }}
+            run_region(cur_g, nxt_g, aux_g, origin, h, mem);
+        }}
+        for (int f = 0; f < NFIELDS; ++f) {{
+            REAL *tmp = cur_g[f];
+            cur_g[f] = nxt_g[f];
+            nxt_g[f] = tmp;
+        }}
+        done += h;
+    }}
+    for (int f = 0; f < NFIELDS; ++f)
+        if (cur_g[f] != (REAL *)fields[f])
+            memcpy(fields[f], cur_g[f], (size_t)GCELLS * sizeof(REAL));
+    free(mem);
+    return 0;
+}}
+"""

@@ -1,0 +1,166 @@
+"""C compiler discovery and shared-object compilation for the JIT.
+
+The backend shells out to a plain C compiler (``cc``/``gcc``/``clang``)
+rather than using cffi's API mode, so no setuptools machinery is
+involved and the no-compiler case degrades to a clean
+:class:`~repro.errors.BackendUnavailable` instead of an import error.
+
+Flag policy is part of the parity contract: ``-O2`` only, with
+``-ffp-contract=off`` so the compiler cannot fuse the per-tap
+multiply-adds into FMAs (which would change rounding), and never
+``-ffast-math`` or ``-march=native``.  The resolved compiler's path,
+version line, and flags are folded into a fingerprint that keys the
+kernel cache, so switching compilers invalidates cached objects.
+
+Setting the ``CC`` environment variable forces a specific compiler; an
+unusable ``CC`` makes the backend unavailable rather than silently
+falling back to another compiler, which is what lets CI prove the
+numpy fallback path by exporting ``CC=/bin/false``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.errors import BackendUnavailable
+
+_log = obs.get_logger("sim.jit")
+
+#: Compilers probed, in order, when ``CC`` is not set.
+DEFAULT_COMPILERS = ("cc", "gcc", "clang")
+
+#: Flags appended to every compile; see the module docstring before
+#: changing anything here — several of them carry parity semantics.
+COMPILE_FLAGS = (
+    "-std=c99",
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+)
+
+_PROBE_TIMEOUT_S = 30.0
+_COMPILE_TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class CompilerInfo:
+    """A usable C compiler: resolved path, identity, and fingerprint.
+
+    Attributes:
+        path: absolute path of the executable.
+        version: first line of ``<cc> --version`` output.
+        fingerprint: digest over (path, version, flags) — changes to
+            any of them must invalidate cached shared objects.
+    """
+
+    path: str
+    version: str
+    fingerprint: str
+
+
+_lock = threading.Lock()
+#: ``CC`` env value (or None) -> probe outcome, memoized per process.
+_probe_cache: Dict[Optional[str], Optional[CompilerInfo]] = {}
+
+
+def _probe(candidate: str) -> Optional[CompilerInfo]:
+    """Resolve and version-probe one compiler candidate."""
+    path = shutil.which(candidate)
+    if path is None:
+        return None
+    try:
+        proc = subprocess.run(
+            [path, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=_PROBE_TIMEOUT_S,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    version = (proc.stdout or proc.stderr).splitlines()
+    version_line = version[0].strip() if version else ""
+    from repro.store.backing import digest
+
+    fingerprint = digest(
+        {"path": path, "version": version_line, "flags": COMPILE_FLAGS}
+    )
+    return CompilerInfo(
+        path=path, version=version_line, fingerprint=fingerprint
+    )
+
+
+def find_compiler(cc: Optional[str] = None) -> Optional[CompilerInfo]:
+    """The compiler the JIT will use, or ``None`` when unavailable.
+
+    Args:
+        cc: explicit compiler command; defaults to the ``CC``
+            environment variable.  When set (either way), only that
+            command is probed — no fallback to the default list — so
+            hiding the compiler is as simple as ``CC=/bin/false``.
+    """
+    if cc is None:
+        cc = os.environ.get("CC") or None
+    with _lock:
+        if cc in _probe_cache:
+            return _probe_cache[cc]
+    if cc is not None:
+        info = _probe(cc)
+    else:
+        info = None
+        for candidate in DEFAULT_COMPILERS:
+            info = _probe(candidate)
+            if info is not None:
+                break
+    with _lock:
+        _probe_cache[cc] = info
+    return info
+
+
+def clear_probe_cache() -> None:
+    """Forget probe results (tests re-point ``CC`` mid-process)."""
+    with _lock:
+        _probe_cache.clear()
+
+
+def compile_shared_object(
+    source_path: str,
+    output_path: str,
+    compiler: CompilerInfo,
+    extra_flags: Sequence[str] = (),
+) -> None:
+    """Compile one C file into a shared object.
+
+    Raises:
+        BackendUnavailable: on a non-zero compiler exit or a missing
+            executable, with the compiler diagnostics attached —
+            callers catch this and fall back to the interpreter.
+    """
+    command: List[str] = [compiler.path, *COMPILE_FLAGS, *extra_flags]
+    command += ["-o", str(output_path), str(source_path)]
+    try:
+        proc = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=_COMPILE_TIMEOUT_S,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise BackendUnavailable(
+            f"C compiler {compiler.path} failed to run: {exc}"
+        ) from exc
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout or "").strip()[-2000:]
+        raise BackendUnavailable(
+            f"C compilation failed (rc={proc.returncode}) with "
+            f"{compiler.path}:\n{tail}"
+        )
+    _log.debug("compiled %s -> %s", source_path, output_path)

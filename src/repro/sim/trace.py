@@ -62,7 +62,10 @@ def simulation_chrome_events(
                 tid,
                 ts_offset_us + record.start * cycles_to_us,
                 record.duration * cycles_to_us,
-                args={"iteration": record.iteration},
+                args={
+                    "iteration": record.iteration,
+                    "backend": result.sim_backend,
+                },
                 cname=_PHASE_COLORS[record.phase],
             )
     return builder.events
@@ -78,6 +81,7 @@ def to_chrome_trace(result: SimulationResult) -> dict:
             "board": result.board.name,
             "block_cycles": result.block.block_cycles,
             "num_blocks": result.num_blocks,
+            "sim_backend": result.sim_backend,
         },
     }
 
