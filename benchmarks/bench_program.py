@@ -1,0 +1,142 @@
+"""Program-level DSE: co-optimization vs per-stage optimization.
+
+The joint search explores the cross product of per-stage designs
+under one shared resource budget, so it can trade area between stages
+— shrink the cheap threshold stage to buy the blur stage a deeper
+pipeline.  Optimizing each stage in isolation (each one handed the
+full budget, results composed afterwards) cannot, and the composed
+result may not even fit.  This benchmark runs both on the
+`blur-sobel-threshold` program and asserts the co-optimized design is
+never worse, reporting the latency delta and the tiered-search Tier-1
+evaluation counts.
+
+Also usable as a standalone script (the mode CI's program smoke
+drives)::
+
+    python benchmarks/bench_program.py --json-out bench-program.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.dse import ResourceBudget, SearchDriver
+from repro.fpga.resources import VIRTEX7_690T
+from repro.program import (
+    ProgramEvaluator,
+    get_program,
+    optimize_program,
+    optimize_stages_independently,
+)
+
+
+def _program(grid=(64, 64)):
+    return get_program("blur-sobel-threshold", grid=grid, iterations=1)
+
+
+def _compare(grid=(64, 64), chunk_size=64):
+    program = _program(grid)
+    budget = ResourceBudget.from_device(VIRTEX7_690T)
+
+    engine = ProgramEvaluator()
+    driver = SearchDriver(evaluator=engine, chunk_size=chunk_size)
+    co = optimize_program(program, budget=budget, driver=driver)
+    report = driver.report
+
+    composed, per_stage = optimize_stages_independently(
+        program, budget=budget
+    )
+
+    assert co.best is not None, "co-optimization found no feasible design"
+    if composed is not None:
+        assert (
+            co.best.predicted_cycles
+            <= composed.predicted_cycles + 1e-9
+        ), (co.best.predicted_cycles, composed.predicted_cycles)
+
+    return {
+        "program": program.name,
+        "grid": list(grid),
+        "co_optimized_cycles": co.best.predicted_cycles,
+        "independent_cycles": (
+            composed.predicted_cycles if composed is not None else None
+        ),
+        "independent_feasible": composed is not None,
+        "latency_delta_pct": (
+            100.0
+            * (composed.predicted_cycles - co.best.predicted_cycles)
+            / composed.predicted_cycles
+            if composed is not None
+            else None
+        ),
+        "joint_candidates": co.evaluated,
+        "tier1_evaluations": report.tier1_evaluations,
+        "screened": report.screened,
+        "per_stage_evaluated": {
+            name: result.evaluated for name, result in per_stage.items()
+        },
+    }
+
+
+def test_co_optimization_no_worse(benchmark, record):
+    result = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    delta = result["latency_delta_pct"]
+    record(
+        "Program DSE",
+        f"{result['program']}: co-opt {result['co_optimized_cycles']:.0f} "
+        f"cycles vs independent {result['independent_cycles']:.0f} "
+        + (f"({delta:+.1f}% latency) " if delta is not None else "")
+        + f"with {result['tier1_evaluations']} Tier-1 evaluations of "
+        f"{result['screened'] + result['tier1_evaluations']} candidates",
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--grid",
+        default="64x64",
+        metavar="NxM",
+        help="program grid shape (default 64x64)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64,
+        help="candidates per tiered-search chunk",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="write the comparison record as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+
+    grid = tuple(int(v) for v in args.grid.split("x"))
+    result = _compare(grid=grid, chunk_size=args.chunk_size)
+
+    print(f"program: {result['program']} grid {args.grid}")
+    print(
+        f"co-optimized:     {result['co_optimized_cycles']:.0f} cycles "
+        f"({result['joint_candidates']} joint candidates, "
+        f"{result['tier1_evaluations']} tier-1 evaluations)"
+    )
+    if result["independent_cycles"] is not None:
+        print(
+            f"independent:      {result['independent_cycles']:.0f} cycles "
+            f"({sum(result['per_stage_evaluated'].values())} "
+            f"per-stage evaluations)"
+        )
+        print(f"latency delta:    {result['latency_delta_pct']:+.2f}%")
+    else:
+        print("independent:      composed design infeasible")
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+// Auto-generated host program for stencil program blur-sobel-threshold (coresident, 3 stages).
+#include <CL/cl.h>
+#include "stencil_host.h"
+
+int main(int argc, char **argv) {
+    cl_context ctx = stencil_create_context("xilinx_adm-pcie-7v3");
+    cl_command_queue queue = stencil_create_queue(ctx);
+    // DDR spill buffers for non-forwarded inter-stage edges.
+
+    // Stage blur: gaussian-blur-2d (h=4, K=2).
+    stencil_run_stage_blur(ctx, queue);
+    clFinish(queue);
+
+    // Stage sobel: sobel-x-2d (h=1, K=2).
+    // Input a streams on-chip from stage blur (forwarded).
+    stencil_run_stage_sobel(ctx, queue);
+    clFinish(queue);
+
+    // Stage threshold: contrast-threshold-2d (h=1, K=2).
+    // Input a streams on-chip from stage sobel (forwarded).
+    stencil_run_stage_threshold(ctx, queue);
+    clFinish(queue);
+    return 0;
+}
+
+// --- stage blur driver ------------------------------
+// Auto-generated host program for gaussian-blur-2d (pipe-shared, h=4).
+
+int stencil_run_stage_blur(cl_context ctx, cl_command_queue queue) {
+            cl_mem d_a = stencil_alloc(ctx, 16384 * sizeof(float));
+    cl_mem d_a_out = stencil_alloc(ctx, 16384 * sizeof(float));
+
+    // 2 temporal blocks x 1 regions x 2 kernels.
+    for (int block = 0; block < 2; ++block) {
+        for (int region = 0; region < 1; ++region) {
+            int origin[2]; stencil_region_origin(region, origin, 128, 128);
+            // Launch every tile kernel; launches are issued sequentially.
+            stencil_launch(queue, "stencil_gaussian_blur_2d_k0_0", origin[0] + 0, origin[1] + 0);
+            stencil_launch(queue, "stencil_gaussian_blur_2d_k0_1", origin[0] + 0, origin[1] + 64);
+            // Block barrier: all tiles must commit before the next.
+            clFinish(queue);
+            // Swap global ping-pong buffers.
+            stencil_swap(&d_a, &d_a_out);
+        }
+    }
+    return 0;
+}
+
+// --- stage sobel driver ------------------------------
+// Auto-generated host program for sobel-x-2d (baseline, h=1).
+
+int stencil_run_stage_sobel(cl_context ctx, cl_command_queue queue) {
+            cl_mem d_a = stencil_alloc(ctx, 16384 * sizeof(float));
+    cl_mem d_a_out = stencil_alloc(ctx, 16384 * sizeof(float));
+
+    // 1 temporal blocks x 1 regions x 2 kernels.
+    for (int block = 0; block < 1; ++block) {
+        for (int region = 0; region < 1; ++region) {
+            int origin[2]; stencil_region_origin(region, origin, 128, 128);
+            // Launch every tile kernel; launches are issued sequentially.
+            stencil_launch(queue, "stencil_sobel_x_2d_k0_0", origin[0] + 0, origin[1] + 0);
+            stencil_launch(queue, "stencil_sobel_x_2d_k0_1", origin[0] + 0, origin[1] + 64);
+            // Block barrier: all tiles must commit before the next.
+            clFinish(queue);
+            // Swap global ping-pong buffers.
+            stencil_swap(&d_a, &d_a_out);
+        }
+    }
+    return 0;
+}
+
+// --- stage threshold driver ------------------------------
+// Auto-generated host program for contrast-threshold-2d (baseline, h=1).
+
+int stencil_run_stage_threshold(cl_context ctx, cl_command_queue queue) {
+            cl_mem d_a = stencil_alloc(ctx, 16384 * sizeof(float));
+    cl_mem d_a_out = stencil_alloc(ctx, 16384 * sizeof(float));
+
+    // 1 temporal blocks x 1 regions x 2 kernels.
+    for (int block = 0; block < 1; ++block) {
+        for (int region = 0; region < 1; ++region) {
+            int origin[2]; stencil_region_origin(region, origin, 128, 128);
+            // Launch every tile kernel; launches are issued sequentially.
+            stencil_launch(queue, "stencil_contrast_threshold_2d_k0_0", origin[0] + 0, origin[1] + 0);
+            stencil_launch(queue, "stencil_contrast_threshold_2d_k0_1", origin[0] + 0, origin[1] + 64);
+            // Block barrier: all tiles must commit before the next.
+            clFinish(queue);
+            // Swap global ping-pong buffers.
+            stencil_swap(&d_a, &d_a_out);
+        }
+    }
+    return 0;
+}
+

@@ -1,0 +1,330 @@
+// Auto-generated coresident pipeline for stencil program blur-sobel-threshold: 3 stages, 2 forwarded edge(s).
+#include "stencil_runtime.h"
+
+// On-chip forwarding pipes for aligned edges.
+pipe float fwd_blur_a_to_sobel_t0_0 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float fwd_blur_a_to_sobel_t0_1 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float fwd_sobel_a_to_threshold_t0_0 __attribute__((xcl_reqd_pipe_depth(512)));
+pipe float fwd_sobel_a_to_threshold_t0_1 __attribute__((xcl_reqd_pipe_depth(512)));
+
+// === stage blur ========================================
+// Auto-generated pipe-shared design for gaussian-blur-2d: h=4, K=2, unroll=1.
+
+
+#define W0 128
+#define W1 128
+
+// OpenCL 2.0 pipes bridging adjacent tiles (two per face).
+pipe float blur_pipe_0_0_to_0_1_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+pipe float blur_pipe_0_1_to_0_0_d1 __attribute__((xcl_reqd_pipe_depth(32)));
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (135 - 1 * (it))
+#define T_EXT0 136
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (68 - 0 * (it))
+#define T_EXT1 69
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_gaussian_blur_2d_k0_0(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 0): output (128, 64), local footprint (136, 69).
+    __local float buf_a[136][69];
+    __local float new_a[136][69];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 9384);
+    for (int it = 0; it < 4; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.0625f * buf_a[x0 - 1][x1 - 1] + 0.125f * buf_a[x0 - 1][x1] + 0.0625f * buf_a[x0 - 1][x1 + 1] + 0.125f * buf_a[x0][x1 - 1] + 0.25f * buf_a[x0][x1] + 0.125f * buf_a[x0][x1 + 1] + 0.0625f * buf_a[x0 + 1][x1 - 1] + 0.125f * buf_a[x0 + 1][x1] + 0.0625f * buf_a[x0 + 1][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 68 - 1; x1 < 68 - 1 + 1; ++x1) {
+                write_pipe_block(blur_pipe_0_0_to_0_1_d1, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 4) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 68; x1 < 68 + 1; ++x1) {
+                    read_pipe_block(blur_pipe_0_1_to_0_0_d1, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (135 - 1 * (it))
+#define T_EXT0 136
+#define T_LO1(it) (1 + 0 * (it))
+#define T_HI1(it) (68 - 1 * (it))
+#define T_EXT1 69
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_gaussian_blur_2d_k0_1(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 1): output (128, 64), local footprint (136, 69).
+    __local float buf_a[136][69];
+    __local float new_a[136][69];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 9384);
+    for (int it = 0; it < 4; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 0.0625f * buf_a[x0 - 1][x1 - 1] + 0.125f * buf_a[x0 - 1][x1] + 0.0625f * buf_a[x0 - 1][x1 + 1] + 0.125f * buf_a[x0][x1 - 1] + 0.25f * buf_a[x0][x1] + 0.125f * buf_a[x0][x1 + 1] + 0.0625f * buf_a[x0 + 1][x1 - 1] + 0.125f * buf_a[x0 + 1][x1] + 0.0625f * buf_a[x0 + 1][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Push freshly computed boundary strips to neighbors.
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = 1; x1 < 1 + 1; ++x1) {
+                write_pipe_block(blur_pipe_0_1_to_0_0_d1, &buf_a[x0][x1]);
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+        if (it + 1 < 4) {
+            // Drain neighbor halo strips for the next iteration.
+            for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+                for (int x1 = 1 - 1; x1 < 1 - 1 + 1; ++x1) {
+                    read_pipe_block(blur_pipe_0_0_to_0_1_d1, &buf_a[x0][x1]);
+                }
+            }
+        }
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+#undef W0
+#undef W1
+
+// === stage sobel ========================================
+// Auto-generated baseline design for sobel-x-2d: h=1, K=2, unroll=1.
+
+
+#define W0 128
+#define W1 128
+
+// Baseline design: no inter-kernel pipes.
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (129 - 1 * (it))
+#define T_EXT0 130
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (65 - 1 * (it))
+#define T_EXT1 66
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_sobel_x_2d_k0_0(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 0): output (128, 64), local footprint (130, 66).
+    __local float buf_a[130][66];
+    __local float new_a[130][66];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 8580);
+    for (int it = 0; it < 1; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = -0.125f * buf_a[x0 - 1][x1 - 1] + 0.125f * buf_a[x0 - 1][x1 + 1] + -0.25f * buf_a[x0][x1 - 1] + 0.25f * buf_a[x0][x1 + 1] + -0.125f * buf_a[x0 + 1][x1 - 1] + 0.125f * buf_a[x0 + 1][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (129 - 1 * (it))
+#define T_EXT0 130
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (65 - 1 * (it))
+#define T_EXT1 66
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_sobel_x_2d_k0_1(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 1): output (128, 64), local footprint (130, 66).
+    __local float buf_a[130][66];
+    __local float new_a[130][66];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 8580);
+    for (int it = 0; it < 1; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = -0.125f * buf_a[x0 - 1][x1 - 1] + 0.125f * buf_a[x0 - 1][x1 + 1] + -0.25f * buf_a[x0][x1 - 1] + 0.25f * buf_a[x0][x1 + 1] + -0.125f * buf_a[x0 + 1][x1 - 1] + 0.125f * buf_a[x0 + 1][x1 + 1];
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+#undef W0
+#undef W1
+
+// === stage threshold ========================================
+// Auto-generated baseline design for contrast-threshold-2d: h=1, K=2, unroll=1.
+
+
+#define W0 128
+#define W1 128
+
+// Baseline design: no inter-kernel pipes.
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (129 - 1 * (it))
+#define T_EXT0 130
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (65 - 1 * (it))
+#define T_EXT1 66
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_contrast_threshold_2d_k0_0(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 0): output (128, 64), local footprint (130, 66).
+    __local float buf_a[130][66];
+    __local float new_a[130][66];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 8580);
+    for (int it = 0; it < 1; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 2.4f * buf_a[x0][x1] + -0.35f * buf_a[x0 - 1][x1] + -0.35f * buf_a[x0 + 1][x1] + -0.35f * buf_a[x0][x1 - 1] + -0.35f * buf_a[x0][x1 + 1] + -0.175f;
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+
+// Per-iteration compute bounds: dimension d covers [LO(d, it), HI(d, it)) in local-buffer coordinates.
+#define T_LO0(it) (1 + 1 * (it))
+#define T_HI0(it) (129 - 1 * (it))
+#define T_EXT0 130
+#define T_LO1(it) (1 + 1 * (it))
+#define T_HI1(it) (65 - 1 * (it))
+#define T_EXT1 66
+__attribute__((reqd_work_group_size(1, 1, 1)))
+__kernel void stencil_contrast_threshold_2d_k0_1(
+        __global float *restrict g_a,
+        __global float *restrict g_a_out,
+        const int g0,
+        const int g1) {
+    // Tile (0, 1): output (128, 64), local footprint (130, 66).
+    __local float buf_a[130][66];
+    __local float new_a[130][66];
+    // Burst-read the tile footprint from global memory.
+    burst_read(g_a, (__local float *)buf_a, 8580);
+    for (int it = 0; it < 1; ++it) {
+        for (int x0 = T_LO0(it); x0 < T_HI0(it); ++x0) {
+            for (int x1 = T_LO1(it); x1 < T_HI1(it); ++x1) {
+                // Skip frozen cells at the physical array border.
+                if (g0 + x0 >= 1 && g0 + x0 < W0 - 1 && g1 + x1 >= 1 && g1 + x1 < W1 - 1) {
+                    new_a[x0][x1] = 2.4f * buf_a[x0][x1] + -0.35f * buf_a[x0 - 1][x1] + -0.35f * buf_a[x0 + 1][x1] + -0.35f * buf_a[x0][x1 - 1] + -0.35f * buf_a[x0][x1 + 1] + -0.175f;
+                }
+                else {
+                    new_a[x0][x1] = buf_a[x0][x1];
+                }
+            }
+        }
+        // Ping-pong the tile buffers.
+        swap_buffers(&buf_a, &new_a);
+    }
+    // Burst-write the tile's output cells back.
+    burst_write(g_a_out, (__local float *)buf_a, 8192);
+}
+#undef T_LO0
+#undef T_HI0
+#undef T_EXT0
+#undef T_LO1
+#undef T_HI1
+#undef T_EXT1
+#undef W0
+#undef W1
+

@@ -1,0 +1,76 @@
+"""Multi-stencil program synthesis: blur -> sobel -> threshold.
+
+Real image workloads are chains of dependent stencils, not single
+kernels.  This example takes the library's three-stage image pipeline
+(iterated Gaussian blur feeding a Sobel-x gradient feeding a contrast
+threshold), co-optimizes all three stages under one shared resource
+budget through the tiered program search, verifies the fused execution
+bitwise against the stage-by-stage reference composition, and writes
+the generated chained OpenCL pipeline into ``examples/generated/``.
+
+Run:  python examples/program_pipeline.py
+"""
+
+import pathlib
+
+import numpy as np
+
+from repro.api import synthesize
+from repro.dse.search import SearchDriver
+from repro.program import (
+    ProgramEvaluator,
+    blur_sobel_threshold,
+    run_program_functional,
+    run_program_reference,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "generated"
+
+
+def main() -> None:
+    # 1. A three-stage DAG from the program library (test-sized grid).
+    program = blur_sobel_threshold(
+        grid=(128, 128), blur_iterations=8, iterations=1
+    )
+    print(f"Program: {program.name}")
+    print(program.describe())
+
+    # 2. Co-optimize every stage under one shared budget, through the
+    #    tiered search driver (vectorized Tier-0 screen + exact Tier-1).
+    engine = ProgramEvaluator()
+    driver = SearchDriver(evaluator=engine, chunk_size=256)
+    synth = synthesize(program=program, driver=driver)
+    print(f"Best ({synth.design.schedule}): "
+          f"{synth.predicted_cycles:.3e} cycles, {synth.resources.total}")
+    for name, stage_design in synth.design.stage_designs:
+        print(f"  {name}: {stage_design.describe()}")
+    report = driver.report
+    print(f"Search: {report.candidates} candidates, "
+          f"{report.promoted} promoted, "
+          f"{report.tier1_evaluations} tier-1 evaluations")
+
+    # 3. The fused execution is bitwise-identical to composing the
+    #    per-stage reference kernels.
+    reference = run_program_reference(program)
+    fused = run_program_functional(synth.design)
+    for name in program.topo_order():
+        for field, expected in reference[name].items():
+            assert np.array_equal(expected, fused[name][field]), (
+                name, field,
+            )
+    print("Fused execution matches stage-by-stage reference bitwise.")
+
+    # 4. Emit the chained OpenCL pipeline.
+    pipeline = synth.pipeline
+    OUT_DIR.mkdir(exist_ok=True)
+    kernel_path = OUT_DIR / "blur_sobel_threshold_pipeline.cl"
+    host_path = OUT_DIR / "blur_sobel_threshold_host.c"
+    kernel_path.write_text(pipeline.kernel_source)
+    host_path.write_text(pipeline.host_source)
+    print(f"Wrote {kernel_path} ({pipeline.num_kernels} kernels, "
+          f"{len(pipeline.forwarded)} forwarded edge(s))")
+    print(f"Wrote {host_path}")
+
+
+if __name__ == "__main__":
+    main()

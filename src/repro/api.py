@@ -23,7 +23,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.codegen import GeneratedProgram, generate_program
+from repro.codegen import (
+    GeneratedPipeline,
+    GeneratedProgram,
+    generate_program,
+    generate_program_pipeline,
+)
 from repro.dse.constraints import ResourceBudget
 from repro.dse.evaluator import CandidateEvaluator, DSEResult
 from repro.dse.optimizer import (
@@ -34,6 +39,10 @@ from repro.errors import SpecificationError
 from repro.fpga.estimator import DesignResources
 from repro.frontend import extract_features
 from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.program.design import ProgramDesign
+from repro.program.dse import optimize_program
+from repro.program.evaluator import ProgramEvaluator
+from repro.program.spec import ProgramSpec
 from repro.stencil.library import get_benchmark
 from repro.stencil.spec import StencilSpec
 from repro.tiling.baseline import make_baseline_design
@@ -78,6 +87,34 @@ class SynthesisResult:
     resources: DesignResources
     program: Optional[GeneratedProgram]
     evaluator: CandidateEvaluator
+    sim_backend: str = "numpy"
+
+
+@dataclass(frozen=True)
+class ProgramSynthesisResult:
+    """Everything :func:`synthesize` produced for one program request.
+
+    Attributes:
+        program_spec: the validated multi-stage program DAG.
+        dse: the program-level exploration outcome.
+        design: the chosen :class:`~repro.program.design.ProgramDesign`
+            (one concrete design point per stage plus the schedule).
+        predicted_cycles: the composed latency prediction for it.
+        resources: its composed resource utilization.
+        pipeline: the generated fused OpenCL pipeline (``None`` when
+            ``emit=False``).
+        evaluator: the program engine that scored the candidates;
+            reuse it across calls to share its memo and backing store.
+        sim_backend: the resolved value-execution simulator backend.
+    """
+
+    program_spec: ProgramSpec
+    dse: DSEResult
+    design: ProgramDesign
+    predicted_cycles: float
+    resources: DesignResources
+    pipeline: Optional[GeneratedPipeline]
+    evaluator: ProgramEvaluator
     sim_backend: str = "numpy"
 
 
@@ -147,10 +184,82 @@ def _resolve_spec(
     )
 
 
+def _synthesize_program(
+    program: ProgramSpec,
+    *,
+    board: BoardSpec,
+    schedule: str,
+    evaluator: Optional[CandidateEvaluator],
+    driver: Optional["SearchDriver"],
+    emit: bool,
+    sim_backend: Optional[str],
+) -> ProgramSynthesisResult:
+    """The multi-stage arm of :func:`synthesize`."""
+    from repro.sim import jit as sim_jit
+
+    resolved_backend = sim_jit.resolve_backend(sim_backend)
+    with obs.span(
+        "api.synthesize",
+        design="program",
+        schedule=schedule,
+        sim_backend=resolved_backend,
+    ):
+        if driver is not None:
+            engine = driver.evaluator
+            if not isinstance(engine, ProgramEvaluator):
+                # A single-stencil driver: wrap its engine (keeping its
+                # memo/store) and rebuild the driver around the wrapper
+                # with the same tiering configuration.
+                from repro.dse.search import SearchDriver
+
+                engine = ProgramEvaluator(stage_engine=engine)
+                driver = SearchDriver(
+                    evaluator=engine,
+                    chunk_size=driver.chunk_size,
+                    screen=driver.screen,
+                    checkpoint=driver.checkpoint,
+                    search_key=driver.search_key,
+                    shard=driver.shard,
+                )
+        elif isinstance(evaluator, ProgramEvaluator):
+            engine = evaluator
+        elif evaluator is not None:
+            engine = ProgramEvaluator(stage_engine=evaluator)
+        else:
+            engine = ProgramEvaluator(board=board)
+        dse = optimize_program(
+            program,
+            board=engine.board,
+            schedule=schedule,
+            evaluator=engine,
+            driver=driver,
+        )
+        best = dse.best
+        pipeline = generate_program_pipeline(best.design) if emit else None
+        _log.debug(
+            "synthesized program %s: %d stages, %s schedule "
+            "(%d candidates, %d feasible)",
+            program.name, program.num_stages, schedule, dse.evaluated,
+            dse.feasible,
+        )
+    return ProgramSynthesisResult(
+        program_spec=program,
+        dse=dse,
+        design=best.design,
+        predicted_cycles=best.predicted_cycles,
+        resources=best.resources,
+        pipeline=pipeline,
+        evaluator=engine,
+        sim_backend=resolved_backend,
+    )
+
+
 def synthesize(
     source: Optional[str] = None,
     *,
     benchmark: Optional[str] = None,
+    program: Optional[ProgramSpec] = None,
+    schedule: str = "coresident",
     board: BoardSpec = ADM_PCIE_7V3,
     name: str = "user-stencil",
     field_map: Optional[Mapping[str, str]] = None,
@@ -166,13 +275,21 @@ def synthesize(
     driver: Optional["SearchDriver"] = None,
     emit: bool = True,
     sim_backend: Optional[str] = None,
-) -> SynthesisResult:
+) -> "SynthesisResult | ProgramSynthesisResult":
     """Extract → optimize → codegen, as one call.
 
     Args:
         source: OpenCL-C stencil kernel text (the paper's input form).
-            Mutually exclusive with ``benchmark``.
+            Mutually exclusive with ``benchmark`` and ``program``.
         benchmark: name in the stencil library (e.g. ``"jacobi-2d"``).
+        program: a multi-stage
+            :class:`~repro.program.spec.ProgramSpec` DAG; routes the
+            call through the program-level search and the fused
+            pipeline generator, returning a
+            :class:`ProgramSynthesisResult` instead.  Mutually
+            exclusive with ``source`` and ``benchmark``.
+        schedule: program schedule (``"coresident"`` or
+            ``"timeshared"``); only meaningful with ``program``.
         board: target platform.
         name: workload name used when building a spec from ``source``.
         field_map: written-array → state-field mapping for ping-pong
@@ -206,10 +323,26 @@ def synthesize(
             resolved choice is reported on the result.
 
     Returns:
-        A :class:`SynthesisResult`.
+        A :class:`SynthesisResult`, or a
+        :class:`ProgramSynthesisResult` when ``program`` is given.
     """
     from repro.sim import jit as sim_jit
 
+    if program is not None:
+        if source is not None or benchmark is not None:
+            raise SpecificationError(
+                "synthesize() takes exactly one of `source`, "
+                "`benchmark`, or `program`"
+            )
+        return _synthesize_program(
+            program,
+            board=board,
+            schedule=schedule,
+            evaluator=evaluator,
+            driver=driver,
+            emit=emit,
+            sim_backend=sim_backend,
+        )
     if design not in DESIGN_KINDS:
         raise SpecificationError(
             f"Unknown design kind {design!r}; expected one of "

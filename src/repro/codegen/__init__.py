@@ -26,6 +26,12 @@ from repro.codegen.kernel_gen import (
     generate_program,
 )
 from repro.codegen.host_gen import generate_host_program
+from repro.codegen.program_gen import (
+    GeneratedPipeline,
+    forward_pipe_name,
+    generate_program_pipeline,
+    spill_buffer_name,
+)
 from repro.codegen.pygen import (
     field_pipe_name,
     generate_python_kernel,
@@ -48,6 +54,10 @@ __all__ = [
     "generate_kernel",
     "generate_program",
     "generate_host_program",
+    "GeneratedPipeline",
+    "forward_pipe_name",
+    "generate_program_pipeline",
+    "spill_buffer_name",
     "field_pipe_name",
     "generate_python_kernel",
     "generate_python_module",

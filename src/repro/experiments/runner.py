@@ -73,7 +73,7 @@ from repro.experiments.table3 import render_table3, run_table3
 from repro.stencil.library import PAPER_SUITE
 
 _REPRO_COMMANDS = ("table2", "table3", "figure6", "figure7", "all")
-_TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate")
+_TOOL_COMMANDS = ("optimize", "simulate", "codegen", "calibrate", "program")
 _SERVICE_COMMANDS = ("serve", "submit")
 _STORE_ACTIONS = ("stats", "compact", "gc", "invalidate")
 _OBS_ACTIONS = ("top",)
@@ -264,6 +264,60 @@ def _cmd_codegen(args, session: _StoreSession) -> List[str]:
     ]
 
 
+def _cmd_program(args, session: _StoreSession) -> List[str]:
+    """Synthesize a multi-stage program benchmark end to end."""
+    from repro.api import synthesize
+    from repro.program.evaluator import ProgramEvaluator
+    from repro.program.library import get_program
+
+    grid = (
+        tuple(int(v) for v in args.grid.split("x")) if args.grid else None
+    )
+    program = get_program(
+        args.program, grid=grid, iterations=args.iterations
+    )
+    engine = ProgramEvaluator(stage_engine=session.evaluator())
+    driver = session.driver(args, engine)
+    synth = synthesize(
+        program=program,
+        schedule=args.schedule,
+        evaluator=engine,
+        driver=driver,
+    )
+    lines = [
+        f"Program: {program.name} "
+        f"({program.num_stages} stages: {', '.join(program.topo_order())})",
+        f"Schedule: {synth.design.schedule}",
+        f"Best: {synth.design.describe()}",
+        f"Predicted {synth.predicted_cycles:.3e} cycles, "
+        f"{synth.resources.total}",
+        f"DSE: {synth.dse.evaluated} evaluated, "
+        f"{synth.dse.feasible} feasible",
+    ]
+    if driver is not None:
+        report = driver.report.as_dict()
+        lines.append(
+            f"Search: {report['chunks']:.0f} chunks "
+            f"({report['replayed_chunks']:.0f} replayed from "
+            f"checkpoint), {report['tier1_evaluations']:.0f} tier-1 "
+            f"evaluations"
+        )
+    if args.output:
+        out_dir = pathlib.Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stem = args.program.replace("-", "_")
+        kernel_path = out_dir / f"{stem}_pipeline.cl"
+        host_path = out_dir / f"{stem}_pipeline_host.c"
+        kernel_path.write_text(synth.pipeline.kernel_source)
+        host_path.write_text(synth.pipeline.host_source)
+        lines.append(
+            f"Wrote {kernel_path} ({synth.pipeline.num_kernels} kernels, "
+            f"{len(synth.pipeline.forwarded)} forwarded edge(s))"
+        )
+        lines.append(f"Wrote {host_path}")
+    return lines
+
+
 def _cmd_serve(args, session: _StoreSession) -> List[str]:
     """Run the synthesis service until SIGTERM/SIGINT, then drain."""
     import signal
@@ -448,8 +502,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output",
         default=None,
-        help="output directory for codegen / submit "
+        help="output directory for codegen / program / submit "
         "(codegen defaults to 'generated')",
+    )
+    parser.add_argument(
+        "--program",
+        default="blur-sobel-threshold",
+        help="program benchmark for the 'program' command",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("coresident", "timeshared"),
+        default="coresident",
+        help="program composition schedule ('program' command)",
+    )
+    parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="NxM",
+        help="shared grid override for 'program' (e.g. 64x64)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="per-stage iteration override for 'program'",
     )
     parser.add_argument(
         "--host",
@@ -696,6 +773,8 @@ def _dispatch(args, session: _StoreSession) -> List[str]:
         outputs.append("\n".join(_cmd_codegen(args, session)))
     if args.experiment == "calibrate":
         outputs.append("\n".join(_cmd_calibrate(args)))
+    if args.experiment == "program":
+        outputs.append("\n".join(_cmd_program(args, session)))
     if args.experiment == "serve":
         outputs.append("\n".join(_cmd_serve(args, session)))
     if args.experiment == "submit":

@@ -1,0 +1,394 @@
+"""Program-candidate scoring through the single-stencil engine.
+
+:class:`ProgramEvaluator` presents the same duck-typed surface the
+tiered :class:`~repro.dse.search.SearchDriver` drives —
+``screen_batch`` / ``evaluate_batch`` / ``explore`` / ``absorb_stats``
+plus the ``board`` / ``fidelity`` / ``estimator`` attributes — but
+over :class:`~repro.program.design.ProgramDesign` candidates.  Every
+per-stage number comes from a wrapped
+:class:`~repro.dse.evaluator.CandidateEvaluator` (so its signature
+memo, persistent store, and batch-engine fast paths are shared with
+single-stencil searches on the same engine), and the composition rules
+of :mod:`repro.program.model` turn stage numbers into program totals.
+
+Program-level results are themselves memoized and store-backed under
+the :meth:`~repro.program.design.ProgramDesign.signature`, so a
+program search warm-starts exactly like a single-stencil one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.dse.constraints import ResourceBudget
+from repro.dse.evaluator import (
+    CandidateEvaluator,
+    DSEResult,
+    EvaluatedDesign,
+    EvaluationStats,
+)
+from repro.errors import DesignSpaceError
+from repro.fpga.batch import estimate_batch
+from repro.fpga.estimator import DesignResources
+from repro.model.batch import (
+    BatchRangeError,
+    lower_bound_batch,
+    predict_batch,
+)
+from repro.model.predictor import Fidelity
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.program.design import ProgramDesign
+from repro.program.model import (
+    compose_cycles,
+    compose_resources,
+    program_lower_bound,
+)
+from repro.store.backing import BackingStore, evaluation_context
+from repro.tiling.design import StencilDesign
+
+_log = obs.get_logger("program")
+
+#: Smallest batch worth a vectorized stage-priming pass.
+_VECTOR_MIN_BATCH = 2
+
+
+class ProgramEvaluator:
+    """Cached scorer for :class:`ProgramDesign` candidates.
+
+    Args:
+        board: platform the stage models evaluate against (ignored
+            when ``stage_engine`` is given — the engine's board wins).
+        fidelity: analytical-model variant (same caveat).
+        stage_engine: the single-stencil evaluator that scores stage
+            designs; one is built when omitted.  Passing a warm engine
+            (e.g. the service's resident evaluator) shares its memo
+            and store with every other caller.
+        store: optional persistent backing store for *program-level*
+            entries; defaults to the stage engine's store, so one
+            store serves both granularities.
+        vectorize: batch-scoring mode for the stage-priming pass —
+            ``None`` (auto: batches of 2+), ``True``, or ``False``.
+    """
+
+    def __init__(
+        self,
+        board: BoardSpec = ADM_PCIE_7V3,
+        fidelity: Fidelity = Fidelity.REFINED,
+        stage_engine: Optional[CandidateEvaluator] = None,
+        store: Optional[BackingStore] = None,
+        vectorize: Optional[bool] = None,
+    ):
+        if stage_engine is None:
+            stage_engine = CandidateEvaluator(
+                board=board, fidelity=fidelity, vectorize=vectorize
+            )
+        self.stage_engine = stage_engine
+        self.board = stage_engine.board
+        self.fidelity = stage_engine.fidelity
+        self.estimator = stage_engine.estimator
+        self.model = stage_engine.model
+        self.vectorize = (
+            stage_engine.vectorize if vectorize is None else vectorize
+        )
+        self.store = store if store is not None else stage_engine.store
+        self.store_context = (
+            evaluation_context(self.board, self.fidelity, self.estimator.flexcl)
+            if self.store is not None
+            else None
+        )
+        #: Lifetime aggregate over every evaluate/explore call.
+        self.stats = EvaluationStats()
+        self._results: "OrderedDict[Tuple, EvaluatedDesign]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- composed primitives ---------------------------------------------------
+
+    def resources(self, design: ProgramDesign) -> DesignResources:
+        """Composed program resources (stage estimates are memoized)."""
+        stage_res = [
+            self.stage_engine.resources(d)
+            for _name, d in design.stage_designs
+        ]
+        return compose_resources(design.schedule, stage_res)
+
+    def predict_cycles(self, design: ProgramDesign) -> float:
+        """Composed program latency (stage predictions are memoized)."""
+        cycles = [
+            self.stage_engine.model.predict_cycles_cached(d)
+            for _name, d in design.stage_designs
+        ]
+        return compose_cycles(design, cycles, self.board)
+
+    def lower_bound(self, design: ProgramDesign) -> float:
+        """Admissible composed program lower bound (cycles)."""
+        bounds = [
+            self.stage_engine.lower_bound(d)
+            for _name, d in design.stage_designs
+        ]
+        return program_lower_bound(design, bounds, self.board)
+
+    # -- store + memo plumbing -------------------------------------------------
+
+    def _store_lookup(self, design: ProgramDesign):
+        if self.store is None:
+            return None
+        return self.store.lookup_design(design, self.store_context)
+
+    def _store_record(
+        self,
+        design: ProgramDesign,
+        cycles: Optional[float] = None,
+        resources: Optional[DesignResources] = None,
+    ) -> None:
+        if self.store is None:
+            return
+        self.store.record_design(
+            design, self.store_context, cycles=cycles, resources=resources
+        )
+
+    # -- vectorized stage priming ----------------------------------------------
+
+    def _prime_stages(self, candidates: Sequence[ProgramDesign]) -> None:
+        """Pre-score all fresh stage designs in two batched passes.
+
+        Primes the stage model's and estimator's signature caches with
+        the (bitwise-identical) batch-engine results, so the scalar
+        composition loop below never runs the scalar model.  Skipped
+        silently when vectorization is off, the batch is tiny, or any
+        stage is outside the batch engines' exact-parity range.
+        """
+        if self.vectorize is False:
+            return
+        unique: "OrderedDict[Tuple, StencilDesign]" = OrderedDict()
+        for pdesign in candidates:
+            for _name, d in pdesign.stage_designs:
+                unique.setdefault(d.signature(), d)
+        if self.vectorize is None and len(unique) < _VECTOR_MIN_BATCH:
+            return
+        designs = list(unique.values())
+        if not designs:
+            return
+        try:
+            prediction = predict_batch(
+                designs,
+                board=self.board,
+                fidelity=self.fidelity,
+                flexcl=self.model.estimator,
+            )
+            resources = estimate_batch(
+                designs, flexcl=self.estimator.flexcl
+            )
+        except BatchRangeError:
+            return
+        for i, d in enumerate(designs):
+            self.model.prime(d, prediction.breakdown(i))
+            self.estimator.prime(d, resources.design_resources(i))
+
+    # -- tier-0 screening ------------------------------------------------------
+
+    def screen_batch(
+        self,
+        candidates: Sequence[ProgramDesign],
+        budget: ResourceBudget,
+    ) -> Tuple[List[bool], List[float], List[int]]:
+        """Cheap composed screen data for one chunk.
+
+        Returns ``(feasible, bounds, bram)`` exactly as
+        :meth:`CandidateEvaluator.screen_batch` does, but composed
+        along each candidate's DAG: the shared-budget feasibility
+        verdict, the admissible composed lower bound, and the composed
+        BRAM18 count.  Nothing is memoized — screening a huge product
+        space leaves the caches O(chunk).
+        """
+        candidates = list(candidates)
+        if not candidates:
+            return [], [], []
+        flat: List[StencilDesign] = []
+        offsets: List[int] = []
+        for pdesign in candidates:
+            offsets.append(len(flat))
+            flat.extend(d for _name, d in pdesign.stage_designs)
+        offsets.append(len(flat))
+        stage_res: Optional[List[DesignResources]] = None
+        stage_bounds: Optional[List[float]] = None
+        if self.vectorize is not False:
+            try:
+                batch_res = estimate_batch(
+                    flat, flexcl=self.estimator.flexcl
+                )
+                batch_bounds = lower_bound_batch(
+                    flat,
+                    fidelity=self.fidelity,
+                    flexcl=self.model.estimator,
+                )
+                stage_res = [
+                    batch_res.design_resources(j) for j in range(len(flat))
+                ]
+                stage_bounds = [float(b) for b in batch_bounds]
+            except BatchRangeError:
+                stage_res = None
+        if stage_res is None:
+            stage_res = []
+            stage_bounds = []
+            for d in flat:
+                report = self.model.pipeline_report(d)
+                # An explicit report bypasses the estimator's signature
+                # cache: tier-0 rejects must not grow it.
+                stage_res.append(self.estimator.estimate(d, report))
+                stage_bounds.append(self.stage_engine.lower_bound(d))
+        feasible: List[bool] = []
+        bounds: List[float] = []
+        bram: List[int] = []
+        for i, pdesign in enumerate(candidates):
+            lo, hi = offsets[i], offsets[i + 1]
+            composed = compose_resources(
+                pdesign.schedule, stage_res[lo:hi]
+            )
+            feasible.append(composed.total.fits_within(budget.limit))
+            bounds.append(
+                program_lower_bound(
+                    pdesign, stage_bounds[lo:hi], self.board
+                )
+            )
+            bram.append(composed.total.bram18)
+        return feasible, bounds, bram
+
+    # -- tier-1 evaluation -----------------------------------------------------
+
+    def _evaluate_one(
+        self,
+        design: ProgramDesign,
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+    ) -> Optional[EvaluatedDesign]:
+        stats.candidates += 1
+        sig = design.signature()
+        with self._lock:
+            cached = self._results.get(sig)
+        if cached is not None:
+            stats.cache_hits += 1
+            if not cached.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                return None
+            return cached
+        stored = self._store_lookup(design)
+        if stored is not None and stored.complete:
+            result = EvaluatedDesign(design, stored.cycles, stored.resources)
+            with self._lock:
+                result = self._results.setdefault(sig, result)
+            stats.store_hits += 1
+            if not result.resources.total.fits_within(budget.limit):
+                stats.infeasible += 1
+                return None
+            return result
+        resources = self.resources(design)
+        if not resources.total.fits_within(budget.limit):
+            stats.infeasible += 1
+            self._store_record(design, resources=resources)
+            return None
+        cycles = self.predict_cycles(design)
+        stats.evaluated += 1
+        self._store_record(design, cycles=cycles, resources=resources)
+        result = EvaluatedDesign(design, cycles, resources)
+        with self._lock:
+            result = self._results.setdefault(sig, result)
+        return result
+
+    def evaluate_batch(
+        self,
+        candidates: Sequence[ProgramDesign],
+        budget: ResourceBudget,
+        stats: Optional[EvaluationStats] = None,
+    ) -> List[Optional[EvaluatedDesign]]:
+        """Score a batch of programs; results match input order."""
+        delta = EvaluationStats()
+        start = time.perf_counter()
+        with obs.span(
+            "program.evaluate_batch",
+            candidates=len(candidates),
+            budget=budget.label,
+        ):
+            self._prime_stages(candidates)
+            results = [
+                self._evaluate_one(design, budget, delta)
+                for design in candidates
+            ]
+        delta.wall_time_s = time.perf_counter() - start
+        if stats is not None:
+            stats.merge(delta)
+            self.absorb_stats(delta, publish=True, merge=False)
+        else:
+            self.absorb_stats(delta)
+        return results
+
+    def absorb_stats(
+        self,
+        delta: EvaluationStats,
+        publish: bool = True,
+        merge: bool = True,
+    ) -> None:
+        """Fold externally-collected counters into the lifetime stats."""
+        if merge:
+            with self._lock:
+                self.stats.merge(delta)
+        if publish and obs.enabled():
+            obs.inc("program.candidates", delta.candidates)
+            obs.inc("program.evaluated", delta.evaluated)
+            obs.inc("program.cache_hits", delta.cache_hits)
+            obs.inc("program.store_hits", delta.store_hits)
+            obs.inc("program.infeasible", delta.infeasible)
+            obs.inc("search.screened", delta.screened)
+            obs.inc("search.promoted", delta.promoted)
+
+    # -- exploration (passthrough / optimizer entry point) ---------------------
+
+    def explore(
+        self,
+        candidates: Sequence[ProgramDesign],
+        budget: ResourceBudget,
+    ) -> DSEResult:
+        """Evaluate program candidates; return the fastest feasible."""
+        candidates = list(candidates)
+        stats = EvaluationStats()
+        start = time.perf_counter()
+        with obs.span(
+            "program.explore",
+            candidates=len(candidates),
+            budget=budget.label,
+        ):
+            results = self.evaluate_batch(candidates, budget, stats)
+            feasible = [r for r in results if r is not None]
+        stats.wall_time_s = time.perf_counter() - start
+        with self._lock:
+            self.stats.merge(stats)
+        if obs.enabled():
+            _log.debug("program explore: %s", stats.summary())
+        if not feasible:
+            raise DesignSpaceError(
+                f"No feasible program design within budget {budget.label} "
+                f"({len(candidates)} candidates evaluated)"
+            )
+        feasible.sort(key=lambda e: e.predicted_cycles)
+        return DSEResult(
+            best=feasible[0],
+            evaluated=len(candidates),
+            feasible=len(feasible),
+            candidates=tuple(feasible),
+            stats=stats,
+        )
+
+    # -- cache management ------------------------------------------------------
+
+    def cache_size(self) -> int:
+        """Number of memoized program evaluations."""
+        with self._lock:
+            return len(self._results)
+
+    def clear_cache(self) -> None:
+        """Drop every memoized program evaluation (stats preserved)."""
+        with self._lock:
+            self._results.clear()

@@ -1,0 +1,112 @@
+"""Build a :class:`ProgramSpec` from multi-kernel OpenCL source.
+
+The single-kernel frontend (:mod:`repro.frontend`) recovers one
+stencil pattern per ``__kernel`` function; this module splits a
+translation unit containing several kernels, extracts each one, and
+wires the DAG by name: when a later kernel reads (as state or aux) an
+array name that an earlier kernel updates as a field, an edge is
+inferred from the most recent such producer.  Kernel declaration order
+is program order — sources are written top to bottom.
+
+This is the convenience path for paper-style "hand me the OpenCL"
+input; the :class:`~repro.program.spec.ProgramBuilder` API remains the
+primary, fully-explicit way to construct programs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExtractionError
+from repro.frontend import extract_features
+from repro.program.spec import ProgramBuilder, ProgramSpec
+from repro.stencil.spec import StencilSpec
+
+_KERNEL_RE = re.compile(r"__kernel\s+\w+[\w\s*]*?\b(\w+)\s*\(")
+
+
+def split_kernels(source: str) -> Tuple[Tuple[str, str], ...]:
+    """Split a translation unit into ``(kernel_name, chunk)`` pairs.
+
+    Each chunk runs from its ``__kernel`` keyword to the next one (or
+    the end of the source), so per-kernel extraction sees exactly one
+    kernel definition.
+    """
+    matches = list(_KERNEL_RE.finditer(source))
+    if not matches:
+        raise ExtractionError(
+            "No __kernel definitions found in program source"
+        )
+    chunks = []
+    for i, match in enumerate(matches):
+        start = match.start()
+        end = (
+            matches[i + 1].start() if i + 1 < len(matches) else len(source)
+        )
+        chunks.append((match.group(1), source[start:end]))
+    return tuple(chunks)
+
+
+def program_from_source(
+    source: str,
+    *,
+    grid_shape: Sequence[int],
+    iterations: int,
+    name: str = "user-program",
+    stage_iterations: Optional[Mapping[str, int]] = None,
+    field_map: Optional[Mapping[str, Mapping[str, str]]] = None,
+    aux: Optional[Mapping[str, Sequence[str]]] = None,
+) -> ProgramSpec:
+    """Extract every kernel and wire the dataflow DAG by array name.
+
+    Args:
+        source: OpenCL-C text containing one or more ``__kernel``
+            definitions, in program order.
+        grid_shape: shared grid extents of every stage.
+        iterations: default per-stage iteration count.
+        name: program name.
+        stage_iterations: per-kernel iteration overrides, keyed by
+            kernel name.
+        field_map: per-kernel written-array → state-field mappings
+            (see :class:`repro.frontend.FeatureExtractor`).
+        aux: per-kernel read-only auxiliary array names.
+
+    Returns:
+        The validated :class:`ProgramSpec`.
+    """
+    builder = ProgramBuilder(name)
+    produced: Dict[str, Tuple[str, str]] = {}
+    pending = []
+    for kernel_name, chunk in split_kernels(source):
+        features = extract_features(
+            chunk,
+            name=kernel_name,
+            field_map=(field_map or {}).get(kernel_name),
+            aux=tuple((aux or {}).get(kernel_name, ())),
+        )
+        spec = StencilSpec(
+            name=kernel_name,
+            pattern=features.pattern,
+            grid_shape=tuple(grid_shape),
+            iterations=int(
+                (stage_iterations or {}).get(kernel_name, iterations)
+            ),
+            dtype=features.dtype,
+        )
+        builder.stage(kernel_name, spec)
+        # Wire each of this stage's inputs to the most recent earlier
+        # stage that updates an identically-named field.
+        for target in (
+            tuple(features.pattern.fields) + tuple(features.pattern.aux)
+        ):
+            if target in produced:
+                producer_stage, producer_field = produced[target]
+                pending.append(
+                    (producer_stage, producer_field, kernel_name, target)
+                )
+        for field in features.pattern.fields:
+            produced[field] = (kernel_name, field)
+    for producer, field, consumer, target in pending:
+        builder.connect(producer, field, consumer, target)
+    return builder.build()

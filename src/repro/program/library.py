@@ -1,0 +1,167 @@
+"""Multi-stage program benchmarks (DAGs of dependent stencils).
+
+Two canonical programs ship with the framework:
+
+- ``blur-sobel-threshold`` — the classic image pipeline: an iterated
+  Gaussian blur feeds a Sobel-x gradient which feeds an affine
+  contrast/threshold stage (see the substitution note on
+  :func:`repro.stencil.library.contrast_threshold_2d` for why the
+  threshold is linearized).  A pure 3-stage chain.
+- ``fdtd-two-field`` — the FDTD E/H update split into a true 2-stage
+  DAG: the E-update reads the H field as a read-only auxiliary input,
+  then the H-update reads the *updated* E field through an aux-target
+  edge.  The stage coefficients mirror the monolithic ``fdtd-2d``
+  benchmark; the independently-seeded H input is deterministic test
+  data, not a physical initial condition.
+
+Each program's reference oracle is the stage-by-stage composition of
+:class:`~repro.stencil.reference.ReferenceExecutor` runs
+(:func:`repro.program.sim.run_program_reference`); the fused functional
+simulator must match it bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.program.spec import ProgramBuilder, ProgramSpec
+from repro.stencil.library import (
+    contrast_threshold_2d,
+    gaussian_blur_2d,
+    sobel_x_2d,
+)
+from repro.stencil.pattern import FieldUpdate, StencilPattern, Tap
+from repro.stencil.spec import StencilSpec
+
+
+def blur_sobel_threshold(
+    grid: Sequence[int] = (1920, 1080),
+    blur_iterations: int = 8,
+    iterations: int = 1,
+) -> ProgramSpec:
+    """Image pipeline: Gaussian blur -> Sobel-x -> contrast threshold.
+
+    Args:
+        grid: shared grid extents of all three stages.
+        blur_iterations: iteration count of the blur stage (the
+            downstream stages run ``iterations`` each).
+        iterations: iteration count of the sobel/threshold stages.
+    """
+    grid = tuple(grid)
+    builder = ProgramBuilder("blur-sobel-threshold")
+    builder.stage("blur", gaussian_blur_2d(grid=grid, iterations=blur_iterations))
+    builder.stage("sobel", sobel_x_2d(grid=grid, iterations=iterations))
+    builder.stage(
+        "threshold", contrast_threshold_2d(grid=grid, iterations=iterations)
+    )
+    builder.connect("blur", "a", "sobel")
+    builder.connect("sobel", "a", "threshold")
+    return builder.build()
+
+
+def _e_update_spec(
+    grid: Tuple[int, ...], iterations: int
+) -> StencilSpec:
+    """E-field half step: ``e += 0.5 * (h[-1,0] - h[0,0])``."""
+    pattern = StencilPattern(
+        name="fdtd-e-update",
+        ndim=2,
+        fields=("e",),
+        updates={
+            "e": FieldUpdate(
+                taps=(
+                    Tap("e", (0, 0), 1.0),
+                    Tap("h", (0, 0), -0.5),
+                    Tap("h", (-1, 0), 0.5),
+                )
+            )
+        },
+        aux=("h",),
+    )
+    return StencilSpec(
+        name="fdtd-e-update",
+        pattern=pattern,
+        grid_shape=grid,
+        iterations=iterations,
+        source="Polybench",
+    )
+
+
+def _h_update_spec(
+    grid: Tuple[int, ...], iterations: int
+) -> StencilSpec:
+    """H-field half step: ``h += 0.7 * (e[0,0] - e[0,1])``."""
+    pattern = StencilPattern(
+        name="fdtd-h-update",
+        ndim=2,
+        fields=("h",),
+        updates={
+            "h": FieldUpdate(
+                taps=(
+                    Tap("h", (0, 0), 1.0),
+                    Tap("e", (0, 1), -0.7),
+                    Tap("e", (0, 0), 0.7),
+                )
+            )
+        },
+        aux=("e",),
+    )
+    return StencilSpec(
+        name="fdtd-h-update",
+        pattern=pattern,
+        grid_shape=grid,
+        iterations=iterations,
+        source="Polybench",
+    )
+
+
+def fdtd_two_field(
+    grid: Sequence[int] = (2048, 2048), iterations: int = 250
+) -> ProgramSpec:
+    """Two-field FDTD (E/H update) as a true 2-stage DAG.
+
+    The E-update stage reads H as a read-only auxiliary array; the edge
+    then feeds the updated E field into the H-update stage's auxiliary
+    input — exercising aux-target edges through the whole stack.
+    """
+    grid = tuple(grid)
+    builder = ProgramBuilder("fdtd-two-field")
+    builder.stage("e-update", _e_update_spec(grid, iterations))
+    builder.stage("h-update", _h_update_spec(grid, iterations))
+    builder.connect("e-update", "e", "h-update", target="e")
+    return builder.build()
+
+
+PROGRAM_BENCHMARKS: Dict[str, Callable[..., ProgramSpec]] = {
+    "blur-sobel-threshold": blur_sobel_threshold,
+    "fdtd-two-field": fdtd_two_field,
+}
+
+
+def get_program(
+    name: str,
+    grid: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+    **kwargs,
+) -> ProgramSpec:
+    """Build a program benchmark by name, passing overrides through.
+
+    Args:
+        name: key in :data:`PROGRAM_BENCHMARKS`.
+        grid: optional shared grid override.
+        iterations: optional per-stage iteration override.
+        **kwargs: forwarded to the builder.
+    """
+    try:
+        builder = PROGRAM_BENCHMARKS[name]
+    except KeyError:
+        raise SpecificationError(
+            f"Unknown program benchmark {name!r}; known: "
+            f"{sorted(PROGRAM_BENCHMARKS)}"
+        ) from None
+    if grid is not None:
+        kwargs["grid"] = tuple(grid)
+    if iterations is not None:
+        kwargs["iterations"] = int(iterations)
+    return builder(**kwargs)

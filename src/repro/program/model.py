@@ -1,0 +1,260 @@
+"""Program-level performance/resource composition along the DAG.
+
+Each stage of a :class:`~repro.program.design.ProgramDesign` is scored
+by the existing single-stencil machinery — the Eq. 1-11 performance
+model and the FF/LUT/DSP/BRAM estimator — and this module composes the
+per-stage numbers into program totals under the design's schedule:
+
+**Co-resident** (all stage pipelines on the fabric at once)::
+
+    cycles    = max(sum(stage_i) - forwarding_savings, max(stage_i))
+    resources = sum(stage_i)          (componentwise)
+
+Stages execute back to back (the DAG serializes dependent stages), but
+when a producer/consumer pair's tilings align — same region shape and
+same tile counts — the inter-stage field can be forwarded on-chip
+through pipes instead of spilling through DDR, saving one Eq. 4-6
+write plus one read of the whole grid per forwarded edge.  The clamp
+at ``max(stage_i)`` keeps the composed estimate no smaller than any
+single stage, so forwarding savings can never drive the total below
+what the slowest stage alone needs.
+
+**Time-shared** (stages swap onto the fabric one after another)::
+
+    cycles    = sum(stage_i) + RECONFIGURATION_CYCLES * (n - 1)
+    resources = max(stage_i)          (componentwise)
+
+Every inter-stage field spills through DDR (its Eq. 4-6 cost is
+already inside each stage's own prediction), and each stage transition
+pays a reconfiguration penalty.
+
+The module also provides the program analogues of the batch engines:
+:func:`predict_program_batch` flattens all stage designs of all
+candidates into single :func:`~repro.model.batch.predict_batch` /
+:func:`~repro.fpga.batch.estimate_batch` calls and recomposes, and
+:func:`program_lower_bound` composes per-stage admissible bounds into
+a program bound that never exceeds the composed prediction (each stage
+bound never exceeds its stage prediction, and the forwarding savings
+subtracted are identical on both sides) — so the tiered search's
+Tier-0 screen stays admissible for programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.batch import estimate_batch
+from repro.fpga.estimator import DesignResources
+from repro.fpga.flexcl import FlexCLEstimator
+from repro.fpga.resources import ResourceVector
+from repro.model.batch import lower_bound_batch, predict_batch
+from repro.model.predictor import Fidelity
+from repro.opencl.platform import ADM_PCIE_7V3, BoardSpec
+from repro.program.design import ProgramDesign
+from repro.program.spec import ProgramEdge
+
+#: Cycles charged per stage transition under the time-shared schedule
+#: (kernel teardown, partial reconfiguration, relaunch).  A modeling
+#: constant, not a measured figure; at 200 MHz it is one millisecond.
+RECONFIGURATION_CYCLES: float = 200_000.0
+
+
+def forwardable_edges(design: ProgramDesign) -> Tuple[ProgramEdge, ...]:
+    """Edges whose inter-stage field can be forwarded on-chip.
+
+    Forwarding requires the co-resident schedule and an aligned
+    producer/consumer tiling: equal region shapes and equal tile
+    counts, so each producer tile streams to exactly one consumer tile
+    without a reshuffle stage.  (Grid shape and dtype equality are
+    already guaranteed by edge validation.)
+    """
+    if design.schedule != "coresident":
+        return ()
+    out = []
+    for edge in design.program.edges:
+        producer = design.design_for(edge.producer)
+        consumer = design.design_for(edge.consumer)
+        if (
+            producer.tile_grid.region_shape
+            == consumer.tile_grid.region_shape
+            and producer.tile_grid.counts == consumer.tile_grid.counts
+        ):
+            out.append(edge)
+    return tuple(out)
+
+
+def forwarding_savings(
+    design: ProgramDesign, board: BoardSpec = ADM_PCIE_7V3
+) -> float:
+    """DDR cycles saved by on-chip forwarding (Eq. 4-6 terms avoided).
+
+    Each forwarded edge avoids one full-grid field write by the
+    producer and one full-grid read by the consumer at the board's
+    effective DDR rate.
+    """
+    total = 0.0
+    for edge in forwardable_edges(design):
+        spec = design.program.stage(edge.producer).spec
+        field_bytes = spec.total_cells * spec.element_bytes
+        total += 2.0 * field_bytes / board.effective_bytes_per_cycle
+    return total
+
+
+def compose_cycles(
+    design: ProgramDesign,
+    stage_cycles: Sequence[float],
+    board: BoardSpec = ADM_PCIE_7V3,
+) -> float:
+    """Compose per-stage predictions into the program total."""
+    total = float(sum(stage_cycles))
+    if design.schedule == "timeshared":
+        return total + RECONFIGURATION_CYCLES * (design.num_stages - 1)
+    slowest = max(float(c) for c in stage_cycles)
+    return max(total - forwarding_savings(design, board), slowest)
+
+
+def compose_resources(
+    schedule: str, stage_resources: Sequence[DesignResources]
+) -> DesignResources:
+    """Compose per-stage estimates into the program footprint."""
+    totals = [r.total for r in stage_resources]
+    kernels = [r.kernels for r in stage_resources]
+    pipes = [r.pipes for r in stage_resources]
+    if schedule == "timeshared":
+        def fold(vectors: List[ResourceVector]) -> ResourceVector:
+            acc = vectors[0]
+            for v in vectors[1:]:
+                acc = acc.max_with(v)
+            return acc
+    else:
+        def fold(vectors: List[ResourceVector]) -> ResourceVector:
+            acc = vectors[0]
+            for v in vectors[1:]:
+                acc = acc + v
+            return acc
+    return DesignResources(
+        total=fold(totals), kernels=fold(kernels), pipes=fold(pipes)
+    )
+
+
+def program_lower_bound(
+    design: ProgramDesign,
+    stage_bounds: Sequence[float],
+    board: BoardSpec = ADM_PCIE_7V3,
+) -> float:
+    """Admissible program bound from per-stage admissible bounds.
+
+    Never exceeds :func:`compose_cycles` of the stage predictions:
+    each stage bound is at most its prediction, the same forwarding
+    savings are subtracted on both sides, and both are clamped at the
+    slowest single stage.
+    """
+    total = float(sum(stage_bounds))
+    if design.schedule == "timeshared":
+        return total + RECONFIGURATION_CYCLES * (design.num_stages - 1)
+    slowest = max(float(b) for b in stage_bounds)
+    return max(total - forwarding_savings(design, board), slowest)
+
+
+@dataclass(frozen=True)
+class ProgramBatchPrediction:
+    """Composed per-candidate program predictions and resources."""
+
+    #: Composed program latency per candidate (cycles).
+    total: np.ndarray
+    #: Per-candidate per-stage latencies, aligned with each program's
+    #: topological stage order.
+    stage_cycles: Tuple[Tuple[float, ...], ...]
+    #: Composed program resources per candidate.
+    resources: Tuple[DesignResources, ...]
+
+    def __len__(self) -> int:
+        return len(self.total)
+
+    def feasible(self, limit: ResourceVector) -> np.ndarray:
+        """Boolean mask: which programs fit within the shared budget."""
+        return np.asarray(
+            [r.total.fits_within(limit) for r in self.resources],
+            dtype=bool,
+        )
+
+
+def predict_program_batch(
+    designs: Sequence[ProgramDesign],
+    board: BoardSpec = ADM_PCIE_7V3,
+    fidelity: Fidelity = Fidelity.REFINED,
+    flexcl: Optional[FlexCLEstimator] = None,
+) -> ProgramBatchPrediction:
+    """Predict composed latency + resources for a batch of programs.
+
+    Flattens every candidate's stage designs into one
+    :func:`~repro.model.batch.predict_batch` and one
+    :func:`~repro.fpga.batch.estimate_batch` call, then recomposes the
+    per-stage results along each candidate's DAG under its schedule.
+
+    Raises:
+        BatchRangeError: when any stage design's geometry exceeds the
+            batch engines' exact-parity range (fall back to scalar
+            per-stage scoring).
+    """
+    designs = list(designs)
+    flexcl = flexcl or FlexCLEstimator()
+    flat = []
+    offsets = []
+    for pdesign in designs:
+        offsets.append(len(flat))
+        flat.extend(d for _name, d in pdesign.stage_designs)
+    offsets.append(len(flat))
+    if flat:
+        prediction = predict_batch(
+            flat, board=board, fidelity=fidelity, flexcl=flexcl
+        )
+        resources = estimate_batch(flat, flexcl=flexcl)
+    total = np.zeros(len(designs), dtype=np.float64)
+    stage_cycles: List[Tuple[float, ...]] = []
+    composed: List[DesignResources] = []
+    for i, pdesign in enumerate(designs):
+        lo, hi = offsets[i], offsets[i + 1]
+        cycles = tuple(float(prediction.total[j]) for j in range(lo, hi))
+        stage_res = [resources.design_resources(j) for j in range(lo, hi)]
+        total[i] = compose_cycles(pdesign, cycles, board)
+        stage_cycles.append(cycles)
+        composed.append(compose_resources(pdesign.schedule, stage_res))
+    return ProgramBatchPrediction(
+        total=total,
+        stage_cycles=tuple(stage_cycles),
+        resources=tuple(composed),
+    )
+
+
+def lower_bound_program_batch(
+    designs: Sequence[ProgramDesign],
+    board: BoardSpec = ADM_PCIE_7V3,
+    fidelity: Fidelity = Fidelity.REFINED,
+    flexcl: Optional[FlexCLEstimator] = None,
+) -> np.ndarray:
+    """Admissible composed lower bounds for a batch of programs.
+
+    Raises:
+        BatchRangeError: when any stage design exceeds the batch
+            engines' exact-parity range.
+    """
+    designs = list(designs)
+    flexcl = flexcl or FlexCLEstimator()
+    flat = []
+    offsets = []
+    for pdesign in designs:
+        offsets.append(len(flat))
+        flat.extend(d for _name, d in pdesign.stage_designs)
+    offsets.append(len(flat))
+    if flat:
+        bounds = lower_bound_batch(flat, fidelity=fidelity, flexcl=flexcl)
+    out = np.zeros(len(designs), dtype=np.float64)
+    for i, pdesign in enumerate(designs):
+        lo, hi = offsets[i], offsets[i + 1]
+        stage_bounds = [float(bounds[j]) for j in range(lo, hi)]
+        out[i] = program_lower_bound(pdesign, stage_bounds, board)
+    return out

@@ -27,6 +27,7 @@ from repro.service.core import (
     DEFAULT_TRANSIENT,
     ServiceStats,
     SynthesisService,
+    program_result_payload,
     result_payload,
 )
 from repro.service.http import (
@@ -49,6 +50,7 @@ __all__ = [
     "ServiceStats",
     "SynthesisService",
     "make_server",
+    "program_result_payload",
     "result_payload",
     "write_result_program",
 ]

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro import obs
-from repro.api import SynthesisResult, synthesize
+from repro.api import ProgramSynthesisResult, SynthesisResult, synthesize
 from repro.dse.evaluator import CandidateEvaluator
 from repro.dse.search import SearchDriver
 from repro.errors import (
@@ -141,6 +141,35 @@ def result_payload(synth: SynthesisResult) -> Dict[str, Any]:
             "kernel_source": synth.program.kernel_source,
             "host_source": synth.program.host_source,
             "num_kernels": synth.program.num_kernels,
+        },
+    }
+
+
+def program_result_payload(synth: ProgramSynthesisResult) -> Dict[str, Any]:
+    """JSON-able job result for one program synthesis outcome."""
+    design = synth.design
+    return {
+        "workload": synth.program_spec.describe(),
+        "design": {
+            "kind": "program",
+            "summary": design.describe(),
+            "schedule": design.schedule,
+            "stages": {
+                name: stage_design.describe()
+                for name, stage_design in design.stage_designs
+            },
+        },
+        "predicted_cycles": synth.predicted_cycles,
+        "resources": synth.resources.as_dict(),
+        "dse": {
+            "evaluated": synth.dse.evaluated,
+            "feasible": synth.dse.feasible,
+        },
+        "program": {
+            "kernel_source": synth.pipeline.kernel_source,
+            "host_source": synth.pipeline.host_source,
+            "num_kernels": synth.pipeline.num_kernels,
+            "forwarded_edges": len(synth.pipeline.forwarded),
         },
     }
 
@@ -483,6 +512,25 @@ class SynthesisService:
             if self.tiered
             else None
         )
+        if request.program is not None:
+            from repro.program.library import get_program
+
+            program = get_program(
+                request.program,
+                grid=request.grid_shape,
+                iterations=request.iterations,
+            )
+            with obs.span(
+                "service.synthesize", job=job.id, design="program",
+                schedule=request.schedule,
+            ):
+                synth = synthesize(
+                    program=program,
+                    schedule=request.schedule,
+                    evaluator=evaluator,
+                    driver=driver,
+                )
+            return program_result_payload(synth)
         with obs.span(
             "service.synthesize", job=job.id, design=request.design
         ):

@@ -30,6 +30,8 @@ from repro.store.backing import digest
 _CONTENT_FIELDS = (
     "benchmark",
     "source",
+    "program",
+    "schedule",
     "name",
     "field_map",
     "aux",
@@ -75,14 +77,20 @@ def _int_tuple(name: str, value) -> Optional[Tuple[int, ...]]:
 class JobRequest:
     """One validated synthesis request.
 
-    Exactly one of ``benchmark`` / ``source`` must be set; the
-    remaining fields mirror :func:`repro.api.synthesize` (see there for
-    semantics).  ``priority`` orders the queue — higher runs first;
-    ``timeout_s`` bounds the job's wall time once it starts.
+    Exactly one of ``benchmark`` / ``source`` / ``program`` must be
+    set; the remaining fields mirror :func:`repro.api.synthesize` (see
+    there for semantics).  ``program`` names a multi-stage program
+    benchmark (:data:`repro.program.library.PROGRAM_BENCHMARKS`) and
+    routes the job through the program-level search; ``schedule``
+    picks its composition schedule.  ``priority`` orders the queue —
+    higher runs first; ``timeout_s`` bounds the job's wall time once
+    it starts.
     """
 
     benchmark: Optional[str] = None
     source: Optional[str] = None
+    program: Optional[str] = None
+    schedule: str = "coresident"
     name: str = "user-stencil"
     field_map: Optional[Mapping[str, str]] = None
     aux: Tuple[str, ...] = ()
@@ -97,9 +105,19 @@ class JobRequest:
     timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if (self.benchmark is None) == (self.source is None):
+        provided = sum(
+            v is not None
+            for v in (self.benchmark, self.source, self.program)
+        )
+        if provided != 1:
             raise ServiceError(
-                "a job needs exactly one of 'benchmark' or 'source'"
+                "a job needs exactly one of 'benchmark', 'source', or "
+                "'program'"
+            )
+        if self.schedule not in ("coresident", "timeshared"):
+            raise ServiceError(
+                f"unknown program schedule {self.schedule!r} (expected "
+                "coresident/timeshared)"
             )
         if self.design not in ("baseline", "pipe-shared", "heterogeneous"):
             raise ServiceError(
@@ -129,6 +147,8 @@ class JobRequest:
             return cls(
                 benchmark=payload.get("benchmark"),
                 source=payload.get("source"),
+                program=payload.get("program"),
+                schedule=payload.get("schedule", "coresident"),
                 name=payload.get("name", "user-stencil"),
                 field_map=payload.get("field_map"),
                 aux=tuple(payload.get("aux", ())),
@@ -154,6 +174,8 @@ class JobRequest:
         return {
             "benchmark": self.benchmark,
             "source": self.source,
+            "program": self.program,
+            "schedule": self.schedule,
             "name": self.name,
             "field_map": (
                 dict(sorted(self.field_map.items()))

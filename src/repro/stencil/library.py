@@ -304,6 +304,53 @@ def gaussian_blur_2d(
     )
 
 
+def sobel_x_2d(
+    grid: Sequence[int] = (1920, 1080), iterations: int = 1
+) -> StencilSpec:
+    """Horizontal Sobel gradient (3x3, radius 1, six taps).
+
+    The classic edge-detection operator is a single linear convolution,
+    so it fits the affine IR exactly; coefficients are the standard
+    Sobel-x kernel scaled by 1/8 to keep iterated applications bounded.
+    """
+    taps = tuple(
+        Tap("a", (di, dj), dj * (2.0 if di == 0 else 1.0) / 8.0)
+        for di in (-1, 0, 1)
+        for dj in (-1, 1)
+    )
+    return _single_field_spec(
+        "sobel-x-2d", 2, taps, grid, iterations, "image-processing"
+    )
+
+
+def contrast_threshold_2d(
+    grid: Sequence[int] = (1920, 1080), iterations: int = 1
+) -> StencilSpec:
+    """Affine contrast/threshold stage (unsharp-style, radius 1).
+
+    Substitution note (see DESIGN.md): a hard binary threshold is
+    non-linear and outside the affine IR, so — like FDTD-2D's
+    ``_fict_`` source — we substitute the nearest linear operator: an
+    unsharp contrast boost ``(1+4λ)·center − λ·Σ neighbors + bias``
+    that sharpens edge responses against a mid-grey bias, preserving
+    the pipeline's structure (radius-1 read footprint, one output
+    field) without the comparison.
+    """
+    lam = 0.35
+    taps = [Tap("a", (0, 0), 1.0 + 4.0 * lam)]
+    for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        taps.append(Tap("a", (di, dj), -lam))
+    return _single_field_spec(
+        "contrast-threshold-2d",
+        2,
+        tuple(taps),
+        grid,
+        iterations,
+        "image-processing",
+        constant=-0.5 * lam,
+    )
+
+
 def seidel_like_2d(
     grid: Sequence[int] = (2048, 2048), iterations: int = 256
 ) -> StencilSpec:
@@ -348,6 +395,8 @@ BENCHMARKS: Dict[str, Callable[..., StencilSpec]] = {
     "fdtd-3d": fdtd_3d,
     "heat-1d": heat_1d,
     "gaussian-blur-2d": gaussian_blur_2d,
+    "sobel-x-2d": sobel_x_2d,
+    "contrast-threshold-2d": contrast_threshold_2d,
     "seidel-2d": seidel_like_2d,
     "wide-star-1d": wide_star_1d,
 }

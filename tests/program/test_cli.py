@@ -1,0 +1,72 @@
+"""`repro program` command-line entry point."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import main
+
+
+def test_program_command_runs(capsys):
+    assert (
+        main(
+            [
+                "program",
+                "--program",
+                "blur-sobel-threshold",
+                "--grid",
+                "32x32",
+                "--iterations",
+                "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "blur-sobel-threshold" in out
+    assert "coresident" in out
+    assert "Predicted" in out
+
+
+def test_program_command_emits_pipeline(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "program",
+                "--program",
+                "blur-sobel-threshold",
+                "--grid",
+                "32x32",
+                "--iterations",
+                "1",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert any(name.endswith("_pipeline.cl") for name in files)
+    assert any(name.endswith("_pipeline_host.c") for name in files)
+
+
+def test_program_command_tiered_resume(tmp_path, capsys):
+    argv = [
+        "program",
+        "--program",
+        "blur-sobel-threshold",
+        "--grid",
+        "32x32",
+        "--iterations",
+        "1",
+        "--tiered",
+        "--chunk-size",
+        "8",
+        "--store",
+        str(tmp_path),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "0 replayed from checkpoint" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "replayed from checkpoint" in second
+    assert "0 tier-1 evaluations" in second

@@ -1,0 +1,143 @@
+"""Fused pipeline codegen: stitching, namespacing, forwarding, errors."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.codegen import (
+    forward_pipe_name,
+    generate_program_pipeline,
+    spill_buffer_name,
+)
+from repro.errors import CodegenError
+from repro.program import (
+    ProgramBuilder,
+    ProgramDesign,
+    blur_sobel_threshold,
+    forwardable_edges,
+    program_candidates,
+    stage_design_options,
+)
+from repro.stencil.library import gaussian_blur_2d, jacobi_2d
+from repro.tiling.baseline import make_baseline_design
+
+
+def _program():
+    return blur_sobel_threshold(
+        grid=(32, 32), blur_iterations=2, iterations=1
+    )
+
+
+def _design(program, schedule="coresident"):
+    options = {
+        stage.name: stage_design_options(stage.spec)
+        for stage in program.stages
+    }
+    return next(iter(program_candidates(program, options, schedule)))
+
+
+def _aligned_design(program):
+    stage_designs = tuple(
+        (
+            stage.name,
+            make_baseline_design(stage.spec, (16, 16), (2, 2), 1),
+        )
+        for stage in program.stages
+    )
+    return ProgramDesign(program=program, stage_designs=stage_designs)
+
+
+class TestPipeline:
+    def test_every_stage_kernel_present_once(self):
+        pipeline = generate_program_pipeline(_design(_program()))
+        names = [
+            name
+            for stage in pipeline.stage_kernel_names.values()
+            for name in stage.values()
+        ]
+        assert len(names) == len(set(names)) == pipeline.num_kernels
+        for name in names:
+            assert (
+                len(
+                    re.findall(
+                        rf"__kernel void {name}\(",
+                        pipeline.kernel_source,
+                    )
+                )
+                == 1
+            )
+
+    def test_intra_stage_pipes_are_namespaced(self):
+        pipeline = generate_program_pipeline(_design(_program()))
+        # No bare pipe_* symbol survives; every halo pipe carries its
+        # stage prefix.
+        assert not re.search(r"\bpipe_\d", pipeline.kernel_source)
+
+    def test_runtime_include_emitted_once(self):
+        pipeline = generate_program_pipeline(_design(_program()))
+        assert (
+            pipeline.kernel_source.count('#include "stencil_runtime.h"')
+            == 1
+        )
+
+    def test_grid_macros_undefined_between_stages(self):
+        pipeline = generate_program_pipeline(_design(_program()))
+        defines = len(
+            re.findall(r"^#define W0 ", pipeline.kernel_source, re.M)
+        )
+        undefs = len(
+            re.findall(r"^#undef W0$", pipeline.kernel_source, re.M)
+        )
+        assert defines == 3 and undefs == 3
+
+    def test_forwarded_edges_get_pipes_not_buffers(self):
+        design = _aligned_design(_program())
+        forwarded = forwardable_edges(design)
+        assert forwarded
+        pipeline = generate_program_pipeline(design)
+        assert pipeline.forwarded == forwarded
+        for edge in forwarded:
+            producer = design.design_for(edge.producer)
+            for tile in producer.tiles:
+                assert (
+                    forward_pipe_name(edge, tile.index)
+                    in pipeline.kernel_source
+                )
+            assert spill_buffer_name(edge) not in pipeline.host_source
+
+    def test_timeshared_spills_every_edge(self):
+        design = _design(_program(), schedule="timeshared")
+        pipeline = generate_program_pipeline(design)
+        assert pipeline.forwarded == ()
+        for edge in design.program.edges:
+            assert spill_buffer_name(edge) in pipeline.host_source
+
+    def test_host_chains_stages_in_topo_order(self):
+        pipeline = generate_program_pipeline(_design(_program()))
+        positions = [
+            pipeline.host_source.index(f"stencil_run_stage_{name}(")
+            for name in ("blur", "sobel", "threshold")
+        ]
+        assert positions == sorted(positions)
+
+    def test_duplicate_stage_workload_names_rejected(self):
+        builder = ProgramBuilder("dup-workloads")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("two", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "a", "two")
+        program = builder.build()
+        design = _design(program)
+        with pytest.raises(CodegenError, match="collide"):
+            generate_program_pipeline(design)
+
+    def test_single_stage_program_generates(self):
+        from repro.program import single_stage_program
+
+        program = single_stage_program(
+            jacobi_2d(grid=(32, 32), iterations=2)
+        )
+        pipeline = generate_program_pipeline(_design(program))
+        assert pipeline.num_kernels >= 1
+        assert pipeline.forwarded == ()

@@ -1,0 +1,247 @@
+"""Program IR: DAG validation, topological order, signatures, builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError, SpecificationError
+from repro.program import (
+    ProgramBuilder,
+    ProgramSpec,
+    ProgramStage,
+    ProgramEdge,
+    blur_sobel_threshold,
+    fdtd_two_field,
+    get_program,
+    program_from_source,
+    single_stage_program,
+    split_kernels,
+)
+from repro.stencil.boundary import BoundaryPolicy
+from repro.stencil.library import gaussian_blur_2d, jacobi_2d, sobel_x_2d
+
+
+def _pair(grid=(16, 16)):
+    builder = ProgramBuilder("pair")
+    builder.stage("one", gaussian_blur_2d(grid=grid, iterations=2))
+    builder.stage("two", sobel_x_2d(grid=grid, iterations=1))
+    builder.connect("one", "a", "two")
+    return builder.build()
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(SpecificationError, match="at least one"):
+            ProgramSpec(name="empty", stages=(), edges=())
+
+    def test_duplicate_stage_names_rejected(self):
+        spec = jacobi_2d(grid=(16, 16), iterations=2)
+        with pytest.raises(SpecificationError, match="[Dd]uplicate"):
+            ProgramSpec(
+                name="dup",
+                stages=(
+                    ProgramStage("s", spec),
+                    ProgramStage("s", spec),
+                ),
+                edges=(),
+            )
+
+    def test_unknown_producer_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.connect("ghost", "a", "one")
+        with pytest.raises(SpecificationError, match="ghost"):
+            builder.build()
+
+    def test_unknown_consumer_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "a", "ghost")
+        with pytest.raises(SpecificationError, match="ghost"):
+            builder.build()
+
+    def test_self_edge_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "a", "one")
+        with pytest.raises(SpecificationError, match="itself"):
+            builder.build()
+
+    def test_unknown_field_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("two", sobel_x_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "nope", "two", target="a")
+        with pytest.raises(SpecificationError, match="nope"):
+            builder.build()
+
+    def test_unknown_target_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("two", sobel_x_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "a", "two", target="nope")
+        with pytest.raises(SpecificationError, match="nope"):
+            builder.build()
+
+    def test_grid_mismatch_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("two", sobel_x_2d(grid=(32, 32), iterations=1))
+        builder.connect("one", "a", "two")
+        with pytest.raises(SpecificationError, match="grid"):
+            builder.build()
+
+    def test_dtype_mismatch_rejected(self):
+        one = gaussian_blur_2d(grid=(16, 16), iterations=1)
+        two = sobel_x_2d(grid=(16, 16), iterations=1)
+        two = type(two)(
+            name=two.name,
+            pattern=two.pattern,
+            grid_shape=two.grid_shape,
+            iterations=two.iterations,
+            dtype=np.float64,
+        )
+        builder = ProgramBuilder("bad")
+        builder.stage("one", one)
+        builder.stage("two", two)
+        builder.connect("one", "a", "two")
+        with pytest.raises(SpecificationError, match="dtype"):
+            builder.build()
+
+    def test_boundary_mismatch_rejected(self):
+        one = gaussian_blur_2d(grid=(16, 16), iterations=1)
+        two = sobel_x_2d(grid=(16, 16), iterations=1)
+        two = type(two)(
+            name=two.name,
+            pattern=two.pattern,
+            grid_shape=two.grid_shape,
+            iterations=two.iterations,
+            boundary=BoundaryPolicy.PERIODIC,
+        )
+        builder = ProgramBuilder("bad")
+        builder.stage("one", one)
+        builder.stage("two", two)
+        builder.connect("one", "a", "two")
+        with pytest.raises(SpecificationError, match="boundary"):
+            builder.build()
+
+    def test_double_feed_of_one_input_rejected(self):
+        builder = ProgramBuilder("bad")
+        builder.stage("a", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("b", sobel_x_2d(grid=(16, 16), iterations=1))
+        builder.stage("c", jacobi_2d(grid=(16, 16), iterations=1))
+        builder.connect("a", "a", "c")
+        builder.connect("b", "a", "c")
+        with pytest.raises(SpecificationError, match="fed by"):
+            builder.build()
+
+    def test_cycle_rejected(self):
+        builder = ProgramBuilder("cyclic")
+        builder.stage("one", gaussian_blur_2d(grid=(16, 16), iterations=1))
+        builder.stage("two", sobel_x_2d(grid=(16, 16), iterations=1))
+        builder.connect("one", "a", "two")
+        builder.connect("two", "a", "one")
+        with pytest.raises(SpecificationError, match="[Cc]ycl"):
+            builder.build()
+
+
+class TestStructure:
+    def test_topo_order_is_declaration_stable(self):
+        program = blur_sobel_threshold(grid=(16, 16), blur_iterations=1)
+        assert program.topo_order() == ("blur", "sobel", "threshold")
+
+    def test_edges_into_and_from(self):
+        program = _pair()
+        (edge,) = program.edges_into("two")
+        assert edge == ProgramEdge("one", "a", "two", "a")
+        assert program.edges_from("one") == (edge,)
+        assert program.edges_into("one") == ()
+
+    def test_terminal_stages(self):
+        program = blur_sobel_threshold(grid=(16, 16), blur_iterations=1)
+        assert program.terminal_stages() == ("threshold",)
+
+    def test_signature_stable_and_content_addressed(self):
+        a = _pair()
+        b = _pair()
+        assert a.signature() == b.signature()
+        c = _pair(grid=(32, 32))
+        assert a.signature() != c.signature()
+
+    def test_single_stage_program(self):
+        spec = jacobi_2d(grid=(16, 16), iterations=2)
+        program = single_stage_program(spec)
+        assert program.num_stages == 1
+        assert program.topo_order() == (spec.name,)
+
+    def test_describe_mentions_stages(self):
+        text = fdtd_two_field(grid=(16, 16), iterations=2).describe()
+        assert "e-update" in text and "h-update" in text
+
+
+class TestLibrary:
+    def test_get_program_overrides(self):
+        program = get_program(
+            "blur-sobel-threshold", grid=(32, 32), iterations=2
+        )
+        assert program.stage("sobel").spec.grid_shape == (32, 32)
+        assert program.stage("sobel").spec.iterations == 2
+
+    def test_get_program_unknown(self):
+        with pytest.raises(SpecificationError, match="nope"):
+            get_program("nope")
+
+    def test_fdtd_aux_target_edge(self):
+        program = fdtd_two_field(grid=(16, 16), iterations=2)
+        (edge,) = program.edges_into("h-update")
+        assert edge.field == "e" and edge.target == "e"
+        assert "e" in program.stage("h-update").spec.pattern.aux
+
+
+_TWO_KERNEL_SOURCE = """
+__kernel void blur(__global float* a, __global float* out) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    out[i][j] = 0.5f * a[i][j] + 0.25f * (a[i-1][j] + a[i+1][j]);
+}
+
+__kernel void edge(__global float* a, __global float* out) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    out[i][j] = a[i][j+1] - a[i][j-1];
+}
+"""
+
+
+class TestFrontend:
+    def test_split_kernels(self):
+        chunks = split_kernels(_TWO_KERNEL_SOURCE)
+        assert [name for name, _ in chunks] == ["blur", "edge"]
+        assert "__kernel" in chunks[1][1]
+
+    def test_split_requires_kernels(self):
+        with pytest.raises(ExtractionError):
+            split_kernels("int main() { return 0; }")
+
+    def test_program_from_source_wires_by_name(self):
+        program = program_from_source(
+            _TWO_KERNEL_SOURCE,
+            grid_shape=(16, 16),
+            iterations=2,
+            field_map={"blur": {"out": "a"}, "edge": {"out": "a"}},
+        )
+        assert program.topo_order() == ("blur", "edge")
+        (edge,) = program.edges_into("edge")
+        assert edge.producer == "blur" and edge.target == "a"
+
+    def test_program_from_source_stage_iterations(self):
+        program = program_from_source(
+            _TWO_KERNEL_SOURCE,
+            grid_shape=(16, 16),
+            iterations=2,
+            stage_iterations={"edge": 1},
+            field_map={"blur": {"out": "a"}, "edge": {"out": "a"}},
+        )
+        assert program.stage("blur").spec.iterations == 2
+        assert program.stage("edge").spec.iterations == 1

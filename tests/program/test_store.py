@@ -1,0 +1,82 @@
+"""Program entries in the persistent design store + evaluator memo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.constraints import ResourceBudget
+from repro.fpga.resources import VIRTEX7_690T
+from repro.program import (
+    ProgramEvaluator,
+    blur_sobel_threshold,
+    program_candidates,
+    stage_design_options,
+)
+from repro.store import DesignStore
+from repro.store.backing import evaluation_context
+
+
+def _designs(n=4):
+    program = blur_sobel_threshold(
+        grid=(32, 32), blur_iterations=2, iterations=1
+    )
+    options = {
+        stage.name: stage_design_options(stage.spec)
+        for stage in program.stages
+    }
+    out = []
+    for design in program_candidates(program, options):
+        out.append(design)
+        if len(out) == n:
+            break
+    return out
+
+
+def test_store_round_trip(tmp_path):
+    designs = _designs()
+    budget = ResourceBudget.from_device(VIRTEX7_690T)
+    with DesignStore(tmp_path / "store") as store:
+        first = ProgramEvaluator(store=store)
+        results = first.evaluate_batch(designs, budget)
+        assert first.stats.store_hits == 0
+        store.flush()
+
+        # A cold evaluator sharing the store resolves every program
+        # from its persisted entry — no model recomputation.
+        second = ProgramEvaluator(store=store)
+        replayed = second.evaluate_batch(designs, budget)
+        assert second.stats.store_hits == len(designs)
+        for a, b in zip(results, replayed):
+            assert a.design.signature() == b.design.signature()
+            assert a.predicted_cycles == b.predicted_cycles
+            assert a.resources.as_dict() == b.resources.as_dict()
+
+
+def test_store_entries_keyed_by_program_signature(tmp_path):
+    designs = _designs(2)
+    budget = ResourceBudget.from_device(VIRTEX7_690T)
+    with DesignStore(tmp_path / "store") as store:
+        engine = ProgramEvaluator(store=store)
+        engine.evaluate_batch(designs, budget)
+        context = evaluation_context(
+            engine.board, engine.fidelity, engine.estimator.flexcl
+        )
+        for design in designs:
+            stored = store.lookup_design(design, context)
+            assert stored is not None and stored.complete
+            assert stored.cycles == pytest.approx(
+                engine.predict_cycles(design)
+            )
+
+
+def test_memo_hits_on_reevaluation():
+    designs = _designs(3)
+    budget = ResourceBudget.from_device(VIRTEX7_690T)
+    engine = ProgramEvaluator()
+    engine.evaluate_batch(designs, budget)
+    assert engine.stats.cache_hits == 0
+    engine.evaluate_batch(designs, budget)
+    assert engine.stats.cache_hits == len(designs)
+    assert engine.cache_size() == len(designs)
+    engine.clear_cache()
+    assert engine.cache_size() == 0
