@@ -11,11 +11,20 @@ for just this workload come from the ``metrics_delta`` fixture.
 
 from __future__ import annotations
 
+import http.client
+import json
+import os
 import threading
 import time
 from typing import Dict, List, Tuple
 
-from repro.service import JobRequest, JobState, SynthesisService
+from repro.service import (
+    JobRequest,
+    JobState,
+    ShardedSynthesisService,
+    SynthesisService,
+    make_async_server,
+)
 from repro.store import DesignStore
 
 WAIT_S = 300.0
@@ -154,6 +163,171 @@ def test_service_closed_loop_cold_vs_warm(
         f"{cold_deltas.get('dse.evaluated', 0):g}",
     )
     assert cold["jobs"] == warm["jobs"] == total
+
+
+#: The sharded-scaling workload: one joint multi-stencil DSE per job
+#: (~1-2s of pure-Python model evaluation), every signature unique so
+#: dedup/memo cannot shortcut any of it — a genuinely CPU-bound fleet.
+SHARD_JOBS = [
+    {
+        "program": "blur-sobel-threshold",
+        "grid_shape": (128, 128),
+        "iterations": 2 + turn,
+    }
+    for turn in range(8)
+]
+
+
+def _run_fleet(service, specs) -> float:
+    """Submit every spec, wait for all; return the wall time."""
+    begin = time.perf_counter()
+    jobs = [service.submit(JobRequest(**spec))[0] for spec in specs]
+    for job in jobs:
+        service.wait(job.id, timeout=WAIT_S)
+    wall = time.perf_counter() - begin
+    failures = [
+        f"{job.id}: {job.error}"
+        for job in jobs
+        if job.state is not JobState.DONE
+    ]
+    assert not failures, failures
+    return wall
+
+
+def test_sharded_throughput_scaling(benchmark, record, tmp_path):
+    """4 worker processes vs 1 on a CPU-bound, dedup-proof workload.
+
+    The single-replica phase is the baseline: same dispatcher, same
+    RPC overhead, one engine.  On a >=4-core machine the 4-replica
+    phase must clear 2x throughput; on smaller machines the measured
+    ratio is recorded but not asserted (there is nothing to scale
+    onto).
+    """
+    walls: Dict[int, float] = {}
+    for processes in (1, 4):
+        store_root = tmp_path / f"shard-{processes}"
+        service = ShardedSynthesisService(
+            store_root=store_root, worker_processes=processes
+        )
+        try:
+            if processes == 4:
+                walls[processes] = benchmark.pedantic(
+                    _run_fleet,
+                    args=(service, SHARD_JOBS),
+                    rounds=1,
+                    iterations=1,
+                )
+            else:
+                walls[processes] = _run_fleet(service, SHARD_JOBS)
+            # Every replica journal is separate: N writers, no locks.
+            health = service.health()
+            assert len(health["replicas"]) == processes
+            assert all(r["alive"] for r in health["replicas"])
+        finally:
+            service.shutdown(drain=True, timeout=WAIT_S)
+    speedup = walls[1] / walls[4] if walls[4] else 0.0
+    record(
+        "Service",
+        f"sharded scaling ({len(SHARD_JOBS)} CPU-bound joint-DSE "
+        f"jobs): 1 process {walls[1]:.2f}s, 4 processes "
+        f"{walls[4]:.2f}s -> {speedup:.2f}x "
+        f"({os.cpu_count()} cores visible)",
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x with 4 worker processes, got {speedup:.2f}x"
+        )
+
+
+POLL_CLIENTS = 256
+POLLS_EACH = 20
+
+
+def test_async_frontend_polling_fanin(benchmark, record):
+    """256 concurrent pollers against the asyncio front door.
+
+    Every client holds one keep-alive connection and performs a fixed
+    number of status polls while the workers chew on CPU-bound jobs;
+    the run passes only if every poll response parses AND the jobs
+    still finish under full polling load — fan-in served by the event
+    loop, workers never starved.
+    """
+    service = SynthesisService(workers=2)
+    door = make_async_server(service, port=0)
+    host, port = door.server_address
+    try:
+        # Two joint-DSE jobs (~seconds each): real work for the
+        # pollers to overlap with.
+        jobs = [
+            service.submit(JobRequest(**spec))[0]
+            for spec in SHARD_JOBS[:2]
+        ]
+        job_ids = [job.id for job in jobs]
+        polls: List[int] = []
+        errors: List[str] = []
+        lock = threading.Lock()
+        start_line = threading.Barrier(POLL_CLIENTS + 1)
+
+        def poller(index: int) -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            count = 0
+            start_line.wait()
+            try:
+                for _ in range(POLLS_EACH):
+                    conn.request(
+                        "GET", f"/jobs/{job_ids[index % len(job_ids)]}"
+                    )
+                    reply = conn.getresponse()
+                    payload = json.loads(reply.read())
+                    count += 1
+                    if reply.status != 200 or "state" not in payload:
+                        raise AssertionError(
+                            f"bad poll reply: {reply.status} {payload}"
+                        )
+            except Exception as exc:  # noqa: BLE001 - collected below
+                with lock:
+                    errors.append(f"poller {index}: {exc}")
+            finally:
+                conn.close()
+                with lock:
+                    polls.append(count)
+
+        threads = [
+            threading.Thread(target=poller, args=(i,), daemon=True)
+            for i in range(POLL_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        def jobs_under_load() -> float:
+            start_line.wait()
+            begin = time.perf_counter()
+            for job_id in job_ids:
+                service.wait(job_id, timeout=WAIT_S)
+            return time.perf_counter() - begin
+
+        try:
+            drain_wall = benchmark.pedantic(
+                jobs_under_load, rounds=1, iterations=1
+            )
+        finally:
+            for thread in threads:
+                thread.join(120)
+        assert not errors, errors[:5]
+        assert all(job.state is JobState.DONE for job in jobs)
+        assert len(polls) == POLL_CLIENTS
+        # Starvation check cuts both ways: every client completed its
+        # polls, and the workers finished the jobs while they did.
+        assert min(polls) == POLLS_EACH
+        record(
+            "Service",
+            f"async front door: {POLL_CLIENTS} concurrent pollers x "
+            f"{POLLS_EACH} polls ({sum(polls)} answered) while "
+            f"{len(job_ids)} jobs finished in {drain_wall:.2f}s",
+        )
+    finally:
+        door.shutdown()
+        service.shutdown(drain=True, timeout=WAIT_S)
 
 
 def test_service_dedup_saves_evaluations(

@@ -56,6 +56,16 @@ class ServiceError(ReproError):
     """The synthesis service rejected or could not process a request."""
 
 
+class ServiceClosedError(ServiceError):
+    """The service is draining or stopped; submissions are refused.
+
+    Distinct from a malformed request so transports can map it to the
+    right status code (HTTP 503 + no ``rejected`` accounting) instead
+    of conflating every :class:`ServiceError` raised during a drain
+    with a client error.
+    """
+
+
 class ServiceOverloadError(ServiceError):
     """The service's admission control rejected a job: queue full.
 

@@ -21,6 +21,8 @@ Service (synthesis-as-a-service, see ``docs/SERVICE.md``)::
 
     python -m repro.experiments serve  [--host H] [--port P]
                                        [--workers N] [--queue-depth D]
+                                       [--worker-processes N]
+                                       [--frontend threaded|async]
                                        [--store DIR]
     python -m repro.experiments submit --url http://H:P
                                        --benchmark jacobi-2d
@@ -323,7 +325,12 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
     import signal
     import threading
 
-    from repro.service import SynthesisService, make_server
+    from repro.service import (
+        ShardedSynthesisService,
+        SynthesisService,
+        make_async_server,
+        make_server,
+    )
 
     if not obs.enabled():
         # A resident server should always be observable: metrics-only
@@ -336,22 +343,49 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
         telemetry_path = pathlib.Path(args.store) / "telemetry.jsonl"
     if telemetry_path:
         telemetry = obs.TelemetryJournal(telemetry_path)
-    service = SynthesisService(
-        store=session.store,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        default_timeout_s=args.job_timeout,
-        tiered=args.tiered,
-        search_chunk_size=args.chunk_size,
-        telemetry=telemetry,
-        slo_p99_target_s=args.slo_p99,
-    )
-    server = make_server(service, host=args.host, port=args.port)
+    if args.worker_processes:
+        # Sharded mode: the replicas own the store (one writer slot
+        # each), so the dispatcher-side handle is closed unused.
+        store_root = None
+        if session.store is not None:
+            store_root = session.store.root
+            session.store.close()
+            session.store = None
+        service = ShardedSynthesisService(
+            store_root=store_root,
+            worker_processes=args.worker_processes,
+            queue_depth=args.queue_depth,
+            default_timeout_s=args.job_timeout,
+            tiered=args.tiered,
+            search_chunk_size=args.chunk_size,
+            telemetry=telemetry,
+            slo_p99_target_s=args.slo_p99,
+        )
+        workers_desc = f"{args.worker_processes} worker processes"
+        store_attached = store_root is not None
+    else:
+        service = SynthesisService(
+            store=session.store,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_timeout_s=args.job_timeout,
+            tiered=args.tiered,
+            search_chunk_size=args.chunk_size,
+            telemetry=telemetry,
+            slo_p99_target_s=args.slo_p99,
+        )
+        workers_desc = f"{args.workers} workers"
+        store_attached = session.store is not None
+    if args.frontend == "async":
+        server = make_async_server(service, host=args.host, port=args.port)
+    else:
+        server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(
         f"repro synthesis service listening on http://{host}:{port} "
-        f"({args.workers} workers, queue depth {args.queue_depth}, "
-        f"store {'attached' if session.store is not None else 'none'}, "
+        f"({workers_desc}, {args.frontend} frontend, "
+        f"queue depth {args.queue_depth}, "
+        f"store {'attached' if store_attached else 'none'}, "
         f"telemetry "
         f"{telemetry_path if telemetry_path else 'none'})",
         flush=True,
@@ -369,12 +403,16 @@ def _cmd_serve(args, session: _StoreSession) -> List[str]:
         server.server_close()
         service.shutdown(drain=True)
     stats = service.stats.as_dict()
+    evals = service.evaluator_stats()
     return [
         f"Drained: {stats['completed']} completed, "
         f"{stats['failed']} failed, {stats['cancelled']} cancelled "
         f"({stats['deduped']} deduped, {stats['rejected']} rejected "
         f"of {stats['requests']} requests)",
-        f"Engine: {service.evaluator.stats.summary()}",
+        f"Engine: {evals['evaluated']:.0f} evaluated, "
+        f"{evals['cache_hits']:.0f} cache hits, "
+        f"{evals['store_hits']:.0f} store hits, "
+        f"{evals['infeasible']:.0f} infeasible",
     ]
 
 
@@ -544,6 +582,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=2,
         help="worker threads for 'serve'",
+    )
+    parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "'serve': shard the service across N worker processes "
+            "(one warm evaluator each, coordinating through the "
+            "shared --store); 0 keeps the in-process thread pool"
+        ),
+    )
+    parser.add_argument(
+        "--frontend",
+        choices=("threaded", "async"),
+        default="threaded",
+        help=(
+            "'serve' HTTP frontend: 'threaded' (one thread per "
+            "connection) or 'async' (one event loop; use for large "
+            "polling fan-in)"
+        ),
     )
     parser.add_argument(
         "--queue-depth",

@@ -27,6 +27,7 @@ from repro import obs
 from repro.dse.constraints import ResourceBudget
 from repro.dse.evaluator import (
     CandidateEvaluator,
+    CandidateTrace,
     DSEResult,
     EvaluatedDesign,
     EvaluationStats,
@@ -265,6 +266,30 @@ class ProgramEvaluator:
         budget: ResourceBudget,
         stats: EvaluationStats,
     ) -> Optional[EvaluatedDesign]:
+        result, outcome = self._score_one(design, budget, stats)
+        # Every composed candidate flows through the stage engine's
+        # per-candidate hook, exactly like single-stencil candidates
+        # do — the synthesis service's cancellation point lives there,
+        # so a program exploration aborts within one candidate too.
+        self.stage_engine._emit(
+            CandidateTrace(
+                design=design,
+                outcome=outcome,
+                predicted_cycles=(
+                    result.predicted_cycles
+                    if result is not None
+                    else None
+                ),
+            )
+        )
+        return result
+
+    def _score_one(
+        self,
+        design: ProgramDesign,
+        budget: ResourceBudget,
+        stats: EvaluationStats,
+    ) -> Tuple[Optional[EvaluatedDesign], str]:
         stats.candidates += 1
         sig = design.signature()
         with self._lock:
@@ -273,8 +298,8 @@ class ProgramEvaluator:
             stats.cache_hits += 1
             if not cached.resources.total.fits_within(budget.limit):
                 stats.infeasible += 1
-                return None
-            return cached
+                return None, "infeasible"
+            return cached, "cache-hit"
         stored = self._store_lookup(design)
         if stored is not None and stored.complete:
             result = EvaluatedDesign(design, stored.cycles, stored.resources)
@@ -283,20 +308,20 @@ class ProgramEvaluator:
             stats.store_hits += 1
             if not result.resources.total.fits_within(budget.limit):
                 stats.infeasible += 1
-                return None
-            return result
+                return None, "infeasible"
+            return result, "store-hit"
         resources = self.resources(design)
         if not resources.total.fits_within(budget.limit):
             stats.infeasible += 1
             self._store_record(design, resources=resources)
-            return None
+            return None, "infeasible"
         cycles = self.predict_cycles(design)
         stats.evaluated += 1
         self._store_record(design, cycles=cycles, resources=resources)
         result = EvaluatedDesign(design, cycles, resources)
         with self._lock:
             result = self._results.setdefault(sig, result)
-        return result
+        return result, "evaluated"
 
     def evaluate_batch(
         self,

@@ -22,6 +22,7 @@ with :class:`~repro.service.client.ServiceClient` or curl.  Full API
 and lifecycle semantics: ``docs/SERVICE.md``.
 """
 
+from repro.service.aserver import AsyncFrontDoor, make_async_server
 from repro.service.client import JobFailedError, ServiceClient
 from repro.service.core import (
     DEFAULT_TRANSIENT,
@@ -29,6 +30,7 @@ from repro.service.core import (
     SynthesisService,
     program_result_payload,
     result_payload,
+    run_synthesis_pipeline,
 )
 from repro.service.http import (
     ServiceHTTPServer,
@@ -37,20 +39,28 @@ from repro.service.http import (
 )
 from repro.service.jobs import Job, JobRequest, JobState
 from repro.service.queue import JobQueue
+from repro.service.routes import Response, handle_request
+from repro.service.shard import ShardedSynthesisService
 
 __all__ = [
+    "AsyncFrontDoor",
     "DEFAULT_TRANSIENT",
     "Job",
     "JobFailedError",
     "JobQueue",
     "JobRequest",
     "JobState",
+    "Response",
     "ServiceClient",
     "ServiceHTTPServer",
     "ServiceStats",
+    "ShardedSynthesisService",
     "SynthesisService",
+    "handle_request",
+    "make_async_server",
     "make_server",
     "program_result_payload",
     "result_payload",
+    "run_synthesis_pipeline",
     "write_result_program",
 ]

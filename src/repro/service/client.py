@@ -205,7 +205,18 @@ class ServiceClient:
         timeout_s: float = 300.0,
         **request,
     ) -> Dict[str, Any]:
-        """Submit-and-wait convenience, honoring 429 retry-after."""
+        """Submit-and-wait convenience, honoring 429 retry-after.
+
+        Raises:
+            ServiceError: ``max_submit_attempts < 1`` (no submit could
+                ever happen — fail loudly, not with an
+                ``UnboundLocalError``).
+        """
+        if max_submit_attempts < 1:
+            raise ServiceError(
+                f"max_submit_attempts must be >= 1, "
+                f"got {max_submit_attempts}"
+            )
         for attempt in range(max_submit_attempts):
             try:
                 job = self.submit(**request)

@@ -49,7 +49,9 @@ from repro.dse.search import SearchDriver
 from repro.errors import (
     JobCancelledError,
     ReproError,
+    ServiceClosedError,
     ServiceError,
+    ServiceOverloadError,
     StoreError,
     TransientServiceError,
 )
@@ -174,6 +176,68 @@ def program_result_payload(synth: ProgramSynthesisResult) -> Dict[str, Any]:
     }
 
 
+def run_synthesis_pipeline(
+    request: JobRequest,
+    evaluator: CandidateEvaluator,
+    tiered: bool = False,
+    search_chunk_size: int = 1024,
+    job_id: str = "job",
+) -> Dict[str, Any]:
+    """The full facade pipeline for one request, instrumented.
+
+    Module-level (not a service method) so worker *processes* of the
+    sharded service run the exact same body against their own warm
+    evaluator — byte-identical payloads by construction.
+    """
+    # One driver per job: the engine (and its memo/store) is the
+    # shared warm state; SearchDriver.report is per-run and must
+    # not be contended across worker threads.
+    driver = (
+        SearchDriver(evaluator=evaluator, chunk_size=search_chunk_size)
+        if tiered
+        else None
+    )
+    if request.program is not None:
+        from repro.program.library import get_program
+
+        program = get_program(
+            request.program,
+            grid=request.grid_shape,
+            iterations=request.iterations,
+        )
+        with obs.span(
+            "service.synthesize", job=job_id, design="program",
+            schedule=request.schedule,
+        ):
+            synth = synthesize(
+                program=program,
+                schedule=request.schedule,
+                evaluator=evaluator,
+                driver=driver,
+            )
+        return program_result_payload(synth)
+    with obs.span(
+        "service.synthesize", job=job_id, design=request.design
+    ):
+        synth = synthesize(
+            source=request.source,
+            benchmark=request.benchmark,
+            name=request.name,
+            field_map=request.field_map,
+            aux=request.aux,
+            grid_shape=request.grid_shape,
+            iterations=request.iterations,
+            tile_shape=request.tile_shape,
+            counts=request.counts,
+            fused_depth=request.fused_depth,
+            unroll=request.unroll,
+            design=request.design,
+            evaluator=evaluator,
+            driver=driver,
+        )
+    return result_payload(synth)
+
+
 class SynthesisService:
     """Resident synthesis engine: queue, workers, dedup, lifecycle.
 
@@ -274,6 +338,8 @@ class SynthesisService:
         self._max_history = max_history
         self._next_id = 0
         self._running = 0
+        self._sim_report: Optional[Dict[str, Any]] = None
+        self._sim_report_lock = threading.Lock()
         self._avg_job_s = 1.0
         self._accepting = True
         self._stopped = threading.Event()
@@ -313,10 +379,10 @@ class SynthesisService:
             of enqueueing a new one.
 
         Raises:
-            ServiceError: the service is shutting down, or the request
-                is invalid.
+            ServiceClosedError: the service is shutting down.
             ServiceOverloadError: admission control rejected it; retry
                 after the error's ``retry_after_s``.
+            ServiceError: the request is invalid.
         """
         if (
             request.timeout_s is None
@@ -332,7 +398,7 @@ class SynthesisService:
         with self._lock:
             self.stats.requests += 1
             if not self._accepting:
-                raise ServiceError("service is shutting down")
+                raise ServiceClosedError("service is shutting down")
             inflight_id = self._inflight.get(signature)
             if inflight_id is not None:
                 job = self._jobs[inflight_id]
@@ -354,10 +420,14 @@ class SynthesisService:
             )
             try:
                 self._queue.put(job, retry_after_s=self._retry_after())
-            except ServiceError as exc:
+            except ServiceOverloadError:
+                # Only true admission-control rejections count as
+                # ``rejected``; a closed-queue ServiceClosedError is a
+                # lifecycle condition, not a client being turned away
+                # by load, and propagates uncounted.
                 self.stats.rejected += 1
                 obs.inc("service.rejected")
-                raise exc
+                raise
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._inflight[signature] = job.id
@@ -418,13 +488,41 @@ class SynthesisService:
         return job
 
     def _sim_backend_report(self) -> Dict[str, Any]:
-        """Resolved simulator-backend summary for ``/healthz``."""
-        from repro.sim import jit as sim_jit
+        """Resolved simulator-backend summary for ``/healthz``, cached.
 
-        return sim_jit.backend_report(self.sim_backend)
+        Resolving the backend imports :mod:`repro.sim.jit` and may
+        probe a C compiler via subprocess, so this must never run
+        under ``self._lock`` — a slow probe would stall every
+        ``submit``/``_finalize`` behind a health check.  The resolution
+        cannot change within one process, so the first answer is
+        cached; the dedicated lock only stops concurrent health checks
+        from probing the compiler twice.
+        """
+        with self._sim_report_lock:
+            if self._sim_report is None:
+                from repro.sim import jit as sim_jit
+
+                self._sim_report = sim_jit.backend_report(
+                    self.sim_backend
+                )
+            return self._sim_report
+
+    def evaluator_stats(self) -> Dict[str, Any]:
+        """Engine counters for health/metrics.
+
+        Overridden by the sharded service, whose engines live in
+        worker processes — transports must use this instead of
+        reaching for ``self.evaluator`` directly.
+        """
+        return self.evaluator.stats.as_dict()
 
     def health(self) -> Dict[str, Any]:
         """Liveness/readiness view (the ``GET /healthz`` body)."""
+        # Both computed outside self._lock: the backend report may
+        # shell out to a compiler probe (first call only) and the
+        # evaluator counters take the engine's own locks.
+        sim_report = self._sim_backend_report()
+        evaluator = self.evaluator_stats()
         with self._lock:
             status = "ok" if self._accepting else (
                 "stopped" if self._stopped.is_set() else "draining"
@@ -440,10 +538,10 @@ class SynthesisService:
                 "running": self._running,
                 "avg_job_s": self._avg_job_s,
                 "tiered": self.tiered,
-                "sim_backend": self._sim_backend_report(),
+                "sim_backend": sim_report,
                 "store_attached": self.store is not None,
                 "telemetry_attached": self.telemetry is not None,
-                "evaluator": self.evaluator.stats.as_dict(),
+                "evaluator": evaluator,
                 "stats": self.stats.as_dict(),
             }
 
@@ -499,58 +597,14 @@ class SynthesisService:
     def _synthesize_pipeline(
         self, job: Job, evaluator: CandidateEvaluator
     ) -> Dict[str, Any]:
-        """Default job body: the full facade pipeline, instrumented."""
-        request = job.request
-        # One driver per job: the engine (and its memo/store) is the
-        # shared warm state; SearchDriver.report is per-run and must
-        # not be contended across worker threads.
-        driver = (
-            SearchDriver(
-                evaluator=evaluator,
-                chunk_size=self.search_chunk_size,
-            )
-            if self.tiered
-            else None
+        """Default job body: the shared module-level pipeline."""
+        return run_synthesis_pipeline(
+            job.request,
+            evaluator,
+            tiered=self.tiered,
+            search_chunk_size=self.search_chunk_size,
+            job_id=job.id,
         )
-        if request.program is not None:
-            from repro.program.library import get_program
-
-            program = get_program(
-                request.program,
-                grid=request.grid_shape,
-                iterations=request.iterations,
-            )
-            with obs.span(
-                "service.synthesize", job=job.id, design="program",
-                schedule=request.schedule,
-            ):
-                synth = synthesize(
-                    program=program,
-                    schedule=request.schedule,
-                    evaluator=evaluator,
-                    driver=driver,
-                )
-            return program_result_payload(synth)
-        with obs.span(
-            "service.synthesize", job=job.id, design=request.design
-        ):
-            synth = synthesize(
-                source=request.source,
-                benchmark=request.benchmark,
-                name=request.name,
-                field_map=request.field_map,
-                aux=request.aux,
-                grid_shape=request.grid_shape,
-                iterations=request.iterations,
-                tile_shape=request.tile_shape,
-                counts=request.counts,
-                fused_depth=request.fused_depth,
-                unroll=request.unroll,
-                design=request.design,
-                evaluator=evaluator,
-                driver=driver,
-            )
-        return result_payload(synth)
 
     def _worker_loop(self) -> None:
         while True:
@@ -581,7 +635,7 @@ class SynthesisService:
         job._run_started_m = start
         job._cpu_start_s = thread_cpu_s()
         job._rss_start_kb = peak_rss_kb()
-        job._evals_start = self.evaluator.stats.as_dict()
+        job._evals_start = self.evaluator_stats()
         self._active.job = job
         try:
             # Re-activate the request's trace context on this worker
@@ -636,7 +690,16 @@ class SynthesisService:
                     "%s attempt %d hit transient %s; retrying in %.2fs",
                     job.id, job.attempts, type(exc).__name__, delay,
                 )
-                time.sleep(delay)
+                try:
+                    # Cancellable backoff: wakes on an explicit cancel
+                    # and is bounded by the job's deadline, so a dead
+                    # job never pins this worker for the full delay.
+                    job.wait_backoff(delay)
+                except JobCancelledError as cancelled:
+                    self._finalize(
+                        job, JobState.CANCELLED, error=str(cancelled)
+                    )
+                    return
             except ReproError as exc:
                 self._finalize(
                     job,
@@ -729,7 +792,7 @@ class SynthesisService:
             if rss_now is not None and job._rss_start_kb is not None
             else None
         )
-        evals = self.evaluator.stats.as_dict()
+        evals = self.evaluator_stats()
         before = job._evals_start or {}
         def delta(key: str) -> int:
             return int(evals.get(key, 0)) - int(before.get(key, 0))

@@ -1,11 +1,13 @@
-"""Stdlib HTTP JSON API over the synthesis service.
+"""Threaded stdlib HTTP front door over the synthesis service.
 
 Routes (see ``docs/SERVICE.md`` for curl examples):
 
 - ``POST /jobs`` — submit a synthesis request; ``202`` with the job
   status (``coalesced: true`` when attached to an identical in-flight
   job), ``429`` + ``Retry-After`` when admission control rejects,
-  ``503`` while draining, ``400`` on a malformed payload.
+  ``503`` while draining or stopped, ``400`` on a malformed payload
+  (chosen by exception type — a bad payload stays a 400 even during a
+  drain).
 - ``GET /jobs/<id>`` — job status (including trace id + flight record).
 - ``GET /jobs/<id>/result`` — ``200`` with the result payload once
   done (the flight record rides alongside, never inside, the result —
@@ -29,38 +31,30 @@ Routes (see ``docs/SERVICE.md`` for curl examples):
 request into the job, so the spans the job produces carry the
 client's trace id end to end.
 
-Built on :class:`http.server.ThreadingHTTPServer` — no third-party
-dependencies, matching the rest of the framework.
+All route logic lives in :mod:`repro.service.routes`; this module is
+only the :class:`http.server.ThreadingHTTPServer` binding of it.  The
+asyncio binding (:mod:`repro.service.aserver`) shares the same router,
+so responses are byte-identical across the two front doors.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
-import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Tuple
+from typing import Tuple
 
 from repro import obs
-from repro.errors import ServiceError, ServiceOverloadError
-from repro.obs import prom
-from repro.obs.export import build_chrome_trace, run_report
-from repro.obs.trace import TraceContext
 from repro.service.core import SynthesisService
-from repro.service.jobs import JobRequest, JobState
+from repro.service.routes import Response, handle_request, to_json_bytes
+
+__all__ = [
+    "ServiceHTTPServer",
+    "make_server",
+    "to_json_bytes",
+    "write_result_program",
+]
 
 _log = obs.get_logger("service.http")
-
-_JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)$")
-_RESULT_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)/result$")
-_TRACE_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_-]+)/trace$")
-
-
-def to_json_bytes(payload: Any) -> bytes:
-    """Canonical response encoding (sorted keys → byte-stable)."""
-    return (
-        json.dumps(payload, indent=1, sort_keys=True) + "\n"
-    ).encode("utf-8")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -78,168 +72,49 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args) -> None:
         _log.debug("%s %s", self.address_string(), fmt % args)
 
-    def _reply(
-        self,
-        status: int,
-        payload: Any,
-        retry_after_s: Optional[float] = None,
-    ) -> None:
-        body = to_json_bytes(payload)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if retry_after_s is not None:
-            self.send_header(
-                "Retry-After", str(max(1, int(round(retry_after_s))))
-            )
-        self.end_headers()
-        self.wfile.write(body)
-        obs.inc(f"service.http.{status}")
+    def _dispatch(self, method: str) -> None:
+        body = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            body = self.rfile.read(length) if length else b""
+        response = handle_request(
+            self.service, method, self.path, self.headers, body
+        )
+        self._send(response)
 
-    def _reply_text(
-        self, status: int, text: str, content_type: str
-    ) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        obs.inc(f"service.http.{status}")
-
-    def _read_body(self) -> Any:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            raise ServiceError("empty request body")
+    def _send(self, response: Response) -> None:
         try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServiceError(f"invalid JSON body: {exc}") from exc
-
-    # -- routes -----------------------------------------------------------------
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            if response.retry_after_s is not None:
+                self.send_header(
+                    "Retry-After",
+                    str(max(1, int(round(response.retry_after_s)))),
+                )
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-reply (poll loops do).  Not a
+            # server error: count it, drop the connection, and above
+            # all don't let the handler thread dump a raw traceback.
+            obs.inc("service.http.client_disconnects")
+            _log.debug(
+                "client %s disconnected mid-reply",
+                self.address_string(),
+            )
+            self.close_connection = True
+            return
+        obs.inc(f"service.http.{response.status}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib interface
-        if self.path.rstrip("/") != "/jobs":
-            self._reply(404, {"error": f"no such route: {self.path}"})
-            return
-        try:
-            request = JobRequest.from_json(self._read_body())
-            trace = TraceContext.from_headers(self.headers)
-            job, coalesced = self.service.submit(request, trace=trace)
-        except ServiceOverloadError as exc:
-            self._reply(
-                429,
-                {
-                    "error": str(exc),
-                    "retry_after_s": exc.retry_after_s,
-                },
-                retry_after_s=exc.retry_after_s,
-            )
-            return
-        except ServiceError as exc:
-            status = 503 if self.service.draining else 400
-            self._reply(status, {"error": str(exc)})
-            return
-        self._reply(
-            202, {"job": job.as_dict(), "coalesced": coalesced}
-        )
+        self._dispatch("POST")
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib interface
-        path, _, query = self.path.partition("?")
-        if path == "/healthz":
-            self._reply(200, self.service.health())
-            return
-        if path == "/metricsz":
-            if "format=prometheus" in query:
-                text = prom.render_prometheus(
-                    obs.get_registry(),
-                    extra_gauges=self.service.slo_gauges(),
-                )
-                self._reply_text(200, text, prom.CONTENT_TYPE)
-                return
-            report = run_report()
-            report["service"] = self.service.stats.as_dict()
-            report["evaluator"] = self.service.evaluator.stats.as_dict()
-            report["slo"] = self.service.slo_gauges()
-            self._reply(200, report)
-            return
-        match = _TRACE_PATH.match(path)
-        if match:
-            self._get_trace(match.group("id"))
-            return
-        match = _RESULT_PATH.match(path)
-        if match:
-            self._get_result(match.group("id"))
-            return
-        match = _JOB_PATH.match(path)
-        if match:
-            job = self.service.job(match.group("id"))
-            if job is None:
-                self._reply(404, {"error": "unknown job"})
-            else:
-                self._reply(200, job.as_dict())
-            return
-        self._reply(404, {"error": f"no such route: {path}"})
+        self._dispatch("GET")
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib interface
-        match = _JOB_PATH.match(self.path)
-        if not match:
-            self._reply(404, {"error": f"no such route: {self.path}"})
-            return
-        job = self.service.cancel(match.group("id"))
-        if job is None:
-            self._reply(404, {"error": "unknown job"})
-        else:
-            self._reply(200, job.as_dict())
-
-    def _get_trace(self, job_id: str) -> None:
-        """The job's merged Chrome trace (spans under its trace_id)."""
-        job = self.service.job(job_id)
-        if job is None:
-            self._reply(404, {"error": "unknown job"})
-            return
-        if job.trace is None:
-            self._reply(
-                404,
-                {
-                    "error": (
-                        "no trace recorded for this job (enable "
-                        "observability or send X-Repro-Trace-Id)"
-                    )
-                },
-            )
-            return
-        self._reply(200, build_chrome_trace(trace_id=job.trace.trace_id))
-
-    def _get_result(self, job_id: str) -> None:
-        job = self.service.job(job_id)
-        if job is None:
-            self._reply(404, {"error": "unknown job"})
-            return
-        if job.state is JobState.DONE:
-            # The flight record rides beside the result: the result
-            # payload itself stays byte-identical with telemetry off.
-            self._reply(
-                200,
-                {
-                    "job_id": job.id,
-                    "result": job.result,
-                    "flight": job.flight,
-                },
-            )
-            return
-        if job.state.finished:  # failed or cancelled
-            self._reply(
-                409,
-                {
-                    "job_id": job.id,
-                    "state": job.state.value,
-                    "error": job.error,
-                },
-            )
-            return
-        self._reply(202, job.as_dict())
+        self._dispatch("DELETE")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

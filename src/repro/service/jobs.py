@@ -286,6 +286,26 @@ class Job:
                 f"{self.request.timeout_s:g}s timeout"
             )
 
+    def wait_backoff(self, delay: float) -> None:
+        """Sleep between retry attempts without ignoring cancellation.
+
+        A plain ``time.sleep`` would let a cancelled or
+        deadline-expired job pin a worker for the full backoff.  This
+        waits on the cancel event instead (an explicit cancel wakes
+        the worker immediately), bounds the wait by the remaining
+        deadline, and re-checks via :meth:`check_cancelled` before the
+        next attempt — raising :class:`JobCancelledError` rather than
+        retrying a job that is already dead.
+        """
+        remaining = delay
+        if self._deadline is not None:
+            remaining = min(
+                remaining, max(0.0, self._deadline - time.monotonic())
+            )
+        if remaining > 0:
+            self._cancel.wait(remaining)
+        self.check_cancelled()
+
     def mark_finished(self) -> None:
         """Flip the completion latch (after state is final)."""
         self._done.set()

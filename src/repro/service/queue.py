@@ -17,7 +17,11 @@ import threading
 import time
 from typing import List, Optional
 
-from repro.errors import ServiceError, ServiceOverloadError
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from repro.service.jobs import Job
 
 
@@ -55,13 +59,15 @@ class JobQueue:
         """Admit a job, or reject with a retry hint.
 
         Raises:
-            ServiceError: the queue is closed (service shutting down).
+            ServiceClosedError: the queue is closed (service shutting
+                down) — mapped to HTTP 503, never counted as a client
+                rejection.
             ServiceOverloadError: the queue is at ``max_depth``; the
                 caller should surface ``retry_after_s`` to the client.
         """
         with self._lock:
             if self._closed:
-                raise ServiceError("service is shutting down")
+                raise ServiceClosedError("service is shutting down")
             if len(self._heap) >= self.max_depth:
                 raise ServiceOverloadError(
                     f"queue full ({self.max_depth} jobs waiting); "

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pathlib
+import re
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
@@ -52,12 +53,23 @@ from repro.store.index import (
     STORE_SCHEMA,
     compact,
     load_snapshot,
+    merge_entries,
     write_snapshot,
 )
-from repro.store.journal import Journal, canonical_json, replay_latest
+from repro.store.journal import (
+    Journal,
+    canonical_json,
+    read_journal_tolerant,
+    replay_latest,
+)
 from repro.tiling.design import StencilDesign
 
 PathLike = Union[str, pathlib.Path]
+
+#: Writer names become journal filenames: must start with a letter or
+#: digit (no dot-names), stay within one path segment, and fit 64
+#: chars.
+_WRITER_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
 
 
 def digest(value) -> str:
@@ -165,6 +177,20 @@ class DesignStore:
     evaluator's parallel batch path calls :meth:`lookup_design` and
     :meth:`record_design` concurrently from pool workers.
 
+    **Multi-writer mode.** Pass a distinct ``writer`` name per process
+    to share one store directory across service replicas: each writer
+    appends only to its own ``journal-<writer>.jsonl``, so concurrent
+    processes never interleave bytes in one file.  Opening replays the
+    snapshot, the writer's own journal (with tail repair), and every
+    sibling journal — tolerantly, because a sibling's torn tail is
+    just its live write frontier, not corruption (see
+    :func:`~repro.store.journal.read_journal_tolerant`).  Entries are
+    content-addressed, so sibling records merge by completeness
+    instead of needing a global write order.  :meth:`compact`,
+    :meth:`gc`, and :meth:`invalidate` fold sibling journals into the
+    snapshot and delete them — offline maintenance, only safe with
+    all other writers stopped.
+
     Args:
         root: store directory (created if missing).
         sync: journal fsync policy (``batch``/``always``/``never``).
@@ -172,6 +198,9 @@ class DesignStore:
             fsynced batch every this many records (and on
             :meth:`flush`/:meth:`close`).  A crash loses at most the
             buffered tail — which is recomputed, never corrupted.
+        writer: name of this writer's private journal in a shared
+            store directory; ``None`` (the default) keeps the classic
+            single-writer ``journal.jsonl`` layout.
     """
 
     def __init__(
@@ -179,11 +208,18 @@ class DesignStore:
         root: PathLike,
         sync: str = "batch",
         batch_size: int = 32,
+        writer: Optional[str] = None,
     ):
         if batch_size < 1:
             raise StoreError(f"batch_size must be >= 1, got {batch_size}")
+        if writer is not None and not _WRITER_RE.match(writer):
+            raise StoreError(
+                f"Invalid writer name {writer!r} "
+                "(use letters, digits, '.', '_', '-')"
+            )
         self.root = pathlib.Path(root)
         self.batch_size = batch_size
+        self.writer = writer
         self._lock = threading.Lock()
         self._pending = []
         self.hits = 0
@@ -196,11 +232,27 @@ class DesignStore:
             raise StoreError(
                 f"Cannot create store directory {self.root}: {exc}"
             ) from exc
+        journal_name = (
+            JOURNAL_NAME if writer is None else f"journal-{writer}.jsonl"
+        )
         with obs.span("store.open", root=str(self.root)):
             self._entries = load_snapshot(self.root / SNAPSHOT_NAME)
-            self._journal = Journal(self.root / JOURNAL_NAME, sync=sync)
+            self._journal = Journal(self.root / journal_name, sync=sync)
             self._entries.update(replay_latest(self._journal.records()))
+            for sibling in self._sibling_journals():
+                merge_entries(
+                    self._entries, read_journal_tolerant(sibling)
+                )
         obs.set_gauge("store.entries", len(self._entries))
+
+    def _sibling_journals(self):
+        """Journal files in this store owned by *other* writers."""
+        own = self._journal.path
+        return [
+            path
+            for path in sorted(self.root.glob("journal*.jsonl"))
+            if path != own
+        ]
 
     # -- evaluator-facing API ---------------------------------------------------
 
@@ -339,6 +391,8 @@ class DesignStore:
         return {
             "root": str(self.root),
             "schema": STORE_SCHEMA,
+            "writer": self.writer,
+            "sibling_journals": len(self._sibling_journals()),
             "entries": len(entries),
             "complete_entries": complete,
             "contexts": dict(sorted(contexts.items())),
@@ -348,10 +402,17 @@ class DesignStore:
         }
 
     def compact(self) -> Dict:
-        """Fold the journal into the snapshot; report the outcome."""
+        """Fold all journals into the snapshot; report the outcome.
+
+        In multi-writer mode this also folds and deletes sibling
+        journals — offline maintenance, only safe with the other
+        writers stopped.
+        """
         self.flush()
         with self._lock:
-            folded, total = compact(self.root, self._journal)
+            folded, total = compact(
+                self.root, self._journal, foreign=self._sibling_journals()
+            )
         return {"journal_folded": folded, "snapshot_entries": total}
 
     def _rewrite(self, keep) -> int:
@@ -367,6 +428,17 @@ class DesignStore:
             dropped = before - len(self._entries)
             write_snapshot(self.root / SNAPSHOT_NAME, self._entries)
             self._journal.truncate()
+            # Sibling journals would resurrect dropped entries on the
+            # next open; their surviving records are already in the
+            # snapshot (merged at our open), so delete them.  Offline
+            # maintenance — other writers must be stopped.
+            for sibling in self._sibling_journals():
+                try:
+                    sibling.unlink()
+                except OSError as exc:
+                    raise StoreError(
+                        f"Cannot remove sibling journal {sibling}: {exc}"
+                    ) from exc
             self.invalidated += dropped
         obs.inc("store.invalidated", dropped)
         obs.set_gauge("store.entries", len(self._entries))

@@ -28,6 +28,7 @@ from repro.errors import StoreError
 from repro.store.journal import (
     Journal,
     encode_record,
+    read_journal_tolerant,
     read_snapshot_lines,
     replay_latest,
     write_atomic,
@@ -83,8 +84,44 @@ def write_snapshot(path: PathLike, entries: Dict[str, dict]) -> None:
     write_atomic(path, lines)
 
 
-def compact(store_dir: PathLike, journal: Journal) -> Tuple[int, int]:
+def merge_entries(target: Dict[str, dict], records) -> None:
+    """Merge journal records into ``target`` with upgrade semantics.
+
+    Journals from different writers have no global order, but store
+    entries are content-addressed: two records under one key describe
+    the same deterministic evaluation and can differ at most in
+    completeness (prediction-only vs full).  Merging therefore fills
+    missing fields instead of letting arbitrary file order win.
+    """
+    for record in records:
+        key = record.get("key")
+        if not isinstance(key, str):
+            continue
+        existing = target.get(key)
+        if existing is not None and existing.get("v") == record.get("v"):
+            merged = dict(record)
+            if merged.get("cycles") is None:
+                merged["cycles"] = existing.get("cycles")
+            if merged.get("resources") is None:
+                merged["resources"] = existing.get("resources")
+            target[key] = merged
+        else:
+            target[key] = record
+
+
+def compact(
+    store_dir: PathLike, journal: Journal, foreign=()
+) -> Tuple[int, int]:
     """Fold the journal into the snapshot; empty the journal.
+
+    ``foreign`` lists sibling journal files of a multi-writer store
+    (``journal-<writer>.jsonl``, see
+    :class:`~repro.store.backing.DesignStore`) to fold in and delete.
+    Only pass siblings whose writers are stopped — this is offline
+    maintenance.  Ordering keeps every step crash-safe: the snapshot
+    (already containing the foreign records) is replaced atomically
+    *before* any journal is truncated or unlinked, so a crash in
+    between merely replays records the snapshot already holds.
 
     Returns ``(journal_records_folded, snapshot_entries_after)``.
     """
@@ -94,7 +131,21 @@ def compact(store_dir: PathLike, journal: Journal) -> Tuple[int, int]:
         entries = load_snapshot(snapshot_path)
         folded = journal.records()
         entries.update(replay_latest(folded))
+        foreign_count = 0
+        foreign_paths = []
+        for path in foreign:
+            records = read_journal_tolerant(path)
+            merge_entries(entries, records)
+            foreign_count += len(records)
+            foreign_paths.append(pathlib.Path(path))
         write_snapshot(snapshot_path, entries)
         journal.truncate()
+        for path in foreign_paths:
+            try:
+                path.unlink()
+            except OSError as exc:
+                raise StoreError(
+                    f"Cannot remove folded journal {path}: {exc}"
+                ) from exc
     obs.inc("store.compactions")
-    return len(folded), len(entries)
+    return len(folded) + foreign_count, len(entries)

@@ -296,6 +296,41 @@ class Journal:
         self.close()
 
 
+def read_journal_tolerant(path: PathLike) -> List[dict]:
+    """Read another writer's journal without repairing or raising.
+
+    Multi-writer stores (one journal file per service replica, see
+    :class:`~repro.store.backing.DesignStore`) replay *sibling*
+    journals at open while their writers may still be alive.  A torn
+    tail therefore just marks the live write frontier: the valid prefix
+    is returned and everything from the first invalid record on is
+    ignored — never truncated, because the file belongs to another
+    process.
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    try:
+        raw = target.read_bytes()
+    except OSError as exc:
+        raise StoreError(
+            f"Cannot read journal {target}: {exc}"
+        ) from exc
+    records: List[dict] = []
+    for chunk in raw.split(b"\n"):
+        if not chunk.strip():
+            continue
+        record = decode_record(chunk.decode("utf-8", errors="replace"))
+        if record is None:
+            obs.get_logger("store").debug(
+                "journal %s: stopped at in-flight/torn record "
+                "(%d valid read)", target, len(records),
+            )
+            break
+        records.append(record)
+    return records
+
+
 def replay_latest(records: Iterable[dict], key_field: str = "key") -> Dict:
     """Fold journal records into latest-record-per-key mapping.
 

@@ -7,12 +7,15 @@ store without re-running the model.
 
 from __future__ import annotations
 
+import io
 import json
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
 
+from repro import obs
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.service import (
     JobFailedError,
@@ -22,6 +25,7 @@ from repro.service import (
     make_server,
     write_result_program,
 )
+from repro.service.http import _Handler
 from repro.store import DesignStore
 
 from tests.service.conftest import echo_pipeline
@@ -274,3 +278,123 @@ def test_job_request_fixture_alignment(small_request):
         }
     )
     assert via_json.signature() == small_request.signature()
+
+
+class TestDrainStatusCodes:
+    """A drain refuses new work (503) but bad payloads stay 400."""
+
+    def _post_raw(self, client, body: bytes):
+        request = urllib.request.Request(
+            client.base_url + "/jobs",
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def test_drain_rejects_valid_but_keeps_400_for_malformed(
+        self, served
+    ):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gated(job, _evaluator):
+            entered.set()
+            while not release.wait(0.005):
+                job.check_cancelled()
+            return {"ok": True}
+
+        service, client = served(pipeline=gated, workers=1)
+        client.submit(benchmark="jacobi-2d")
+        assert entered.wait(WAIT_S)
+        drainer = threading.Thread(
+            target=service.shutdown,
+            kwargs={"drain": True, "timeout": WAIT_S},
+            daemon=True,
+        )
+        drainer.start()
+        deadline = WAIT_S
+        while not service.draining and deadline > 0:
+            threading.Event().wait(0.01)
+            deadline -= 0.01
+        assert service.draining
+        rejected_before = service.stats.rejected
+
+        # New valid work is refused: 503 with the lifecycle message.
+        # A drain is not load shedding, so ``rejected`` (the admission
+        # control counter) must not move.
+        status, body = self._post_raw(
+            client, json.dumps({"benchmark": "jacobi-1d"}).encode()
+        )
+        assert status == 503
+        assert b"shutting down" in body
+        assert service.stats.rejected == rejected_before
+
+        # A malformed payload was never admissible in the first place:
+        # the status is chosen by exception type, not by service state.
+        status, body = self._post_raw(client, b"{not json")
+        assert status == 400
+        assert service.stats.rejected == rejected_before
+
+        release.set()
+        drainer.join(WAIT_S)
+        assert not drainer.is_alive()
+
+
+class TestClientValidation:
+    def test_zero_submit_attempts_is_a_service_error(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        with pytest.raises(ServiceError, match="max_submit_attempts"):
+            client.synthesize(
+                max_submit_attempts=0, benchmark="jacobi-2d"
+            )
+
+    def test_negative_submit_attempts_is_a_service_error(self, served):
+        _, client = served(pipeline=echo_pipeline)
+        with pytest.raises(ServiceError, match="got -3"):
+            client.synthesize(
+                max_submit_attempts=-3, benchmark="jacobi-2d"
+            )
+
+
+class TestClientDisconnect:
+    """A client hanging up mid-reply is routine, never a traceback."""
+
+    class _RstSocket:
+        """Readable request; the write side was reset by the peer."""
+
+        def __init__(self, data: bytes):
+            self._data = data
+
+        def makefile(self, mode, *_args, **_kwargs):
+            assert "r" in mode
+            return io.BytesIO(self._data)
+
+        def sendall(self, _data):
+            raise BrokenPipeError("peer reset the connection")
+
+    def test_broken_pipe_mid_reply_is_counted_not_raised(self):
+        obs.enable(capture_events=False)
+        service = SynthesisService(workers=1, pipeline=echo_pipeline)
+        fake_server = type("S", (), {"service": service})()
+        counter = obs.get_registry().counter(
+            "service.http.client_disconnects"
+        )
+        before = counter.value
+        try:
+            # Runs setup/handle/finish synchronously: any unguarded
+            # BrokenPipeError would propagate right here.
+            _Handler(
+                self._RstSocket(
+                    b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n"
+                ),
+                ("127.0.0.1", 54321),
+                fake_server,
+            )
+        finally:
+            service.shutdown(drain=False, timeout=10.0)
+        assert counter.value == before + 1

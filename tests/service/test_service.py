@@ -8,6 +8,7 @@ tiny workload.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -362,3 +363,85 @@ def test_avg_job_time_feeds_retry_after(service_factory):
     # backlog(queue=1 + running=1) * 40s / 1 worker, clamped to 60s.
     assert excinfo.value.retry_after_s == 60.0
     gate.release.set()
+
+
+class TestRetryBackoffCancellation:
+    def test_cancel_wakes_a_job_out_of_backoff(self, service_factory):
+        # A pipeline that always fails transiently parks the job in
+        # the retry backoff; a cancel must wake it immediately instead
+        # of letting the worker sleep out the full delay.
+        attempted = threading.Event()
+
+        def flaky(_job, _evaluator):
+            attempted.set()
+            raise TransientServiceError("synthetic transient")
+
+        service = service_factory(
+            pipeline=flaky,
+            workers=1,
+            max_retries=5,
+            retry_backoff_s=30.0,  # way beyond the test budget
+        )
+        job, _ = service.submit(JobRequest(benchmark="jacobi-2d"))
+        assert attempted.wait(WAIT_S)
+        begin = time.monotonic()
+        service.cancel(job.id)
+        assert job.wait(WAIT_S)
+        assert job.state is JobState.CANCELLED
+        assert time.monotonic() - begin < 5.0
+
+    def test_deadline_bounds_the_backoff(self, service_factory):
+        # No explicit cancel: the job's own timeout must cap the
+        # backoff sleep, so the worker frees up at the deadline, not
+        # 30 seconds later.
+        def flaky(_job, _evaluator):
+            raise TransientServiceError("synthetic transient")
+
+        service = service_factory(
+            pipeline=flaky,
+            workers=1,
+            max_retries=5,
+            retry_backoff_s=30.0,
+        )
+        begin = time.monotonic()
+        job, _ = service.submit(
+            JobRequest(benchmark="jacobi-2d", timeout_s=0.3)
+        )
+        assert job.wait(WAIT_S)
+        assert job.state is JobState.CANCELLED
+        assert job.timed_out
+        assert time.monotonic() - begin < 5.0
+
+
+class TestHealthUnderLoad:
+    def test_health_does_not_stall_submissions(self, service_factory):
+        # The first health check resolves the simulator backend (it
+        # may probe a compiler).  Make that pathologically slow and
+        # prove submissions still flow: the probe runs outside the
+        # service lock.
+        service = service_factory(pipeline=echo_pipeline)
+        probing = threading.Event()
+
+        def slow_report():
+            probing.set()
+            time.sleep(2.0)
+            return {"requested": "slow", "resolved": "slow"}
+
+        service._sim_backend_report = slow_report
+        checker = threading.Thread(target=service.health, daemon=True)
+        checker.start()
+        assert probing.wait(WAIT_S)
+        begin = time.monotonic()
+        job, _ = service.submit(JobRequest(benchmark="jacobi-2d"))
+        assert job.wait(WAIT_S)
+        assert job.state is JobState.DONE
+        assert time.monotonic() - begin < 1.0
+        checker.join(WAIT_S)
+
+    def test_sim_backend_report_is_cached(self, service_factory):
+        service = service_factory(pipeline=echo_pipeline)
+        first = service.health()["sim_backend"]
+        sentinel = {"requested": "cached", "resolved": "cached"}
+        service._sim_report = sentinel
+        assert service.health()["sim_backend"] is sentinel
+        assert first is not sentinel
